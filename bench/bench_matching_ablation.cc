@@ -1,0 +1,54 @@
+// Ablation of the two-stage operator matching design (paper Section V-A).
+// The paper argues that relying entirely on the LLM to pick operators is
+// "neither efficient nor accurate", and that a pure embedding match lacks
+// the applicability judgement — so Unify prefilters by embedding distance
+// and lets the LLM rerank only the top-k survivors.
+//
+// Configurations compared on the Sports dataset:
+//   embedding-only : stage 1 only (no LLM rerank)
+//   two-stage      : the paper's design (k = 5 + rerank)
+//   llm-ranks-all  : no embedding prefilter (k = 21, LLM judges everything)
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/logging.h"
+
+namespace unify::bench {
+namespace {
+
+void Run(const BenchDataset& ds, const char* label, int k, bool rerank) {
+  core::UnifyOptions uopts;
+  uopts.plan.k = k;
+  uopts.plan.use_rerank = rerank;
+  core::UnifySystem system(ds.corpus.get(), ds.llm.get(), uopts);
+  UNIFY_CHECK_OK(system.Setup());
+  MethodStats stats;
+  int fallbacks = 0;
+  for (const auto& qc : ds.workload) {
+    auto r = system.Answer(qc.text);
+    bool ok = r.status.ok() &&
+              corpus::Answer::Equivalent(r.answer, qc.ground_truth);
+    stats.Add(ok, r.plan_seconds, r.exec_seconds);
+    fallbacks += r.used_fallback;
+  }
+  std::printf("%-16s acc %5.1f%%  plan %5.2f min  fallbacks %2d\n", label,
+              stats.accuracy(), stats.avg_plan_minutes(), fallbacks);
+}
+
+}  // namespace
+}  // namespace unify::bench
+
+int main() {
+  auto scale = unify::bench::BenchScale::FromEnv();
+  unify::bench::PrintHeaderLine(
+      "Operator-matching ablation: embedding prefilter + LLM rerank "
+      "(Section V-A)");
+  auto ds = unify::bench::MakeDataset(unify::corpus::SportsProfile(), scale);
+  std::printf("dataset %s: %zu docs, %zu queries\n", ds.name.c_str(),
+              ds.corpus->size(), ds.workload.size());
+  unify::bench::Run(ds, "embedding-only", 5, /*rerank=*/false);
+  unify::bench::Run(ds, "two-stage (k=5)", 5, /*rerank=*/true);
+  unify::bench::Run(ds, "llm-ranks-all", 21, /*rerank=*/true);
+  return 0;
+}

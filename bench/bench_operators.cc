@@ -1,0 +1,138 @@
+// Microbenchmarks (google-benchmark) of the pre-programmed physical
+// operator implementations — these run real algorithms over real text, so
+// wall-clock throughput is meaningful (unlike the LLM-based operators,
+// whose cost is virtual by design).
+
+#include <benchmark/benchmark.h>
+
+#include "core/operators/physical.h"
+#include "corpus/dataset_profile.h"
+#include "llm/sim_llm.h"
+
+namespace unify::core {
+namespace {
+
+struct Fixture {
+  corpus::Corpus corpus;
+  llm::SimulatedLlm llm;
+  DocList all;
+
+  static Fixture& Get() {
+    static Fixture* fixture = new Fixture();
+    return *fixture;
+  }
+
+  ExecContext Ctx() {
+    ExecContext ctx;
+    ctx.corpus = &corpus;
+    ctx.llm = &llm;
+    return ctx;
+  }
+
+ private:
+  Fixture()
+      : corpus([] {
+          auto profile = corpus::SportsProfile();
+          return corpus::GenerateCorpus(profile, 2024);
+        }()),
+        llm(&corpus, llm::SimLlmOptions{}) {
+    for (uint64_t i = 0; i < corpus.size(); ++i) all.push_back(i);
+  }
+};
+
+void BM_ExactFilter(benchmark::State& state) {
+  auto& f = Fixture::Get();
+  auto ctx = f.Ctx();
+  OpArgs args{{"kind", "numeric"},
+              {"attribute", "views"},
+              {"cmp", "gt"},
+              {"value", "500"}};
+  std::vector<Value> inputs = {Value::Docs(f.all)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ExecuteOp("Filter", PhysicalImpl::kExactFilter, args, inputs, ctx));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.all.size()));
+}
+BENCHMARK(BM_ExactFilter)->Unit(benchmark::kMillisecond);
+
+void BM_KeywordFilter(benchmark::State& state) {
+  auto& f = Fixture::Get();
+  auto ctx = f.Ctx();
+  OpArgs args{{"kind", "semantic"}, {"phrase", "tennis"}};
+  std::vector<Value> inputs = {Value::Docs(f.all)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExecuteOp(
+        "Filter", PhysicalImpl::kKeywordFilter, args, inputs, ctx));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.all.size()));
+}
+BENCHMARK(BM_KeywordFilter)->Unit(benchmark::kMillisecond);
+
+void BM_RuleGroupBy(benchmark::State& state) {
+  auto& f = Fixture::Get();
+  auto ctx = f.Ctx();
+  OpArgs args{{"by", "sport"}};
+  std::vector<Value> inputs = {Value::Docs(f.all)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ExecuteOp("GroupBy", PhysicalImpl::kRuleGroupBy, args, inputs, ctx));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.all.size()));
+}
+BENCHMARK(BM_RuleGroupBy)->Unit(benchmark::kMillisecond);
+
+void BM_RegexExtract(benchmark::State& state) {
+  auto& f = Fixture::Get();
+  auto ctx = f.Ctx();
+  OpArgs args{{"attribute", "views"}};
+  std::vector<Value> inputs = {Value::Docs(f.all)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExecuteOp(
+        "Extract", PhysicalImpl::kRegexExtract, args, inputs, ctx));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.all.size()));
+}
+BENCHMARK(BM_RegexExtract)->Unit(benchmark::kMillisecond);
+
+void BM_NumericTopK(benchmark::State& state) {
+  auto& f = Fixture::Get();
+  auto ctx = f.Ctx();
+  OpArgs args{{"k", "5"}, {"attribute", "views"}, {"desc", "true"}};
+  std::vector<Value> inputs = {Value::Docs(f.all)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ExecuteOp("TopK", PhysicalImpl::kNumericTopK, args, inputs, ctx));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.all.size()));
+}
+BENCHMARK(BM_NumericTopK)->Unit(benchmark::kMillisecond);
+
+void BM_SetUnion(benchmark::State& state) {
+  auto& f = Fixture::Get();
+  auto ctx = f.Ctx();
+  DocList odd;
+  DocList third;
+  for (uint64_t i = 0; i < f.all.size(); ++i) {
+    if (i % 2) odd.push_back(i);
+    if (i % 3 == 0) third.push_back(i);
+  }
+  std::vector<Value> inputs = {Value::Docs(odd), Value::Docs(third)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ExecuteOp("Union", PhysicalImpl::kPreSetOp, {}, inputs, ctx));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(odd.size() + third.size()));
+}
+BENCHMARK(BM_SetUnion)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace unify::core
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Ablation of the planning hyper-parameters the paper fixes in Section
+// VII-A (k = 5 candidate operators, n_c = 3 candidate plans, τ = 0.75):
+// how accuracy, planning cost, and end-to-end latency move as each knob
+// varies on the Sports dataset.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/logging.h"
+
+namespace unify::bench {
+namespace {
+
+void RunConfig(const BenchDataset& ds, const char* label,
+               core::UnifyOptions uopts) {
+  core::UnifySystem system(ds.corpus.get(), ds.llm.get(), uopts);
+  UNIFY_CHECK_OK(system.Setup());
+  MethodStats stats;
+  int fallbacks = 0;
+  for (const auto& qc : ds.workload) {
+    auto r = system.Answer(qc.text);
+    bool ok = r.status.ok() &&
+              corpus::Answer::Equivalent(r.answer, qc.ground_truth);
+    stats.Add(ok, r.plan_seconds, r.exec_seconds);
+    fallbacks += r.used_fallback;
+  }
+  std::printf("%-18s acc %5.1f%%  plan %5.2f min  total %5.2f min  "
+              "fallbacks %d\n",
+              label, stats.accuracy(), stats.avg_plan_minutes(),
+              stats.avg_total_minutes(), fallbacks);
+}
+
+}  // namespace
+}  // namespace unify::bench
+
+int main() {
+  using unify::bench::BenchScale;
+  using unify::bench::MakeDataset;
+  using unify::core::UnifyOptions;
+
+  auto scale = BenchScale::FromEnv();
+  unify::bench::PrintHeaderLine(
+      "Planning ablation: candidate operators k, candidate plans n_c, "
+      "diversity tau (paper defaults: k=5, n_c=3, tau=0.75)");
+  auto ds = MakeDataset(unify::corpus::SportsProfile(), scale);
+  std::printf("dataset %s: %zu docs, %zu queries\n", ds.name.c_str(),
+              ds.corpus->size(), ds.workload.size());
+
+  std::printf("\n-- candidate operators k --\n");
+  for (int k : {2, 3, 5, 8}) {
+    UnifyOptions uopts;
+    uopts.plan.k = k;
+    char label[32];
+    std::snprintf(label, sizeof(label), "k=%d", k);
+    unify::bench::RunConfig(ds, label, uopts);
+  }
+
+  std::printf("\n-- candidate plans n_c --\n");
+  for (int n_c : {1, 3, 6}) {
+    UnifyOptions uopts;
+    uopts.plan.n_c = n_c;
+    char label[32];
+    std::snprintf(label, sizeof(label), "n_c=%d", n_c);
+    unify::bench::RunConfig(ds, label, uopts);
+  }
+
+  std::printf("\n-- diversity tau --\n");
+  for (double tau : {0.25, 0.75, 1.0}) {
+    UnifyOptions uopts;
+    uopts.plan.tau = tau;
+    char label[32];
+    std::snprintf(label, sizeof(label), "tau=%.2f", tau);
+    unify::bench::RunConfig(ds, label, uopts);
+  }
+  return 0;
+}

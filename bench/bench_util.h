@@ -1,0 +1,105 @@
+#ifndef UNIFY_BENCH_BENCH_UTIL_H_
+#define UNIFY_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/runtime/unify.h"
+#include "corpus/corpus.h"
+#include "corpus/dataset_profile.h"
+#include "corpus/workload.h"
+#include "llm/sim_llm.h"
+
+namespace unify::bench {
+
+/// Scale knobs shared by the paper-reproduction harnesses. The defaults
+/// keep every binary fast enough for CI; environment variables restore the
+/// paper's full scale:
+///   UNIFY_BENCH_FULL=1          -> 5 queries/template (100 per dataset)
+///   UNIFY_BENCH_QUERIES=<n>     -> n queries/template
+///   UNIFY_BENCH_DOCS=<n>        -> cap corpus size at n documents
+struct BenchScale {
+  int per_template = 2;
+  size_t max_docs = 0;  ///< 0 = paper-scale document counts
+
+  static BenchScale FromEnv() {
+    BenchScale scale;
+    if (const char* full = std::getenv("UNIFY_BENCH_FULL");
+        full != nullptr && full[0] == '1') {
+      scale.per_template = 5;
+    }
+    if (const char* q = std::getenv("UNIFY_BENCH_QUERIES")) {
+      scale.per_template = std::max(1, atoi(q));
+    }
+    if (const char* d = std::getenv("UNIFY_BENCH_DOCS")) {
+      scale.max_docs = static_cast<size_t>(std::max(1, atoi(d)));
+    }
+    return scale;
+  }
+};
+
+/// One fully-prepared dataset: corpus, simulated LLM, and test workload.
+struct BenchDataset {
+  std::string name;
+  std::unique_ptr<corpus::Corpus> corpus;
+  std::unique_ptr<llm::SimulatedLlm> llm;
+  std::vector<corpus::QueryCase> workload;
+};
+
+inline BenchDataset MakeDataset(const corpus::DatasetProfile& profile_in,
+                                const BenchScale& scale,
+                                uint64_t seed = 2024) {
+  corpus::DatasetProfile profile = profile_in;
+  if (scale.max_docs > 0 && profile.doc_count > scale.max_docs) {
+    profile.doc_count = scale.max_docs;
+  }
+  BenchDataset ds;
+  ds.name = profile.name;
+  ds.corpus = std::make_unique<corpus::Corpus>(
+      corpus::GenerateCorpus(profile, seed));
+  ds.llm = std::make_unique<llm::SimulatedLlm>(ds.corpus.get(),
+                                               llm::SimLlmOptions{});
+  corpus::WorkloadOptions wopts;
+  wopts.per_template = scale.per_template;
+  wopts.seed = seed ^ 0x77;
+  ds.workload = corpus::GenerateWorkload(*ds.corpus, wopts);
+  return ds;
+}
+
+/// Accuracy/latency accumulator for one (method, dataset) cell.
+struct MethodStats {
+  int correct = 0;
+  int total = 0;
+  double plan_seconds = 0;
+  double exec_seconds = 0;
+
+  void Add(bool ok, double plan_s, double exec_s) {
+    total += 1;
+    correct += ok ? 1 : 0;
+    plan_seconds += plan_s;
+    exec_seconds += exec_s;
+  }
+  double accuracy() const {
+    return total == 0 ? 0 : 100.0 * correct / total;
+  }
+  double avg_total_minutes() const {
+    return total == 0 ? 0 : (plan_seconds + exec_seconds) / total / 60.0;
+  }
+  double avg_plan_minutes() const {
+    return total == 0 ? 0 : plan_seconds / total / 60.0;
+  }
+  double avg_exec_minutes() const {
+    return total == 0 ? 0 : exec_seconds / total / 60.0;
+  }
+};
+
+inline void PrintHeaderLine(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace unify::bench
+
+#endif  // UNIFY_BENCH_BENCH_UTIL_H_

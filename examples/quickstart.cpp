@@ -1,0 +1,59 @@
+// Quickstart: build a corpus, stand up a Unify system, and ask questions
+// in plain English.
+//
+//   $ ./build/examples/quickstart
+//
+// The corpus here is the synthetic Sports Stack Exchange collection (see
+// DESIGN.md); the "LLM" is the deterministic simulator, so this runs
+// offline and reproducibly.
+
+#include <cstdio>
+
+#include "core/runtime/unify.h"
+#include "corpus/dataset_profile.h"
+#include "llm/sim_llm.h"
+
+int main() {
+  using namespace unify;
+
+  // 1. Load (here: synthesize) an unstructured document collection.
+  auto profile = corpus::SportsProfile();
+  profile.doc_count = 1200;  // keep the demo snappy
+  corpus::Corpus docs = corpus::GenerateCorpus(profile, /*seed=*/2024);
+  std::printf("corpus: %zu documents from '%s'\n", docs.size(),
+              docs.name().c_str());
+  std::printf("sample document:\n  %.200s...\n\n",
+              docs.docs()[0].text.c_str());
+
+  // 2. Connect an LLM and build the system (offline preprocessing:
+  //    embeddings, HNSW index, operator index, cost calibration).
+  llm::SimulatedLlm llm(&docs, llm::SimLlmOptions{});
+  core::UnifySystem unify_system(&docs, &llm, core::UnifyOptions{});
+  if (auto st = unify_system.Setup(); !st.ok()) {
+    std::printf("setup failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // 3. Ask natural-language analytics questions.
+  const char* queries[] = {
+      "How many questions about tennis are there?",
+      "What is the average number of views of questions about football?",
+      "Among questions about ball sports, with over 300 views, which sport "
+      "has the highest ratio of the number of questions that are "
+      "injury-related to the number of questions that are training-related?",
+  };
+  for (const char* query : queries) {
+    std::printf("Q: %s\n", query);
+    auto result = unify_system.Answer(query);
+    if (!result.status.ok()) {
+      std::printf("   error: %s\n", result.status.ToString().c_str());
+      continue;
+    }
+    std::printf("A: %s\n", result.answer.ToString().c_str());
+    std::printf("   (planned in %.1fs, executed in %.1fs of simulated LLM "
+                "time, %d candidate plans)\n\n",
+                result.plan_seconds, result.exec_seconds,
+                result.num_candidate_plans);
+  }
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Interactive shell: type natural-language analytics questions against one
+// of the four datasets and watch Unify plan, optimize, and execute them.
+//
+//   $ ./build/examples/unify_shell [sports|ai|law|wiki]
+//   unify> How many questions about tennis are there?
+//   unify> \plan on          (toggle physical-plan printing)
+//   unify> \stats            (cumulative LLM usage)
+//   unify> \quit
+//
+// Reads queries from stdin; also works non-interactively:
+//   $ echo "Count the questions about golf." | ./build/examples/unify_shell
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/string_util.h"
+#include "core/runtime/unify.h"
+#include "corpus/dataset_profile.h"
+#include "llm/sim_llm.h"
+
+int main(int argc, char** argv) {
+  using namespace unify;
+
+  std::string dataset = argc > 1 ? argv[1] : "sports";
+  corpus::DatasetProfile profile;
+  bool found = false;
+  for (const auto& p : corpus::AllProfiles()) {
+    if (p.name == dataset) {
+      profile = p;
+      found = true;
+    }
+  }
+  if (!found) {
+    std::printf("unknown dataset '%s' (try sports|ai|law|wiki)\n",
+                dataset.c_str());
+    return 1;
+  }
+
+  std::printf("loading %s (%zu documents) ...\n", profile.name.c_str(),
+              profile.doc_count);
+  corpus::Corpus docs = corpus::GenerateCorpus(profile, 2024);
+  llm::SimulatedLlm llm(&docs, llm::SimLlmOptions{});
+  core::UnifySystem system(&docs, &llm, core::UnifyOptions{});
+  if (auto st = system.Setup(); !st.ok()) {
+    std::printf("setup failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "ready. Ask questions about the %s (entity: %s); \\help for "
+      "commands.\n",
+      docs.name().c_str(), docs.entity().c_str());
+
+  bool show_plan = false;
+  bool show_trace = false;
+  std::string line;
+  while (true) {
+    std::printf("unify> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::string input(StripAsciiWhitespace(line));
+    if (input.empty()) continue;
+    if (input == "\\quit" || input == "\\q") break;
+    if (input == "\\help") {
+      std::printf("  \\plan on|off   print the optimized physical plan\n");
+      std::printf("  \\trace on|off  print the execution timeline\n");
+      std::printf("  \\stats         cumulative simulated LLM usage\n");
+      std::printf("  \\vocab         categories/tags/groups you can ask "
+                  "about\n");
+      std::printf("  \\quit          exit\n");
+      continue;
+    }
+    if (input == "\\plan on") {
+      show_plan = true;
+      continue;
+    }
+    if (input == "\\plan off") {
+      show_plan = false;
+      continue;
+    }
+    if (input == "\\trace on") {
+      show_trace = true;
+      continue;
+    }
+    if (input == "\\trace off") {
+      show_trace = false;
+      continue;
+    }
+    if (input == "\\stats") {
+      auto usage = llm.usage();
+      std::printf("  %lld calls, %.1fk in-tokens, %.1fk out-tokens, "
+                  "%.0f virtual seconds, $%.3f\n",
+                  static_cast<long long>(usage.calls),
+                  usage.in_tokens / 1000.0, usage.out_tokens / 1000.0,
+                  usage.seconds, usage.dollars);
+      continue;
+    }
+    if (input == "\\vocab") {
+      const auto& kb = docs.knowledge();
+      std::printf("  %s:", docs.category_kind().c_str());
+      for (const auto& c : kb.categories()) std::printf(" %s,", c.c_str());
+      std::printf("\n  tags:");
+      for (const auto& t : kb.tags()) std::printf(" %s,", t.c_str());
+      std::printf("\n  groups:");
+      for (const auto& g : kb.groups()) std::printf(" %s,", g.c_str());
+      std::printf("\n  attributes: views, upvotes, answers, comments, "
+                  "words\n");
+      continue;
+    }
+
+    auto result = system.Answer(input);
+    if (!result.status.ok()) {
+      std::printf("error: %s\n", result.status.ToString().c_str());
+      continue;
+    }
+    std::printf("%s\n", result.answer.ToString().c_str());
+    std::printf("  [%.1fs planning + %.1fs execution%s%s]\n",
+                result.plan_seconds, result.exec_seconds,
+                result.used_fallback ? ", RAG fallback" : "",
+                result.adjusted ? ", plan adjusted" : "");
+    if (show_plan) std::printf("%s", result.plan_explain.c_str());
+    if (show_trace) std::printf("%s", result.timeline.c_str());
+  }
+  std::printf("\nbye.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Batch reporting over an encyclopedia sample: run the full benchmark
+// workload (20 templates × k instantiations) on the Wiki corpus and print
+// an accuracy/latency report per template family — the kind of regression
+// report a team operating Unify would watch.
+
+#include <cstdio>
+#include <map>
+
+#include "core/runtime/unify.h"
+#include "corpus/answer.h"
+#include "corpus/dataset_profile.h"
+#include "corpus/workload.h"
+#include "llm/sim_llm.h"
+
+int main() {
+  using namespace unify;
+
+  corpus::Corpus docs =
+      corpus::GenerateCorpus(corpus::WikiProfile(), /*seed=*/2024);
+  llm::SimulatedLlm llm(&docs, llm::SimLlmOptions{});
+  core::UnifySystem unify_system(&docs, &llm, core::UnifyOptions{});
+  if (auto st = unify_system.Setup(); !st.ok()) {
+    std::printf("setup failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  corpus::WorkloadOptions wopts;
+  wopts.per_template = 2;
+  auto workload = corpus::GenerateWorkload(docs, wopts);
+  std::printf("running %zu analytics queries over %zu articles...\n\n",
+              workload.size(), docs.size());
+
+  struct Row {
+    int correct = 0;
+    int total = 0;
+    double minutes = 0;
+  };
+  std::map<int, Row> by_template;
+  for (const auto& qc : workload) {
+    auto result = unify_system.Answer(qc.text);
+    Row& row = by_template[qc.template_id];
+    row.total += 1;
+    row.minutes += result.total_seconds / 60;
+    if (result.status.ok() &&
+        corpus::Answer::Equivalent(result.answer, qc.ground_truth)) {
+      row.correct += 1;
+    }
+  }
+
+  std::printf("%-9s %9s %12s\n", "template", "correct", "avg latency");
+  int correct = 0;
+  int total = 0;
+  for (const auto& [tpl, row] : by_template) {
+    std::printf("T%-8d %5d/%-3d %9.1f min\n", tpl + 1, row.correct,
+                row.total, row.minutes / row.total);
+    correct += row.correct;
+    total += row.total;
+  }
+  std::printf("\noverall: %d/%d (%.0f%%)\n", correct, total,
+              100.0 * correct / total);
+  return 0;
+}

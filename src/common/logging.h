@@ -1,0 +1,76 @@
+#ifndef UNIFY_COMMON_LOGGING_H_
+#define UNIFY_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace unify {
+
+/// Log severities in increasing order.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level; messages below it are discarded. Defaults to INFO.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+/// Accumulates one log line and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// Emits the message (if FATAL-worthy) and aborts the process.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace unify
+
+#define UNIFY_LOG(level)                                             \
+  ::unify::internal_logging::LogMessage(::unify::LogLevel::k##level, \
+                                        __FILE__, __LINE__)
+
+/// Logs and aborts. Use for invariant violations that indicate bugs.
+#define UNIFY_FATAL() \
+  ::unify::internal_logging::FatalLogMessage(__FILE__, __LINE__)
+
+/// Aborts with a message when `cond` is false. Active in all build modes:
+/// these guard internal invariants, not user input (user input errors are
+/// reported via Status).
+#define UNIFY_CHECK(cond) \
+  if (!(cond)) UNIFY_FATAL() << "Check failed: " #cond " "
+
+#define UNIFY_CHECK_OK(expr)                                   \
+  do {                                                         \
+    ::unify::Status _st = (expr);                              \
+    if (!_st.ok()) UNIFY_FATAL() << "Status not OK: " << _st;  \
+  } while (0)
+
+#endif  // UNIFY_COMMON_LOGGING_H_

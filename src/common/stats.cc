@@ -1,0 +1,75 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace unify {
+
+void SampleStats::Add(double v) {
+  values_.push_back(v);
+  sorted_valid_ = false;
+}
+
+void SampleStats::AddAll(const std::vector<double>& vs) {
+  values_.insert(values_.end(), vs.begin(), vs.end());
+  sorted_valid_ = false;
+}
+
+double SampleStats::sum() const {
+  double s = 0;
+  for (double v : values_) s += v;
+  return s;
+}
+
+double SampleStats::Mean() const {
+  UNIFY_CHECK(!values_.empty());
+  return sum() / static_cast<double>(values_.size());
+}
+
+double SampleStats::Min() const {
+  UNIFY_CHECK(!values_.empty());
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double SampleStats::Max() const {
+  UNIFY_CHECK(!values_.empty());
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double SampleStats::StdDev() const {
+  if (values_.size() < 2) return 0.0;
+  double m = Mean();
+  double acc = 0;
+  for (double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size()));
+}
+
+void SampleStats::EnsureSorted() const {
+  if (!sorted_valid_) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double SampleStats::Quantile(double q) const {
+  UNIFY_CHECK(!values_.empty());
+  EnsureSorted();
+  if (q <= 0) return sorted_.front();
+  if (q >= 1) return sorted_.back();
+  double pos = q * static_cast<double>(sorted_.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+double QError(double estimate, double ground_truth) {
+  double e = std::max(estimate, 1.0);
+  double t = std::max(ground_truth, 1.0);
+  return std::max(e / t, t / e);
+}
+
+}  // namespace unify

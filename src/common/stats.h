@@ -1,0 +1,54 @@
+#ifndef UNIFY_COMMON_STATS_H_
+#define UNIFY_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace unify {
+
+/// Accumulates a sample of doubles and reports summary statistics.
+/// Quantiles use linear interpolation between order statistics (the same
+/// convention as numpy's default), so results are stable and exact for the
+/// sample sizes used in the experiments.
+class SampleStats {
+ public:
+  SampleStats() = default;
+
+  /// Adds one observation.
+  void Add(double v);
+
+  /// Adds many observations.
+  void AddAll(const std::vector<double>& vs);
+
+  size_t count() const { return values_.size(); }
+  double sum() const;
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  /// Population standard deviation. Returns 0 for fewer than 2 samples.
+  double StdDev() const;
+  /// Quantile q in [0, 1]; q=0.5 is the median. Requires count() > 0.
+  double Quantile(double q) const;
+  double Median() const { return Quantile(0.5); }
+
+  /// The raw values, in insertion order.
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  /// Sorts lazily before quantile queries.
+  void EnsureSorted() const;
+
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+/// The q-error metric used for cardinality estimation quality (Section
+/// VII-A): max(est/truth, truth/est). Both inputs are clamped below by 1 so
+/// zero estimates/truths yield finite errors, matching common practice
+/// (Leis et al.).
+double QError(double estimate, double ground_truth);
+
+}  // namespace unify
+
+#endif  // UNIFY_COMMON_STATS_H_

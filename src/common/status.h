@@ -1,0 +1,174 @@
+#ifndef UNIFY_COMMON_STATUS_H_
+#define UNIFY_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace unify {
+
+/// Canonical error codes, modeled after absl::StatusCode / RocksDB codes.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kResourceExhausted,
+  kAborted,
+  kDeadlineExceeded,
+};
+
+/// Returns a human-readable name for `code` ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight error-or-success result, used instead of exceptions
+/// throughout the library (Google style: exceptions are not used).
+///
+/// A `Status` is cheap to copy in the OK case (no allocation) and carries an
+/// error code plus message otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with `code` and a diagnostic `message`.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers, one per canonical code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// A value-or-error result. Holds either a `T` or a non-OK `Status`.
+///
+/// Usage:
+///   StatusOr<int> Parse(...);
+///   auto r = Parse(...);
+///   if (!r.ok()) return r.status();
+///   Use(r.value());
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. `status` must not be OK.
+  StatusOr(Status status)  // NOLINT: implicit by design, mirrors absl.
+      : rep_(std::move(status)) {}
+  /// Constructs from a value.
+  StatusOr(T value)  // NOLINT: implicit by design, mirrors absl.
+      : rep_(std::move(value)) {}
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) = default;
+  StatusOr& operator=(StatusOr&&) = default;
+
+  /// True iff a value is held.
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// The status: OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(rep_);
+  }
+
+  /// The held value. Requires `ok()`.
+  const T& value() const& { return std::get<T>(rep_); }
+  T& value() & { return std::get<T>(rep_); }
+  T&& value() && { return std::get<T>(std::move(rep_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when in error state.
+  T value_or(T fallback) const {
+    if (ok()) return value();
+    return fallback;
+  }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+}  // namespace unify
+
+/// Propagates a non-OK status from an expression, absl-style.
+#define UNIFY_RETURN_IF_ERROR(expr)                \
+  do {                                             \
+    ::unify::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+/// Evaluates a StatusOr expression; on error returns its status, otherwise
+/// assigns the value to `lhs`.
+#define UNIFY_ASSIGN_OR_RETURN_IMPL(var, lhs, expr) \
+  auto var = (expr);                                \
+  if (!var.ok()) return var.status();               \
+  lhs = std::move(var).value();
+
+#define UNIFY_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define UNIFY_ASSIGN_OR_RETURN_NAME(a, b) UNIFY_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define UNIFY_ASSIGN_OR_RETURN(lhs, expr) \
+  UNIFY_ASSIGN_OR_RETURN_IMPL(            \
+      UNIFY_ASSIGN_OR_RETURN_NAME(_status_or_, __LINE__), lhs, expr)
+
+#endif  // UNIFY_COMMON_STATUS_H_

@@ -1,0 +1,35 @@
+#ifndef UNIFY_CORE_BASELINES_BASELINE_H_
+#define UNIFY_CORE_BASELINES_BASELINE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "corpus/answer.h"
+
+namespace unify::core {
+
+/// Outcome of answering one query with any method (Unify or a baseline).
+struct MethodResult {
+  Status status = Status::OK();
+  corpus::Answer answer;
+  /// Plan/preparation time (virtual seconds). For Manual this includes the
+  /// human design-and-debug time.
+  double plan_seconds = 0;
+  /// Execution time (virtual seconds).
+  double exec_seconds = 0;
+  double total_seconds = 0;
+};
+
+/// A query-answering method under benchmark (paper Section VII-A:
+/// RAG, RecurRAG, LLMPlan, Sample, Exhaust, Manual, and Unify itself).
+class Method {
+ public:
+  virtual ~Method() = default;
+  virtual std::string name() const = 0;
+  /// Answers one natural-language query.
+  virtual MethodResult Run(const std::string& query) = 0;
+};
+
+}  // namespace unify::core
+
+#endif  // UNIFY_CORE_BASELINES_BASELINE_H_

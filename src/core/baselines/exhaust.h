@@ -1,0 +1,44 @@
+#ifndef UNIFY_CORE_BASELINES_EXHAUST_H_
+#define UNIFY_CORE_BASELINES_EXHAUST_H_
+
+#include <memory>
+
+#include "core/baselines/baseline.h"
+#include "core/logical/operator_matcher.h"
+#include "core/logical/plan_generator.h"
+#include "core/operators/operator_def.h"
+#include "core/physical/cost_model.h"
+
+namespace unify::core {
+
+/// The Exhaust baseline (Section VII-A): exhaustively search the plan
+/// space (τ = 1, large n_c), execute every candidate plan without
+/// cost-based optimization, and let the LLM pick the best answer. An
+/// "extreme variant of Unify": comparable accuracy, dramatically slower.
+class ExhaustBaseline : public Method {
+ public:
+  struct Options {
+    int max_plans = 24;
+    int max_llm_calls = 800;
+    /// Physical configurations executed per logical candidate.
+    int physical_variants = 6;
+    int num_servers = 4;
+    uint64_t seed = 15;
+  };
+
+  ExhaustBaseline(ExecContext ctx, Options options);
+
+  std::string name() const override { return "Exhaust"; }
+  MethodResult Run(const std::string& query) override;
+
+ private:
+  ExecContext ctx_;
+  Options options_;
+  OperatorRegistry registry_;
+  std::unique_ptr<OperatorMatcher> matcher_;
+  CostModel cost_model_;
+};
+
+}  // namespace unify::core
+
+#endif  // UNIFY_CORE_BASELINES_EXHAUST_H_

@@ -1,0 +1,135 @@
+#include "core/baselines/llm_plan.h"
+
+#include <map>
+
+#include "common/string_util.h"
+#include "core/logical/logical_plan.h"
+#include "core/value/value.h"
+
+namespace unify::core {
+
+namespace {
+
+/// Parses one serialized plan step "op=Filter|inputs=$docs|output=P1|k=v".
+struct ParsedStep {
+  std::string op;
+  std::vector<std::string> inputs;
+  std::string output;
+  OpArgs args;
+};
+
+std::optional<ParsedStep> ParseStep(const std::string& item) {
+  ParsedStep step;
+  for (const auto& part : StrSplit(item, '|')) {
+    size_t eq = part.find('=');
+    if (eq == std::string::npos) continue;
+    std::string key = part.substr(0, eq);
+    std::string value = part.substr(eq + 1);
+    if (key == "op") {
+      step.op = value;
+    } else if (key == "inputs") {
+      step.inputs = StrSplit(value, ',');
+    } else if (key == "output") {
+      step.output = value;
+    } else {
+      step.args[key] = value;
+    }
+  }
+  if (step.op.empty() || step.output.empty()) return std::nullopt;
+  return step;
+}
+
+/// LLM-first implementation choice: the baseline executes everything by
+/// prompting, falling back to trivial pre-programmed ops where no LLM
+/// variant exists.
+PhysicalImpl ImplFor(const std::string& op) {
+  for (PhysicalImpl impl : CandidateImpls(op, {})) {
+    if (ImplUsesLlm(impl)) return impl;
+  }
+  auto candidates = CandidateImpls(op, {});
+  return candidates.empty() ? PhysicalImpl::kIdentity : candidates.front();
+}
+
+}  // namespace
+
+MethodResult LlmPlanBaseline::Run(const std::string& query) {
+  MethodResult result;
+
+  // One-shot plan generation.
+  llm::LlmCall plan_call;
+  plan_call.type = llm::PromptType::kPlanOneShot;
+  plan_call.tier = llm::ModelTier::kPlanner;
+  plan_call.fields["query"] = query;
+  llm::LlmResult plan = ctx_.llm->Call(plan_call);
+  if (!plan.status.ok()) {
+    result.status = plan.status;
+    return result;
+  }
+  result.plan_seconds += plan.seconds;
+
+  // Context window: plan execution is prompt-based, so the plan only sees
+  // retrieved documents, not the whole corpus.
+  auto context = retriever_->RetrieveDocs(query, options_.k_sentences,
+                                          &result.exec_seconds);
+
+  std::map<std::string, Value> vars;
+  vars[kDocsVar] = Value::Docs(DocList(context.begin(), context.end()));
+
+  // Strictly sequential prompt-by-prompt execution.
+  for (const auto& item : plan.items) {
+    auto step = ParseStep(item);
+    if (!step.has_value()) continue;
+    std::vector<Value> inputs;
+    bool ok = true;
+    for (const auto& in : step->inputs) {
+      auto it = vars.find(in);
+      if (it == vars.end()) {
+        ok = false;
+        break;
+      }
+      inputs.push_back(it->second);
+    }
+    if (!ok) {
+      result.status = Status::FailedPrecondition(
+          "LLMPlan step references unknown variable");
+      break;
+    }
+    if (step->op == "Generate") step->args["query"] = query;
+    // Every step is orchestrated through a prompt that restates the
+    // instruction and the intermediate state (pure prompt-based
+    // execution, no compiled operators).
+    {
+      llm::LlmCall orchestrate;
+      orchestrate.type = llm::PromptType::kGenerateAnswer;
+      orchestrate.tier = llm::ModelTier::kPlanner;
+      orchestrate.fields["query"] = "apply " + step->op + " for: " + query;
+      orchestrate.fields["out_tokens_hint"] = "150";
+      llm::LlmResult r = ctx_.llm->Call(orchestrate);
+      result.exec_seconds += r.seconds;
+    }
+    auto output =
+        ExecuteOp(step->op, ImplFor(step->op), step->args, inputs, ctx_);
+    if (!output.ok()) {
+      result.status = output.status();
+      break;
+    }
+    result.exec_seconds +=
+        output->stats.llm_seconds + output->stats.cpu_seconds;
+    vars[step->output] = output->value;
+  }
+
+  if (!plan.items.empty() && result.status.ok()) {
+    auto last = ParseStep(plan.items.back());
+    if (last.has_value()) {
+      auto it = vars.find(last->output);
+      if (it != vars.end()) result.answer = it->second.ToAnswer();
+    }
+  }
+  // A broken plan still "answers" (with kNone), which simply scores as
+  // incorrect — the baseline never retries.
+  result.status = Status::OK();
+  result.total_seconds = result.plan_seconds + result.exec_seconds;
+  return result;
+}
+
+}  // namespace unify::core

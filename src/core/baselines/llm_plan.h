@@ -1,0 +1,37 @@
+#ifndef UNIFY_CORE_BASELINES_LLM_PLAN_H_
+#define UNIFY_CORE_BASELINES_LLM_PLAN_H_
+
+#include "core/baselines/baseline.h"
+#include "core/baselines/retrieval.h"
+#include "core/operators/physical.h"
+
+namespace unify::core {
+
+/// The LLMPlan baseline (Section VII-A): one-shot plan generation — the
+/// LLM receives the full operator catalog and emits a complete plan in a
+/// single completion — then prompt-based execution of each step over a
+/// retrieved context window. No matching constraints, no verification, no
+/// optimization; plan errors compound across steps.
+class LlmPlanBaseline : public Method {
+ public:
+  struct Options {
+    /// Context window: documents visible to the executed plan.
+    size_t k_sentences = 100;
+  };
+
+  LlmPlanBaseline(const SentenceRetriever* retriever, ExecContext ctx,
+                  Options options)
+      : retriever_(retriever), ctx_(ctx), options_(options) {}
+
+  std::string name() const override { return "LLMPlan"; }
+  MethodResult Run(const std::string& query) override;
+
+ private:
+  const SentenceRetriever* retriever_;
+  ExecContext ctx_;
+  Options options_;
+};
+
+}  // namespace unify::core
+
+#endif  // UNIFY_CORE_BASELINES_LLM_PLAN_H_

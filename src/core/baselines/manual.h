@@ -1,0 +1,46 @@
+#ifndef UNIFY_CORE_BASELINES_MANUAL_H_
+#define UNIFY_CORE_BASELINES_MANUAL_H_
+
+#include "core/baselines/baseline.h"
+#include "core/physical/cost_model.h"
+#include "core/physical/sce.h"
+
+namespace unify::core {
+
+/// The Manual baseline (Section VII-A): a domain expert reads the query,
+/// hand-writes the (correct) physical plan, and debugs it — a fixed human
+/// time cost — then the plan executes on the same substrate. Accuracy is
+/// bounded only by LLM operator errors; latency is dominated by the human.
+///
+/// The "expert" is modeled by direct access to the gold query
+/// decomposition (the human understands the query perfectly) and
+/// ground-truth cardinalities (the human knows the data).
+class ManualBaseline : public Method {
+ public:
+  struct Options {
+    /// Design + coding + debugging time (paper: ~20 minutes of the 23.5
+    /// minute Sports total).
+    double human_seconds = 1200;
+    int num_servers = 4;
+    uint64_t seed = 19;
+  };
+
+  /// `estimator` supplies ground-truth cardinalities for the expert's
+  /// physical choices; `cost_model` may be null (defaults are used).
+  ManualBaseline(ExecContext ctx, CardinalityEstimator* estimator,
+                 CostModel* cost_model, Options options);
+
+  std::string name() const override { return "Manual"; }
+  MethodResult Run(const std::string& query) override;
+
+ private:
+  ExecContext ctx_;
+  CardinalityEstimator* estimator_;
+  CostModel* cost_model_;
+  CostModel own_cost_model_;
+  Options options_;
+};
+
+}  // namespace unify::core
+
+#endif  // UNIFY_CORE_BASELINES_MANUAL_H_

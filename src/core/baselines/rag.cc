@@ -1,0 +1,105 @@
+#include "core/baselines/rag.h"
+
+#include <set>
+
+#include "common/string_util.h"
+
+namespace unify::core {
+
+namespace {
+
+/// Converts a kGenerateAnswer completion into an Answer.
+corpus::Answer AnswerFromCompletion(const llm::LlmResult& result) {
+  const std::string kind = result.Get("kind");
+  const std::string answer = result.Get("answer");
+  if (kind == "number") {
+    return corpus::Answer::Number(ParseDouble(answer).value_or(0));
+  }
+  if (kind == "text") return corpus::Answer::Text(answer);
+  if (kind == "list") {
+    return corpus::Answer::List(StrSplit(answer, ';'));
+  }
+  return corpus::Answer::None();
+}
+
+llm::LlmCall GenerateCall(const std::string& query,
+                          const std::vector<uint64_t>& context) {
+  llm::LlmCall call;
+  call.type = llm::PromptType::kGenerateAnswer;
+  call.tier = llm::ModelTier::kPlanner;
+  call.fields["query"] = query;
+  // Answering analytics over a long context needs chain-of-thought output.
+  call.fields["out_tokens_hint"] = "600";
+  for (uint64_t id : context) call.items.push_back(std::to_string(id));
+  return call;
+}
+
+}  // namespace
+
+MethodResult RagBaseline::Run(const std::string& query) {
+  MethodResult result;
+  auto docs =
+      retriever_->RetrieveDocs(query, options_.k_sentences,
+                               &result.exec_seconds);
+  llm::LlmResult completion = llm_->Call(GenerateCall(query, docs));
+  if (!completion.status.ok()) {
+    result.status = completion.status;
+    return result;
+  }
+  result.exec_seconds += completion.seconds;
+  result.answer = AnswerFromCompletion(completion);
+  result.total_seconds = result.plan_seconds + result.exec_seconds;
+  return result;
+}
+
+MethodResult RecurRagBaseline::Run(const std::string& query) {
+  MethodResult result;
+
+  // Iterative decomposition (one planner call).
+  llm::LlmCall decompose;
+  decompose.type = llm::PromptType::kDecompose;
+  decompose.tier = llm::ModelTier::kPlanner;
+  decompose.fields["query"] = query;
+  llm::LlmResult sub = llm_->Call(decompose);
+  if (!sub.status.ok()) {
+    result.status = sub.status;
+    return result;
+  }
+  result.plan_seconds += sub.seconds;
+
+  // Retrieve context and generate an intermediate answer for every
+  // sub-query (the ReAct-style reason/act loop), then combine.
+  std::set<uint64_t> seen;
+  std::vector<uint64_t> context;
+  size_t per_query = std::max<size_t>(
+      16, options_.k_sentences / std::max<size_t>(1, sub.items.size()));
+  for (const auto& sub_query : sub.items) {
+    std::vector<uint64_t> sub_context;
+    for (uint64_t id :
+         retriever_->RetrieveDocs(sub_query, per_query,
+                                  &result.exec_seconds)) {
+      if (seen.insert(id).second) context.push_back(id);
+      sub_context.push_back(id);
+    }
+    llm::LlmCall step = GenerateCall(sub_query, sub_context);
+    step.fields["out_tokens_hint"] = "250";
+    llm::LlmResult intermediate = llm_->Call(step);
+    if (!intermediate.status.ok()) {
+      result.status = intermediate.status;
+      return result;
+    }
+    result.exec_seconds += intermediate.seconds;
+  }
+
+  llm::LlmResult completion = llm_->Call(GenerateCall(query, context));
+  if (!completion.status.ok()) {
+    result.status = completion.status;
+    return result;
+  }
+  result.exec_seconds += completion.seconds;
+  result.answer = AnswerFromCompletion(completion);
+  result.total_seconds = result.plan_seconds + result.exec_seconds;
+  return result;
+}
+
+}  // namespace unify::core

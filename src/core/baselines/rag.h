@@ -1,0 +1,58 @@
+#ifndef UNIFY_CORE_BASELINES_RAG_H_
+#define UNIFY_CORE_BASELINES_RAG_H_
+
+#include "core/baselines/baseline.h"
+#include "core/baselines/retrieval.h"
+#include "llm/llm_client.h"
+
+namespace unify::core {
+
+/// The basic retrieval-augmented generation baseline [14]: retrieve the
+/// top-k sentences by embedding similarity, then generate the answer in
+/// one LLM call over that context. Fails on analytics that aggregate
+/// beyond the retrieved window — the paper's point (Section II-B).
+class RagBaseline : public Method {
+ public:
+  struct Options {
+    /// Paper: top 100 relevant sentences.
+    size_t k_sentences = 100;
+  };
+
+  RagBaseline(const SentenceRetriever* retriever, llm::LlmClient* llm,
+              Options options)
+      : retriever_(retriever), llm_(llm), options_(options) {}
+
+  std::string name() const override { return "RAG"; }
+  MethodResult Run(const std::string& query) override;
+
+ private:
+  const SentenceRetriever* retriever_;
+  llm::LlmClient* llm_;
+  Options options_;
+};
+
+/// RecurRAG [36]: iteratively decomposes the query into sub-queries,
+/// retrieves context for each, and generates from the combined context.
+/// Better recall than plain RAG but still restricted to point lookups.
+class RecurRagBaseline : public Method {
+ public:
+  struct Options {
+    size_t k_sentences = 100;
+  };
+
+  RecurRagBaseline(const SentenceRetriever* retriever, llm::LlmClient* llm,
+                   Options options)
+      : retriever_(retriever), llm_(llm), options_(options) {}
+
+  std::string name() const override { return "RecurRAG"; }
+  MethodResult Run(const std::string& query) override;
+
+ private:
+  const SentenceRetriever* retriever_;
+  llm::LlmClient* llm_;
+  Options options_;
+};
+
+}  // namespace unify::core
+
+#endif  // UNIFY_CORE_BASELINES_RAG_H_

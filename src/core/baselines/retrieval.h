@@ -1,0 +1,45 @@
+#ifndef UNIFY_CORE_BASELINES_RETRIEVAL_H_
+#define UNIFY_CORE_BASELINES_RETRIEVAL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "corpus/corpus.h"
+#include "embedding/embedder.h"
+#include "index/hnsw_index.h"
+
+namespace unify::core {
+
+/// Sentence-level retrieval used by the RAG-family baselines: every
+/// document is split into sentences, each sentence is embedded and indexed
+/// with HNSW, and queries retrieve the top-k sentences (paper: top 100).
+class SentenceRetriever {
+ public:
+  /// `corpus` and `embedder` must outlive the retriever.
+  SentenceRetriever(const corpus::Corpus* corpus,
+                    const embedding::Embedder* embedder, uint64_t seed = 3);
+
+  /// Splits, embeds, and indexes all sentences. Called once.
+  Status Build();
+
+  /// Documents containing the `k_sentences` sentences nearest to `query`,
+  /// deduplicated in rank order. Adds the retrieval cost (virtual CPU
+  /// seconds) to `*cpu_seconds` when non-null.
+  std::vector<uint64_t> RetrieveDocs(const std::string& query,
+                                     size_t k_sentences,
+                                     double* cpu_seconds) const;
+
+  size_t num_sentences() const { return sentence_doc_.size(); }
+
+ private:
+  const corpus::Corpus* corpus_;
+  const embedding::Embedder* embedder_;
+  index::HnswIndex index_;
+  /// sentence id -> owning document id.
+  std::vector<uint64_t> sentence_doc_;
+};
+
+}  // namespace unify::core
+
+#endif  // UNIFY_CORE_BASELINES_RETRIEVAL_H_

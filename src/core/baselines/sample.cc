@@ -1,0 +1,69 @@
+#include "core/baselines/sample.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace unify::core {
+
+MethodResult SampleBaseline::Run(const std::string& query) {
+  MethodResult result;
+  const size_t N = corpus_->size();
+  size_t sample_n = static_cast<size_t>(
+      std::llround(options_.fraction * static_cast<double>(N)));
+  sample_n = std::clamp<size_t>(sample_n, 1, N);
+
+  Rng rng(HashCombine(options_.seed, StableHash64(query)));
+  auto picks = rng.SampleWithoutReplacement(N, sample_n);
+  std::sort(picks.begin(), picks.end());
+
+  // Sequential cumulative enumeration: each batch is pushed through the
+  // LLM together with the running intermediate state (which is why this
+  // baseline cannot be parallelized across servers).
+  const size_t batch = static_cast<size_t>(std::max(1, options_.batch_size));
+  llm::LlmResult final_completion;
+  for (size_t begin = 0; begin < picks.size(); begin += batch) {
+    size_t end = std::min(picks.size(), begin + batch);
+    llm::LlmCall call;
+    call.type = llm::PromptType::kGenerateAnswer;
+    call.tier = llm::ModelTier::kPlanner;
+    call.fields["query"] = query;
+    // The final batch extrapolates over the cumulated sample: it sees all
+    // enumerated documents (the cumulative prompt) and scales counts up
+    // by 1/fraction.
+    bool last = end == picks.size();
+    size_t ctx_begin = last ? 0 : begin;
+    for (size_t i = ctx_begin; i < end; ++i) {
+      call.items.push_back(std::to_string(picks[i]));
+    }
+    if (last) {
+      call.fields["scale"] =
+          FormatDouble(static_cast<double>(N) /
+                           static_cast<double>(picks.size()),
+                       4);
+    }
+    llm::LlmResult completion = llm_->Call(call);
+    if (!completion.status.ok()) {
+      result.status = completion.status;
+      return result;
+    }
+    result.exec_seconds += completion.seconds;
+    if (last) final_completion = completion;
+  }
+
+  const std::string kind = final_completion.Get("kind");
+  const std::string answer = final_completion.Get("answer");
+  if (kind == "number") {
+    result.answer = corpus::Answer::Number(ParseDouble(answer).value_or(0));
+  } else if (kind == "text") {
+    result.answer = corpus::Answer::Text(answer);
+  } else if (kind == "list") {
+    result.answer = corpus::Answer::List(StrSplit(answer, ';'));
+  }
+  result.total_seconds = result.plan_seconds + result.exec_seconds;
+  return result;
+}
+
+}  // namespace unify::core

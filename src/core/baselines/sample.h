@@ -1,0 +1,37 @@
+#ifndef UNIFY_CORE_BASELINES_SAMPLE_H_
+#define UNIFY_CORE_BASELINES_SAMPLE_H_
+
+#include "core/baselines/baseline.h"
+#include "corpus/corpus.h"
+#include "llm/llm_client.h"
+
+namespace unify::core {
+
+/// The Sample baseline (Section VII-A): enumerate a fixed fraction of the
+/// data (20% in the paper) through the LLM in sequential batches, carrying
+/// cumulative intermediate results in the prompt, and extrapolate the
+/// final answer from the sample.
+class SampleBaseline : public Method {
+ public:
+  struct Options {
+    double fraction = 0.20;  ///< paper: 20%
+    int batch_size = 8;
+    uint64_t seed = 77;
+  };
+
+  SampleBaseline(const corpus::Corpus* corpus, llm::LlmClient* llm,
+                 Options options)
+      : corpus_(corpus), llm_(llm), options_(options) {}
+
+  std::string name() const override { return "Sample"; }
+  MethodResult Run(const std::string& query) override;
+
+ private:
+  const corpus::Corpus* corpus_;
+  llm::LlmClient* llm_;
+  Options options_;
+};
+
+}  // namespace unify::core
+
+#endif  // UNIFY_CORE_BASELINES_SAMPLE_H_

@@ -1,0 +1,41 @@
+#include "core/logical/operator_matcher.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace unify::core {
+
+OperatorMatcher::OperatorMatcher(const OperatorRegistry* registry, size_t dim,
+                                 uint64_t seed)
+    : registry_(registry), embedder_(dim, seed) {
+  for (const auto& op : registry_->ops()) {
+    OpEntry entry;
+    entry.name = op.name;
+    for (const auto& lr : op.logical_representations) {
+      entry.vecs.push_back(embedder_.Embed(lr));
+    }
+    op_vecs_.push_back(std::move(entry));
+  }
+}
+
+std::vector<OperatorMatcher::Match> OperatorMatcher::TopK(
+    const std::string& query_lr, size_t k) const {
+  embedding::Vec query = embedder_.Embed(query_lr);
+  std::vector<Match> all;
+  all.reserve(op_vecs_.size());
+  for (const auto& entry : op_vecs_) {
+    float best = std::numeric_limits<float>::max();
+    for (const auto& v : entry.vecs) {
+      best = std::min(best, embedding::L2Distance(query, v));
+    }
+    all.push_back({entry.name, best});
+  }
+  std::sort(all.begin(), all.end(), [](const Match& a, const Match& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.op_name < b.op_name;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+}  // namespace unify::core

@@ -1,0 +1,48 @@
+#ifndef UNIFY_CORE_LOGICAL_OPERATOR_MATCHER_H_
+#define UNIFY_CORE_LOGICAL_OPERATOR_MATCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/operators/operator_def.h"
+#include "embedding/hashed_embedder.h"
+
+namespace unify::core {
+
+/// Stage 1 of operator matching (paper Section V-A): embed the logical
+/// representations of every operator offline, embed the query's logical
+/// representation online, and return the operators with the smallest
+/// embedding distance. Stage 2 (LLM reranking) happens in the plan
+/// generator.
+class OperatorMatcher {
+ public:
+  struct Match {
+    std::string op_name;
+    float distance;  ///< min distance over the operator's representations
+  };
+
+  /// `registry` must outlive the matcher. Embeddings of all operator
+  /// logical representations are precomputed here (the paper's offline
+  /// "Indexing" step, Section III-A).
+  OperatorMatcher(const OperatorRegistry* registry, size_t dim = 48,
+                  uint64_t seed = 31);
+
+  /// The `k` operators closest to `query_lr`, ascending by distance.
+  std::vector<Match> TopK(const std::string& query_lr, size_t k) const;
+
+  size_t num_operators() const { return op_vecs_.size(); }
+
+ private:
+  struct OpEntry {
+    std::string name;
+    std::vector<embedding::Vec> vecs;
+  };
+
+  const OperatorRegistry* registry_;
+  embedding::HashedEmbedder embedder_;
+  std::vector<OpEntry> op_vecs_;
+};
+
+}  // namespace unify::core
+
+#endif  // UNIFY_CORE_LOGICAL_OPERATOR_MATCHER_H_

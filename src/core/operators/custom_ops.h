@@ -1,0 +1,54 @@
+#ifndef UNIFY_CORE_OPERATORS_CUSTOM_OPS_H_
+#define UNIFY_CORE_OPERATORS_CUSTOM_OPS_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/operators/physical.h"
+
+namespace unify::core {
+
+/// Extensibility hook (paper Section IV-B3: "additional operators can
+/// easily be added by defining their logical representations for planning
+/// and physical implementations for execution").
+///
+/// A custom operator contributes:
+///   * a LogicalOperatorDef added to the OperatorRegistry (so operator
+///     matching can see its logical representations), and
+///   * one or more physical handlers registered here (so plans can
+///     execute it).
+///
+/// Handlers receive the operator arguments, resolved input values, and the
+/// execution context, and return the output value plus cost accounting —
+/// the same contract as built-in implementations.
+class CustomOpRegistry {
+ public:
+  using Handler = std::function<StatusOr<OpOutput>(
+      const OpArgs& args, const std::vector<Value>& inputs,
+      ExecContext& ctx)>;
+
+  CustomOpRegistry() = default;
+
+  /// Registers `handler` as the implementation of `op_name`. Overwrites a
+  /// previous registration of the same name.
+  void Register(const std::string& op_name, Handler handler) {
+    handlers_[op_name] = std::move(handler);
+  }
+
+  /// Nullptr when no handler is registered.
+  const Handler* Find(const std::string& op_name) const {
+    auto it = handlers_.find(op_name);
+    return it == handlers_.end() ? nullptr : &it->second;
+  }
+
+  size_t size() const { return handlers_.size(); }
+
+ private:
+  std::map<std::string, Handler> handlers_;
+};
+
+}  // namespace unify::core
+
+#endif  // UNIFY_CORE_OPERATORS_CUSTOM_OPS_H_

@@ -1,0 +1,103 @@
+#include "core/operators/operator_def.h"
+
+namespace unify::core {
+
+const LogicalOperatorDef* OperatorRegistry::Find(
+    const std::string& name) const {
+  for (const auto& op : ops_) {
+    if (op.name == name) return &op;
+  }
+  return nullptr;
+}
+
+OperatorRegistry OperatorRegistry::Default() {
+  OperatorRegistry registry;
+  auto add = [&](std::string name, std::string description,
+                 std::vector<std::string> lrs, bool pre = true,
+                 bool llm = true) {
+    LogicalOperatorDef def;
+    def.name = std::move(name);
+    def.description = std::move(description);
+    def.logical_representations = std::move(lrs);
+    def.has_pre_programmed = pre;
+    def.has_llm = llm;
+    registry.Add(std::move(def));
+  };
+
+  add("Scan", "Reads the document collection, optionally via an index.",
+      {"documents satisfy [Condition]", "all documents",
+       "the document collection"},
+      /*pre=*/true, /*llm=*/false);
+  add("Filter", "Keeps documents satisfying a condition.",
+      {"[Entity] that [Condition]", "[Entity] having [Condition]",
+       "[Entity] satisfy [Condition]", "[Entity] with [Condition]",
+       "[Entity] about [Condition]", "[Entity] related to [Condition]",
+       "[Entity] [Condition]", "the items in [Entity], [Condition]",
+       "the items in [Entity] that [Condition]",
+       "of [Entity] [Condition]"});
+  add("Compare", "Returns the larger/smaller of two values.",
+      {"larger in [Entity] and [Entity]",
+       "which is larger: [Entity] or [Entity]",
+       "which is higher: [Entity] or [Entity]",
+       "are there more [Entity] or [Entity]"});
+  add("GroupBy", "Partitions documents by an attribute.",
+      {"aggregate [Entity] by [Attribute]", "group [Entity] by [Group]",
+       "for each [Group] among [Entity]",
+       "which [Group] among [Entity] has"});
+  add("Count", "Counts the elements of a list.",
+      {"number of documents [Condition]", "the number of [Entity]",
+       "how many [Entity] are there", "count the [Entity]",
+       "the count of [Entity]",
+       "ratio of [Entity] to the count of [Entity]"});
+  add("Sum", "Total of a numeric list.",
+      {"the total sum of [Entity]", "the total number of [Attribute]",
+       "sum of the values in [Entity]"});
+  add("Max", "Maximum of a list / group with largest value.",
+      {"the maximum of [Entity]", "the maximum number of [Attribute]",
+       "which [Group] has the highest value", "the largest of [Entity]"});
+  add("Min", "Minimum of a list / group with smallest value.",
+      {"the minimum of [Entity]", "the minimum number of [Attribute]",
+       "which [Group] has the lowest value", "the smallest of [Entity]"});
+  add("Average", "Mean of a numeric list.",
+      {"the mean of [Entity]", "the average number of [Attribute]",
+       "the average of the values in [Entity]"});
+  add("Median", "Median of a numeric list.",
+      {"the median of [Entity]", "the median number of [Attribute]"});
+  add("Percentile", "k-th percentile of a numeric list.",
+      {"the k-th percentile for [Entity]",
+       "the [Number]th percentile of the number of [Attribute]",
+       "the [Number]th percentile of the values in [Entity]"});
+  add("OrderBy", "Sorts a list by an attribute or semantic criterion.",
+      {"Sort [Entity] [Condition]", "[Entity] ordered by [Attribute]"});
+  add("Classify", "Assigns each document a class label.",
+      {"The type of [Entity]", "classify [Entity] by [Group]"});
+  add("Extract", "Pulls an attribute value out of each document.",
+      {"get [Entity] from documents", "the [Attribute] of [Entity]",
+       "extract [Attribute] from [Entity]"});
+  add("TopK", "The k best elements by a ranking criterion.",
+      {"the top [Number] [Entity]",
+       "the top [Number] [Entity] by number of [Attribute]",
+       "which [Number] [Entity] have the highest [Attribute]"});
+  add("Join", "Matches elements of two lists on a key or meaning.",
+      {"[Entity] that also occurs in [Entity]",
+       "join [Entity] with [Entity] on [Attribute]"});
+  add("Union", "Set union of two document sets.",
+      {"set union of [Entity] and [Entity]",
+       "[Entity] in the union of [Entity] and [Entity]",
+       "[Entity] either [Condition] or [Condition]"});
+  add("Intersection", "Set intersection of two document sets.",
+      {"in set [Entity] and in [Entity]",
+       "[Entity] appear in both [Entity] and [Entity]"});
+  add("Complementary", "Set difference of two document sets.",
+      {"in set [Entity] not in [Entity]",
+       "[Entity] in [Entity] but not in [Entity]"});
+  add("Compute", "Evaluates an arithmetic expression over inputs.",
+      {"sum of squares of [Entity]", "the ratio of [Entity] to [Entity]",
+       "the ratio of the number of [Entity] to the number of [Entity]"});
+  add("Generate", "Produces a free-form answer from gathered information.",
+      {"explain the result", "answer the question from [Entity]"},
+      /*pre=*/false, /*llm=*/true);
+  return registry;
+}
+
+}  // namespace unify::core

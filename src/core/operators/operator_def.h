@@ -1,0 +1,45 @@
+#ifndef UNIFY_CORE_OPERATORS_OPERATOR_DEF_H_
+#define UNIFY_CORE_OPERATORS_OPERATOR_DEF_H_
+
+#include <string>
+#include <vector>
+
+namespace unify::core {
+
+/// One logical operator of the unstructured-data-analytics algebra
+/// (paper Table II). Operators are matched against query text through
+/// their *logical representations*: structured NL templates with semantic
+/// placeholders ([Entity], [Condition], [Attribute], [Number], [Group]) —
+/// Definition 1 in the paper.
+struct LogicalOperatorDef {
+  std::string name;
+  std::string description;
+  std::vector<std::string> logical_representations;
+  /// Table II columns: which physical families exist.
+  bool has_pre_programmed = true;
+  bool has_llm = true;
+};
+
+/// The operator catalog. `Default()` returns the paper's 21 operators;
+/// `Add` supports the extensibility hook of Section IV-B3 (new operators
+/// for uncovered cases).
+class OperatorRegistry {
+ public:
+  /// The 21 predefined operators of Table II.
+  static OperatorRegistry Default();
+
+  void Add(LogicalOperatorDef def) { ops_.push_back(std::move(def)); }
+
+  /// Lookup by name; nullptr when absent.
+  const LogicalOperatorDef* Find(const std::string& name) const;
+
+  const std::vector<LogicalOperatorDef>& ops() const { return ops_; }
+  size_t size() const { return ops_.size(); }
+
+ private:
+  std::vector<LogicalOperatorDef> ops_;
+};
+
+}  // namespace unify::core
+
+#endif  // UNIFY_CORE_OPERATORS_OPERATOR_DEF_H_

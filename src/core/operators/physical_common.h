@@ -1,0 +1,62 @@
+#ifndef UNIFY_CORE_OPERATORS_PHYSICAL_COMMON_H_
+#define UNIFY_CORE_OPERATORS_PHYSICAL_COMMON_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/operators/physical.h"
+
+namespace unify::core::internal {
+
+/// Calibrated virtual CPU costs of pre-programmed work (seconds). These
+/// are deterministic model constants, not wall-clock measurements, so
+/// experiments reproduce exactly.
+inline constexpr double kCpuPerDoc = 5e-6;
+inline constexpr double kCpuPerValue = 5e-8;
+inline constexpr double kCpuFlat = 1e-4;
+
+/// Evaluates the plan-node condition args on one document via surface
+/// text only (regex field extraction for numeric conditions, stemmed
+/// keyword matching for semantic phrases).
+bool SurfaceConditionMatch(const corpus::Document& doc, const OpArgs& args);
+
+/// LLM-evaluates the condition on `docs`, batched; returns the kept ids
+/// and accumulates cost into `stats`.
+StatusOr<DocList> LlmFilterDocs(const DocList& docs, const OpArgs& args,
+                                ExecContext& ctx, OpStats& stats);
+
+/// Rule-based classification: the category whose keyword lexicon hits the
+/// document text most; empty string when nothing matches.
+std::string RuleClassify(const corpus::Document& doc,
+                         const corpus::DatasetProfile& profile);
+
+/// LLM classification of each document (batched).
+StatusOr<std::vector<std::string>> LlmClassifyDocs(const DocList& docs,
+                                                   const std::string& by,
+                                                   ExecContext& ctx,
+                                                   OpStats& stats);
+
+/// Pre-programmed attribute extraction from surface text. nullopt when the
+/// pattern is absent.
+std::optional<double> RegexExtractValue(const corpus::Document& doc,
+                                        const std::string& attribute);
+
+/// LLM attribute extraction (batched); one value per doc.
+StatusOr<std::vector<double>> LlmExtractValues(const DocList& docs,
+                                               const std::string& attribute,
+                                               ExecContext& ctx,
+                                               OpStats& stats);
+
+/// Aggregates `values` with the function named by the logical operator
+/// ("Sum", "Average", "Min", "Max", "Median", "Percentile" with arg p).
+StatusOr<double> AggregateValues(const std::vector<double>& values,
+                                 const std::string& op_name,
+                                 const OpArgs& args);
+
+/// Splits `docs` into batches of `ctx.llm_batch_size`.
+std::vector<DocList> BatchDocs(const DocList& docs, const ExecContext& ctx);
+
+}  // namespace unify::core::internal
+
+#endif  // UNIFY_CORE_OPERATORS_PHYSICAL_COMMON_H_

@@ -1,0 +1,71 @@
+#ifndef UNIFY_CORE_PHYSICAL_COST_MODEL_H_
+#define UNIFY_CORE_PHYSICAL_COST_MODEL_H_
+
+#include <map>
+#include <string>
+
+#include "core/operators/physical.h"
+
+namespace unify::core {
+
+/// The unified cost model of Section VI-A: execution-time estimates for
+/// both physical families.
+///
+///   * LLM-based implementations: cost ≈ card · μ · out_op, where μ (time
+///     per output token) and out_op (average output tokens per element)
+///     are *learned from historical execution data* — the `Record` path.
+///   * Pre-programmed implementations: cost ≈ f_op(card) = a_op + b_op ·
+///     card, calibrated the same way.
+///
+/// Before any history exists the model falls back to conservative
+/// defaults. All estimates are deterministic.
+class CostModel {
+ public:
+  CostModel() = default;
+
+  /// Records one historical execution: `card` input elements cost
+  /// `llm_seconds` + `cpu_seconds` (and optionally `dollars` of API
+  /// spend). Estimates use running averages.
+  void Record(const std::string& op_name, PhysicalImpl impl, size_t card,
+              double llm_seconds, double cpu_seconds, double dollars = 0);
+
+  /// Estimated seconds for running `impl` of `op_name` over `card_in`
+  /// elements producing `card_out`. For IndexScanFilter the LLM-verified
+  /// candidate count matters, so `card_out` drives the cost; see .cc.
+  double EstimateSeconds(const std::string& op_name, PhysicalImpl impl,
+                         const OpArgs& args, double card_in,
+                         double card_out) const;
+
+  /// Estimated per-element LLM seconds for `impl` (after calibration).
+  double PerElementSeconds(const std::string& op_name,
+                           PhysicalImpl impl) const;
+
+  /// Estimated dollars for running `impl` over `card_in` elements — the
+  /// alternative objective of Section VI-A's footnote (optimize total
+  /// cost instead of total time).
+  double EstimateDollars(const std::string& op_name, PhysicalImpl impl,
+                         const OpArgs& args, double card_in,
+                         double card_out) const;
+  double PerElementDollars(const std::string& op_name,
+                           PhysicalImpl impl) const;
+
+  /// Number of calibration records absorbed.
+  int64_t records() const { return records_; }
+
+ private:
+  struct Entry {
+    double total_seconds = 0;
+    double total_dollars = 0;
+    double total_card = 0;
+    double flat_seconds = 0;  ///< running average of per-run fixed cost
+    int64_t runs = 0;
+  };
+  std::string Key(const std::string& op_name, PhysicalImpl impl) const;
+
+  std::map<std::string, Entry> entries_;
+  int64_t records_ = 0;
+};
+
+}  // namespace unify::core
+
+#endif  // UNIFY_CORE_PHYSICAL_COST_MODEL_H_

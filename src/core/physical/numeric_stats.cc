@@ -1,0 +1,95 @@
+#include "core/physical/numeric_stats.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "core/operators/physical_common.h"
+#include "nlq/ast.h"
+
+namespace unify::core {
+
+void NumericStats::Build(const corpus::Corpus& corpus) {
+  histograms_.clear();
+  total_ = corpus.size();
+  for (const auto& attr : nlq::KnownAttributes()) {
+    std::vector<double> values;
+    values.reserve(corpus.size());
+    for (const auto& doc : corpus.docs()) {
+      auto v = internal::RegexExtractValue(doc, attr);
+      if (v.has_value()) values.push_back(*v);
+    }
+    if (values.empty()) continue;
+    std::sort(values.begin(), values.end());
+
+    Histogram hist;
+    hist.n = values.size();
+    hist.min = values.front();
+    hist.max = values.back();
+    int buckets = std::min<int>(kBuckets, static_cast<int>(values.size()));
+    double per = static_cast<double>(values.size()) / buckets;
+    for (int b = 1; b <= buckets; ++b) {
+      size_t end = std::min(values.size() - 1,
+                            static_cast<size_t>(b * per) - 1);
+      hist.upper_bounds.push_back(values[end]);
+      // counts[b] holds the CUMULATIVE number of values up to and
+      // including bucket b's upper bound.
+      hist.counts.push_back(static_cast<double>(end + 1));
+    }
+    histograms_[attr] = std::move(hist);
+  }
+}
+
+double NumericStats::Histogram::CumulativeAtMost(double x) const {
+  if (n == 0) return 0;
+  if (x < min) return 0;
+  if (x >= max) return static_cast<double>(n);
+  // Find the first bucket whose upper bound reaches x.
+  size_t b = std::lower_bound(upper_bounds.begin(), upper_bounds.end(), x) -
+             upper_bounds.begin();
+  double below = b == 0 ? 0 : counts[b - 1];
+  double lo = b == 0 ? min : upper_bounds[b - 1];
+  double hi = upper_bounds[b];
+  double in_bucket = counts[b] - below;
+  if (hi <= lo) return counts[b];
+  // Linear interpolation within the bucket.
+  return below + in_bucket * (x - lo) / (hi - lo);
+}
+
+double NumericStats::EstimateCardinality(const OpArgs& args) const {
+  auto attr_it = args.find("attribute");
+  if (attr_it == args.end()) return -1;
+  auto hist_it = histograms_.find(attr_it->second);
+  if (hist_it == histograms_.end()) return -1;
+  const Histogram& hist = hist_it->second;
+
+  auto get = [&](const char* key) -> double {
+    auto it = args.find(key);
+    if (it == args.end()) return 0;
+    return static_cast<double>(ParseInt64(it->second).value_or(0));
+  };
+  double value = get("value");
+  double value2 = get("value2");
+  auto cmp_it = args.find("cmp");
+  const std::string cmp = cmp_it == args.end() ? "gt" : cmp_it->second;
+  double n = static_cast<double>(hist.n);
+  if (cmp == "gt") return n - hist.CumulativeAtMost(value);
+  if (cmp == "ge") return n - hist.CumulativeAtMost(value - 1);
+  if (cmp == "lt") return hist.CumulativeAtMost(value - 1);
+  if (cmp == "le") return hist.CumulativeAtMost(value);
+  if (cmp == "eq") {
+    return std::max(0.0, hist.CumulativeAtMost(value) -
+                             hist.CumulativeAtMost(value - 1));
+  }
+  if (cmp == "between") {
+    return std::max(0.0, hist.CumulativeAtMost(value2) -
+                             hist.CumulativeAtMost(value - 1));
+  }
+  return -1;
+}
+
+size_t NumericStats::ValueCount(const std::string& attr) const {
+  auto it = histograms_.find(attr);
+  return it == histograms_.end() ? 0 : it->second.n;
+}
+
+}  // namespace unify::core

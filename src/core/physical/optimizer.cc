@@ -1,0 +1,488 @@
+#include "core/physical/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "exec/schedule.h"
+
+namespace unify::core {
+
+namespace {
+
+std::string ConditionKey(const OpArgs& args) {
+  std::string key;
+  for (const char* k :
+       {"kind", "phrase", "attribute", "cmp", "value", "value2"}) {
+    auto it = args.find(k);
+    if (it != args.end()) {
+      key += it->second;
+      key += '\x1f';
+    }
+  }
+  return key;
+}
+
+bool IsDocProducing(const std::string& op) {
+  return op == "Scan" || op == "Filter" || op == "GroupBy" ||
+         op == "Union" || op == "Intersection" || op == "Complementary" ||
+         op == "OrderBy" || op == "Join" || op == "Identity";
+}
+
+}  // namespace
+
+std::string PhysicalPlan::DebugString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const auto& n = nodes[i];
+    if (i) os << "; ";
+    os << n.logical.op_name << "<" << PhysicalImplName(n.impl) << ">("
+       << StrJoin(n.logical.input_vars, ",") << ") -> "
+       << n.logical.output_var << " [card " << FormatDouble(n.est_in_card, 0)
+       << "->" << FormatDouble(n.est_out_card, 0) << ", "
+       << FormatDouble(n.est_seconds, 2) << "s]";
+  }
+  os << " | est makespan " << FormatDouble(est_makespan, 2) << "s";
+  return os.str();
+}
+
+std::string PhysicalPlan::Explain() const {
+  std::ostringstream os;
+  auto order = dag.TopologicalOrder();
+  if (!order.ok()) return "<cyclic plan>";
+  // Depth = longest path from any root, for indentation.
+  std::vector<int> depth(nodes.size(), 0);
+  for (int u : *order) {
+    for (int v : dag.children(u)) {
+      depth[v] = std::max(depth[v], depth[u] + 1);
+    }
+  }
+  os << "PhysicalPlan (answer: " << answer_var << ", est "
+     << FormatDouble(est_makespan, 1) << "s, $"
+     << FormatDouble(est_total_dollars, 3) << ")\n";
+  for (int u : *order) {
+    const PhysicalNode& n = nodes[u];
+    for (int i = 0; i < depth[u]; ++i) os << "  ";
+    os << "+- " << n.logical.op_name << " <" << PhysicalImplName(n.impl)
+       << ">";
+    if (!n.logical.args.empty()) {
+      os << " {";
+      bool first = true;
+      for (const auto& [k, v] : n.logical.args) {
+        if (k == "query") continue;  // long; elide
+        if (!first) os << ", ";
+        os << k << "=" << v;
+        first = false;
+      }
+      os << "}";
+    }
+    os << "  [" << StrJoin(n.logical.input_vars, ",") << "] -> "
+       << n.logical.output_var << "  ~" << FormatDouble(n.est_in_card, 0)
+       << "->" << FormatDouble(n.est_out_card, 0) << " rows, "
+       << FormatDouble(n.est_seconds, 2) << "s\n";
+  }
+  return os.str();
+}
+
+PhysicalOptimizer::PhysicalOptimizer(CostModel* cost_model,
+                                     CardinalityEstimator* estimator,
+                                     OptimizerOptions options)
+    : cost_model_(cost_model),
+      estimator_(estimator),
+      options_(options) {}
+
+StatusOr<double> PhysicalOptimizer::Selectivity(const OpArgs& condition,
+                                                PhysicalPlan& plan) {
+  const double N = std::max<double>(1.0, options_.corpus_size);
+  const std::string key = ConditionKey(condition);
+  auto it = sce_cache_.find(key);
+  if (it != sce_cache_.end()) return it->second / N;
+
+  double card = 0;
+  switch (options_.mode) {
+    case PhysicalMode::kRule:
+      card = 0.3 * N;  // never consulted for decisions
+      break;
+    case PhysicalMode::kGroundTruthCards:
+      card = estimator_->TrueCardinality(condition);
+      break;
+    case PhysicalMode::kFull: {
+      UNIFY_ASSIGN_OR_RETURN(
+          SceEstimate est,
+          estimator_->EstimateCondition(condition, options_.sce_method));
+      card = est.cardinality;
+      plan.optimize_llm_seconds += est.llm_seconds;
+      plan.optimize_llm_calls += est.llm_calls;
+      break;
+    }
+  }
+  sce_cache_[key] = card;
+  return card / N;
+}
+
+StatusOr<PhysicalPlan> PhysicalOptimizer::Optimize(const LogicalPlan& lp) {
+  const double N = std::max<double>(1.0, options_.corpus_size);
+  PhysicalPlan plan;
+  plan.query_text = lp.query_text;
+  plan.answer_var = lp.answer_var;
+
+  // --- Materialize nodes, inserting a shared Scan for corpus access ---
+  bool needs_scan = false;
+  for (const auto& node : lp.nodes) {
+    for (const auto& in : node.input_vars) {
+      if (in == kDocsVar) needs_scan = true;
+    }
+  }
+  int offset = 0;
+  if (needs_scan) {
+    PhysicalNode scan;
+    scan.logical.op_name = "Scan";
+    scan.logical.output_var = kDocsVar;
+    scan.logical.output_desc = "the document collection";
+    scan.impl = PhysicalImpl::kLinearScan;
+    plan.nodes.push_back(std::move(scan));
+    plan.dag.AddNode();
+    offset = 1;
+  }
+  for (const auto& node : lp.nodes) {
+    PhysicalNode pn;
+    pn.logical = node;
+    plan.nodes.push_back(std::move(pn));
+    int id = plan.dag.AddNode();
+    if (needs_scan) {
+      for (const auto& in : node.input_vars) {
+        if (in == kDocsVar) UNIFY_CHECK_OK(plan.dag.AddEdge(0, id));
+      }
+    }
+  }
+  for (size_t u = 0; u < lp.dag.size(); ++u) {
+    for (int v : lp.dag.children(static_cast<int>(u))) {
+      UNIFY_CHECK_OK(plan.dag.AddEdge(static_cast<int>(u) + offset,
+                                      v + offset));
+    }
+  }
+
+  // --- Filter selectivities (SCE / ground truth / default) ---
+  std::map<int, double> filter_sel;
+  for (size_t i = 0; i < plan.nodes.size(); ++i) {
+    if (plan.nodes[i].logical.op_name != "Filter") continue;
+    if (options_.mode == PhysicalMode::kRule) {
+      filter_sel[static_cast<int>(i)] = 0.3;
+      continue;
+    }
+    UNIFY_ASSIGN_OR_RETURN(double sel,
+                           Selectivity(plan.nodes[i].logical.args, plan));
+    filter_sel[static_cast<int>(i)] = std::clamp(sel, 0.0, 1.0);
+  }
+
+  // --- Operator order selection (Section VI-C): permute commuting filter
+  // chains so the most selective/cheapest filters run first ---
+  if (options_.mode != PhysicalMode::kRule) {
+    // Consumers per variable.
+    std::map<std::string, std::vector<int>> consumers;
+    for (size_t i = 0; i < plan.nodes.size(); ++i) {
+      for (const auto& in : plan.nodes[i].logical.input_vars) {
+        consumers[in].push_back(static_cast<int>(i));
+      }
+    }
+    std::vector<bool> in_chain(plan.nodes.size(), false);
+    for (size_t i = 0; i < plan.nodes.size(); ++i) {
+      const auto& node = plan.nodes[i];
+      if (node.logical.op_name != "Filter" || in_chain[i]) continue;
+      // Collect the maximal filter chain starting here.
+      std::vector<int> chain = {static_cast<int>(i)};
+      in_chain[i] = true;
+      while (true) {
+        const auto& last = plan.nodes[chain.back()].logical;
+        auto it = consumers.find(last.output_var);
+        if (it == consumers.end() || it->second.size() != 1) break;
+        int next = it->second[0];
+        const auto& cand = plan.nodes[next].logical;
+        if (cand.op_name != "Filter" || cand.input_vars.size() != 1 ||
+            cand.input_vars[0] != last.output_var) {
+          break;
+        }
+        chain.push_back(next);
+        in_chain[next] = true;
+      }
+      if (chain.size() < 2) continue;
+
+      // Cost all permutations (chains are short).
+      const bool head_is_docs =
+          plan.nodes[chain[0]].logical.input_vars[0] == kDocsVar;
+      double in_card =
+          head_is_docs ? N : 0.5 * N;  // conservative for non-corpus heads
+      std::vector<int> payload(chain.begin(), chain.end());
+      std::sort(payload.begin(), payload.end());
+      std::vector<int> best = payload;
+      double best_cost = -1;
+      std::vector<int> perm = payload;
+      do {
+        double cost = 0;
+        double card = in_card;
+        for (size_t pos = 0; pos < perm.size(); ++pos) {
+          const auto& node = plan.nodes[perm[pos]];
+          double sel = filter_sel[perm[pos]];
+          double out = card * sel;
+          // Best implementation cost at this position.
+          double node_cost = -1;
+          for (PhysicalImpl impl :
+               CandidateImpls("Filter", node.logical.args)) {
+            if (node.logical.requires_semantics &&
+                !ImplSemanticCapable(impl)) {
+              continue;
+            }
+            if (impl == PhysicalImpl::kIndexScanFilter &&
+                !(pos == 0 && head_is_docs)) {
+              continue;
+            }
+            OpArgs args = node.logical.args;
+            if (impl == PhysicalImpl::kIndexScanFilter) {
+              args["index_candidates"] = std::to_string(
+                  std::min(N,
+                           options_.index_candidate_factor * sel * N + 48));
+            }
+            double c =
+                options_.objective == OptimizeObjective::kDollars
+                    ? cost_model_->EstimateDollars("Filter", impl, args,
+                                                   card, out)
+                    : cost_model_->EstimateSeconds("Filter", impl, args,
+                                                   card, out);
+            if (node_cost < 0 || c < node_cost) node_cost = c;
+          }
+          cost += node_cost;
+          card = out;
+        }
+        if (best_cost < 0 || cost < best_cost) {
+          best_cost = cost;
+          best = perm;
+        }
+      } while (std::next_permutation(perm.begin(), perm.end()));
+
+      // Rewire: permute payloads across the chain's positions, keeping the
+      // positional input/output variables intact.
+      std::vector<LogicalNode> payloads;
+      for (int id : best) payloads.push_back(plan.nodes[id].logical);
+      std::map<int, double> new_sel;
+      for (size_t pos = 0; pos < chain.size(); ++pos) {
+        LogicalNode& dst = plan.nodes[chain[pos]].logical;
+        LogicalNode src = payloads[pos];
+        src.input_vars = dst.input_vars;
+        src.output_var = dst.output_var;
+        dst = std::move(src);
+        new_sel[chain[pos]] = filter_sel[best[pos]];
+      }
+      for (const auto& [id, sel] : new_sel) filter_sel[id] = sel;
+    }
+  }
+
+  // --- Cardinality propagation ---
+  UNIFY_ASSIGN_OR_RETURN(std::vector<int> order, plan.dag.TopologicalOrder());
+  std::map<std::string, double> var_card;
+  std::map<std::string, bool> var_grouped;
+  var_card[kDocsVar] = N;
+  const double groups_est =
+      std::max<double>(2.0, static_cast<double>(options_.num_categories));
+  for (int u : order) {
+    PhysicalNode& node = plan.nodes[u];
+    const std::string& op = node.logical.op_name;
+    double in_card = 1;
+    bool grouped = false;
+    for (const auto& in : node.logical.input_vars) {
+      auto it = var_card.find(in);
+      if (it != var_card.end()) in_card = std::max(in_card, it->second);
+      grouped = grouped || var_grouped[in];
+    }
+    if (op == "Scan") in_card = N;
+    double out_card = 1;
+    if (op == "Scan") {
+      out_card = N;
+    } else if (op == "Filter") {
+      out_card = in_card * filter_sel[u];
+    } else if (op == "GroupBy") {
+      out_card = in_card;
+      grouped = true;
+    } else if (op == "Count") {
+      out_card = grouped ? groups_est : 1;
+    } else if (op == "Extract" || op == "Classify" || op == "OrderBy" ||
+               op == "Identity") {
+      out_card = in_card;
+    } else if (op == "TopK") {
+      double k = 5;
+      if (auto it = node.logical.args.find("k");
+          it != node.logical.args.end()) {
+        k = ParseDouble(it->second).value_or(5);
+      }
+      out_card = k;
+    } else if (op == "Union" || op == "Intersection" ||
+               op == "Complementary" || op == "Join" || op == "Compute") {
+      double a = 1;
+      double b = 1;
+      if (node.logical.input_vars.size() >= 2) {
+        a = var_card.count(node.logical.input_vars[0])
+                ? var_card[node.logical.input_vars[0]]
+                : 1;
+        b = var_card.count(node.logical.input_vars[1])
+                ? var_card[node.logical.input_vars[1]]
+                : 1;
+      }
+      if (op == "Union") out_card = std::min(N, a + b * (1 - a / N));
+      else if (op == "Intersection") out_card = a * b / N;
+      else if (op == "Complementary") out_card = a * (1 - b / N);
+      else if (op == "Join") out_card = 0.5 * a;
+      else out_card = grouped ? std::min(a, b) : 1;  // Compute
+    } else {
+      out_card = grouped ? groups_est : 1;  // aggregates, Compare, Generate
+    }
+    node.est_in_card = in_card;
+    node.est_out_card = out_card;
+    var_card[node.logical.output_var] = out_card;
+    var_grouped[node.logical.output_var] =
+        grouped && IsDocProducing(op) ? true : (op == "GroupBy");
+    if (op == "Count" || op == "Compute" || op == "Extract") {
+      // Per-group scalars/values remain grouped for downstream arg-best.
+      var_grouped[node.logical.output_var] = grouped;
+    }
+  }
+
+  // --- Physical operator selection (Section VI-C) ---
+  Rng rule_rng(HashCombine(options_.seed, StableHash64(lp.Signature())));
+  for (int u : order) {
+    PhysicalNode& node = plan.nodes[u];
+    const std::string& op = node.logical.op_name;
+    if (op == "Scan") {
+      node.impl = PhysicalImpl::kLinearScan;
+      node.est_seconds = cost_model_->EstimateSeconds(
+          op, node.impl, node.logical.args, node.est_in_card,
+          node.est_out_card);
+      continue;
+    }
+    std::vector<PhysicalImpl> candidates =
+        CandidateImpls(op, node.logical.args);
+    std::vector<PhysicalImpl> valid;
+    const bool head_is_docs = !node.logical.input_vars.empty() &&
+                              node.logical.input_vars[0] == kDocsVar;
+    for (PhysicalImpl impl : candidates) {
+      if (node.logical.requires_semantics && !ImplSemanticCapable(impl)) {
+        continue;
+      }
+      if (impl == PhysicalImpl::kIndexScanFilter && !head_is_docs) continue;
+      valid.push_back(impl);
+    }
+    if (valid.empty()) valid = candidates;
+    UNIFY_CHECK(!valid.empty()) << "no impl for " << op;
+
+    if (options_.mode == PhysicalMode::kRule) {
+      node.impl = valid[rule_rng.NextUint64(valid.size())];
+      if (node.impl == PhysicalImpl::kIndexScanFilter) {
+        // Without cardinality knowledge there is no safe cutoff: the
+        // rule-based variant must verify everything.
+        node.logical.args["index_candidates"] =
+            std::to_string(static_cast<int64_t>(N));
+      }
+      node.est_seconds = cost_model_->EstimateSeconds(
+          op, node.impl, node.logical.args, node.est_in_card,
+          node.est_out_card);
+      continue;
+    }
+
+    double best_cost = -1;
+    PhysicalImpl best_impl = valid[0];
+    OpArgs best_args = node.logical.args;
+    for (PhysicalImpl impl : valid) {
+      OpArgs args = node.logical.args;
+      if (impl == PhysicalImpl::kIndexScanFilter) {
+        double cand = std::min(
+            N, node.est_out_card * options_.index_candidate_factor + 48);
+        args["index_candidates"] =
+            std::to_string(static_cast<int64_t>(std::llround(cand)));
+      }
+      double cost =
+          options_.objective == OptimizeObjective::kDollars
+              ? cost_model_->EstimateDollars(op, impl, args,
+                                             node.est_in_card,
+                                             node.est_out_card)
+              : cost_model_->EstimateSeconds(op, impl, args,
+                                             node.est_in_card,
+                                             node.est_out_card);
+      if (best_cost < 0 || cost < best_cost) {
+        best_cost = cost;
+        best_impl = impl;
+        best_args = args;
+      }
+    }
+    node.impl = best_impl;
+    node.logical.args = best_args;
+    node.est_seconds = cost_model_->EstimateSeconds(
+        op, best_impl, best_args, node.est_in_card, node.est_out_card);
+  }
+
+  // --- Predicted makespan for plan selection ---
+  std::vector<exec::NodeCost> costs;
+  costs.reserve(plan.nodes.size());
+  for (const auto& node : plan.nodes) {
+    exec::NodeCost c;
+    if (ImplUsesLlm(node.impl)) {
+      c.llm_seconds = node.est_seconds;
+    } else {
+      c.cpu_seconds = node.est_seconds;
+    }
+    costs.push_back(c);
+  }
+  UNIFY_ASSIGN_OR_RETURN(
+      exec::ScheduleResult sched,
+      exec::ScheduleDag(plan.dag, costs, options_.num_servers,
+                        /*sequential=*/false));
+  plan.est_makespan = sched.makespan;
+  for (const auto& node : plan.nodes) {
+    plan.est_total_dollars += cost_model_->EstimateDollars(
+        node.logical.op_name, node.impl, node.logical.args,
+        node.est_in_card, node.est_out_card);
+  }
+  plan.likely_incomplete =
+      var_card.count(plan.answer_var) == 0 || var_grouped[plan.answer_var];
+  return plan;
+}
+
+StatusOr<PhysicalPlan> PhysicalOptimizer::SelectBest(
+    const std::vector<LogicalPlan>& plans) {
+  if (plans.empty()) {
+    return Status::InvalidArgument("no candidate plans");
+  }
+  if (!options_.reuse_sce_across_queries) sce_cache_.clear();
+  std::optional<PhysicalPlan> best;
+  double accumulated_llm_seconds = 0;
+  int64_t accumulated_llm_calls = 0;
+  for (const auto& lp : plans) {
+    auto optimized = Optimize(lp);
+    if (!optimized.ok()) continue;  // a malformed candidate is skipped
+    accumulated_llm_seconds += optimized->optimize_llm_seconds;
+    accumulated_llm_calls += optimized->optimize_llm_calls;
+    // Prefer structurally complete plans; among equals, the cheapest.
+    auto better = [this](const PhysicalPlan& a, const PhysicalPlan& b) {
+      if (a.likely_incomplete != b.likely_incomplete) {
+        return !a.likely_incomplete;
+      }
+      if (options_.objective == OptimizeObjective::kDollars) {
+        return a.est_total_dollars < b.est_total_dollars;
+      }
+      return a.est_makespan < b.est_makespan;
+    };
+    if (!best.has_value() || better(*optimized, *best)) {
+      best = std::move(optimized).value();
+    }
+    if (options_.mode == PhysicalMode::kRule) break;  // no plan selection
+  }
+  if (!best.has_value()) {
+    return Status::Internal("all candidate plans failed to optimize");
+  }
+  best->optimize_llm_seconds = accumulated_llm_seconds;
+  best->optimize_llm_calls = accumulated_llm_calls;
+  return *best;
+}
+
+}  // namespace unify::core

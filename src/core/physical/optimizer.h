@@ -1,0 +1,89 @@
+#ifndef UNIFY_CORE_PHYSICAL_OPTIMIZER_H_
+#define UNIFY_CORE_PHYSICAL_OPTIMIZER_H_
+
+#include <map>
+#include <vector>
+
+#include "core/physical/cost_model.h"
+#include "core/physical/physical_plan.h"
+#include "core/physical/sce.h"
+
+namespace unify::core {
+
+/// Which optimization regime to run (Section VII-E ablations).
+enum class PhysicalMode {
+  /// Unify: cost-based ordering + implementation + plan selection driven
+  /// by semantic cardinality estimation.
+  kFull,
+  /// Unify-Rule: no cost-based optimization; implementations picked
+  /// (seeded-)randomly among the semantically valid ones, original
+  /// operator order kept.
+  kRule,
+  /// Unify-GD: like kFull but with ground-truth cardinalities.
+  kGroundTruthCards,
+};
+
+/// What the optimizer minimizes (Section VI-A footnote: total execution
+/// time and total dollar cost are different objectives served by the same
+/// machinery).
+enum class OptimizeObjective {
+  kTime,     ///< minimize predicted makespan on the LLM server pool
+  kDollars,  ///< minimize predicted total API spend
+};
+
+struct OptimizerOptions {
+  PhysicalMode mode = PhysicalMode::kFull;
+  OptimizeObjective objective = OptimizeObjective::kTime;
+  /// Corpus statistics used for cardinality propagation.
+  size_t corpus_size = 0;
+  size_t num_categories = 10;
+  /// LLM servers assumed when predicting plan makespans.
+  int num_servers = 4;
+  /// IndexScanFilter verifies factor × estimated-cardinality candidates.
+  double index_candidate_factor = 9.0;
+  /// Which SCE method powers the cost model (Unify uses importance
+  /// sampling; exposed for ablations).
+  SceMethod sce_method = SceMethod::kImportance;
+  /// Keep semantic-cardinality estimates across queries of a session.
+  /// Sound because predicates are estimated over the immutable corpus;
+  /// repeated conditions (common in real workloads) are then free.
+  bool reuse_sce_across_queries = false;
+  uint64_t seed = 5;
+};
+
+/// Physical plan generation (paper Section VI): lowers a logical plan by
+/// (1) estimating cardinalities (SCE), (2) reordering commuting filter
+/// chains so selective/cheap filters run first, (3) choosing each
+/// operator's physical implementation by estimated cost subject to
+/// semantic requirements, and (4) ranking whole plans by predicted
+/// makespan for plan selection.
+class PhysicalOptimizer {
+ public:
+  /// Pointers must outlive the optimizer. `estimator` may be null only in
+  /// kRule mode.
+  PhysicalOptimizer(CostModel* cost_model, CardinalityEstimator* estimator,
+                    OptimizerOptions options);
+
+  /// Lowers one logical plan.
+  StatusOr<PhysicalPlan> Optimize(const LogicalPlan& plan);
+
+  /// Plan selection (Section VI-C): optimizes every candidate and returns
+  /// the one with the smallest predicted makespan. SCE results are cached
+  /// across candidates, so shared predicates are estimated once.
+  StatusOr<PhysicalPlan> SelectBest(const std::vector<LogicalPlan>& plans);
+
+ private:
+  /// Selectivity of a filter node's condition in [0, 1]; LLM cost is
+  /// accumulated on `plan`.
+  StatusOr<double> Selectivity(const OpArgs& condition, PhysicalPlan& plan);
+
+  CostModel* cost_model_;
+  CardinalityEstimator* estimator_;
+  OptimizerOptions options_;
+  /// Cross-plan SCE cache: condition key -> estimated cardinality.
+  std::map<std::string, double> sce_cache_;
+};
+
+}  // namespace unify::core
+
+#endif  // UNIFY_CORE_PHYSICAL_OPTIMIZER_H_

@@ -1,0 +1,176 @@
+#include "core/runtime/executor.h"
+
+#include <cstdio>
+
+#include <mutex>
+
+#include "exec/dag_runner.h"
+#include "exec/schedule.h"
+
+namespace unify::core {
+
+ExecutionResult PlanExecutor::Execute(const PhysicalPlan& plan) {
+  ExecutionResult result;
+  node_stats_.assign(plan.nodes.size(), OpStats{});
+
+  std::mutex mu;
+  std::map<std::string, Value> vars;
+  bool adjusted = false;
+
+  auto run_node = [&](int u) -> Status {
+    const PhysicalNode& node = plan.nodes[u];
+    std::vector<Value> inputs;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      for (const auto& in : node.logical.input_vars) {
+        if (in.empty()) continue;
+        auto it = vars.find(in);
+        if (it == vars.end()) {
+          return Status::FailedPrecondition("missing input variable " + in +
+                                            " for " + node.logical.op_name);
+        }
+        inputs.push_back(it->second);
+      }
+    }
+
+    ExecContext ctx = ctx_;  // per-node copy (cheap; pointers only)
+    auto output = ExecuteOp(node.logical.op_name, node.impl,
+                            node.logical.args, inputs, ctx);
+
+    // Plan adjustment (Section III-C): when an operator fails to produce
+    // the expected result, retry with alternative physical
+    // implementations instead of restarting the whole plan.
+    if (!output.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        adjusted = true;
+      }
+      for (int attempt = 0;
+           attempt < options_.max_adjustments && !output.ok(); ++attempt) {
+        bool retried = false;
+        for (PhysicalImpl alt :
+             CandidateImpls(node.logical.op_name, node.logical.args)) {
+          if (alt == node.impl) continue;
+          if (node.logical.requires_semantics && !ImplSemanticCapable(alt)) {
+            continue;
+          }
+          auto retry = ExecuteOp(node.logical.op_name, alt,
+                                 node.logical.args, inputs, ctx);
+          if (retry.ok()) {
+            output = std::move(retry);
+            retried = true;
+            break;
+          }
+        }
+        if (!retried) break;
+      }
+    }
+
+    std::lock_guard<std::mutex> lock(mu);
+    if (!output.ok()) {
+      return output.status();
+    }
+    node_stats_[u] = output->stats;
+    if (!node.logical.output_var.empty()) {
+      vars[node.logical.output_var] = output->value;
+    }
+    return Status::OK();
+  };
+
+  Status run_status;
+  if (options_.threads > 0 && options_.parallel) {
+    ThreadPool pool(static_cast<size_t>(options_.threads));
+    run_status = exec::RunDag(plan.dag, &pool, run_node);
+  } else {
+    run_status = exec::RunDag(plan.dag, nullptr, run_node);
+  }
+
+  // Virtual-time accounting from the measured per-node streams.
+  std::vector<exec::NodeCost> costs;
+  costs.reserve(plan.nodes.size());
+  for (const auto& stats : node_stats_) {
+    exec::NodeCost c;
+    c.cpu_seconds = stats.cpu_seconds;
+    c.llm_seconds = stats.llm_seconds;
+    costs.push_back(c);
+    result.llm_seconds_total += stats.llm_seconds;
+    result.llm_dollars_total += stats.llm_dollars;
+    result.llm_calls += stats.llm_calls;
+  }
+  auto sched = exec::ScheduleDag(plan.dag, costs, options_.num_servers,
+                                 /*sequential=*/!options_.parallel);
+  if (sched.ok()) {
+    result.virtual_seconds = sched->makespan;
+    // Execution timeline for observability.
+    std::string timeline;
+    char line[256];
+    for (size_t i = 0; i < plan.nodes.size(); ++i) {
+      std::snprintf(line, sizeof(line),
+                    "t=%8.2fs..%8.2fs  %-10s <%s> -> %s  (llm %.2fs, %lld "
+                    "calls)\n",
+                    sched->start[i], sched->finish[i],
+                    plan.nodes[i].logical.op_name.c_str(),
+                    PhysicalImplName(plan.nodes[i].impl),
+                    plan.nodes[i].logical.output_var.c_str(),
+                    node_stats_[i].llm_seconds,
+                    static_cast<long long>(node_stats_[i].llm_calls));
+      timeline += line;
+    }
+    result.timeline = std::move(timeline);
+  }
+
+  result.adjusted = adjusted;
+  if (!run_status.ok()) {
+    // Plan adjustment, stage 2 (Section III-C): an operator failed with
+    // every implementation (e.g. a zero-denominator ratio, an empty
+    // aggregate). Instead of restarting from scratch, replan the query
+    // through the Section V-D fallback strategies.
+    if (ctx_.llm != nullptr && !plan.query_text.empty() &&
+        options_.max_adjustments > 0) {
+      llm::LlmCall choose;
+      choose.type = llm::PromptType::kChooseFallbackStrategy;
+      choose.tier = llm::ModelTier::kPlanner;
+      choose.fields["query"] = plan.query_text;
+      llm::LlmResult strategy = ctx_.llm->Call(choose);
+      result.llm_seconds_total += strategy.seconds;
+      result.llm_dollars_total += strategy.dollars;
+      result.llm_calls += 1;
+
+      OpArgs args{{"query", plan.query_text},
+                  {"strategy", strategy.Get("strategy", "rag")},
+                  {"retrieve_k", "100"}};
+      DocList all;
+      all.reserve(ctx_.corpus->size());
+      for (uint64_t id = 0; id < ctx_.corpus->size(); ++id) {
+        all.push_back(id);
+      }
+      ExecContext ctx = ctx_;
+      auto fallback = ExecuteOp("Generate", PhysicalImpl::kLlmGenerate,
+                                args, {Value::Docs(std::move(all))}, ctx);
+      if (fallback.ok()) {
+        result.llm_seconds_total += fallback->stats.llm_seconds;
+        result.llm_dollars_total += fallback->stats.llm_dollars;
+        result.llm_calls += fallback->stats.llm_calls;
+        result.virtual_seconds += fallback->stats.llm_seconds +
+                                  fallback->stats.cpu_seconds;
+        result.answer = fallback->value.ToAnswer();
+        result.adjusted = true;
+        return result;
+      }
+    }
+    result.status = run_status;
+    result.answer = corpus::Answer::None();
+    return result;
+  }
+  auto it = vars.find(plan.answer_var);
+  if (it == vars.end()) {
+    result.status =
+        Status::NotFound("answer variable " + plan.answer_var + " not bound");
+    result.answer = corpus::Answer::None();
+    return result;
+  }
+  result.answer = it->second.ToAnswer();
+  return result;
+}
+
+}  // namespace unify::core

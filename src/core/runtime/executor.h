@@ -1,0 +1,67 @@
+#ifndef UNIFY_CORE_RUNTIME_EXECUTOR_H_
+#define UNIFY_CORE_RUNTIME_EXECUTOR_H_
+
+#include <map>
+#include <string>
+
+#include "common/thread_pool.h"
+#include "core/physical/physical_plan.h"
+#include "corpus/answer.h"
+
+namespace unify::core {
+
+/// The outcome of executing one physical plan.
+struct ExecutionResult {
+  Status status = Status::OK();
+  corpus::Answer answer;
+  /// Virtual end-to-end execution time: operator streams scheduled on the
+  /// LLM server pool respecting plan dependencies (Section III-C).
+  double virtual_seconds = 0;
+  /// Total LLM stream time across all operators (resource usage).
+  double llm_seconds_total = 0;
+  /// Total API spend across all operators.
+  double llm_dollars_total = 0;
+  int64_t llm_calls = 0;
+  /// True when plan adjustment fired (an operator failed and was retried
+  /// with a different implementation).
+  bool adjusted = false;
+  /// Human-readable execution timeline: one line per operator with its
+  /// virtual start/finish on the server pool and measured LLM usage.
+  std::string timeline;
+};
+
+/// The execution module (paper Section III-C): runs a physical plan with
+/// parallel topological execution, dynamic plan adjustment on operator
+/// failure, and virtual-time accounting on the simulated LLM server pool.
+class PlanExecutor {
+ public:
+  struct Options {
+    /// LLM servers (paper: 4 local Llamas).
+    int num_servers = 4;
+    /// Disable DAG parallelism (the Unify–noLO ablation, Section VII-D).
+    bool parallel = true;
+    /// Worker threads for real (wall-clock) parallel execution; 0 runs
+    /// in-process sequentially (virtual time is unaffected).
+    int threads = 0;
+    /// Retries per failing operator during plan adjustment.
+    int max_adjustments = 2;
+  };
+
+  PlanExecutor(ExecContext ctx, Options options)
+      : ctx_(ctx), options_(options) {}
+
+  /// Executes `plan` and converts the answer variable to an Answer.
+  ExecutionResult Execute(const PhysicalPlan& plan);
+
+  /// After execution, per-node measured stats (for cost-model feedback).
+  const std::vector<OpStats>& node_stats() const { return node_stats_; }
+
+ private:
+  ExecContext ctx_;
+  Options options_;
+  std::vector<OpStats> node_stats_;
+};
+
+}  // namespace unify::core
+
+#endif  // UNIFY_CORE_RUNTIME_EXECUTOR_H_

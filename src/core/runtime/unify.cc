@@ -1,0 +1,237 @@
+#include "core/runtime/unify.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "corpus/workload.h"
+
+namespace unify::core {
+
+UnifySystem::UnifySystem(const corpus::Corpus* corpus, llm::LlmClient* llm,
+                         UnifyOptions options)
+    : corpus_(corpus), llm_(llm), options_(options) {
+  registry_ = OperatorRegistry::Default();
+}
+
+Status UnifySystem::Setup() {
+  // --- Operator indexing: embed every logical representation offline ---
+  matcher_ = std::make_unique<OperatorMatcher>(&registry_, /*dim=*/48,
+                                               options_.seed ^ 0x5151);
+
+  // --- Document embedding + HNSW vector index (Section III-A) ---
+  corpus::EmbeddingSpec spec = corpus::BuildEmbeddingSpec(corpus_->profile());
+  embedding::TopicEmbedder::Options eopts;
+  eopts.dim = options_.embed_dim;
+  eopts.seed = options_.seed ^ 0xe1be;
+  doc_embedder_ = std::make_unique<embedding::TopicEmbedder>(
+      eopts, spec.topic_tokens, spec.aliases);
+  doc_vecs_.clear();
+  doc_vecs_.reserve(corpus_->size());
+  index::HnswIndex::Options hopts;
+  hopts.M = 16;
+  hopts.ef_construction = 120;
+  hopts.ef_search = 96;
+  hopts.seed = options_.seed ^ 0x1d8;
+  doc_index_ = std::make_unique<index::HnswIndex>(hopts);
+  for (const auto& doc : corpus_->docs()) {
+    doc_vecs_.push_back(doc_embedder_->Embed(doc.text));
+    UNIFY_RETURN_IF_ERROR(doc_index_->Add(doc.id, doc_vecs_.back()));
+  }
+
+  // --- Semantic cardinality estimation (Section VI-B) + numeric
+  // histograms over surface-extractable attributes ---
+  numeric_stats_.Build(*corpus_);
+  estimator_ = std::make_unique<CardinalityEstimator>(
+      corpus_, doc_embedder_.get(), &doc_vecs_, llm_, options_.sce);
+  estimator_->set_numeric_stats(&numeric_stats_);
+  estimator_->LearnImportanceFunction(corpus::GenerateHistoricalPredicates(
+      *corpus_, options_.history_size, options_.seed ^ 0x31));
+
+  // --- Planning engine ---
+  generator_ = std::make_unique<PlanGenerator>(&registry_, matcher_.get(),
+                                               llm_, options_.plan);
+  OptimizerOptions oopts;
+  oopts.mode = options_.physical_mode;
+  oopts.objective = options_.objective;
+  oopts.reuse_sce_across_queries = options_.reuse_sce_across_queries;
+  oopts.corpus_size = corpus_->size();
+  oopts.num_categories = corpus_->knowledge().categories().size();
+  oopts.num_servers = options_.exec.num_servers;
+  oopts.index_candidate_factor = options_.index_candidate_factor;
+  oopts.seed = options_.seed ^ 0xabcd;
+  optimizer_ = std::make_unique<PhysicalOptimizer>(&cost_model_,
+                                                   estimator_.get(), oopts);
+
+  // --- Cost-model calibration from "historical executions" ---
+  if (options_.calibrate) {
+    UNIFY_RETURN_IF_ERROR(CalibrateCostModel());
+  }
+  ready_ = true;
+  return Status::OK();
+}
+
+Status UnifySystem::CalibrateCostModel() {
+  // Execute each implementation family on a small document sample and
+  // record the measured virtual costs — the paper's "estimating these
+  // parameters based on historical execution data" (Section VI-A).
+  ExecContext ctx;
+  ctx.corpus = corpus_;
+  ctx.llm = llm_;
+  ctx.doc_embedder = doc_embedder_.get();
+  ctx.doc_index = doc_index_.get();
+  ctx.llm_batch_size = options_.llm_batch_size;
+
+  const size_t sample_n = std::min<size_t>(32, corpus_->size());
+  DocList sample;
+  for (size_t i = 0; i < sample_n; ++i) {
+    sample.push_back(i * (corpus_->size() / sample_n));
+  }
+  std::vector<Value> doc_input = {Value::Docs(sample)};
+  const auto& kb = corpus_->knowledge();
+  const std::string phrase =
+      kb.categories().empty() ? "anything" : kb.categories().front();
+
+  // Semantic filter (LLM per document).
+  {
+    OpArgs args{{"kind", "semantic"}, {"phrase", phrase}};
+    UNIFY_ASSIGN_OR_RETURN(
+        OpOutput out, ExecuteOp("Filter", PhysicalImpl::kLlmFilter, args,
+                                doc_input, ctx));
+    cost_model_.Record("Filter", PhysicalImpl::kLlmFilter, sample_n,
+                       out.stats.llm_seconds, out.stats.cpu_seconds,
+                       out.stats.llm_dollars);
+    // IndexScanFilter verifies candidates with the same per-document call.
+    cost_model_.Record("Filter", PhysicalImpl::kIndexScanFilter, sample_n,
+                       out.stats.llm_seconds, out.stats.cpu_seconds,
+                       out.stats.llm_dollars);
+    setup_llm_seconds_ += out.stats.llm_seconds;
+  }
+  // Exact (pre-programmed) filter.
+  {
+    OpArgs args{{"kind", "numeric"}, {"attribute", "views"},
+                {"cmp", "gt"},      {"value", "100"}};
+    UNIFY_ASSIGN_OR_RETURN(
+        OpOutput out, ExecuteOp("Filter", PhysicalImpl::kExactFilter, args,
+                                doc_input, ctx));
+    cost_model_.Record("Filter", PhysicalImpl::kExactFilter, sample_n,
+                       out.stats.llm_seconds, out.stats.cpu_seconds);
+    cost_model_.Record("Filter", PhysicalImpl::kKeywordFilter, sample_n,
+                       out.stats.llm_seconds, out.stats.cpu_seconds);
+  }
+  // LLM extraction and aggregation.
+  {
+    OpArgs args{{"attribute", "views"}};
+    UNIFY_ASSIGN_OR_RETURN(
+        OpOutput out, ExecuteOp("Extract", PhysicalImpl::kLlmExtract, args,
+                                doc_input, ctx));
+    cost_model_.Record("Extract", PhysicalImpl::kLlmExtract, sample_n,
+                       out.stats.llm_seconds, out.stats.cpu_seconds,
+                       out.stats.llm_dollars);
+    setup_llm_seconds_ += out.stats.llm_seconds;
+    for (const char* agg :
+         {"Sum", "Average", "Min", "Max", "Median", "Percentile"}) {
+      cost_model_.Record(agg, PhysicalImpl::kLlmAggregate, sample_n,
+                         out.stats.llm_seconds, out.stats.cpu_seconds,
+                         out.stats.llm_dollars);
+    }
+  }
+  // Regex extraction.
+  {
+    OpArgs args{{"attribute", "views"}};
+    UNIFY_ASSIGN_OR_RETURN(
+        OpOutput out, ExecuteOp("Extract", PhysicalImpl::kRegexExtract, args,
+                                doc_input, ctx));
+    cost_model_.Record("Extract", PhysicalImpl::kRegexExtract, sample_n,
+                       out.stats.llm_seconds, out.stats.cpu_seconds);
+    for (const char* agg :
+         {"Sum", "Average", "Min", "Max", "Median", "Percentile"}) {
+      cost_model_.Record(agg, PhysicalImpl::kPreAggregate, sample_n,
+                         out.stats.llm_seconds, out.stats.cpu_seconds);
+    }
+  }
+  // Grouping / classification.
+  {
+    OpArgs args{{"by", corpus_->category_kind()}};
+    UNIFY_ASSIGN_OR_RETURN(
+        OpOutput out, ExecuteOp("GroupBy", PhysicalImpl::kLlmGroupBy, args,
+                                doc_input, ctx));
+    cost_model_.Record("GroupBy", PhysicalImpl::kLlmGroupBy, sample_n,
+                       out.stats.llm_seconds, out.stats.cpu_seconds,
+                       out.stats.llm_dollars);
+    cost_model_.Record("Classify", PhysicalImpl::kLlmClassify, sample_n,
+                       out.stats.llm_seconds, out.stats.cpu_seconds,
+                       out.stats.llm_dollars);
+    setup_llm_seconds_ += out.stats.llm_seconds;
+  }
+  {
+    OpArgs args{{"by", corpus_->category_kind()}};
+    UNIFY_ASSIGN_OR_RETURN(
+        OpOutput out, ExecuteOp("GroupBy", PhysicalImpl::kRuleGroupBy, args,
+                                doc_input, ctx));
+    cost_model_.Record("GroupBy", PhysicalImpl::kRuleGroupBy, sample_n,
+                       out.stats.llm_seconds, out.stats.cpu_seconds);
+    cost_model_.Record("Classify", PhysicalImpl::kRuleClassify, sample_n,
+                       out.stats.llm_seconds, out.stats.cpu_seconds);
+  }
+  return Status::OK();
+}
+
+UnifySystem::QueryResult UnifySystem::Answer(const std::string& query) {
+  QueryResult result;
+  if (!ready_) {
+    result.status = Status::FailedPrecondition("Setup() not called");
+    return result;
+  }
+
+  // --- Logical plan generation (Section V) ---
+  auto generated = generator_->Generate(query);
+  if (!generated.ok()) {
+    result.status = generated.status();
+    return result;
+  }
+  result.plan_seconds += generated->planning_seconds;
+  result.num_candidate_plans = static_cast<int>(generated->plans.size());
+  result.used_fallback = generated->used_fallback;
+
+  // --- Physical plan generation + plan selection (Section VI) ---
+  auto physical = optimizer_->SelectBest(generated->plans);
+  if (!physical.ok()) {
+    result.status = physical.status();
+    return result;
+  }
+  result.plan_seconds += physical->optimize_llm_seconds;
+  result.plan_debug = physical->DebugString();
+  result.plan_explain = physical->Explain();
+
+  // --- Execution (Section III-C) ---
+  ExecContext ctx;
+  ctx.corpus = corpus_;
+  ctx.llm = llm_;
+  ctx.doc_embedder = doc_embedder_.get();
+  ctx.doc_index = doc_index_.get();
+  ctx.custom_ops = options_.custom_ops;
+  ctx.llm_batch_size = options_.llm_batch_size;
+  PlanExecutor executor(ctx, options_.exec);
+  ExecutionResult exec = executor.Execute(*physical);
+  result.exec_seconds = exec.virtual_seconds;
+  result.exec_dollars = exec.llm_dollars_total;
+  result.timeline = exec.timeline;
+  result.adjusted = exec.adjusted;
+  result.answer = exec.answer;
+  result.status = exec.status;
+  result.total_seconds = result.plan_seconds + result.exec_seconds;
+
+  // Feed measured costs back into the model (running calibration).
+  const auto& stats = executor.node_stats();
+  for (size_t i = 0; i < stats.size() && i < physical->nodes.size(); ++i) {
+    if (stats[i].llm_calls == 0) continue;
+    size_t card = static_cast<size_t>(
+        std::max(1.0, physical->nodes[i].est_in_card));
+    cost_model_.Record(physical->nodes[i].logical.op_name,
+                       physical->nodes[i].impl, card, stats[i].llm_seconds,
+                       stats[i].cpu_seconds, stats[i].llm_dollars);
+  }
+  return result;
+}
+
+}  // namespace unify::core

@@ -1,0 +1,124 @@
+#ifndef UNIFY_CORE_RUNTIME_UNIFY_H_
+#define UNIFY_CORE_RUNTIME_UNIFY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/logical/operator_matcher.h"
+#include "core/logical/plan_generator.h"
+#include "core/operators/custom_ops.h"
+#include "core/operators/operator_def.h"
+#include "core/physical/cost_model.h"
+#include "core/physical/optimizer.h"
+#include "core/physical/numeric_stats.h"
+#include "core/physical/sce.h"
+#include "core/runtime/executor.h"
+#include "corpus/corpus.h"
+#include "embedding/hashed_embedder.h"
+#include "index/hnsw_index.h"
+#include "llm/llm_client.h"
+
+namespace unify::core {
+
+/// Configuration of a UnifySystem instance. Defaults follow the paper's
+/// hyper-parameters (Section VII-A): k = 5 candidate operators, n_c = 3
+/// candidate plans, τ = 0.75, 4 LLM servers, HNSW indexing, 1% SCE
+/// samples.
+struct UnifyOptions {
+  PlanGenerator::Options plan;
+  SceOptions sce;
+  PhysicalMode physical_mode = PhysicalMode::kFull;
+  OptimizeObjective objective = OptimizeObjective::kTime;
+  /// Reuse cardinality estimates for repeated predicates across queries.
+  bool reuse_sce_across_queries = false;
+  PlanExecutor::Options exec;
+  /// User-registered operators (Section IV-B3); may be null. Must outlive
+  /// the system.
+  const CustomOpRegistry* custom_ops = nullptr;
+  int llm_batch_size = 16;
+  size_t embed_dim = 64;
+  uint64_t seed = 17;
+  /// Historical predicates used to learn the importance function and to
+  /// calibrate the cost model during Setup().
+  int history_size = 32;
+  /// Run cost-model calibration micro-executions during Setup().
+  bool calibrate = true;
+  double index_candidate_factor = 9.0;
+};
+
+/// The top-level system (paper Figure 1): offline preprocessing
+/// (embedding + HNSW indexing of documents, operator-representation
+/// indexing, cost calibration, importance-function learning), the planning
+/// engine (logical + physical), and the execution module.
+class UnifySystem {
+ public:
+  /// `corpus` and `llm` must outlive the system.
+  UnifySystem(const corpus::Corpus* corpus, llm::LlmClient* llm,
+              UnifyOptions options);
+
+  /// Offline preprocessing (Section III-A). Must be called once before
+  /// Answer().
+  Status Setup();
+
+  struct QueryResult {
+    Status status = Status::OK();
+    corpus::Answer answer;
+    /// Planning time: logical plan generation + physical optimization
+    /// (including SCE sampling), sequential LLM virtual time.
+    double plan_seconds = 0;
+    /// Execution time: plan makespan on the LLM server pool.
+    double exec_seconds = 0;
+    double total_seconds = 0;
+    /// API spend of plan execution (footnote-1 objective accounting).
+    double exec_dollars = 0;
+    int num_candidate_plans = 0;
+    bool used_fallback = false;
+    bool adjusted = false;
+    std::string plan_debug;
+    /// EXPLAIN rendering of the chosen physical plan.
+    std::string plan_explain;
+    /// Per-operator execution timeline (virtual start/finish + LLM usage).
+    std::string timeline;
+  };
+
+  /// Answers one natural-language analytics query end to end.
+  QueryResult Answer(const std::string& query);
+
+  // --- component access (benchmarks, ablations, tests) ---
+  CardinalityEstimator& estimator() { return *estimator_; }
+  CostModel& cost_model() { return cost_model_; }
+  const OperatorRegistry& registry() const { return registry_; }
+  const OperatorMatcher& matcher() const { return *matcher_; }
+  const embedding::Embedder& doc_embedder() const { return *doc_embedder_; }
+  const index::HnswIndex& doc_index() const { return *doc_index_; }
+  const std::vector<embedding::Vec>& doc_vecs() const { return doc_vecs_; }
+  /// One-off virtual cost of Setup() (indexing + calibration LLM calls).
+  double setup_llm_seconds() const { return setup_llm_seconds_; }
+
+  const UnifyOptions& options() const { return options_; }
+
+ private:
+  Status CalibrateCostModel();
+
+  const corpus::Corpus* corpus_;
+  llm::LlmClient* llm_;
+  UnifyOptions options_;
+
+  OperatorRegistry registry_;
+  std::unique_ptr<OperatorMatcher> matcher_;
+  std::unique_ptr<embedding::TopicEmbedder> doc_embedder_;
+  std::vector<embedding::Vec> doc_vecs_;
+  std::unique_ptr<index::HnswIndex> doc_index_;
+  CostModel cost_model_;
+  NumericStats numeric_stats_;
+  std::unique_ptr<CardinalityEstimator> estimator_;
+  std::unique_ptr<PlanGenerator> generator_;
+  std::unique_ptr<PhysicalOptimizer> optimizer_;
+  double setup_llm_seconds_ = 0;
+  bool ready_ = false;
+};
+
+}  // namespace unify::core
+
+#endif  // UNIFY_CORE_RUNTIME_UNIFY_H_

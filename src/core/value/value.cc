@@ -1,0 +1,116 @@
+#include "core/value/value.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace unify::core {
+
+size_t Value::Cardinality() const {
+  struct Visitor {
+    size_t operator()(const std::monostate&) const { return 0; }
+    size_t operator()(const DocList& docs) const { return docs.size(); }
+    size_t operator()(const GroupedDocs& g) const {
+      size_t n = 0;
+      for (const auto& [label, docs] : g.groups) n += docs.size();
+      return n;
+    }
+    size_t operator()(double) const { return 1; }
+    size_t operator()(const GroupedNumbers& g) const {
+      return g.values.size();
+    }
+    size_t operator()(const NumberList& v) const { return v.values.size(); }
+    size_t operator()(const GroupedNumberLists& g) const {
+      size_t n = 0;
+      for (const auto& [label, values] : g.groups) n += values.values.size();
+      return n;
+    }
+    size_t operator()(const std::string&) const { return 1; }
+    size_t operator()(const TextList& v) const { return v.size(); }
+  };
+  return std::visit(Visitor{}, rep_);
+}
+
+corpus::Answer Value::ToAnswer() const {
+  struct Visitor {
+    corpus::Answer operator()(const std::monostate&) const {
+      return corpus::Answer::None();
+    }
+    corpus::Answer operator()(const DocList& docs) const {
+      return corpus::Answer::Number(static_cast<double>(docs.size()));
+    }
+    corpus::Answer operator()(const GroupedDocs&) const {
+      return corpus::Answer::None();
+    }
+    corpus::Answer operator()(double v) const {
+      return corpus::Answer::Number(v);
+    }
+    corpus::Answer operator()(const GroupedNumbers&) const {
+      return corpus::Answer::None();
+    }
+    corpus::Answer operator()(const NumberList&) const {
+      return corpus::Answer::None();
+    }
+    corpus::Answer operator()(const GroupedNumberLists&) const {
+      return corpus::Answer::None();
+    }
+    corpus::Answer operator()(const std::string& s) const {
+      return corpus::Answer::Text(s);
+    }
+    corpus::Answer operator()(const TextList& v) const {
+      return corpus::Answer::List(v);
+    }
+  };
+  return std::visit(Visitor{}, rep_);
+}
+
+std::string Value::ToString() const {
+  struct Visitor {
+    std::string operator()(const std::monostate&) const { return "<none>"; }
+    std::string operator()(const DocList& docs) const {
+      std::string out("docs(");
+      out += std::to_string(docs.size());
+      out += ")";
+      return out;
+    }
+    std::string operator()(const GroupedDocs& g) const {
+      std::string out("groups(");
+      out += std::to_string(g.groups.size());
+      out += ")";
+      return out;
+    }
+    std::string operator()(double v) const { return FormatDouble(v, 4); }
+    std::string operator()(const GroupedNumbers& g) const {
+      std::ostringstream os;
+      os << "{";
+      for (size_t i = 0; i < g.values.size(); ++i) {
+        if (i) os << ", ";
+        os << g.values[i].first << ": " << FormatDouble(g.values[i].second, 3);
+      }
+      os << "}";
+      return os.str();
+    }
+    std::string operator()(const NumberList& v) const {
+      std::string out("values(");
+      out += std::to_string(v.values.size());
+      out += ")";
+      return out;
+    }
+    std::string operator()(const GroupedNumberLists& g) const {
+      std::string out("grouped-values(");
+      out += std::to_string(g.groups.size());
+      out += ")";
+      return out;
+    }
+    std::string operator()(const std::string& s) const { return s; }
+    std::string operator()(const TextList& v) const {
+      std::string out("[");
+      out += StrJoin(v, ", ");
+      out += "]";
+      return out;
+    }
+  };
+  return std::visit(Visitor{}, rep_);
+}
+
+}  // namespace unify::core

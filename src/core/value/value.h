@@ -1,0 +1,90 @@
+#ifndef UNIFY_CORE_VALUE_VALUE_H_
+#define UNIFY_CORE_VALUE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "corpus/answer.h"
+
+namespace unify::core {
+
+/// A list of document ids (references into the corpus).
+using DocList = std::vector<uint64_t>;
+
+/// Documents partitioned into labeled groups (the output of GroupBy).
+/// Downstream operators broadcast per group: Filter keeps the labels and
+/// filters each group's documents; Count maps each group to a number; etc.
+struct GroupedDocs {
+  std::vector<std::pair<std::string, DocList>> groups;
+  bool operator==(const GroupedDocs&) const = default;
+};
+
+/// Extracted numeric values (the output of Extract on a document list).
+struct NumberList {
+  std::vector<double> values;
+  bool operator==(const NumberList&) const = default;
+};
+
+/// Per-group extracted numeric values.
+struct GroupedNumberLists {
+  std::vector<std::pair<std::string, NumberList>> groups;
+  bool operator==(const GroupedNumberLists&) const = default;
+};
+
+/// Per-group scalars (counts, aggregates, computed ratios).
+struct GroupedNumbers {
+  std::vector<std::pair<std::string, double>> values;
+  bool operator==(const GroupedNumbers&) const = default;
+};
+
+/// A list of strings (document titles from TopK, generated lists).
+using TextList = std::vector<std::string>;
+
+/// The runtime value of a plan variable.
+class Value {
+ public:
+  using Rep = std::variant<std::monostate, DocList, GroupedDocs, double,
+                           GroupedNumbers, NumberList, GroupedNumberLists,
+                           std::string, TextList>;
+
+  Value() = default;
+  Value(Rep rep) : rep_(std::move(rep)) {}  // NOLINT: value wrapper
+
+  static Value Docs(DocList docs) { return Value(Rep(std::move(docs))); }
+  static Value Number(double v) { return Value(Rep(v)); }
+  static Value Text(std::string s) { return Value(Rep(std::move(s))); }
+
+  bool is_none() const { return std::holds_alternative<std::monostate>(rep_); }
+  template <typename T>
+  bool is() const {
+    return std::holds_alternative<T>(rep_);
+  }
+  template <typename T>
+  const T& get() const {
+    return std::get<T>(rep_);
+  }
+
+  const Rep& rep() const { return rep_; }
+
+  /// The cardinality relevant for cost accounting: number of documents /
+  /// values / groups carried.
+  size_t Cardinality() const;
+
+  /// Converts a terminal value into an Answer (numbers, labels, lists).
+  /// Document lists convert via their size; grouped values are not
+  /// terminal and yield kNone.
+  corpus::Answer ToAnswer() const;
+
+  /// Debug rendering.
+  std::string ToString() const;
+
+ private:
+  Rep rep_;
+};
+
+}  // namespace unify::core
+
+#endif  // UNIFY_CORE_VALUE_VALUE_H_

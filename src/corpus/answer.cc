@@ -1,0 +1,273 @@
+#include "corpus/answer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/stats.h"
+#include "common/string_util.h"
+
+namespace unify::corpus {
+
+std::string Answer::ToString() const {
+  switch (kind) {
+    case Kind::kNone:
+      return "<none>";
+    case Kind::kNumber:
+      return FormatDouble(number, 4);
+    case Kind::kText:
+      return text;
+    case Kind::kList: {
+      std::string out = "[";
+      for (size_t i = 0; i < list.size(); ++i) {
+        if (i) out += ", ";
+        out += list[i];
+      }
+      return out + "]";
+    }
+  }
+  return "<none>";
+}
+
+bool Answer::Equivalent(const Answer& a, const Answer& b, double rel_tol) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case Kind::kNone:
+      return true;
+    case Kind::kNumber: {
+      double denom = std::max({std::fabs(a.number), std::fabs(b.number), 1e-9});
+      return std::fabs(a.number - b.number) / denom <= rel_tol;
+    }
+    case Kind::kText:
+      return AsciiToLower(a.text) == AsciiToLower(b.text);
+    case Kind::kList: {
+      if (a.list.size() != b.list.size()) return false;
+      std::set<std::string> sa;
+      std::set<std::string> sb;
+      for (const auto& s : a.list) sa.insert(AsciiToLower(s));
+      for (const auto& s : b.list) sb.insert(AsciiToLower(s));
+      return sa == sb;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+int64_t AttrValue(const DocAttrs& attrs, const std::string& attr) {
+  if (attr == "views") return attrs.views;
+  if (attr == "score") return attrs.score;
+  if (attr == "answers") return attrs.answers;
+  if (attr == "comments") return attrs.comments;
+  if (attr == "words") return attrs.words;
+  return 0;
+}
+
+bool NumericMatches(const nlq::Condition& c, const DocAttrs& attrs) {
+  int64_t v = AttrValue(attrs, c.attribute);
+  switch (c.cmp) {
+    case nlq::Condition::Cmp::kGt:
+      return v > c.value;
+    case nlq::Condition::Cmp::kGe:
+      return v >= c.value;
+    case nlq::Condition::Cmp::kLt:
+      return v < c.value;
+    case nlq::Condition::Cmp::kLe:
+      return v <= c.value;
+    case nlq::Condition::Cmp::kEq:
+      return v == c.value;
+    case nlq::Condition::Cmp::kBetween:
+      return v >= c.value && v <= c.value2;
+  }
+  return false;
+}
+
+bool ConditionMatches(const nlq::Condition& c, const DocAttrs& attrs,
+                      const KnowledgeBase& kb) {
+  if (c.kind == nlq::Condition::Kind::kNumeric)
+    return NumericMatches(c, attrs);
+  return kb.Matches(c.text, attrs);
+}
+
+std::vector<const Document*> FilterDocs(
+    const std::vector<const Document*>& docs, const nlq::DocSet& set,
+    const KnowledgeBase& kb) {
+  std::vector<const Document*> out;
+  for (const Document* d : docs) {
+    bool ok = true;
+    for (const auto& c : set.conditions) {
+      if (!ConditionMatches(c, d->attrs, kb)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.push_back(d);
+  }
+  return out;
+}
+
+Answer Aggregate(const std::vector<const Document*>& docs,
+                 const std::string& attr, nlq::AggFunc func, int percentile,
+                 double count_scale) {
+  if (docs.empty()) return Answer::None();
+  SampleStats stats;
+  for (const Document* d : docs) {
+    stats.Add(static_cast<double>(AttrValue(d->attrs, attr)));
+  }
+  switch (func) {
+    case nlq::AggFunc::kSum:
+      return Answer::Number(stats.sum() * count_scale);
+    case nlq::AggFunc::kAvg:
+      return Answer::Number(stats.Mean());
+    case nlq::AggFunc::kMin:
+      return Answer::Number(stats.Min());
+    case nlq::AggFunc::kMax:
+      return Answer::Number(stats.Max());
+    case nlq::AggFunc::kMedian:
+      return Answer::Number(stats.Median());
+    case nlq::AggFunc::kPercentile:
+      return Answer::Number(stats.Quantile(percentile / 100.0));
+  }
+  return Answer::None();
+}
+
+}  // namespace
+
+Answer EvaluateQueryOnDocs(const nlq::QueryAst& q,
+                           const std::vector<const Document*>& docs,
+                           const KnowledgeBase& kb, double count_scale) {
+  switch (q.task) {
+    case nlq::TaskKind::kCount: {
+      auto matched = FilterDocs(docs, q.docset, kb);
+      return Answer::Number(static_cast<double>(matched.size()) *
+                            count_scale);
+    }
+    case nlq::TaskKind::kAgg: {
+      auto matched = FilterDocs(docs, q.docset, kb);
+      return Aggregate(matched, q.attr, q.agg, q.percentile, count_scale);
+    }
+    case nlq::TaskKind::kTopK: {
+      auto matched = FilterDocs(docs, q.docset, kb);
+      std::sort(matched.begin(), matched.end(),
+                [&](const Document* a, const Document* b) {
+                  int64_t va = AttrValue(a->attrs, q.attr);
+                  int64_t vb = AttrValue(b->attrs, q.attr);
+                  if (va != vb) return q.top_desc ? va > vb : va < vb;
+                  return a->id < b->id;
+                });
+      std::vector<std::string> titles;
+      for (size_t i = 0;
+           i < matched.size() && i < static_cast<size_t>(q.top_k); ++i) {
+        titles.push_back(matched[i]->title);
+      }
+      return Answer::List(std::move(titles));
+    }
+    case nlq::TaskKind::kCompareCount: {
+      size_t a = FilterDocs(docs, q.docset, kb).size();
+      size_t b = FilterDocs(docs, q.docset_b, kb).size();
+      return Answer::Text(a >= b ? "A" : "B");
+    }
+    case nlq::TaskKind::kCompareAgg: {
+      Answer a = Aggregate(FilterDocs(docs, q.docset, kb), q.attr, q.agg,
+                           q.percentile, count_scale);
+      Answer b = Aggregate(FilterDocs(docs, q.docset_b, kb), q.attr, q.agg,
+                           q.percentile, count_scale);
+      if (a.kind != Answer::Kind::kNumber || b.kind != Answer::Kind::kNumber)
+        return Answer::None();
+      return Answer::Text(a.number >= b.number ? "A" : "B");
+    }
+    case nlq::TaskKind::kGroupArgBest: {
+      auto matched = FilterDocs(docs, q.docset, kb);
+      std::map<std::string, std::vector<const Document*>> groups;
+      for (const Document* d : matched) groups[d->attrs.category].push_back(d);
+      std::string best_group;
+      double best_value = 0;
+      bool any = false;
+      for (const auto& [name, members] : groups) {
+        double value = 0;
+        switch (q.metric.kind) {
+          case nlq::GroupMetric::Kind::kCount:
+            value = static_cast<double>(members.size());
+            break;
+          case nlq::GroupMetric::Kind::kAgg: {
+            Answer a = Aggregate(members, q.metric.attr, q.metric.func,
+                                 q.percentile, 1.0);
+            if (a.kind != Answer::Kind::kNumber) continue;
+            value = a.number;
+            break;
+          }
+          case nlq::GroupMetric::Kind::kRatio: {
+            size_t num = 0;
+            size_t den = 0;
+            for (const Document* d : members) {
+              if (q.metric.num.cond &&
+                  ConditionMatches(*q.metric.num.cond, d->attrs, kb))
+                ++num;
+              if (q.metric.den.cond &&
+                  ConditionMatches(*q.metric.den.cond, d->attrs, kb))
+                ++den;
+            }
+            if (den == 0) continue;
+            value = static_cast<double>(num) / static_cast<double>(den);
+            break;
+          }
+        }
+        if (!any || (q.best_is_max ? value > best_value
+                                   : value < best_value)) {
+          any = true;
+          best_value = value;
+          best_group = name;
+        }
+      }
+      if (!any) return Answer::None();
+      return Answer::Text(best_group);
+    }
+    case nlq::TaskKind::kRatio: {
+      double a = static_cast<double>(FilterDocs(docs, q.docset, kb).size());
+      double b = static_cast<double>(FilterDocs(docs, q.docset_b, kb).size());
+      if (b == 0) return Answer::None();
+      return Answer::Number(a / b);
+    }
+    case nlq::TaskKind::kSetCount: {
+      auto a = FilterDocs(docs, q.docset, kb);
+      auto b = FilterDocs(docs, q.docset_b, kb);
+      std::set<uint64_t> sa;
+      std::set<uint64_t> sb;
+      for (const Document* d : a) sa.insert(d->id);
+      for (const Document* d : b) sb.insert(d->id);
+      size_t n = 0;
+      switch (q.set_op) {
+        case nlq::SetOpKind::kUnion: {
+          std::set<uint64_t> u = sa;
+          u.insert(sb.begin(), sb.end());
+          n = u.size();
+          break;
+        }
+        case nlq::SetOpKind::kIntersect: {
+          for (uint64_t id : sa) {
+            if (sb.count(id)) ++n;
+          }
+          break;
+        }
+        case nlq::SetOpKind::kDifference: {
+          for (uint64_t id : sa) {
+            if (!sb.count(id)) ++n;
+          }
+          break;
+        }
+      }
+      return Answer::Number(static_cast<double>(n) * count_scale);
+    }
+  }
+  return Answer::None();
+}
+
+Answer EvaluateQuery(const nlq::QueryAst& q, const Corpus& corpus) {
+  std::vector<const Document*> docs;
+  docs.reserve(corpus.size());
+  for (const auto& d : corpus.docs()) docs.push_back(&d);
+  return EvaluateQueryOnDocs(q, docs, corpus.knowledge(), 1.0);
+}
+
+}  // namespace unify::corpus

@@ -1,0 +1,66 @@
+#ifndef UNIFY_CORPUS_ANSWER_H_
+#define UNIFY_CORPUS_ANSWER_H_
+
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "nlq/ast.h"
+
+namespace unify::corpus {
+
+/// The result of an analytics query: a number, a label/text, or a list of
+/// document titles. `kNone` marks undefined results (empty aggregates,
+/// zero denominators, failed executions).
+struct Answer {
+  enum class Kind { kNone, kNumber, kText, kList };
+  Kind kind = Kind::kNone;
+  double number = 0.0;
+  std::string text;
+  std::vector<std::string> list;
+
+  static Answer None() { return Answer{}; }
+  static Answer Number(double v) {
+    Answer a;
+    a.kind = Kind::kNumber;
+    a.number = v;
+    return a;
+  }
+  static Answer Text(std::string t) {
+    Answer a;
+    a.kind = Kind::kText;
+    a.text = std::move(t);
+    return a;
+  }
+  static Answer List(std::vector<std::string> items) {
+    Answer a;
+    a.kind = Kind::kList;
+    a.list = std::move(items);
+    return a;
+  }
+
+  std::string ToString() const;
+
+  /// Accuracy criterion used in the experiments: numbers match within
+  /// `rel_tol` relative error, text matches case-insensitively, lists
+  /// match as sets (case-insensitive).
+  static bool Equivalent(const Answer& a, const Answer& b,
+                         double rel_tol = 0.05);
+};
+
+/// Exact ground-truth evaluation of `q` over the whole corpus, computed
+/// directly from latent attributes (the paper computed ground truths
+/// manually). `q` must be an initial query (no variable references).
+Answer EvaluateQuery(const nlq::QueryAst& q, const Corpus& corpus);
+
+/// Evaluation over a document subset, with counts and sums extrapolated by
+/// `count_scale` (1.0 = no extrapolation). Used to model what baselines
+/// that only see part of the data (RAG context, 20% sample) can possibly
+/// answer.
+Answer EvaluateQueryOnDocs(const nlq::QueryAst& q,
+                           const std::vector<const Document*>& docs,
+                           const KnowledgeBase& kb, double count_scale = 1.0);
+
+}  // namespace unify::corpus
+
+#endif  // UNIFY_CORPUS_ANSWER_H_

@@ -1,0 +1,245 @@
+#include "corpus/corpus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/rng.h"
+#include "text/tokenizer.h"
+
+namespace unify::corpus {
+
+Corpus::Corpus(DatasetProfile profile, std::vector<Document> docs)
+    : profile_(std::move(profile)), kb_(profile_), docs_(std::move(docs)) {}
+
+namespace {
+
+const std::vector<std::string>& Fillers() {
+  // Generic sentences with no topical, tag, or attribute vocabulary (they
+  // must not confuse keyword matching or field extraction).
+  static const auto* kFillers = new std::vector<std::string>{
+      "Thanks in advance for any help.",
+      "I searched the archive but found nothing similar.",
+      "Apologies if this was asked before.",
+      "Any pointers would be appreciated.",
+      "I am fairly new to this, so please bear with me.",
+      "Happy to add details if something is unclear.",
+      "This has been bothering me for a while.",
+      "Curious what more experienced people think.",
+  };
+  return *kFillers;
+}
+
+const std::vector<std::string>& ExplicitCategoryTemplates() {
+  static const auto* kTemplates = new std::vector<std::string>{
+      "This question is about %s.",
+      "I have a question regarding %s.",
+      "My question concerns %s.",
+  };
+  return *kTemplates;
+}
+
+std::string Sprintf1(const std::string& tmpl, const std::string& arg) {
+  std::string out = tmpl;
+  size_t pos = out.find("%s");
+  if (pos != std::string::npos) out.replace(pos, 2, arg);
+  return out;
+}
+
+int64_t LogNormalInt(Rng& rng, double mu, double sigma, int64_t lo,
+                     int64_t hi) {
+  double v = std::exp(rng.Gaussian(mu, sigma));
+  int64_t r = static_cast<int64_t>(std::llround(v));
+  return std::clamp(r, lo, hi);
+}
+
+}  // namespace
+
+Corpus GenerateCorpus(const DatasetProfile& profile, uint64_t seed) {
+  Rng rng(HashCombine(seed, StableHash64(profile.name)));
+
+  // Category sampling weights: profile weight shaped by a Zipf decay so
+  // frequencies are skewed like real forums.
+  std::vector<double> weights;
+  for (size_t i = 0; i < profile.categories.size(); ++i) {
+    weights.push_back(profile.categories[i].weight /
+                      std::pow(static_cast<double>(i + 1),
+                               profile.category_zipf));
+  }
+
+  std::vector<Document> docs;
+  docs.reserve(profile.doc_count);
+  for (uint64_t id = 0; id < profile.doc_count; ++id) {
+    Rng doc_rng = rng.Fork(id);
+    Document doc;
+    doc.id = id;
+    doc.title = "Post " + std::to_string(id);
+
+    // --- latent attributes ---
+    const CategorySpec& cat =
+        profile.categories[doc_rng.Categorical(weights)];
+    doc.attrs.category = cat.name;
+    doc.attrs.views = LogNormalInt(doc_rng, profile.views_log_mean,
+                                   profile.views_log_sigma, 1, 2000000);
+    doc.attrs.score = LogNormalInt(doc_rng, 1.6, 1.0, 0, 5000);
+    doc.attrs.answers = LogNormalInt(doc_rng, 0.9, 0.7, 0, 60) - 1;
+    if (doc.attrs.answers < 0) doc.attrs.answers = 0;
+    doc.attrs.comments = LogNormalInt(doc_rng, 1.2, 0.9, 0, 200) - 1;
+    if (doc.attrs.comments < 0) doc.attrs.comments = 0;
+    doc.attrs.words = doc_rng.UniformInt(40, 400);
+    doc.attrs.explicit_category = doc_rng.Bernoulli(0.8);
+
+    for (const auto& tag : profile.tags) {
+      // Per-(category, tag) rate modulation so tag frequencies differ
+      // across categories (ratio/arg-max queries then have real structure).
+      double h = static_cast<double>(
+                     StableHash64(cat.name + "|" + tag.name) % 1000) /
+                 1000.0;
+      double prob = tag.base_prob * (0.5 + 1.0 * h);
+      if (doc_rng.Bernoulli(prob)) doc.attrs.tags.push_back(tag.name);
+    }
+
+    // --- prose rendering ---
+    std::ostringstream text;
+    text << doc.title << ".";
+    if (doc.attrs.explicit_category) {
+      const auto& tmpl = ExplicitCategoryTemplates()[doc_rng.NextUint64(
+          ExplicitCategoryTemplates().size())];
+      text << " " << Sprintf1(tmpl, cat.name);
+      // A second keyword sentence strengthens surface signal.
+      if (!cat.keywords.empty() && doc_rng.Bernoulli(0.6)) {
+        const auto& kw =
+            cat.keywords[doc_rng.NextUint64(cat.keywords.size())];
+        text << " Everything here involves the " << kw << " side of things.";
+      }
+    } else {
+      // Implicit documents stay on topic across several sentences, like
+      // real posts — they just never name the category.
+      size_t first = doc_rng.NextUint64(cat.implicit_phrases.size());
+      text << " " << cat.implicit_phrases[first];
+      if (cat.implicit_phrases.size() > 1) {
+        size_t second = (first + 1) % cat.implicit_phrases.size();
+        text << " " << cat.implicit_phrases[second];
+      }
+    }
+    for (const auto& tag_name : doc.attrs.tags) {
+      for (const auto& tag : profile.tags) {
+        if (tag.name != tag_name) continue;
+        const auto& pool =
+            doc_rng.Bernoulli(0.7) ? tag.explicit_phrases
+                                   : tag.implicit_phrases;
+        text << " " << pool[doc_rng.NextUint64(pool.size())];
+      }
+    }
+    text << " " << Fillers()[doc_rng.NextUint64(Fillers().size())];
+    text << " It has been viewed " << doc.attrs.views << " times.";
+    text << " Score: " << doc.attrs.score << ".";
+    text << " It has " << doc.attrs.answers << " answers and "
+         << doc.attrs.comments << " comments.";
+    text << " The post contains " << doc.attrs.words << " words.";
+    doc.text = text.str();
+    docs.push_back(std::move(doc));
+  }
+  return Corpus(profile, std::move(docs));
+}
+
+EmbeddingSpec BuildEmbeddingSpec(const DatasetProfile& profile) {
+  EmbeddingSpec spec;
+
+  auto canon_of = [](const std::string& name) {
+    std::string c;
+    for (char ch : name) {
+      if (ch != ' ') c.push_back(ch);
+    }
+    return c;
+  };
+
+  // Ownership: stemmed token -> set of owners, resolved separately for
+  // categories and tags (a token can disambiguate a category even if some
+  // tag phrase also uses it — categories take precedence). Tokens claimed
+  // by several owners of the same type stay un-aliased (realistic
+  // polysemy noise).
+  std::map<std::string, std::set<std::string>> cat_owners;
+  std::map<std::string, std::set<std::string>> tag_owners;
+  auto claim = [](std::map<std::string, std::set<std::string>>& owners,
+                  const std::string& token, const std::string& owner) {
+    owners[text::Stem(token)].insert(owner);
+  };
+
+  for (const auto& cat : profile.categories) {
+    const std::string owner = "cat:" + cat.name;
+    for (const auto& tok : text::ContentTokens(cat.name)) {
+      claim(cat_owners, tok, owner);
+    }
+    for (const auto& kw : cat.keywords) claim(cat_owners, kw, owner);
+    for (const auto& phrase : cat.implicit_phrases) {
+      for (const auto& tok : text::ContentTokens(phrase)) {
+        claim(cat_owners, tok, owner);
+      }
+    }
+  }
+  for (const auto& tag : profile.tags) {
+    const std::string owner = "tag:" + tag.name;
+    claim(tag_owners, tag.name, owner);
+    for (const auto& pool : {tag.explicit_phrases, tag.implicit_phrases}) {
+      for (const auto& phrase : pool) {
+        for (const auto& tok : text::ContentTokens(phrase)) {
+          claim(tag_owners, tok, owner);
+        }
+      }
+    }
+  }
+  std::map<std::string, std::set<std::string>> owners;
+  for (const auto& [token, who] : cat_owners) {
+    if (who.size() == 1) owners[token] = who;
+  }
+  for (const auto& [token, who] : tag_owners) {
+    if (who.size() == 1 && owners.count(token) == 0) owners[token] = who;
+  }
+
+  // Canonical topic tokens.
+  std::map<std::string, std::string> owner_canon;
+  for (const auto& cat : profile.categories) {
+    owner_canon["cat:" + cat.name] = canon_of(cat.name);
+    spec.topic_tokens.push_back(canon_of(cat.name));
+  }
+  for (const auto& tag : profile.tags) {
+    owner_canon["tag:" + tag.name] = tag.name;
+    spec.topic_tokens.push_back(tag.name);
+  }
+  for (const auto& group : profile.groups) {
+    spec.topic_tokens.push_back(canon_of(group.name));
+  }
+
+  // Group membership: category canonical also implies group canonicals.
+  std::map<std::string, std::vector<std::string>> cat_groups;
+  for (const auto& group : profile.groups) {
+    for (const auto& m : group.members) {
+      cat_groups[m].push_back(canon_of(group.name));
+    }
+  }
+
+  for (const auto& [token, who] : owners) {
+    if (who.size() != 1) continue;
+    const std::string& owner = *who.begin();
+    std::vector<std::string> targets = {owner_canon[owner]};
+    if (owner.rfind("cat:", 0) == 0) {
+      const std::string cat_name = owner.substr(4);
+      for (const auto& g : cat_groups[cat_name]) targets.push_back(g);
+    }
+    spec.aliases.emplace_back(token, std::move(targets));
+  }
+
+  // Group query phrases: the distinctive token of the group name points at
+  // the group canonical ("ball" -> "ballsports").
+  for (const auto& group : profile.groups) {
+    spec.aliases.emplace_back(
+        group.distinctive_token,
+        std::vector<std::string>{canon_of(group.name)});
+  }
+  return spec;
+}
+
+}  // namespace unify::corpus

@@ -1,0 +1,61 @@
+#ifndef UNIFY_CORPUS_CORPUS_H_
+#define UNIFY_CORPUS_CORPUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corpus/dataset_profile.h"
+#include "corpus/document.h"
+#include "corpus/knowledge.h"
+
+namespace unify::corpus {
+
+/// A synthesized unstructured-document collection plus the knowledge base
+/// describing its vocabulary.
+class Corpus {
+ public:
+  Corpus(DatasetProfile profile, std::vector<Document> docs);
+
+  const std::string& name() const { return profile_.name; }
+  const std::string& entity() const { return profile_.entity; }
+  const std::string& category_kind() const { return profile_.category_kind; }
+  const DatasetProfile& profile() const { return profile_; }
+  const KnowledgeBase& knowledge() const { return kb_; }
+
+  const std::vector<Document>& docs() const { return docs_; }
+  size_t size() const { return docs_.size(); }
+  const Document& doc(uint64_t id) const { return docs_.at(id); }
+
+ private:
+  DatasetProfile profile_;
+  KnowledgeBase kb_;
+  std::vector<Document> docs_;
+};
+
+/// Synthesizes a corpus for `profile`. Deterministic in `seed`.
+///
+/// Each document gets latent attributes drawn from the profile's
+/// distributions and prose rendering those attributes:
+///   * a title ("Post 917"),
+///   * a category sentence — explicit keyword (80%) or an implicit cue,
+///   * one sentence per latent tag — explicit tag word (70%) or implicit,
+///   * a generic filler sentence,
+///   * the numeric attributes in regular surface patterns the
+///     pre-programmed Extract operator can parse.
+Corpus GenerateCorpus(const DatasetProfile& profile, uint64_t seed);
+
+/// Tokens and aliases for building the dataset's TopicEmbedder: category
+/// keywords map to canonical category/group tokens, tag phrases map to tag
+/// tokens (see DESIGN.md — this models the synonymy a trained embedder
+/// captures).
+struct EmbeddingSpec {
+  std::vector<std::string> topic_tokens;
+  std::vector<std::pair<std::string, std::vector<std::string>>> aliases;
+};
+EmbeddingSpec BuildEmbeddingSpec(const DatasetProfile& profile);
+
+}  // namespace unify::corpus
+
+#endif  // UNIFY_CORPUS_CORPUS_H_

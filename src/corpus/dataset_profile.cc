@@ -1,0 +1,410 @@
+#include "corpus/dataset_profile.h"
+
+namespace unify::corpus {
+
+namespace {
+
+CategorySpec Cat(std::string name, std::vector<std::string> keywords,
+                 std::vector<std::string> implicit, double weight = 1.0) {
+  CategorySpec c;
+  c.name = std::move(name);
+  c.keywords = std::move(keywords);
+  c.implicit_phrases = std::move(implicit);
+  c.weight = weight;
+  return c;
+}
+
+TagSpec Tag(std::string name, std::vector<std::string> explicit_phrases,
+            std::vector<std::string> implicit, double prob) {
+  TagSpec t;
+  t.name = std::move(name);
+  t.explicit_phrases = std::move(explicit_phrases);
+  t.implicit_phrases = std::move(implicit);
+  t.base_prob = prob;
+  return t;
+}
+
+}  // namespace
+
+DatasetProfile SportsProfile() {
+  DatasetProfile p;
+  p.name = "sports";
+  p.entity = "questions";
+  p.category_kind = "sport";
+  p.doc_count = 3898;
+  p.views_log_mean = 5.8;
+  p.views_log_sigma = 1.3;
+  p.categories = {
+      Cat("football", {"football", "goalkeeper", "striker", "offside"},
+          {"The referee awarded a penalty kick after the tackle in the box.",
+           "Our team conceded two goals in the second half at the stadium."}),
+      Cat("basketball", {"basketball", "dunk", "rebound", "pointguard"},
+          {"He drove to the hoop and finished with a layup at the buzzer.",
+           "The team practiced free throws and three pointers all week."}),
+      Cat("tennis", {"tennis", "racket", "wimbledon", "backhand"},
+          {"Her serve reached the far corner of the court during the final "
+           "set.",
+           "The umpire called a double fault on match point."}),
+      Cat("golf", {"golf", "fairway", "birdie", "putter"},
+          {"I landed the approach shot on the green and two putted.",
+           "He needed one stroke under par on the final hole."}),
+      Cat("cricket", {"cricket", "wicket", "batsman", "bowler"},
+          {"The innings ended when the last man was caught at slip.",
+           "They declared after reaching four hundred runs on day two."}),
+      Cat("baseball", {"baseball", "pitcher", "homerun", "inning"},
+          {"He stole second base after a walk in the ninth.",
+           "The batter struck out swinging with the bases loaded."}),
+      Cat("volleyball", {"volleyball", "spike", "setter", "libero"},
+          {"She blocked the attack at the net to win the rally.",
+           "Our rotation fell apart after a string of service errors."}),
+      Cat("rugby", {"rugby", "scrum", "tryline", "flyhalf"},
+          {"The forwards pushed over the line for a converted score.",
+           "A knock on handed possession back before the lineout."}),
+      Cat("swimming", {"swimming", "freestyle", "backstroke", "poolside"},
+          {"My tumble turn keeps slowing down every lap in the pool.",
+           "She touched the wall first in the relay final."}),
+      Cat("running", {"running", "marathon", "sprinting", "jogging"},
+          {"I hit the wall at kilometer thirty five of the race.",
+           "His pace dropped on the final lap of the track."}),
+      Cat("cycling", {"cycling", "peloton", "derailleur", "velodrome"},
+          {"The breakaway was caught on the last climb of the stage.",
+           "My chain slipped while climbing out of the saddle."}),
+      Cat("boxing", {"boxing", "knockout", "southpaw", "jab"},
+          {"He won the bout on points after twelve rounds in the ring.",
+           "The referee stopped the fight in the eighth round."}),
+      Cat("hockey", {"hockey", "puck", "slapshot", "faceoff"},
+          {"The goalie made a glove save in overtime on the ice.",
+           "They scored on the power play late in the third period."}),
+      Cat("badminton", {"badminton", "shuttlecock", "dropshot", "smash"},
+          {"Her net play won the decisive rally of the third game.",
+           "He kept lifting to the back court to defend."}),
+  };
+  p.groups = {
+      {"ball sports",
+       "ball",
+       {"football", "basketball", "tennis", "golf", "cricket", "baseball",
+        "volleyball", "rugby", "hockey", "badminton"}},
+      {"racket sports", "racket", {"tennis", "badminton"}},
+      {"endurance sports",
+       "endurance",
+       {"swimming", "running", "cycling"}},
+  };
+  p.tags = {
+      Tag("injury",
+          {"I am worried this injury will keep me out for months.",
+           "The team doctor said the injury needs rest."},
+          {"My knee swelled up badly after the last session.",
+           "I pulled a hamstring and can barely walk."},
+          0.28),
+      Tag("training",
+          {"My training schedule includes two sessions per day.",
+           "What training plan works best before a competition?"},
+          {"I do drills every morning and conditioning at night.",
+           "How many practice hours per week are enough?"},
+          0.30),
+      Tag("rules",
+          {"The rules on this situation seem ambiguous to me.",
+           "Which rule applies when both sides appeal?"},
+          {"Is this even legal under the current regulations?",
+           "The officials interpreted the situation differently."},
+          0.22),
+      Tag("equipment",
+          {"What equipment should a beginner buy first?",
+           "My equipment feels worn out after one season."},
+          {"Are these shoes suitable for hard surfaces?",
+           "The grip on my gear keeps coming loose."},
+          0.18),
+      Tag("nutrition",
+          {"Does nutrition before a match matter that much?",
+           "I changed my nutrition and feel faster."},
+          {"What should I eat the night before a long event?",
+           "I cramp unless I drink electrolytes during play."},
+          0.12),
+      Tag("technique",
+          {"My technique breaks down when I get tired.",
+           "Is there a drill to improve technique quickly?"},
+          {"My form falls apart under pressure late in games.",
+           "Coaches keep telling me to fix my follow through."},
+          0.20),
+  };
+  return p;
+}
+
+DatasetProfile AiProfile() {
+  DatasetProfile p;
+  p.name = "ai";
+  p.entity = "questions";
+  p.category_kind = "topic";
+  p.doc_count = 5137;
+  p.views_log_mean = 5.5;
+  p.views_log_sigma = 1.4;
+  p.categories = {
+      Cat("machine learning", {"machine", "learning", "classifier", "sklearn"},
+          {"My model overfits the moment I add more features.",
+           "Cross validation gives wildly different scores per fold."}),
+      Cat("neural networks", {"neural", "networks", "backpropagation",
+                              "perceptron"},
+          {"The gradient vanishes after the tenth layer.",
+           "Batch normalization changed my convergence entirely."}),
+      Cat("nlp", {"nlp", "tokenizer", "corpus", "embedding"},
+          {"The model cannot handle negation in user reviews.",
+           "Stemming hurts recall on morphologically rich languages."}),
+      Cat("computer vision", {"vision", "convolution", "segmentation",
+                              "pixels"},
+          {"Bounding boxes drift when objects overlap heavily.",
+           "Data augmentation with rotations hurt my accuracy."}),
+      Cat("reinforcement learning", {"reinforcement", "reward", "qlearning",
+                                     "policy"},
+          {"The agent exploits a loophole in the environment.",
+           "Exploration collapses after the first thousand episodes."}),
+      Cat("robotics", {"robotics", "actuator", "kinematics", "gripper"},
+          {"The arm overshoots whenever the payload changes.",
+           "Sensor fusion lags behind the control loop."}),
+      Cat("ethics", {"ethics", "fairness", "bias", "accountability"},
+          {"Should a model ever decide parole outcomes?",
+           "The training data encodes historical discrimination."}),
+      Cat("search", {"search", "heuristic", "astar", "minimax"},
+          {"The branching factor explodes beyond depth six.",
+           "Pruning rarely triggers with this evaluation function."}),
+      Cat("optimization", {"optimization", "gradient", "convex", "annealing"},
+          {"The loss plateaus long before the minimum.",
+           "Momentum overshoots the narrow valley every time."}),
+      Cat("knowledge representation", {"knowledge", "ontology", "logic",
+                                       "reasoning"},
+          {"The inference engine loops on recursive definitions.",
+           "Facts contradict each other across the merged graphs."}),
+  };
+  p.groups = {
+      {"deep learning topics",
+       "deep",
+       {"neural networks", "nlp", "computer vision",
+        "reinforcement learning"}},
+      {"symbolic topics",
+       "symbolic",
+       {"search", "knowledge representation"}},
+  };
+  p.tags = {
+      Tag("implementation",
+          {"My implementation crashes on the first batch.",
+           "Is this implementation detail framework specific?"},
+          {"The code throws a shape mismatch at runtime.",
+           "My script runs out of memory on the GPU."},
+          0.30),
+      Tag("theory",
+          {"Is there theory explaining why this converges?",
+           "The theory predicts a different sample complexity."},
+          {"Can someone point me to a proof of this bound?",
+           "What assumptions make this guarantee hold?"},
+          0.22),
+      Tag("datasets",
+          {"Which datasets are standard for this benchmark?",
+           "The dataset labels look noisy to me."},
+          {"I cannot find labeled examples for this domain.",
+           "The class balance in my training set is terrible."},
+          0.20),
+      Tag("performance",
+          {"Inference performance drops under concurrent load.",
+           "How do I profile performance bottlenecks here?"},
+          {"Latency doubles when the batch size exceeds eight.",
+           "Throughput is far below what the paper reports."},
+          0.20),
+      Tag("career",
+          {"Is a career in this field viable without a degree?",
+           "What career paths exist for self taught people?"},
+          {"Should I take the research internship or the job offer?",
+           "Do employers value publications or projects more?"},
+          0.10),
+      Tag("tools",
+          {"Which tools do you recommend for experiment tracking?",
+           "The tools ecosystem changes every six months."},
+          {"My notebook environment breaks after every upgrade.",
+           "Is there a library that handles this pipeline?"},
+          0.18),
+  };
+  return p;
+}
+
+DatasetProfile LawProfile() {
+  DatasetProfile p;
+  p.name = "law";
+  p.entity = "questions";
+  p.category_kind = "area";
+  p.doc_count = 2053;
+  p.views_log_mean = 5.3;
+  p.views_log_sigma = 1.2;
+  p.categories = {
+      Cat("contract law", {"contract", "breach", "clause", "consideration"},
+          {"The other party never signed the final agreement.",
+           "They stopped performing after the first installment."}),
+      Cat("criminal law", {"criminal", "felony", "prosecution", "indictment"},
+          {"The police searched the car without a warrant.",
+           "He was arrested but never read his rights."}),
+      Cat("copyright", {"copyright", "infringement", "royalty", "fairuse"},
+          {"Someone reposted my photographs without permission.",
+           "Can I quote two pages of a novel in my blog?"}),
+      Cat("employment law", {"employment", "dismissal", "wages", "overtime"},
+          {"My employer fired me the day after my complaint.",
+           "They refuse to pay for the extra hours I worked."}),
+      Cat("family law", {"family", "custody", "divorce", "alimony"},
+          {"My ex wants to move abroad with our children.",
+           "We separated last year but never formalized anything."}),
+      Cat("tax law", {"tax", "deduction", "audit", "liability"},
+          {"The revenue service flagged my home office expenses.",
+           "Do I owe anything on gifts from relatives overseas?"}),
+      Cat("privacy", {"privacy", "surveillance", "consent", "gdpr"},
+          {"My landlord installed cameras facing my door.",
+           "An app shared my location history with advertisers."}),
+      Cat("immigration", {"immigration", "visa", "asylum", "deportation"},
+          {"My status expires before the renewal window opens.",
+           "The consulate rejected the application without reasons."}),
+      Cat("property law", {"property", "easement", "tenant", "deed"},
+          {"The neighbor built a fence two meters into my land.",
+           "Our landlord entered the apartment while we were away."}),
+      Cat("constitutional law", {"constitutional", "amendment", "rights",
+                                 "judicial"},
+          {"Can a city ban assemblies in public parks entirely?",
+           "The new statute seems to conflict with free speech."}),
+  };
+  p.groups = {
+      {"civil law areas",
+       "civil",
+       {"contract law", "copyright", "employment law", "family law",
+        "property law"}},
+      {"public law areas",
+       "public",
+       {"criminal law", "constitutional law", "immigration", "tax law"}},
+  };
+  p.tags = {
+      Tag("liability",
+          {"Who bears liability if both sides were careless?",
+           "Does liability transfer with the sale?"},
+          {"Am I on the hook for the damage my guest caused?",
+           "Could I be held responsible for their mistake?"},
+          0.25),
+      Tag("damages",
+          {"What damages can I realistically recover?",
+           "Are punitive damages available in this situation?"},
+          {"Can I claim the repair costs and lost income?",
+           "How is compensation calculated for delays?"},
+          0.22),
+      Tag("procedure",
+          {"What procedure applies before filing suit?",
+           "Did they violate procedure by skipping notice?"},
+          {"Which court do I even file this in?",
+           "Is there a deadline I am about to miss?"},
+          0.26),
+      Tag("evidence",
+          {"Is this recording admissible evidence?",
+           "The only evidence is a text message thread."},
+          {"All I have is a verbal promise and one witness.",
+           "Would screenshots hold up in court?"},
+          0.20),
+      Tag("penalties",
+          {"What penalties apply for a first offense?",
+           "Can penalties be reduced by settling early?"},
+          {"Could this end in jail time or just a fine?",
+           "What is the maximum sentence for this?"},
+          0.15),
+      Tag("appeal",
+          {"Can I appeal if new facts surface later?",
+           "The appeal window seems extremely short."},
+          {"Is there any way to challenge the ruling?",
+           "What happens after the higher court takes the case?"},
+          0.12),
+  };
+  return p;
+}
+
+DatasetProfile WikiProfile() {
+  DatasetProfile p;
+  p.name = "wiki";
+  p.entity = "articles";
+  p.category_kind = "subject";
+  p.doc_count = 1000;
+  p.views_log_mean = 6.2;
+  p.views_log_sigma = 1.5;
+  p.categories = {
+      Cat("history", {"history", "empire", "dynasty", "revolution"},
+          {"The treaty ended a war that lasted three decades.",
+           "Archaeologists dated the settlement to the bronze age."}),
+      Cat("science", {"science", "experiment", "physics", "molecule"},
+          {"The hypothesis survived every replication attempt.",
+           "Researchers measured the effect at the particle level."}),
+      Cat("geography", {"geography", "peninsula", "plateau", "archipelago"},
+          {"The river basin drains half the continent.",
+           "The climate varies sharply across the mountain range."}),
+      Cat("music", {"music", "symphony", "album", "melody"},
+          {"The recording topped the charts for nine weeks.",
+           "The composer wrote the piece for a chamber ensemble."}),
+      Cat("film", {"film", "director", "screenplay", "cinematography"},
+          {"The production moved to three countries during shooting.",
+           "Critics praised the lead performance at the premiere."}),
+      Cat("technology", {"technology", "semiconductor", "software",
+                         "internet"},
+          {"The device shipped with a novel chip architecture.",
+           "Adoption exploded once the protocol became open."}),
+      Cat("literature", {"literature", "novel", "poetry", "manuscript"},
+          {"The author published the work under a pseudonym.",
+           "The trilogy was translated into forty languages."}),
+      Cat("politics", {"politics", "election", "parliament", "legislation"},
+          {"The coalition collapsed after the budget vote.",
+           "The reform passed by a single vote margin."}),
+      Cat("art", {"art", "painting", "sculpture", "gallery"},
+          {"The canvas was restored after decades in storage.",
+           "The exhibition toured five museums worldwide."}),
+      Cat("medicine", {"medicine", "vaccine", "diagnosis", "clinical"},
+          {"The trial showed a strong effect in older patients.",
+           "The treatment protocol changed after new findings."}),
+  };
+  p.groups = {
+      {"creative subjects", "creative", {"music", "film", "literature", "art"}},
+      {"technical subjects",
+       "technical",
+       {"science", "technology", "medicine"}},
+  };
+  p.tags = {
+      Tag("biography",
+          {"The biography section covers her early years.",
+           "His biography was revised after new letters surfaced."},
+          {"Born in a small village, she moved to the capital at twelve.",
+           "He spent his final years teaching and writing memoirs."},
+          0.25),
+      Tag("award",
+          {"The award ceremony took place in the capital.",
+           "It received the highest award in its field."},
+          {"It won the top prize at the international festival.",
+           "The committee honored the work with its annual medal."},
+          0.18),
+      Tag("controversy",
+          {"The controversy resurfaced during the anniversary.",
+           "A controversy over attribution divided scholars."},
+          {"Critics disputed the official account for years.",
+           "Allegations about the project sparked public debate."},
+          0.15),
+      Tag("event",
+          {"The event drew participants from sixty countries.",
+           "The annual event has run continuously since 1950."},
+          {"Thousands gathered for the opening ceremony.",
+           "The festival was postponed twice before succeeding."},
+          0.20),
+      Tag("place",
+          {"The place attracts millions of visitors yearly.",
+           "The place was designated a protected site."},
+          {"The site lies at the foot of a dormant volcano.",
+           "The old quarter preserves its medieval layout."},
+          0.22),
+      Tag("organization",
+          {"The organization operates in ninety countries.",
+           "The organization was founded by three students."},
+          {"The society maintains archives open to researchers.",
+           "The foundation funds scholarships in the region."},
+          0.17),
+  };
+  return p;
+}
+
+std::vector<DatasetProfile> AllProfiles() {
+  return {SportsProfile(), AiProfile(), LawProfile(), WikiProfile()};
+}
+
+}  // namespace unify::corpus

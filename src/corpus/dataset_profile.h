@@ -1,0 +1,79 @@
+#ifndef UNIFY_CORPUS_DATASET_PROFILE_H_
+#define UNIFY_CORPUS_DATASET_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace unify::corpus {
+
+/// One topical category of a dataset (a sport, an AI subfield, a law area,
+/// a Wikipedia subject).
+struct CategorySpec {
+  /// Canonical name used in queries ("tennis", "machine learning").
+  std::string name;
+  /// Content keywords that explicitly signal the category in document text.
+  /// The first keyword is the most distinctive.
+  std::vector<std::string> keywords;
+  /// Cue sentences that imply the category without naming it (the 20% of
+  /// documents that keyword matching misses but an LLM understands).
+  std::vector<std::string> implicit_phrases;
+  /// Relative frequency weight.
+  double weight = 1.0;
+};
+
+/// One semantic tag (injury, training, ...) that documents may carry.
+struct TagSpec {
+  std::string name;
+  /// Sentences that contain the tag word itself.
+  std::vector<std::string> explicit_phrases;
+  /// Sentences that imply the tag without the tag word.
+  std::vector<std::string> implicit_phrases;
+  /// Base probability of a document carrying this tag.
+  double base_prob = 0.2;
+};
+
+/// A named group of categories, usable as a semantic filter phrase
+/// ("ball sports" covers football, tennis, ...).
+struct GroupSpec {
+  std::string name;
+  /// A distinctive content token of the group name used for embeddings
+  /// ("ball" for "ball sports").
+  std::string distinctive_token;
+  std::vector<std::string> members;
+};
+
+/// Everything needed to synthesize one of the paper's four evaluation
+/// corpora (Section VII-A). The document counts match the paper.
+struct DatasetProfile {
+  std::string name;           ///< "sports", "ai", "law", "wiki"
+  std::string entity;         ///< "questions" / "articles"
+  std::string category_kind;  ///< "sport" / "topic" / "area" / "subject"
+  size_t doc_count = 1000;
+
+  std::vector<CategorySpec> categories;
+  std::vector<TagSpec> tags;
+  std::vector<GroupSpec> groups;
+
+  /// Zipf exponent for category frequencies.
+  double category_zipf = 0.7;
+
+  /// Attribute distributions: views ~ round(exp(N(mu, sigma))),
+  /// score/answers/comments/words as documented in the generator.
+  double views_log_mean = 5.5;
+  double views_log_sigma = 1.3;
+};
+
+/// The four evaluation datasets (paper Section VII-A):
+/// Sports (3,898 docs), AI (5,137), Law (2,053), Wiki (1,000).
+DatasetProfile SportsProfile();
+DatasetProfile AiProfile();
+DatasetProfile LawProfile();
+DatasetProfile WikiProfile();
+
+/// All four, in paper order.
+std::vector<DatasetProfile> AllProfiles();
+
+}  // namespace unify::corpus
+
+#endif  // UNIFY_CORPUS_DATASET_PROFILE_H_

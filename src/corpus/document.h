@@ -1,0 +1,51 @@
+#ifndef UNIFY_CORPUS_DOCUMENT_H_
+#define UNIFY_CORPUS_DOCUMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace unify::corpus {
+
+/// The latent structured record behind one unstructured document.
+///
+/// The generator renders these attributes into English prose; the exact
+/// ground-truth evaluator reads them directly (the paper computed ground
+/// truths manually); and the simulated LLM consults them — with injected
+/// errors — as its "comprehension" of the document text. Pre-programmed
+/// physical operators never see this struct: they work on `Document::text`
+/// only.
+struct DocAttrs {
+  /// The document's topical category (a sport, an AI subfield, ...).
+  std::string category;
+  /// Semantic tags present in the document ("injury", "training", ...).
+  std::vector<std::string> tags;
+  int64_t views = 0;
+  int64_t score = 0;
+  int64_t answers = 0;
+  int64_t comments = 0;
+  int64_t words = 0;
+  /// Whether the rendered text names the category with an explicit keyword
+  /// (surface-matchable) or only an implicit cue phrase.
+  bool explicit_category = true;
+
+  bool HasTag(const std::string& tag) const {
+    for (const auto& t : tags) {
+      if (t == tag) return true;
+    }
+    return false;
+  }
+};
+
+/// One unstructured document: an id, a title, rendered prose, and the
+/// latent attributes that produced it.
+struct Document {
+  uint64_t id = 0;
+  std::string title;
+  std::string text;
+  DocAttrs attrs;
+};
+
+}  // namespace unify::corpus
+
+#endif  // UNIFY_CORPUS_DOCUMENT_H_

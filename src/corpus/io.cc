@@ -1,0 +1,186 @@
+#include "corpus/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "corpus/dataset_profile.h"
+
+namespace unify::corpus {
+
+namespace {
+
+constexpr char kFieldSep = '\x1f';
+constexpr char kListSep = '\x1e';
+constexpr const char* kCorpusMagic = "unify-corpus-v1";
+constexpr const char* kEmbeddingMagic = "unify-embeddings-v1";
+
+std::string JoinTags(const std::vector<std::string>& tags) {
+  std::string out;
+  for (size_t i = 0; i < tags.size(); ++i) {
+    if (i) out.push_back(kListSep);
+    out += tags[i];
+  }
+  return out;
+}
+
+std::vector<std::string> SplitTags(const std::string& s) {
+  if (s.empty()) return {};
+  return StrSplit(s, kListSep);
+}
+
+}  // namespace
+
+Status SaveCorpus(const Corpus& corpus, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  out << kCorpusMagic << kFieldSep << corpus.name() << kFieldSep
+      << corpus.size() << "\n";
+  for (const auto& doc : corpus.docs()) {
+    out << doc.id << kFieldSep << doc.title << kFieldSep << doc.text
+        << kFieldSep << doc.attrs.category << kFieldSep
+        << JoinTags(doc.attrs.tags) << kFieldSep << doc.attrs.views
+        << kFieldSep << doc.attrs.score << kFieldSep << doc.attrs.answers
+        << kFieldSep << doc.attrs.comments << kFieldSep << doc.attrs.words
+        << kFieldSep << (doc.attrs.explicit_category ? 1 : 0) << "\n";
+  }
+  out.flush();
+  if (!out.good()) return Status::Internal("write to " + path + " failed");
+  return Status::OK();
+}
+
+StatusOr<Corpus> LoadCorpus(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::string header;
+  if (!std::getline(in, header)) {
+    return Status::InvalidArgument(path + ": empty file");
+  }
+  auto head = StrSplit(header, kFieldSep);
+  if (head.size() != 3 || head[0] != kCorpusMagic) {
+    return Status::InvalidArgument(path + ": not a unify corpus file");
+  }
+  const std::string name = head[1];
+  auto count = ParseInt64(head[2]);
+  if (!count.has_value() || *count < 0) {
+    return Status::InvalidArgument(path + ": bad document count");
+  }
+
+  DatasetProfile profile;
+  bool found = false;
+  for (const auto& p : AllProfiles()) {
+    if (p.name == name) {
+      profile = p;
+      found = true;
+    }
+  }
+  if (!found) {
+    return Status::NotFound("unknown dataset profile: " + name);
+  }
+  profile.doc_count = static_cast<size_t>(*count);
+
+  std::vector<Document> docs;
+  docs.reserve(static_cast<size_t>(*count));
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto fields = StrSplit(line, kFieldSep);
+    if (fields.size() != 11) {
+      return Status::InvalidArgument(path + ": malformed document line");
+    }
+    Document doc;
+    auto id = ParseInt64(fields[0]);
+    if (!id.has_value()) {
+      return Status::InvalidArgument(path + ": bad document id");
+    }
+    doc.id = static_cast<uint64_t>(*id);
+    doc.title = fields[1];
+    doc.text = fields[2];
+    doc.attrs.category = fields[3];
+    doc.attrs.tags = SplitTags(fields[4]);
+    doc.attrs.views = ParseInt64(fields[5]).value_or(0);
+    doc.attrs.score = ParseInt64(fields[6]).value_or(0);
+    doc.attrs.answers = ParseInt64(fields[7]).value_or(0);
+    doc.attrs.comments = ParseInt64(fields[8]).value_or(0);
+    doc.attrs.words = ParseInt64(fields[9]).value_or(0);
+    doc.attrs.explicit_category = fields[10] == "1";
+    docs.push_back(std::move(doc));
+  }
+  if (docs.size() != static_cast<size_t>(*count)) {
+    return Status::InvalidArgument(path + ": document count mismatch");
+  }
+  return Corpus(std::move(profile), std::move(docs));
+}
+
+Status SaveEmbeddings(const std::vector<embedding::Vec>& vecs,
+                      const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  size_t dim = vecs.empty() ? 0 : vecs.front().size();
+  out << kEmbeddingMagic << kFieldSep << vecs.size() << kFieldSep << dim
+      << "\n";
+  char buf[32];
+  for (const auto& v : vecs) {
+    if (v.size() != dim) {
+      return Status::InvalidArgument("inconsistent embedding dimensions");
+    }
+    for (size_t i = 0; i < v.size(); ++i) {
+      // Hex-float round-trips exactly.
+      std::snprintf(buf, sizeof(buf), "%a", static_cast<double>(v[i]));
+      if (i) out << ' ';
+      out << buf;
+    }
+    out << "\n";
+  }
+  out.flush();
+  if (!out.good()) return Status::Internal("write to " + path + " failed");
+  return Status::OK();
+}
+
+StatusOr<std::vector<embedding::Vec>> LoadEmbeddings(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::string header;
+  if (!std::getline(in, header)) {
+    return Status::InvalidArgument(path + ": empty file");
+  }
+  auto head = StrSplit(header, kFieldSep);
+  if (head.size() != 3 || head[0] != kEmbeddingMagic) {
+    return Status::InvalidArgument(path + ": not an embedding file");
+  }
+  size_t n = static_cast<size_t>(ParseInt64(head[1]).value_or(-1));
+  size_t dim = static_cast<size_t>(ParseInt64(head[2]).value_or(-1));
+  std::vector<embedding::Vec> vecs;
+  vecs.reserve(n);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    embedding::Vec v;
+    v.reserve(dim);
+    std::istringstream is(line);
+    std::string token;
+    while (is >> token) {
+      v.push_back(static_cast<float>(std::strtod(token.c_str(), nullptr)));
+    }
+    if (v.size() != dim) {
+      return Status::InvalidArgument(path + ": bad embedding row");
+    }
+    vecs.push_back(std::move(v));
+  }
+  if (vecs.size() != n) {
+    return Status::InvalidArgument(path + ": embedding count mismatch");
+  }
+  return vecs;
+}
+
+}  // namespace unify::corpus

@@ -1,0 +1,39 @@
+#ifndef UNIFY_CORPUS_IO_H_
+#define UNIFY_CORPUS_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "corpus/corpus.h"
+#include "embedding/vector_math.h"
+
+namespace unify::corpus {
+
+/// On-disk persistence for corpora and embedding caches, so the expensive
+/// offline preprocessing (Section III-A) runs once and query sessions
+/// reload it.
+///
+/// Format: a versioned, line-oriented text container — human-inspectable,
+/// append-safe, stable across platforms. One header line, one line per
+/// document (fields separated by the unit separator 0x1F, which never
+/// occurs in generated text).
+
+/// Writes `corpus` (documents + latent attributes; the profile is
+/// re-derivable by name) to `path`, overwriting.
+Status SaveCorpus(const Corpus& corpus, const std::string& path);
+
+/// Loads a corpus previously written by SaveCorpus. The dataset profile is
+/// looked up by the stored name (the four built-in profiles).
+StatusOr<Corpus> LoadCorpus(const std::string& path);
+
+/// Writes an embedding matrix (one vector per document id) to `path`.
+Status SaveEmbeddings(const std::vector<embedding::Vec>& vecs,
+                      const std::string& path);
+
+/// Loads an embedding matrix written by SaveEmbeddings.
+StatusOr<std::vector<embedding::Vec>> LoadEmbeddings(
+    const std::string& path);
+
+}  // namespace unify::corpus
+
+#endif  // UNIFY_CORPUS_IO_H_

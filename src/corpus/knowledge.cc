@@ -1,0 +1,47 @@
+#include "corpus/knowledge.h"
+
+#include "common/string_util.h"
+
+namespace unify::corpus {
+
+KnowledgeBase::KnowledgeBase(const DatasetProfile& profile)
+    : profile_(profile) {
+  for (const auto& cat : profile.categories) {
+    categories_.push_back(cat.name);
+    SemanticPredicate pred;
+    pred.kind = SemanticPredicate::Kind::kCategory;
+    pred.categories.insert(cat.name);
+    phrase_map_[AsciiToLower(cat.name)] = pred;
+  }
+  for (const auto& group : profile.groups) {
+    groups_.push_back(group.name);
+    SemanticPredicate pred;
+    pred.kind = SemanticPredicate::Kind::kCategory;
+    for (const auto& m : group.members) pred.categories.insert(m);
+    phrase_map_[AsciiToLower(group.name)] = pred;
+  }
+  for (const auto& tag : profile.tags) {
+    tags_.push_back(tag.name);
+    SemanticPredicate pred;
+    pred.kind = SemanticPredicate::Kind::kTag;
+    pred.tag = tag.name;
+    phrase_map_[AsciiToLower(tag.name)] = pred;
+  }
+}
+
+std::optional<SemanticPredicate> KnowledgeBase::Resolve(
+    const std::string& phrase) const {
+  auto it = phrase_map_.find(
+      AsciiToLower(std::string(StripAsciiWhitespace(phrase))));
+  if (it == phrase_map_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool KnowledgeBase::Matches(const std::string& phrase,
+                            const DocAttrs& attrs) const {
+  auto pred = Resolve(phrase);
+  if (!pred.has_value()) return false;
+  return pred->Matches(attrs);
+}
+
+}  // namespace unify::corpus

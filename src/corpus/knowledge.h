@@ -1,0 +1,67 @@
+#ifndef UNIFY_CORPUS_KNOWLEDGE_H_
+#define UNIFY_CORPUS_KNOWLEDGE_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "corpus/dataset_profile.h"
+#include "corpus/document.h"
+
+namespace unify::corpus {
+
+/// Resolution of a semantic phrase to a predicate over latent attributes.
+struct SemanticPredicate {
+  enum class Kind {
+    kCategory,  ///< attrs.category ∈ categories
+    kTag,       ///< attrs.tags contains tag
+  };
+  Kind kind = Kind::kCategory;
+  std::unordered_set<std::string> categories;
+  std::string tag;
+
+  bool Matches(const DocAttrs& attrs) const {
+    if (kind == Kind::kCategory) return categories.count(attrs.category) > 0;
+    return attrs.HasTag(tag);
+  }
+};
+
+/// Shared world knowledge: which phrases mean which predicates. Used by
+/// the exact ground-truth evaluator and by the simulated LLM (its
+/// "understanding" of phrases like "ball sports" or "injury-related").
+/// Resolution is normalization-based: category names, group names, and tag
+/// names all resolve; unknown phrases do not.
+class KnowledgeBase {
+ public:
+  explicit KnowledgeBase(const DatasetProfile& profile);
+
+  /// Resolves a semantic phrase ("tennis", "ball sports", "injury").
+  /// Returns nullopt for phrases outside the dataset's vocabulary.
+  std::optional<SemanticPredicate> Resolve(const std::string& phrase) const;
+
+  /// True iff a document with `attrs` satisfies `phrase`; false for
+  /// unknown phrases.
+  bool Matches(const std::string& phrase, const DocAttrs& attrs) const;
+
+  /// All category names, in profile order.
+  const std::vector<std::string>& categories() const { return categories_; }
+  /// All tag names, in profile order.
+  const std::vector<std::string>& tags() const { return tags_; }
+  /// All group names, in profile order.
+  const std::vector<std::string>& groups() const { return groups_; }
+
+  const DatasetProfile& profile() const { return profile_; }
+
+ private:
+  DatasetProfile profile_;
+  std::vector<std::string> categories_;
+  std::vector<std::string> tags_;
+  std::vector<std::string> groups_;
+  std::unordered_map<std::string, SemanticPredicate> phrase_map_;
+};
+
+}  // namespace unify::corpus
+
+#endif  // UNIFY_CORPUS_KNOWLEDGE_H_

@@ -1,0 +1,53 @@
+#ifndef UNIFY_CORPUS_WORKLOAD_H_
+#define UNIFY_CORPUS_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "corpus/answer.h"
+#include "corpus/corpus.h"
+#include "nlq/ast.h"
+
+namespace unify::corpus {
+
+/// One benchmark query: English text, its semantic AST (never shown to the
+/// planner), and the exact ground truth.
+struct QueryCase {
+  int id = 0;
+  int template_id = 0;
+  uint32_t style = 0;  ///< paraphrase variant used for rendering
+  std::string text;
+  nlq::QueryAst ast;
+  Answer ground_truth;
+};
+
+struct WorkloadOptions {
+  /// Queries per template (paper: 5 ⇒ 100 queries from 20 templates).
+  int per_template = 5;
+  uint64_t seed = 1234;
+};
+
+/// Instantiates the 20 manually designed query templates (paper Section
+/// VII-A, "Test Workloads") against `corpus`. Literals are sampled from
+/// the data; instantiations with degenerate ground truths (empty
+/// aggregates, zero denominators, near-tie arg-best winners) are rejected
+/// and resampled so accuracy measurement is stable.
+std::vector<QueryCase> GenerateWorkload(const Corpus& corpus,
+                                        const WorkloadOptions& options);
+
+/// Semantic filter predicates (condition phrases) drawn from the workload
+/// space, used as *historical queries* for calibrating the importance
+/// function of semantic cardinality estimation and the cost model
+/// (Sections VI-A/B). Returns rendered condition phrases with their true
+/// selectivities.
+struct HistoricalPredicate {
+  nlq::Condition condition;
+  std::string phrase;
+  double selectivity = 0;  ///< fraction of corpus satisfying it
+};
+std::vector<HistoricalPredicate> GenerateHistoricalPredicates(
+    const Corpus& corpus, int count, uint64_t seed);
+
+}  // namespace unify::corpus
+
+#endif  // UNIFY_CORPUS_WORKLOAD_H_

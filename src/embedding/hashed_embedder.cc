@@ -1,0 +1,70 @@
+#include "embedding/hashed_embedder.h"
+
+#include "common/rng.h"
+#include "text/tokenizer.h"
+
+namespace unify::embedding {
+
+HashedEmbedder::HashedEmbedder(size_t dim, uint64_t seed)
+    : dim_(dim), seed_(seed) {}
+
+Vec HashedEmbedder::TokenDirection(std::string_view stemmed_token) const {
+  Rng rng(HashCombine(seed_, StableHash64(stemmed_token)));
+  Vec dir(dim_);
+  for (auto& x : dir) x = static_cast<float>(rng.Gaussian());
+  NormalizeInPlace(dir);
+  return dir;
+}
+
+Vec HashedEmbedder::Embed(std::string_view text) const {
+  Vec out(dim_, 0.0f);
+  for (const auto& tok : text::StemmedContentTokens(text)) {
+    AddScaled(out, TokenDirection(tok), 1.0f);
+  }
+  NormalizeInPlace(out);
+  return out;
+}
+
+TopicEmbedder::TopicEmbedder(Options options,
+                             const std::vector<std::string>& topic_tokens,
+                             const AliasMap& aliases)
+    : options_(options), base_(options.dim, options.seed) {
+  for (const auto& raw : topic_tokens) {
+    boosts_[text::Stem(raw)] = options_.topic_boost;
+  }
+  for (const auto& [alias, canon] : aliases) {
+    auto& targets = aliases_[text::Stem(alias)];
+    for (const auto& c : canon) targets.push_back(text::Stem(c));
+  }
+}
+
+Vec TopicEmbedder::Embed(std::string_view text) const {
+  Vec out(options_.dim, 0.0f);
+  size_t n_tokens = 0;
+  for (const auto& tok : text::StemmedContentTokens(text)) {
+    auto it = boosts_.find(tok);
+    float w = (it == boosts_.end()) ? 1.0f : it->second;
+    AddScaled(out, base_.TokenDirection(tok), w);
+    auto alias_it = aliases_.find(tok);
+    if (alias_it != aliases_.end()) {
+      for (const auto& canon : alias_it->second) {
+        AddScaled(out, base_.TokenDirection(canon), options_.topic_boost);
+      }
+    }
+    ++n_tokens;
+  }
+  if (options_.noise_scale > 0 && n_tokens > 0) {
+    // Per-text deterministic perturbation: models the residual error of a
+    // real embedding model without breaking reproducibility.
+    Rng rng(HashCombine(options_.seed ^ 0x9e37u, StableHash64(text)));
+    Vec noise(options_.dim);
+    for (auto& x : noise) x = static_cast<float>(rng.Gaussian());
+    NormalizeInPlace(noise);
+    float base_norm = Norm(out);
+    AddScaled(out, noise, options_.noise_scale * base_norm);
+  }
+  NormalizeInPlace(out);
+  return out;
+}
+
+}  // namespace unify::embedding

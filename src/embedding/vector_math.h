@@ -1,0 +1,35 @@
+#ifndef UNIFY_EMBEDDING_VECTOR_MATH_H_
+#define UNIFY_EMBEDDING_VECTOR_MATH_H_
+
+#include <vector>
+
+namespace unify::embedding {
+
+/// Dense embedding vector. Embedders always return unit-normalized vectors,
+/// so L2 distance and cosine distance are monotonically related.
+using Vec = std::vector<float>;
+
+/// Inner product. Requires equal dimensions.
+float Dot(const Vec& a, const Vec& b);
+
+/// Euclidean norm.
+float Norm(const Vec& v);
+
+/// Scales `v` to unit norm in place (no-op for the zero vector).
+void NormalizeInPlace(Vec& v);
+
+/// Euclidean distance. Requires equal dimensions.
+float L2Distance(const Vec& a, const Vec& b);
+
+/// Cosine similarity in [-1, 1]; 0 when either vector is zero.
+float CosineSimilarity(const Vec& a, const Vec& b);
+
+/// Cosine distance = 1 - cosine similarity, in [0, 2].
+float CosineDistance(const Vec& a, const Vec& b);
+
+/// a += scale * b. Requires equal dimensions.
+void AddScaled(Vec& a, const Vec& b, float scale);
+
+}  // namespace unify::embedding
+
+#endif  // UNIFY_EMBEDDING_VECTOR_MATH_H_

@@ -1,0 +1,87 @@
+#include "exec/dag.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace unify::exec {
+
+int Dag::AddNode() {
+  children_.emplace_back();
+  parents_.emplace_back();
+  return static_cast<int>(children_.size()) - 1;
+}
+
+Status Dag::AddEdge(int u, int v) {
+  if (u < 0 || v < 0 || u >= static_cast<int>(size()) ||
+      v >= static_cast<int>(size())) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  if (u == v) return Status::InvalidArgument("self edge");
+  // Idempotent.
+  for (int c : children_[u]) {
+    if (c == v) return Status::OK();
+  }
+  children_[u].push_back(v);
+  parents_[v].push_back(u);
+  return Status::OK();
+}
+
+bool Dag::Reaches(int u, int v) const {
+  if (u == v) return true;
+  std::vector<bool> seen(size(), false);
+  std::deque<int> frontier{u};
+  seen[u] = true;
+  while (!frontier.empty()) {
+    int cur = frontier.front();
+    frontier.pop_front();
+    for (int c : children_[cur]) {
+      if (c == v) return true;
+      if (!seen[c]) {
+        seen[c] = true;
+        frontier.push_back(c);
+      }
+    }
+  }
+  return false;
+}
+
+StatusOr<std::vector<int>> Dag::TopologicalOrder() const {
+  std::vector<int> indegree(size(), 0);
+  for (size_t u = 0; u < size(); ++u) {
+    for (int v : children_[u]) ++indegree[v];
+  }
+  std::deque<int> ready;
+  for (size_t u = 0; u < size(); ++u) {
+    if (indegree[u] == 0) ready.push_back(static_cast<int>(u));
+  }
+  std::vector<int> order;
+  order.reserve(size());
+  while (!ready.empty()) {
+    int u = ready.front();
+    ready.pop_front();
+    order.push_back(u);
+    for (int v : children_[u]) {
+      if (--indegree[v] == 0) ready.push_back(v);
+    }
+  }
+  if (order.size() != size()) {
+    return Status::FailedPrecondition("cycle detected in plan DAG");
+  }
+  return order;
+}
+
+size_t Dag::Depth() const {
+  auto order = TopologicalOrder();
+  if (!order.ok()) return 0;
+  std::vector<size_t> depth(size(), 1);
+  size_t best = size() == 0 ? 0 : 1;
+  for (int u : *order) {
+    for (int v : children_[u]) {
+      depth[v] = std::max(depth[v], depth[u] + 1);
+      best = std::max(best, depth[v]);
+    }
+  }
+  return best;
+}
+
+}  // namespace unify::exec

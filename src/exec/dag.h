@@ -1,0 +1,44 @@
+#ifndef UNIFY_EXEC_DAG_H_
+#define UNIFY_EXEC_DAG_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace unify::exec {
+
+/// A directed acyclic graph over integer node ids [0, size). Edges point
+/// from prerequisite to dependent (u must finish before v starts).
+class Dag {
+ public:
+  Dag() = default;
+
+  /// Adds a node; returns its id.
+  int AddNode();
+
+  /// Adds edge u -> v (u is a prerequisite of v). Requires valid ids.
+  Status AddEdge(int u, int v);
+
+  size_t size() const { return children_.size(); }
+  const std::vector<int>& children(int u) const { return children_[u]; }
+  const std::vector<int>& parents(int v) const { return parents_[v]; }
+
+  /// True iff v transitively depends on u.
+  bool Reaches(int u, int v) const;
+
+  /// Kahn topological order; error if a cycle exists.
+  StatusOr<std::vector<int>> TopologicalOrder() const;
+
+  /// The length of the longest path (in nodes); 0 for an empty DAG. A
+  /// fully sequential plan over n nodes has depth n; more parallelism
+  /// means smaller depth.
+  size_t Depth() const;
+
+ private:
+  std::vector<std::vector<int>> children_;
+  std::vector<std::vector<int>> parents_;
+};
+
+}  // namespace unify::exec
+
+#endif  // UNIFY_EXEC_DAG_H_

@@ -1,0 +1,75 @@
+#include "exec/dag_runner.h"
+
+#include <condition_variable>
+#include <mutex>
+
+namespace unify::exec {
+
+Status RunDag(const Dag& dag, ThreadPool* pool,
+              const std::function<Status(int)>& run) {
+  if (pool == nullptr) {
+    UNIFY_ASSIGN_OR_RETURN(std::vector<int> order, dag.TopologicalOrder());
+    for (int u : order) {
+      UNIFY_RETURN_IF_ERROR(run(u));
+    }
+    return Status::OK();
+  }
+
+  // Validate acyclicity up front so we cannot deadlock below.
+  UNIFY_RETURN_IF_ERROR(dag.TopologicalOrder().status());
+
+  struct State {
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::vector<int> pending;
+    size_t remaining;
+    Status first_error;
+    bool failed = false;
+  };
+  auto state = std::make_shared<State>();
+  state->pending.resize(dag.size());
+  state->remaining = dag.size();
+  for (size_t u = 0; u < dag.size(); ++u) {
+    state->pending[u] = static_cast<int>(dag.parents(static_cast<int>(u)).size());
+  }
+  if (dag.size() == 0) return Status::OK();
+
+  // Recursive dispatch: when a node finishes, schedule newly-unblocked
+  // children.
+  std::function<void(int)> execute = [&, state](int u) {
+    Status st = state->failed ? Status::Aborted("upstream failure") : run(u);
+    std::vector<int> unblocked;
+    {
+      std::unique_lock<std::mutex> lock(state->mu);
+      if (!st.ok() && !state->failed) {
+        state->failed = true;
+        state->first_error = st;
+      }
+      for (int v : dag.children(u)) {
+        if (--state->pending[v] == 0) unblocked.push_back(v);
+      }
+      if (--state->remaining == 0) state->done_cv.notify_all();
+    }
+    for (int v : unblocked) {
+      pool->Schedule([&execute, v] { execute(v); });
+    }
+  };
+
+  std::vector<int> roots;
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    for (size_t u = 0; u < dag.size(); ++u) {
+      if (state->pending[u] == 0) roots.push_back(static_cast<int>(u));
+    }
+  }
+  for (int u : roots) {
+    pool->Schedule([&execute, u] { execute(u); });
+  }
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->done_cv.wait(lock, [&] { return state->remaining == 0; });
+    return state->failed ? state->first_error : Status::OK();
+  }
+}
+
+}  // namespace unify::exec

@@ -1,0 +1,27 @@
+#ifndef UNIFY_EXEC_DAG_RUNNER_H_
+#define UNIFY_EXEC_DAG_RUNNER_H_
+
+#include <functional>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "exec/dag.h"
+
+namespace unify::exec {
+
+/// Executes `run(node)` for every node of `dag`, starting each node only
+/// after all its parents succeeded — the real (wall-clock) counterpart of
+/// the paper's parallel topological execution.
+///
+/// With a thread pool, independent nodes run concurrently; `run` must be
+/// thread-safe across independent nodes. Without one (`pool == nullptr`),
+/// nodes run sequentially in topological order.
+///
+/// If any node returns an error, no new nodes are started and the first
+/// error is returned (already-running nodes finish).
+Status RunDag(const Dag& dag, ThreadPool* pool,
+              const std::function<Status(int)>& run);
+
+}  // namespace unify::exec
+
+#endif  // UNIFY_EXEC_DAG_RUNNER_H_

@@ -1,0 +1,80 @@
+#include "exec/schedule.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "exec/virtual_pool.h"
+
+namespace unify::exec {
+
+StatusOr<ScheduleResult> ScheduleDag(const Dag& dag,
+                                     const std::vector<NodeCost>& costs,
+                                     int num_servers, bool sequential) {
+  if (costs.size() != dag.size()) {
+    return Status::InvalidArgument("costs/DAG size mismatch");
+  }
+  UNIFY_ASSIGN_OR_RETURN(std::vector<int> order, dag.TopologicalOrder());
+
+  ScheduleResult result;
+  result.start.assign(dag.size(), 0.0);
+  result.finish.assign(dag.size(), 0.0);
+  VirtualLlmPool pool(num_servers);
+
+  if (sequential) {
+    double clock = 0;
+    for (int u : order) {
+      double ready = clock;
+      for (int p : dag.parents(u)) ready = std::max(ready, result.finish[p]);
+      result.start[u] = ready;
+      double after_cpu = ready + costs[u].cpu_seconds;
+      result.finish[u] = pool.ScheduleStream(after_cpu, costs[u].llm_seconds);
+      clock = result.finish[u];
+    }
+    result.makespan = clock;
+    return result;
+  }
+
+  // List scheduling: dispatch each node the moment its dependencies
+  // complete, earliest-ready first.
+  struct Ready {
+    double time;
+    int node;
+    bool operator>(const Ready& other) const {
+      if (time != other.time) return time > other.time;
+      return node > other.node;
+    }
+  };
+  std::vector<int> pending(dag.size(), 0);
+  std::priority_queue<Ready, std::vector<Ready>, std::greater<Ready>> queue;
+  for (size_t u = 0; u < dag.size(); ++u) {
+    pending[u] = static_cast<int>(dag.parents(static_cast<int>(u)).size());
+    if (pending[u] == 0) queue.push({0.0, static_cast<int>(u)});
+  }
+  double makespan = 0;
+  size_t done = 0;
+  while (!queue.empty()) {
+    auto [ready, u] = queue.top();
+    queue.pop();
+    result.start[u] = ready;
+    double after_cpu = ready + costs[u].cpu_seconds;
+    result.finish[u] = pool.ScheduleStream(after_cpu, costs[u].llm_seconds);
+    makespan = std::max(makespan, result.finish[u]);
+    ++done;
+    for (int v : dag.children(u)) {
+      if (--pending[v] == 0) {
+        double v_ready = 0;
+        for (int p : dag.parents(v)) {
+          v_ready = std::max(v_ready, result.finish[p]);
+        }
+        queue.push({v_ready, v});
+      }
+    }
+  }
+  if (done != dag.size()) {
+    return Status::FailedPrecondition("cycle detected in plan DAG");
+  }
+  result.makespan = makespan;
+  return result;
+}
+
+}  // namespace unify::exec

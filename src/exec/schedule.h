@@ -1,0 +1,42 @@
+#ifndef UNIFY_EXEC_SCHEDULE_H_
+#define UNIFY_EXEC_SCHEDULE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "exec/dag.h"
+
+namespace unify::exec {
+
+/// Virtual-time cost of one plan node.
+struct NodeCost {
+  /// CPU-side (pre-programmed) work: runs on an uncontended resource.
+  double cpu_seconds = 0;
+  /// LLM-side work: a sequential stream of batched calls occupying one
+  /// simulated server.
+  double llm_seconds = 0;
+};
+
+/// A computed execution timeline.
+struct ScheduleResult {
+  std::vector<double> start;
+  std::vector<double> finish;
+  /// When the whole plan completes.
+  double makespan = 0;
+};
+
+/// Computes the virtual-time timeline of executing `dag` with per-node
+/// `costs` on `num_servers` LLM servers.
+///
+/// `sequential` = the paper's Unify–noLO ablation (Section VII-D): nodes
+/// run strictly one after another in topological order. Otherwise nodes
+/// are dispatched as soon as their dependencies finish (the paper's
+/// "Parallel Topological Execution", Section III-C), with LLM streams
+/// competing for servers.
+StatusOr<ScheduleResult> ScheduleDag(const Dag& dag,
+                                     const std::vector<NodeCost>& costs,
+                                     int num_servers, bool sequential);
+
+}  // namespace unify::exec
+
+#endif  // UNIFY_EXEC_SCHEDULE_H_

@@ -1,0 +1,35 @@
+#include "exec/virtual_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace unify::exec {
+
+VirtualLlmPool::VirtualLlmPool(int num_servers) {
+  UNIFY_CHECK(num_servers >= 1);
+  free_at_.assign(static_cast<size_t>(num_servers), 0.0);
+}
+
+double VirtualLlmPool::ScheduleStream(double ready, double total_seconds) {
+  if (total_seconds <= 0) return ready;
+  // Earliest-available server; if one is already idle at `ready`, no wait.
+  size_t best = 0;
+  for (size_t s = 1; s < free_at_.size(); ++s) {
+    if (free_at_[s] < free_at_[best]) best = s;
+  }
+  double start = std::max(free_at_[best], ready);
+  double end = start + total_seconds;
+  free_at_[best] = end;
+  return end;
+}
+
+void VirtualLlmPool::Reset() {
+  std::fill(free_at_.begin(), free_at_.end(), 0.0);
+}
+
+double VirtualLlmPool::MaxBusyTime() const {
+  return *std::max_element(free_at_.begin(), free_at_.end());
+}
+
+}  // namespace unify::exec

@@ -1,0 +1,38 @@
+#ifndef UNIFY_EXEC_VIRTUAL_POOL_H_
+#define UNIFY_EXEC_VIRTUAL_POOL_H_
+
+#include <vector>
+
+namespace unify::exec {
+
+/// Virtual-time model of the paper's LLM serving setup ("Execution is
+/// parallelized when possible across 4 local Llamas", Section VII-A).
+///
+/// Each operator issues its (batched) LLM calls as one sequential stream;
+/// a stream occupies a single server from start to finish, and independent
+/// operators run concurrently on different servers. Greedy
+/// earliest-available-server assignment — the classic list-scheduling
+/// machine model.
+class VirtualLlmPool {
+ public:
+  explicit VirtualLlmPool(int num_servers);
+
+  /// Schedules a stream of `total_seconds` of back-to-back calls that
+  /// becomes ready at time `ready`. Returns its completion time.
+  double ScheduleStream(double ready, double total_seconds);
+
+  /// All servers idle again; time resets to 0.
+  void Reset();
+
+  int num_servers() const { return static_cast<int>(free_at_.size()); }
+
+  /// The time the last-busy server frees up.
+  double MaxBusyTime() const;
+
+ private:
+  std::vector<double> free_at_;
+};
+
+}  // namespace unify::exec
+
+#endif  // UNIFY_EXEC_VIRTUAL_POOL_H_

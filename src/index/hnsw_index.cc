@@ -1,0 +1,244 @@
+#include "index/hnsw_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace unify::index {
+
+namespace {
+
+/// Min-heap comparator on distance (closest on top).
+struct CloserOnTop {
+  bool operator()(const std::pair<float, uint32_t>& a,
+                  const std::pair<float, uint32_t>& b) const {
+    return a.first > b.first;
+  }
+};
+
+/// Max-heap comparator on distance (farthest on top).
+struct FartherOnTop {
+  bool operator()(const std::pair<float, uint32_t>& a,
+                  const std::pair<float, uint32_t>& b) const {
+    return a.first < b.first;
+  }
+};
+
+}  // namespace
+
+HnswIndex::HnswIndex(Options options)
+    : options_(options),
+      level_mult_(1.0 / std::log(static_cast<double>(
+                            std::max<size_t>(2, options.M)))),
+      rng_(options.seed) {
+  UNIFY_CHECK(options_.M >= 2);
+}
+
+int HnswIndex::RandomLevel() {
+  double u = rng_.NextDouble();
+  while (u <= 1e-12) u = rng_.NextDouble();
+  return static_cast<int>(-std::log(u) * level_mult_);
+}
+
+Status HnswIndex::Add(uint64_t id, const embedding::Vec& v) {
+  if (!nodes_.empty() && v.size() != nodes_.front().vec.size()) {
+    return Status::InvalidArgument("dimension mismatch");
+  }
+  if (id_to_idx_.count(id) > 0) {
+    return Status::AlreadyExists("duplicate id in HnswIndex");
+  }
+
+  int level = RandomLevel();
+  Node node;
+  node.id = id;
+  node.vec = v;
+  node.neighbors.resize(level + 1);
+  uint32_t idx = static_cast<uint32_t>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  id_to_idx_[id] = idx;
+
+  if (idx == 0) {
+    entry_point_ = 0;
+    max_layer_ = level;
+    return Status::OK();
+  }
+
+  const embedding::Vec& q = nodes_[idx].vec;
+  uint32_t cur = entry_point_;
+
+  // Phase 1: greedy descent through layers above the new node's level.
+  for (int layer = max_layer_; layer > level; --layer) {
+    cur = GreedyClosest(q, cur, layer);
+  }
+
+  // Phase 2: beam search + linking on layers min(level, max_layer_)..0.
+  for (int layer = std::min(level, max_layer_); layer >= 0; --layer) {
+    auto candidates = SearchLayer(q, cur, options_.ef_construction, layer);
+    if (!candidates.empty()) cur = candidates.front().idx;
+    auto selected = SelectNeighbors(q, candidates, options_.M);
+    nodes_[idx].neighbors[layer] = selected;
+    for (uint32_t nb : selected) {
+      nodes_[nb].neighbors[layer].push_back(idx);
+      if (nodes_[nb].neighbors[layer].size() > MaxDegree(layer)) {
+        ShrinkNeighbors(nb, layer);
+      }
+    }
+  }
+
+  if (level > max_layer_) {
+    max_layer_ = level;
+    entry_point_ = idx;
+  }
+  return Status::OK();
+}
+
+uint32_t HnswIndex::GreedyClosest(const embedding::Vec& query, uint32_t start,
+                                  int layer) const {
+  uint32_t cur = start;
+  float cur_dist = Dist(query, nodes_[cur].vec);
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    if (layer >= static_cast<int>(nodes_[cur].neighbors.size())) break;
+    for (uint32_t nb : nodes_[cur].neighbors[layer]) {
+      float d = Dist(query, nodes_[nb].vec);
+      if (d < cur_dist) {
+        cur_dist = d;
+        cur = nb;
+        improved = true;
+      }
+    }
+  }
+  return cur;
+}
+
+std::vector<HnswIndex::Candidate> HnswIndex::SearchLayer(
+    const embedding::Vec& query, uint32_t entry, size_t ef, int layer) const {
+  std::vector<bool> visited(nodes_.size(), false);
+  std::priority_queue<std::pair<float, uint32_t>,
+                      std::vector<std::pair<float, uint32_t>>, CloserOnTop>
+      frontier;
+  std::priority_queue<std::pair<float, uint32_t>,
+                      std::vector<std::pair<float, uint32_t>>, FartherOnTop>
+      best;
+
+  float d0 = Dist(query, nodes_[entry].vec);
+  frontier.push({d0, entry});
+  best.push({d0, entry});
+  visited[entry] = true;
+
+  while (!frontier.empty()) {
+    auto [d, cur] = frontier.top();
+    frontier.pop();
+    if (!best.empty() && d > best.top().first && best.size() >= ef) break;
+    if (layer < static_cast<int>(nodes_[cur].neighbors.size())) {
+      for (uint32_t nb : nodes_[cur].neighbors[layer]) {
+        if (visited[nb]) continue;
+        visited[nb] = true;
+        float dn = Dist(query, nodes_[nb].vec);
+        if (best.size() < ef || dn < best.top().first) {
+          frontier.push({dn, nb});
+          best.push({dn, nb});
+          if (best.size() > ef) best.pop();
+        }
+      }
+    }
+  }
+
+  std::vector<Candidate> out;
+  out.reserve(best.size());
+  while (!best.empty()) {
+    out.push_back({best.top().first, best.top().second});
+    best.pop();
+  }
+  std::reverse(out.begin(), out.end());  // ascending by distance
+  return out;
+}
+
+std::vector<uint32_t> HnswIndex::SelectNeighbors(
+    const embedding::Vec& base, std::vector<Candidate> candidates,
+    size_t m) const {
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.dist < b.dist;
+            });
+  if (!options_.select_heuristic) {
+    std::vector<uint32_t> out;
+    for (const auto& c : candidates) {
+      out.push_back(c.idx);
+      if (out.size() >= m) break;
+    }
+    return out;
+  }
+  // Heuristic (HNSW Algorithm 4): keep a candidate only if it is closer to
+  // the base than to all already-selected neighbors; this spreads edges
+  // across clusters, preserving navigability.
+  std::vector<uint32_t> selected;
+  std::vector<Candidate> discarded;
+  for (const auto& c : candidates) {
+    if (selected.size() >= m) break;
+    bool good = true;
+    for (uint32_t s : selected) {
+      if (Dist(nodes_[c.idx].vec, nodes_[s].vec) < c.dist) {
+        good = false;
+        break;
+      }
+    }
+    if (good) {
+      selected.push_back(c.idx);
+    } else {
+      discarded.push_back(c);
+    }
+  }
+  // Backfill with the closest discarded candidates if under-full.
+  for (const auto& c : discarded) {
+    if (selected.size() >= m) break;
+    selected.push_back(c.idx);
+  }
+  return selected;
+}
+
+void HnswIndex::ShrinkNeighbors(uint32_t node, int layer) {
+  auto& adj = nodes_[node].neighbors[layer];
+  std::vector<Candidate> candidates;
+  candidates.reserve(adj.size());
+  for (uint32_t nb : adj) {
+    candidates.push_back({Dist(nodes_[node].vec, nodes_[nb].vec), nb});
+  }
+  adj = SelectNeighbors(nodes_[node].vec, std::move(candidates),
+                        MaxDegree(layer));
+}
+
+std::vector<SearchResult> HnswIndex::Search(const embedding::Vec& query,
+                                            size_t k) const {
+  return SearchEf(query, k, std::max(options_.ef_search, k));
+}
+
+std::vector<SearchResult> HnswIndex::SearchEf(const embedding::Vec& query,
+                                              size_t k, size_t ef) const {
+  if (nodes_.empty()) return {};
+  uint32_t cur = entry_point_;
+  for (int layer = max_layer_; layer > 0; --layer) {
+    cur = GreedyClosest(query, cur, layer);
+  }
+  auto candidates = SearchLayer(query, cur, std::max(ef, k), 0);
+  std::vector<SearchResult> out;
+  out.reserve(std::min(k, candidates.size()));
+  for (const auto& c : candidates) {
+    if (out.size() >= k) break;
+    out.push_back({nodes_[c.idx].id, c.dist});
+  }
+  return out;
+}
+
+size_t HnswIndex::EdgeCount() const {
+  size_t n = 0;
+  for (const auto& node : nodes_) {
+    for (const auto& layer : node.neighbors) n += layer.size();
+  }
+  return n;
+}
+
+}  // namespace unify::index

@@ -1,0 +1,34 @@
+#ifndef UNIFY_INDEX_LINEAR_INDEX_H_
+#define UNIFY_INDEX_LINEAR_INDEX_H_
+
+#include <unordered_set>
+
+#include "index/vector_index.h"
+
+namespace unify::index {
+
+/// Exact nearest-neighbor search by brute force. O(N·dim) per query;
+/// the baseline LinearScan physical operator and the recall reference for
+/// HnswIndex tests.
+class LinearIndex : public VectorIndex {
+ public:
+  LinearIndex() = default;
+
+  Status Add(uint64_t id, const embedding::Vec& v) override;
+  std::vector<SearchResult> Search(const embedding::Vec& query,
+                                   size_t k) const override;
+  size_t size() const override { return ids_.size(); }
+
+  /// All stored (id, vector) pairs, in insertion order.
+  const std::vector<uint64_t>& ids() const { return ids_; }
+  const std::vector<embedding::Vec>& vectors() const { return vectors_; }
+
+ private:
+  std::vector<uint64_t> ids_;
+  std::vector<embedding::Vec> vectors_;
+  std::unordered_set<uint64_t> seen_;
+};
+
+}  // namespace unify::index
+
+#endif  // UNIFY_INDEX_LINEAR_INDEX_H_

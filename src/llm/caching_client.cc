@@ -1,0 +1,93 @@
+#include "llm/caching_client.h"
+
+namespace unify::llm {
+
+namespace {
+
+/// Stable key of the prompt slots that determine a per-item completion.
+std::string FieldsKey(const LlmCall& call) {
+  std::string key = std::to_string(static_cast<int>(call.type));
+  key += '\x1d';
+  for (const auto& [k, v] : call.fields) {
+    key += k;
+    key += '\x1f';
+    key += v;
+    key += '\x1e';
+  }
+  return key;
+}
+
+}  // namespace
+
+bool CachingLlmClient::Cacheable(PromptType type) {
+  switch (type) {
+    case PromptType::kEvalPredicate:
+    case PromptType::kExtractValue:
+    case PromptType::kClassifyDoc:
+      return true;
+    default:
+      return false;
+  }
+}
+
+LlmResult CachingLlmClient::Call(const LlmCall& call) {
+  if (!Cacheable(call.type) || call.items.empty()) {
+    return base_->Call(call);
+  }
+  const std::string fields_key = FieldsKey(call);
+
+  // Partition items into cached and missing (preserving positions).
+  std::vector<std::string> results(call.items.size());
+  std::vector<size_t> missing;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < call.items.size(); ++i) {
+      auto it = cache_.find(fields_key + call.items[i]);
+      if (it != cache_.end()) {
+        results[i] = it->second;
+        ++item_hits_;
+      } else {
+        missing.push_back(i);
+        ++item_misses_;
+      }
+    }
+  }
+
+  LlmResult merged;
+  if (!missing.empty()) {
+    LlmCall reduced = call;
+    reduced.items.clear();
+    for (size_t i : missing) reduced.items.push_back(call.items[i]);
+    LlmResult fresh = base_->Call(reduced);
+    if (!fresh.status.ok()) return fresh;
+    if (fresh.items.size() != missing.size()) {
+      merged.status =
+          Status::Internal("cached client: item count mismatch from base");
+      return merged;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t j = 0; j < missing.size(); ++j) {
+      results[missing[j]] = fresh.items[j];
+      cache_[fields_key + call.items[missing[j]]] = fresh.items[j];
+    }
+    merged.in_tokens = fresh.in_tokens;
+    merged.out_tokens = fresh.out_tokens;
+    merged.seconds = fresh.seconds;  // only the reduced call is paid for
+    merged.dollars = fresh.dollars;
+    merged.fields = fresh.fields;
+  }
+  merged.items = std::move(results);
+  return merged;
+}
+
+CachingLlmClient::CacheStats CachingLlmClient::cache_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {item_hits_, item_misses_, static_cast<int64_t>(cache_.size())};
+}
+
+void CachingLlmClient::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+}
+
+}  // namespace unify::llm

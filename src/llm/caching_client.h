@@ -1,0 +1,57 @@
+#ifndef UNIFY_LLM_CACHING_CLIENT_H_
+#define UNIFY_LLM_CACHING_CLIENT_H_
+
+#include <mutex>
+#include <unordered_map>
+
+#include "llm/llm_client.h"
+
+namespace unify::llm {
+
+/// A memoizing decorator over any LlmClient: per-document judgements
+/// (predicate evaluation, value extraction, classification) are cached by
+/// (prompt type, prompt fields, document), so repeated evaluations — e.g.
+/// a document sampled during semantic cardinality estimation and filtered
+/// again during execution, or the same filter executed by several
+/// candidate plans — cost nothing the second time.
+///
+/// This is sound because per-document completions are functions of the
+/// (condition, document) pair; batching does not change them (the same
+/// invariant the simulator maintains, and the behaviour of a real
+/// deployment running at temperature 0).
+///
+/// Non-per-document prompt types pass through uncached.
+class CachingLlmClient : public LlmClient {
+ public:
+  /// `base` must outlive the decorator.
+  explicit CachingLlmClient(LlmClient* base) : base_(base) {}
+
+  LlmResult Call(const LlmCall& call) override;
+
+  /// Usage of the *underlying* client — cache hits cost nothing.
+  LlmUsage usage() const override { return base_->usage(); }
+  void ResetUsage() override { base_->ResetUsage(); }
+
+  struct CacheStats {
+    int64_t item_hits = 0;
+    int64_t item_misses = 0;
+    int64_t entries = 0;
+  };
+  CacheStats cache_stats() const;
+
+  /// Drops all cached entries.
+  void Clear();
+
+ private:
+  static bool Cacheable(PromptType type);
+
+  LlmClient* base_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::string> cache_;
+  int64_t item_hits_ = 0;
+  int64_t item_misses_ = 0;
+};
+
+}  // namespace unify::llm
+
+#endif  // UNIFY_LLM_CACHING_CLIENT_H_

@@ -1,0 +1,64 @@
+#ifndef UNIFY_LLM_LATENCY_MODEL_H_
+#define UNIFY_LLM_LATENCY_MODEL_H_
+
+#include <cstdint>
+
+#include "llm/llm_client.h"
+
+namespace unify::llm {
+
+/// Virtual-time cost of an LLM call.
+///
+/// Following the paper's cost analysis (Section VI-A, citing OpenAI's
+/// latency guidance [3]): latency is dominated by output tokens; input
+/// tokens contribute only 1–5%. Each call also pays a fixed scheduling/
+/// prefill overhead. Constants are calibrated to Llama-3.1-70B (8-bit) and
+/// Llama-3.1-8B on RTX-4090-class GPUs so the benchmark latencies land on
+/// the same scale as the paper's testbed.
+struct LatencyModel {
+  /// Seconds per output token.
+  double planner_sec_per_out_token = 0.030;
+  double worker_sec_per_out_token = 0.009;
+  /// Input-side cost as a fraction of the output-token rate (1–5%).
+  double input_factor = 0.015;
+  /// Fixed per-call overhead (scheduling + prefill) in seconds.
+  double planner_overhead = 0.40;
+  double worker_overhead = 0.12;
+
+  double SecondsFor(ModelTier tier, int64_t in_tokens,
+                    int64_t out_tokens) const {
+    double spt = tier == ModelTier::kPlanner ? planner_sec_per_out_token
+                                             : worker_sec_per_out_token;
+    double overhead =
+        tier == ModelTier::kPlanner ? planner_overhead : worker_overhead;
+    return overhead + static_cast<double>(out_tokens) * spt +
+           static_cast<double>(in_tokens) * spt * input_factor;
+  }
+};
+
+/// Dollar cost of an LLM call — the alternative optimization objective the
+/// paper mentions (Section VI-A footnote: "the method is also suitable for
+/// optimizing the total cost, just by modifying the cost function").
+/// Prices follow typical per-million-token API pricing for 70B- and
+/// 8B-class models.
+struct PriceModel {
+  double planner_usd_per_m_in = 2.50;
+  double planner_usd_per_m_out = 10.00;
+  double worker_usd_per_m_in = 0.15;
+  double worker_usd_per_m_out = 0.60;
+
+  double DollarsFor(ModelTier tier, int64_t in_tokens,
+                    int64_t out_tokens) const {
+    double in_rate = tier == ModelTier::kPlanner ? planner_usd_per_m_in
+                                                 : worker_usd_per_m_in;
+    double out_rate = tier == ModelTier::kPlanner ? planner_usd_per_m_out
+                                                  : worker_usd_per_m_out;
+    return (static_cast<double>(in_tokens) * in_rate +
+            static_cast<double>(out_tokens) * out_rate) /
+           1e6;
+  }
+};
+
+}  // namespace unify::llm
+
+#endif  // UNIFY_LLM_LATENCY_MODEL_H_

@@ -1,0 +1,108 @@
+#ifndef UNIFY_LLM_SIM_LLM_H_
+#define UNIFY_LLM_SIM_LLM_H_
+
+#include <mutex>
+
+#include "corpus/corpus.h"
+#include "llm/latency_model.h"
+#include "llm/llm_client.h"
+
+namespace unify::llm {
+
+/// Error-injection rates of the simulated LLM, calibrated so task-level
+/// accuracies match what the paper's Llama-3.1 models plausibly achieve
+/// (see DESIGN.md). Every "mistake" is a deterministic function of
+/// (seed, call content), so runs are exactly reproducible and the same
+/// question always gets the same answer regardless of batching.
+struct SimLlmErrorRates {
+  /// Planning-side mistakes (Llama-3.1-70B).
+  double semantic_parse = 0.02;
+  double rerank = 0.05;
+  double reduce = 0.008;
+  double simple_question = 0.005;
+  double dependency = 0.01;
+  double plan_step = 0.25;  ///< per-step error of one-shot planning
+  /// Probability that LLM-generated fallback code is buggy end to end.
+  double codegen = 0.15;
+  double select = 0.05;
+  /// Operator-side mistakes (Llama-3.1-8B). Semantic predicate checks are
+  /// asymmetric: missing a true match is far more common than inventing
+  /// one on a clearly unrelated document.
+  double predicate_false_negative = 0.03;
+  double predicate_false_positive = 0.002;
+  double numeric_predicate = 0.01;
+  double extract = 0.02;
+  double classify = 0.05;
+  double generate = 0.10;
+};
+
+struct SimLlmOptions {
+  uint64_t seed = 99;
+  LatencyModel latency;
+  PriceModel prices;
+  SimLlmErrorRates errors;
+};
+
+/// A deterministic model of an instruction-following LLM over the
+/// synthetic corpus (the repo's substitute for Llama-3.1-70B/8B — see
+/// DESIGN.md, "Substitutions").
+///
+/// The planner and executors talk to it purely through prompt-shaped calls
+/// (text in, text out, latency charged). Internally it "understands"
+/// queries by parsing them with the shared nlq grammar, and "reads"
+/// documents through their latent attributes, injecting seeded errors at
+/// the rates above. It never reveals plan structure beyond what each
+/// prompt asks for.
+class SimulatedLlm : public LlmClient {
+ public:
+  /// `corpus` must outlive the client.
+  SimulatedLlm(const corpus::Corpus* corpus, SimLlmOptions options);
+
+  LlmResult Call(const LlmCall& call) override;
+
+  LlmUsage usage() const override;
+  void ResetUsage() override;
+
+  const SimLlmOptions& options() const { return options_; }
+
+ private:
+  LlmResult Dispatch(const LlmCall& call);
+
+  LlmResult SemanticParse(const LlmCall& call);
+  LlmResult RerankOperators(const LlmCall& call);
+  LlmResult ReduceQuery(const LlmCall& call);
+  LlmResult SimpleQuestion(const LlmCall& call);
+  LlmResult DependencyCheck(const LlmCall& call);
+  LlmResult EvalPredicate(const LlmCall& call);
+  LlmResult ExtractValue(const LlmCall& call);
+  LlmResult ClassifyDoc(const LlmCall& call);
+  LlmResult SemanticAggregate(const LlmCall& call);
+  LlmResult GenerateAnswer(const LlmCall& call);
+  LlmResult ChooseFallbackStrategy(const LlmCall& call);
+  LlmResult GenerateCode(const LlmCall& call);
+  LlmResult PlanOneShot(const LlmCall& call);
+  LlmResult Decompose(const LlmCall& call);
+  LlmResult SelectAnswer(const LlmCall& call);
+
+  /// Deterministic per-decision coin: true with probability `p` for this
+  /// (seed, key) pair.
+  bool Flip(double p, const std::string& key) const;
+
+  /// A different in-vocabulary phrase, deterministically chosen — what a
+  /// confused LLM substitutes for `phrase`.
+  std::string CorruptPhrase(const std::string& phrase) const;
+
+  /// Fills token/latency accounting on `result`.
+  void Account(const LlmCall& call, int64_t in_tokens, int64_t out_tokens,
+               LlmResult& result);
+
+  const corpus::Corpus* corpus_;
+  SimLlmOptions options_;
+
+  mutable std::mutex mu_;
+  LlmUsage usage_;
+};
+
+}  // namespace unify::llm
+
+#endif  // UNIFY_LLM_SIM_LLM_H_

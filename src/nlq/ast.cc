@@ -1,0 +1,161 @@
+#include "nlq/ast.h"
+
+#include <sstream>
+
+namespace unify::nlq {
+
+Condition Condition::Semantic(std::string phrase) {
+  Condition c;
+  c.kind = Kind::kSemantic;
+  c.text = std::move(phrase);
+  return c;
+}
+
+Condition Condition::Numeric(std::string attribute, Cmp cmp, int64_t value,
+                             int64_t value2) {
+  Condition c;
+  c.kind = Kind::kNumeric;
+  c.attribute = std::move(attribute);
+  c.cmp = cmp;
+  c.value = value;
+  c.value2 = value2;
+  return c;
+}
+
+const std::vector<std::string>& KnownAttributes() {
+  static const auto* kAttrs = new std::vector<std::string>{
+      "views", "score", "answers", "comments", "words"};
+  return *kAttrs;
+}
+
+bool IsKnownAttribute(const std::string& attr) {
+  for (const auto& a : KnownAttributes()) {
+    if (a == attr) return true;
+  }
+  return false;
+}
+
+namespace {
+
+const char* CmpName(Condition::Cmp cmp) {
+  switch (cmp) {
+    case Condition::Cmp::kGt:
+      return ">";
+    case Condition::Cmp::kGe:
+      return ">=";
+    case Condition::Cmp::kLt:
+      return "<";
+    case Condition::Cmp::kLe:
+      return "<=";
+    case Condition::Cmp::kEq:
+      return "==";
+    case Condition::Cmp::kBetween:
+      return "between";
+  }
+  return "?";
+}
+
+const char* AggName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kAvg:
+      return "avg";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+    case AggFunc::kMedian:
+      return "median";
+    case AggFunc::kPercentile:
+      return "percentile";
+  }
+  return "?";
+}
+
+std::string DocSetDebug(const DocSet& d) {
+  std::ostringstream os;
+  os << "{";
+  if (!d.base_var.empty()) os << "base=" << d.base_var << " ";
+  for (size_t i = 0; i < d.conditions.size(); ++i) {
+    if (i) os << " & ";
+    os << DebugString(d.conditions[i]);
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace
+
+std::string DebugString(const Condition& c) {
+  std::ostringstream os;
+  if (c.kind == Condition::Kind::kSemantic) {
+    os << "sem(" << c.text << ")";
+  } else {
+    os << c.attribute << CmpName(c.cmp) << c.value;
+    if (c.cmp == Condition::Cmp::kBetween) os << ".." << c.value2;
+  }
+  return os.str();
+}
+
+std::string DebugString(const QueryAst& q) {
+  std::ostringstream os;
+  switch (q.task) {
+    case TaskKind::kCount:
+      os << "Count" << DocSetDebug(q.docset);
+      break;
+    case TaskKind::kAgg:
+      os << "Agg(" << AggName(q.agg) << " " << q.attr << ")"
+         << DocSetDebug(q.docset);
+      break;
+    case TaskKind::kTopK:
+      os << "Top" << q.top_k << "(" << q.attr
+         << (q.top_desc ? " desc" : " asc") << ")" << DocSetDebug(q.docset);
+      break;
+    case TaskKind::kCompareCount:
+      os << "CompareCount(" << DocSetDebug(q.docset) << " vs "
+         << DocSetDebug(q.docset_b) << ")";
+      break;
+    case TaskKind::kCompareAgg:
+      os << "CompareAgg(" << AggName(q.agg) << " " << q.attr << "; "
+         << DocSetDebug(q.docset) << " vs " << DocSetDebug(q.docset_b) << ")";
+      break;
+    case TaskKind::kGroupArgBest: {
+      os << (q.best_is_max ? "ArgMax" : "ArgMin") << "(" << q.group_attr
+         << "; ";
+      switch (q.metric.kind) {
+        case GroupMetric::Kind::kCount:
+          os << "count";
+          break;
+        case GroupMetric::Kind::kAgg:
+          os << AggName(q.metric.func) << " " << q.metric.attr;
+          break;
+        case GroupMetric::Kind::kRatio:
+          os << "ratio("
+             << (q.metric.num.cond ? DebugString(*q.metric.num.cond) : "?")
+             << "/"
+             << (q.metric.den.cond ? DebugString(*q.metric.den.cond) : "?")
+             << ")";
+          break;
+      }
+      os << ")" << DocSetDebug(q.docset);
+      break;
+    }
+    case TaskKind::kRatio:
+      os << "Ratio(" << DocSetDebug(q.docset) << " / "
+         << DocSetDebug(q.docset_b) << ")";
+      break;
+    case TaskKind::kSetCount: {
+      const char* op = q.set_op == SetOpKind::kUnion        ? "|"
+                       : q.set_op == SetOpKind::kIntersect  ? "&"
+                                                            : "-";
+      os << "SetCount(" << DocSetDebug(q.docset) << " " << op << " "
+         << DocSetDebug(q.docset_b) << ")";
+      break;
+    }
+  }
+  if (!q.final_var.empty()) os << " final=" << q.final_var;
+  return os.str();
+}
+
+}  // namespace unify::nlq

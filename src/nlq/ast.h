@@ -1,0 +1,190 @@
+#ifndef UNIFY_NLQ_AST_H_
+#define UNIFY_NLQ_AST_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace unify::nlq {
+
+/// ---------------------------------------------------------------------------
+/// Natural-language analytics query AST.
+///
+/// This module defines the *semantic content* of the natural-language
+/// queries used in the experiments. It is shared by exactly two components:
+///
+///   * the corpus/workload generator, which instantiates templates into
+///     ASTs and renders them to English (`Render`), and
+///   * the simulated LLM, which — like a real LLM — "understands" query
+///     text by parsing it back into this structure (`Parse`).
+///
+/// The planning engine (the paper's contribution) NEVER sees this type: it
+/// operates purely on query text, logical representations, embeddings, and
+/// LLM calls, exactly as described in the paper.
+///
+/// Reduced (partially planned) queries are also ASTs: reducible elements
+/// are progressively replaced by variable references ("[V3]"), mirroring
+/// the paper's Figure 2 where each reduction step yields a smaller NL
+/// query.
+/// ---------------------------------------------------------------------------
+
+/// One filter predicate over documents.
+struct Condition {
+  enum class Kind {
+    /// A natural-language predicate requiring semantics ("about football",
+    /// "injury-related"). `text` holds the topic/tag phrase.
+    kSemantic,
+    /// An attribute comparison ("with over 500 views"). `attribute`, `cmp`,
+    /// `value` (and `value2` for kBetween) hold the comparison.
+    kNumeric,
+  };
+  enum class Cmp { kGt, kGe, kLt, kLe, kEq, kBetween };
+
+  Kind kind = Kind::kSemantic;
+  std::string text;
+  std::string attribute;
+  Cmp cmp = Cmp::kGt;
+  int64_t value = 0;
+  int64_t value2 = 0;
+
+  /// Convenience factories.
+  static Condition Semantic(std::string phrase);
+  static Condition Numeric(std::string attribute, Cmp cmp, int64_t value,
+                           int64_t value2 = 0);
+
+  bool operator==(const Condition&) const = default;
+};
+
+/// A set of documents: a base (the corpus, or an intermediate variable)
+/// narrowed by zero or more conjunctive conditions.
+struct DocSet {
+  /// Empty = the raw document collection; otherwise a variable name like
+  /// "V2" whose value is a document list produced by an earlier operator.
+  std::string base_var;
+  std::vector<Condition> conditions;
+
+  bool operator==(const DocSet&) const = default;
+};
+
+/// Aggregation functions over extracted numeric attributes.
+enum class AggFunc { kSum, kAvg, kMin, kMax, kMedian, kPercentile };
+
+/// "the number of <cond> questions" inside a ratio/group metric; reduction
+/// replaces the pieces by variables step by step.
+struct CountTerm {
+  /// The filter condition; cleared once a Filter operator consumed it.
+  std::optional<Condition> cond;
+  /// Set once Filter ran: variable holding the filtered documents.
+  std::string filtered_var;
+  /// Set once Count ran: variable holding the (per-group) count.
+  std::string count_var;
+
+  bool operator==(const CountTerm&) const = default;
+};
+
+/// The per-group metric of a grouped arg-best query.
+struct GroupMetric {
+  enum class Kind {
+    kCount,   ///< number of documents in the group
+    kAgg,     ///< aggregate of an attribute within the group
+    kRatio,   ///< ratio of two conditional counts within the group
+  };
+  Kind kind = Kind::kCount;
+
+  // kAgg:
+  AggFunc func = AggFunc::kAvg;
+  std::string attr;
+  /// kAgg progress markers.
+  std::string extracted_var;  ///< after Extract
+  // kRatio:
+  CountTerm num;
+  CountTerm den;
+  /// Variable holding the computed per-group metric (after Count/Agg or
+  /// Compute ran).
+  std::string metric_var;
+
+  bool operator==(const GroupMetric&) const = default;
+};
+
+/// Set operations between two document sets.
+enum class SetOpKind { kUnion, kIntersect, kDifference };
+
+/// Top-level analytics task kinds — they cover the paper's workload space
+/// (SQL-like selection/aggregation plus semantic grouping, comparison,
+/// ratios, and set operations).
+enum class TaskKind {
+  kCount,         ///< How many <docset>?
+  kAgg,           ///< <func> of <attr> over <docset>
+  kTopK,          ///< top-k <docset> by <attr>
+  kCompareCount,  ///< more <A> or <B>?
+  kCompareAgg,    ///< higher <func attr> in <A> or <B>?
+  kGroupArgBest,  ///< which group has highest/lowest metric
+  kRatio,         ///< count<A> / count<B>
+  kSetCount,      ///< |A setop B|
+};
+
+/// The full query. Fields are meaningful per `task` (see comments); unused
+/// fields keep default values so structural equality works for round-trip
+/// tests.
+struct QueryAst {
+  TaskKind task = TaskKind::kCount;
+
+  /// Primary document set (all tasks). For kCompare*/kRatio/kSetCount this
+  /// is side A.
+  DocSet docset;
+  /// Side B for kCompareCount/kCompareAgg/kRatio/kSetCount.
+  DocSet docset_b;
+
+  // --- kAgg / kCompareAgg ---
+  AggFunc agg = AggFunc::kAvg;
+  std::string attr;
+  int percentile = 90;  ///< for AggFunc::kPercentile
+  /// kAgg progress: variable of extracted values (after Extract).
+  std::string extracted_var;
+
+  // --- kTopK ---
+  int top_k = 5;
+  bool top_desc = true;
+
+  // --- kGroupArgBest ---
+  std::string group_attr;     ///< e.g. "sport"
+  bool best_is_max = true;    ///< highest vs lowest
+  GroupMetric metric;
+  /// Progress: variable of the grouped documents (after GroupBy).
+  std::string group_var;
+
+  // --- kSetCount ---
+  SetOpKind set_op = SetOpKind::kUnion;
+  /// Progress: variable of the combined set (after the set operator).
+  std::string set_var;
+
+  // --- kCompare* / kRatio progress ---
+  std::string count_var_a;  ///< count/agg of side A
+  std::string count_var_b;  ///< count/agg of side B
+
+  /// When set, the query is fully reduced: "What is [final_var]?" — the
+  /// paper's end-of-reduction state (a minimal irreducible element).
+  std::string final_var;
+
+  /// The entity noun used when rendering ("questions", "articles", ...).
+  /// Purely surface-level; does not affect semantics.
+  std::string entity = "documents";
+
+  bool operator==(const QueryAst&) const = default;
+};
+
+/// Human-readable attribute names recognized in queries and documents.
+/// (Every document renders these attributes into its prose; see corpus.)
+const std::vector<std::string>& KnownAttributes();
+
+/// True iff `attr` is a known numeric attribute.
+bool IsKnownAttribute(const std::string& attr);
+
+/// Short debug rendering ("GroupArgBest(max sport; ratio(injury/training); ...)").
+std::string DebugString(const QueryAst& q);
+std::string DebugString(const Condition& c);
+
+}  // namespace unify::nlq
+
+#endif  // UNIFY_NLQ_AST_H_

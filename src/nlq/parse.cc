@@ -1,0 +1,745 @@
+#include "nlq/parse.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/string_util.h"
+#include "nlq/render.h"
+
+namespace unify::nlq {
+
+namespace {
+
+const std::vector<std::string>& EntityNouns() {
+  static const auto* kNouns = new std::vector<std::string>{
+      "questions", "documents", "articles", "pages", "posts", "items"};
+  return *kNouns;
+}
+
+bool IsEntityNoun(std::string_view w) {
+  for (const auto& n : EntityNouns()) {
+    if (w == n) return true;
+  }
+  return false;
+}
+
+/// Lowercases and strips outer whitespace and a trailing '?' or '.'.
+std::string Normalize(std::string_view text) {
+  std::string s = AsciiToLower(StripAsciiWhitespace(text));
+  while (!s.empty() && (s.back() == '?' || s.back() == '.')) s.pop_back();
+  return std::string(StripAsciiWhitespace(s));
+}
+
+/// Parses a variable token "[v12]" at the start of `s`; on success returns
+/// the canonical name "V12" and advances `s` past the token.
+std::optional<std::string> TakeVarTok(std::string_view& s) {
+  if (s.size() < 4 || s[0] != '[' || s[1] != 'v') return std::nullopt;
+  size_t close = s.find(']');
+  if (close == std::string_view::npos) return std::nullopt;
+  for (size_t i = 2; i < close; ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return std::nullopt;
+  }
+  std::string name("V");
+  name.append(s.substr(2, close - 2));
+  s.remove_prefix(close + 1);
+  return name;
+}
+
+bool TakePrefix(std::string_view& s, std::string_view prefix) {
+  if (StartsWith(s, prefix)) {
+    s.remove_prefix(prefix.size());
+    return true;
+  }
+  return false;
+}
+
+/// Takes "<integer> " from the front of `s`.
+std::optional<int64_t> TakeInt(std::string_view& s) {
+  size_t i = 0;
+  while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+  if (i == 0) return std::nullopt;
+  int64_t v = 0;
+  for (size_t j = 0; j < i; ++j) v = v * 10 + (s[j] - '0');
+  s.remove_prefix(i);
+  return v;
+}
+
+std::string_view Trim(std::string_view s) { return StripAsciiWhitespace(s); }
+
+/// Parses a numeric condition tail "<N> <attrnoun>" (or "<N> and <M>
+/// <attrnoun>" for kBetween).
+StatusOr<Condition> NumericTail(std::string_view rest, Condition::Cmp cmp,
+                                bool between = false) {
+  rest = Trim(rest);
+  auto n = TakeInt(rest);
+  if (!n.has_value()) return Status::InvalidArgument("expected number");
+  int64_t v2 = 0;
+  if (between) {
+    if (!TakePrefix(rest, " and "))
+      return Status::InvalidArgument("expected 'and' in between-condition");
+    auto m = TakeInt(rest);
+    if (!m.has_value()) return Status::InvalidArgument("expected 2nd number");
+    v2 = *m;
+  }
+  std::string noun(Trim(rest));
+  std::string attr = AttributeFromNoun(noun);
+  if (attr.empty())
+    return Status::InvalidArgument("unknown attribute noun: " + noun);
+  return Condition::Numeric(attr, cmp, *n, v2);
+}
+
+}  // namespace
+
+StatusOr<Condition> ParseConditionPhrase(std::string_view phrase) {
+  std::string norm = Normalize(phrase);
+  std::string_view s = norm;
+  // Semantic forms.
+  if (TakePrefix(s, "about "))
+    return Condition::Semantic(std::string(Trim(s)));
+  if (TakePrefix(s, "related to "))
+    return Condition::Semantic(std::string(Trim(s)));
+  if (TakePrefix(s, "that mention "))
+    return Condition::Semantic(std::string(Trim(s)));
+  if (TakePrefix(s, "that involve "))
+    return Condition::Semantic(std::string(Trim(s)));
+  if (TakePrefix(s, "that are ")) {
+    std::string_view rest = Trim(s);
+    if (EndsWith(rest, "-related")) {
+      return Condition::Semantic(
+          std::string(rest.substr(0, rest.size() - 8)));
+    }
+    return Status::InvalidArgument("unrecognized 'that are' condition");
+  }
+  // Numeric forms.
+  if (TakePrefix(s, "with over ")) return NumericTail(s, Condition::Cmp::kGt);
+  if (TakePrefix(s, "with more than "))
+    return NumericTail(s, Condition::Cmp::kGt);
+  if (TakePrefix(s, "that have more than "))
+    return NumericTail(s, Condition::Cmp::kGt);
+  if (TakePrefix(s, "with at least "))
+    return NumericTail(s, Condition::Cmp::kGe);
+  if (TakePrefix(s, "with fewer than "))
+    return NumericTail(s, Condition::Cmp::kLt);
+  if (TakePrefix(s, "with under ")) return NumericTail(s, Condition::Cmp::kLt);
+  if (TakePrefix(s, "with at most "))
+    return NumericTail(s, Condition::Cmp::kLe);
+  if (TakePrefix(s, "with exactly "))
+    return NumericTail(s, Condition::Cmp::kEq);
+  if (TakePrefix(s, "with between "))
+    return NumericTail(s, Condition::Cmp::kBetween, /*between=*/true);
+  return Status::InvalidArgument("unrecognized condition: " +
+                                 std::string(phrase));
+}
+
+StatusOr<DocSet> ParseDocSetPhrase(std::string_view phrase,
+                                   std::string* entity_out) {
+  std::string norm = Normalize(phrase);
+  std::string_view s = norm;
+  DocSet d;
+
+  if (TakePrefix(s, "the items in ")) {
+    auto var = TakeVarTok(s);
+    if (!var.has_value())
+      return Status::InvalidArgument("expected variable after 'the items in'");
+    d.base_var = *var;
+    // Optional ", cond, cond..." suffix.
+    s = Trim(s);
+    if (!s.empty()) {
+      if (!TakePrefix(s, ",")) {
+        return Status::InvalidArgument("expected ',' after variable docset");
+      }
+      for (const auto& piece : StrSplit(std::string(Trim(s)), ',')) {
+        UNIFY_ASSIGN_OR_RETURN(Condition c, ParseConditionPhrase(piece));
+        d.conditions.push_back(std::move(c));
+      }
+    }
+    return d;
+  }
+
+  // "<entity> [cond[, cond]...]"
+  size_t space = s.find(' ');
+  std::string noun(space == std::string_view::npos ? s : s.substr(0, space));
+  if (!IsEntityNoun(noun)) {
+    return Status::InvalidArgument("unknown entity noun: " + noun);
+  }
+  if (entity_out != nullptr) *entity_out = noun;
+  if (space == std::string_view::npos) return d;
+  std::string rest(Trim(s.substr(space + 1)));
+  if (rest.empty()) return d;
+  for (const auto& piece : StrSplit(rest, ',')) {
+    UNIFY_ASSIGN_OR_RETURN(Condition c, ParseConditionPhrase(piece));
+    d.conditions.push_back(std::move(c));
+  }
+  return d;
+}
+
+namespace {
+
+/// The aggregation function words produced by the renderer.
+struct FuncParse {
+  AggFunc func;
+  int percentile = 90;
+};
+
+/// Tries to take a function word ("average", "total", "90th percentile",
+/// ...) from the front of `s`.
+std::optional<FuncParse> TakeFuncWord(std::string_view& s) {
+  if (TakePrefix(s, "average ") || TakePrefix(s, "mean "))
+    return FuncParse{AggFunc::kAvg};
+  if (TakePrefix(s, "total ")) return FuncParse{AggFunc::kSum};
+  if (TakePrefix(s, "minimum ")) return FuncParse{AggFunc::kMin};
+  if (TakePrefix(s, "maximum ")) return FuncParse{AggFunc::kMax};
+  if (TakePrefix(s, "median ")) return FuncParse{AggFunc::kMedian};
+  // "<p>th percentile "
+  std::string_view probe = s;
+  auto p = TakeInt(probe);
+  if (p.has_value() && TakePrefix(probe, "th percentile ")) {
+    s = probe;
+    return FuncParse{AggFunc::kPercentile, static_cast<int>(*p)};
+  }
+  return std::nullopt;
+}
+
+/// Parses an agg phrase tail: after the func word we expect either
+/// "number of <attr>" (for percentile: "of the number of <attr>") possibly
+/// followed by " of <docset>".
+struct AggPhraseParse {
+  AggFunc func;
+  int percentile;
+  std::string attr;
+  std::string_view rest;  ///< remainder after the attribute noun
+};
+
+StatusOr<AggPhraseParse> TakeAggPhrase(std::string_view s) {
+  auto f = TakeFuncWord(s);
+  if (!f.has_value()) return Status::InvalidArgument("expected func word");
+  if (f->func == AggFunc::kPercentile) {
+    if (!TakePrefix(s, "of the number of "))
+      return Status::InvalidArgument("expected 'of the number of'");
+  } else {
+    if (!TakePrefix(s, "number of "))
+      return Status::InvalidArgument("expected 'number of'");
+  }
+  // Attribute noun = next word.
+  size_t space = s.find(' ');
+  std::string noun(space == std::string_view::npos ? s : s.substr(0, space));
+  std::string attr = AttributeFromNoun(noun);
+  if (attr.empty())
+    return Status::InvalidArgument("unknown attribute noun: " + noun);
+  std::string_view rest =
+      space == std::string_view::npos ? std::string_view() : s.substr(space);
+  return AggPhraseParse{f->func, f->percentile, attr, rest};
+}
+
+/// Parses a ratio term: "[v6]" | "the count of [v4]" |
+/// "the number of <entity> <cond>".
+StatusOr<CountTerm> ParseRatioTerm(std::string_view s,
+                                   std::string* entity_out) {
+  s = Trim(s);
+  CountTerm t;
+  {
+    std::string_view probe = s;
+    auto var = TakeVarTok(probe);
+    if (var.has_value() && Trim(probe).empty()) {
+      t.count_var = *var;
+      return t;
+    }
+  }
+  if (TakePrefix(s, "the count of ")) {
+    auto var = TakeVarTok(s);
+    if (!var.has_value()) return Status::InvalidArgument("expected var");
+    t.filtered_var = *var;
+    return t;
+  }
+  if (TakePrefix(s, "the number of ")) {
+    UNIFY_ASSIGN_OR_RETURN(DocSet d,
+                           ParseDocSetPhrase(std::string(s), entity_out));
+    if (d.conditions.size() != 1 || !d.base_var.empty()) {
+      return Status::InvalidArgument("ratio term must have one condition");
+    }
+    t.cond = d.conditions[0];
+    return t;
+  }
+  return Status::InvalidArgument("unrecognized ratio term");
+}
+
+/// Splits "X to Y" where Y begins with one of the ratio-term openers.
+StatusOr<std::pair<std::string, std::string>> SplitRatioTerms(
+    std::string_view s) {
+  for (const char* sep :
+       {" to the number of ", " to the count of ", " to ["}) {
+    size_t pos = s.find(sep);
+    if (pos != std::string_view::npos) {
+      std::string lhs(Trim(s.substr(0, pos)));
+      // Keep the term opener on the right side (skip only " to ").
+      std::string rhs(Trim(s.substr(pos + 4)));
+      return std::make_pair(lhs, rhs);
+    }
+  }
+  return Status::InvalidArgument("missing ' to ' separator in ratio");
+}
+
+/// Parses the metric tail of a GroupArgBest query (text after
+/// "has the highest "/"has the lowest ").
+Status ParseGroupMetric(std::string_view s, QueryAst& q) {
+  s = Trim(s);
+  if (s == "value") {
+    // Handled by caller (needs metric_var from the prefix). Should not
+    // reach here.
+    return Status::InvalidArgument("bare 'value' metric without variable");
+  }
+  if (TakePrefix(s, "number of ")) {
+    std::string noun(Trim(s));
+    if (!IsEntityNoun(noun))
+      return Status::InvalidArgument("unknown entity noun in metric");
+    q.entity = noun;
+    q.metric.kind = GroupMetric::Kind::kCount;
+    return Status::OK();
+  }
+  if (TakePrefix(s, "ratio of ")) {
+    q.metric.kind = GroupMetric::Kind::kRatio;
+    UNIFY_ASSIGN_OR_RETURN(auto sides, SplitRatioTerms(s));
+    std::string entity;
+    UNIFY_ASSIGN_OR_RETURN(q.metric.num,
+                           ParseRatioTerm(sides.first, &entity));
+    UNIFY_ASSIGN_OR_RETURN(q.metric.den,
+                           ParseRatioTerm(sides.second, &entity));
+    if (!entity.empty()) q.entity = entity;
+    return Status::OK();
+  }
+  // "<funcword> of the values in [v]" (post-Extract state).
+  {
+    std::string_view probe = s;
+    auto f = TakeFuncWord(probe);
+    if (f.has_value() && TakePrefix(probe, "of the values in ")) {
+      auto var = TakeVarTok(probe);
+      if (!var.has_value()) return Status::InvalidArgument("expected var");
+      q.metric.kind = GroupMetric::Kind::kAgg;
+      q.metric.func = f->func;
+      q.percentile = f->percentile;
+      q.metric.extracted_var = *var;
+      return Status::OK();
+    }
+  }
+  // "<aggphrase>" e.g. "average number of views".
+  UNIFY_ASSIGN_OR_RETURN(AggPhraseParse ap, TakeAggPhrase(s));
+  if (!Trim(ap.rest).empty())
+    return Status::InvalidArgument("trailing text after agg metric");
+  q.metric.kind = GroupMetric::Kind::kAgg;
+  q.metric.func = ap.func;
+  q.percentile = ap.percentile;
+  q.metric.attr = ap.attr;
+  return Status::OK();
+}
+
+/// Parses a compare side: "[v]" | "the number of <docset>" |
+/// "the <aggphrase> of <docset>" | "the <funcword> of the values in [v]".
+struct CompareSide {
+  DocSet docset;
+  std::string count_var;
+  bool is_agg = false;
+  AggFunc func = AggFunc::kAvg;
+  int percentile = 90;
+  std::string attr;
+};
+
+StatusOr<CompareSide> ParseCompareSide(std::string_view s,
+                                       std::string* entity_out) {
+  s = Trim(s);
+  CompareSide side;
+  {
+    std::string_view probe = s;
+    auto var = TakeVarTok(probe);
+    if (var.has_value() && Trim(probe).empty()) {
+      side.count_var = *var;
+      return side;
+    }
+  }
+  if (TakePrefix(s, "the number of ")) {
+    UNIFY_ASSIGN_OR_RETURN(side.docset,
+                           ParseDocSetPhrase(std::string(s), entity_out));
+    return side;
+  }
+  if (TakePrefix(s, "the ")) {
+    UNIFY_ASSIGN_OR_RETURN(AggPhraseParse ap, TakeAggPhrase(s));
+    std::string_view rest = Trim(ap.rest);
+    if (!TakePrefix(rest, "of "))
+      return Status::InvalidArgument("expected 'of <docset>' in agg side");
+    side.is_agg = true;
+    side.func = ap.func;
+    side.percentile = ap.percentile;
+    side.attr = ap.attr;
+    UNIFY_ASSIGN_OR_RETURN(side.docset,
+                           ParseDocSetPhrase(std::string(rest), entity_out));
+    return side;
+  }
+  return Status::InvalidArgument("unrecognized compare side");
+}
+
+/// Parses a set-op side: bare "[v]" or a docset.
+StatusOr<DocSet> ParseSetSide(std::string_view s, std::string* entity_out) {
+  s = Trim(s);
+  {
+    std::string_view probe = s;
+    auto var = TakeVarTok(probe);
+    if (var.has_value() && Trim(probe).empty()) {
+      DocSet d;
+      d.base_var = *var;
+      return d;
+    }
+  }
+  return ParseDocSetPhrase(std::string(s), entity_out);
+}
+
+/// Tries every " and " split position until both sides parse.
+StatusOr<std::pair<DocSet, DocSet>> SplitSetSides(std::string_view s,
+                                                  std::string* entity_out) {
+  size_t pos = s.find(" and ");
+  while (pos != std::string_view::npos) {
+    auto lhs = ParseSetSide(s.substr(0, pos), entity_out);
+    auto rhs = ParseSetSide(s.substr(pos + 5), entity_out);
+    if (lhs.ok() && rhs.ok()) {
+      return std::make_pair(std::move(lhs).value(), std::move(rhs).value());
+    }
+    pos = s.find(" and ", pos + 1);
+  }
+  return Status::InvalidArgument("could not split set-operation sides");
+}
+
+}  // namespace
+
+StatusOr<QueryAst> Parse(std::string_view text) {
+  std::string norm = Normalize(text);
+  std::string_view s = norm;
+  QueryAst q;
+
+  // ---- Fully reduced: "what is [v9]" ----
+  if (TakePrefix(s, "what is ")) {
+    std::string_view probe = s;
+    auto var = TakeVarTok(probe);
+    if (var.has_value() && Trim(probe).empty()) {
+      q.final_var = *var;
+      return q;
+    }
+    s = norm;  // fall through to other "what is" forms below
+  }
+
+  // ---- Count over a bare variable ----
+  if (TakePrefix(s, "how many items are in ")) {
+    auto var = TakeVarTok(s);
+    if (!var.has_value() || !Trim(s).empty())
+      return Status::InvalidArgument("malformed count-of-variable");
+    q.task = TaskKind::kCount;
+    q.docset.base_var = *var;
+    return q;
+  }
+  s = norm;
+
+  // ---- Ratio ----
+  if (TakePrefix(s, "what is the ratio of ")) {
+    q.task = TaskKind::kRatio;
+    UNIFY_ASSIGN_OR_RETURN(auto sides, SplitRatioTerms(s));
+    std::string entity;
+    auto term = [&](const std::string& txt, DocSet& d,
+                    std::string& cv) -> Status {
+      std::string_view t = Trim(std::string_view(txt));
+      {
+        std::string_view probe = t;
+        auto var = TakeVarTok(probe);
+        if (var.has_value() && Trim(probe).empty()) {
+          cv = *var;
+          return Status::OK();
+        }
+      }
+      if (TakePrefix(t, "the count of ")) {
+        std::string_view probe = t;
+        auto var = TakeVarTok(probe);
+        if (var.has_value() && Trim(probe).empty()) {
+          d.base_var = *var;
+          return Status::OK();
+        }
+        return Status::InvalidArgument("expected var after 'the count of'");
+      }
+      if (TakePrefix(t, "the number of ")) {
+        UNIFY_ASSIGN_OR_RETURN(d, ParseDocSetPhrase(std::string(t), &entity));
+        return Status::OK();
+      }
+      return Status::InvalidArgument("unrecognized ratio term");
+    };
+    UNIFY_RETURN_IF_ERROR(term(sides.first, q.docset, q.count_var_a));
+    UNIFY_RETURN_IF_ERROR(term(sides.second, q.docset_b, q.count_var_b));
+    if (!entity.empty()) q.entity = entity;
+    return q;
+  }
+  s = norm;
+
+  // ---- Compare ----
+  {
+    bool higher = false;
+    if (TakePrefix(s, "which is larger: ") ||
+        (higher = TakePrefix(s, "which is higher: "))) {
+      size_t pos = s.find(" or ");
+      if (pos == std::string_view::npos)
+        return Status::InvalidArgument("missing ' or ' in compare");
+      std::string entity;
+      UNIFY_ASSIGN_OR_RETURN(CompareSide a,
+                             ParseCompareSide(s.substr(0, pos), &entity));
+      UNIFY_ASSIGN_OR_RETURN(CompareSide b,
+                             ParseCompareSide(s.substr(pos + 4), &entity));
+      q.task = (a.is_agg || b.is_agg || higher) ? TaskKind::kCompareAgg
+                                                : TaskKind::kCompareCount;
+      q.docset = a.docset;
+      q.docset_b = b.docset;
+      q.count_var_a = a.count_var;
+      q.count_var_b = b.count_var;
+      if (a.is_agg) {
+        q.agg = a.func;
+        q.percentile = a.percentile;
+        q.attr = a.attr;
+      } else if (b.is_agg) {
+        q.agg = b.func;
+        q.percentile = b.percentile;
+        q.attr = b.attr;
+      }
+      if (!entity.empty()) q.entity = entity;
+      return q;
+    }
+    s = norm;
+    if (TakePrefix(s, "are there more ")) {
+      size_t pos = s.find(" or ");
+      if (pos == std::string_view::npos)
+        return Status::InvalidArgument("missing ' or ' in compare");
+      std::string entity;
+      UNIFY_ASSIGN_OR_RETURN(
+          q.docset, ParseDocSetPhrase(std::string(s.substr(0, pos)), &entity));
+      UNIFY_ASSIGN_OR_RETURN(
+          q.docset_b,
+          ParseDocSetPhrase(std::string(s.substr(pos + 4)), &entity));
+      q.task = TaskKind::kCompareCount;
+      if (!entity.empty()) q.entity = entity;
+      return q;
+    }
+    s = norm;
+  }
+
+  // ---- GroupArgBest ----
+  {
+    bool among = StartsWith(s, "among ");
+    bool groups_in = StartsWith(s, "for the groups in ");
+    bool values_in = StartsWith(s, "for the values in ");
+    if (among || groups_in || values_in) {
+      q.task = TaskKind::kGroupArgBest;
+      size_t split = s.rfind(", which ");
+      if (split == std::string_view::npos)
+        return Status::InvalidArgument("missing ', which ' in group query");
+      std::string_view prefix = s.substr(0, split);
+      std::string_view suffix = s.substr(split + 8);  // after ", which "
+      if (among) {
+        TakePrefix(prefix, "among ");
+        std::string entity;
+        UNIFY_ASSIGN_OR_RETURN(
+            q.docset, ParseDocSetPhrase(std::string(prefix), &entity));
+        if (!entity.empty()) q.entity = entity;
+      } else {
+        TakePrefix(prefix, "for the groups in ");
+        TakePrefix(prefix, "for the values in ");
+        std::string_view p = prefix;
+        auto var = TakeVarTok(p);
+        if (!var.has_value() || !Trim(p).empty())
+          return Status::InvalidArgument("expected variable in group prefix");
+        if (groups_in) {
+          q.group_var = *var;
+        } else {
+          q.metric.metric_var = *var;
+        }
+      }
+      // suffix: "<group> has the <highest|lowest> <metric>"
+      size_t has = suffix.find(" has the ");
+      if (has == std::string_view::npos)
+        return Status::InvalidArgument("missing 'has the' in group query");
+      q.group_attr = std::string(Trim(suffix.substr(0, has)));
+      std::string_view metric = suffix.substr(has + 9);
+      if (TakePrefix(metric, "highest ")) {
+        q.best_is_max = true;
+      } else if (TakePrefix(metric, "lowest ")) {
+        q.best_is_max = false;
+      } else {
+        return Status::InvalidArgument("expected highest/lowest");
+      }
+      if (values_in) {
+        if (Trim(metric) != "value")
+          return Status::InvalidArgument("expected 'value' metric");
+        return q;
+      }
+      UNIFY_RETURN_IF_ERROR(ParseGroupMetric(metric, q));
+      return q;
+    }
+  }
+  s = norm;
+
+  // ---- TopK ----
+  if (TakePrefix(s, "what are the top ")) {
+    q.task = TaskKind::kTopK;
+    auto k = TakeInt(s);
+    if (!k.has_value()) return Status::InvalidArgument("expected k");
+    q.top_k = static_cast<int>(*k);
+    if (!TakePrefix(s, " ")) return Status::InvalidArgument("malformed topk");
+    size_t by = s.rfind(" by ");
+    if (by == std::string_view::npos)
+      return Status::InvalidArgument("missing ' by ' in topk");
+    std::string entity;
+    UNIFY_ASSIGN_OR_RETURN(
+        q.docset, ParseDocSetPhrase(std::string(s.substr(0, by)), &entity));
+    if (!entity.empty()) q.entity = entity;
+    std::string_view tail = s.substr(by + 4);
+    q.top_desc = !TakePrefix(tail, "lowest ");
+    if (!TakePrefix(tail, "number of "))
+      return Status::InvalidArgument("expected 'number of' in topk");
+    q.attr = AttributeFromNoun(std::string(Trim(tail)));
+    if (q.attr.empty()) return Status::InvalidArgument("unknown attr in topk");
+    return q;
+  }
+  s = norm;
+  if (StartsWith(s, "which ") && s.size() > 6 &&
+      std::isdigit(static_cast<unsigned char>(s[6]))) {
+    TakePrefix(s, "which ");
+    q.task = TaskKind::kTopK;
+    auto k = TakeInt(s);
+    if (!k.has_value()) return Status::InvalidArgument("expected k");
+    q.top_k = static_cast<int>(*k);
+    if (!TakePrefix(s, " ")) return Status::InvalidArgument("malformed topk");
+    size_t have = s.rfind(" have the ");
+    if (have == std::string_view::npos)
+      return Status::InvalidArgument("missing 'have the' in topk");
+    std::string entity;
+    UNIFY_ASSIGN_OR_RETURN(
+        q.docset, ParseDocSetPhrase(std::string(s.substr(0, have)), &entity));
+    if (!entity.empty()) q.entity = entity;
+    std::string_view tail = s.substr(have + 10);
+    if (TakePrefix(tail, "highest ")) {
+      q.top_desc = true;
+    } else if (TakePrefix(tail, "lowest ")) {
+      q.top_desc = false;
+    } else {
+      return Status::InvalidArgument("expected highest/lowest in topk");
+    }
+    if (!TakePrefix(tail, "number of "))
+      return Status::InvalidArgument("expected 'number of' in topk");
+    q.attr = AttributeFromNoun(std::string(Trim(tail)));
+    if (q.attr.empty()) return Status::InvalidArgument("unknown attr in topk");
+    return q;
+  }
+  s = norm;
+
+  // ---- Set operations ----
+  if (TakePrefix(s, "how many ")) {
+    // Identify the entity noun, then look for set-op anchors.
+    size_t space = s.find(' ');
+    if (space != std::string_view::npos) {
+      std::string noun(s.substr(0, space));
+      if (IsEntityNoun(noun)) {
+        std::string_view rest = s.substr(space + 1);
+        std::string entity = noun;
+        if (TakePrefix(rest, "are in the union of ")) {
+          q.task = TaskKind::kSetCount;
+          q.set_op = SetOpKind::kUnion;
+          q.entity = entity;
+          UNIFY_ASSIGN_OR_RETURN(auto sides, SplitSetSides(rest, &entity));
+          q.docset = sides.first;
+          q.docset_b = sides.second;
+          return q;
+        }
+        if (TakePrefix(rest, "appear in both ")) {
+          q.task = TaskKind::kSetCount;
+          q.set_op = SetOpKind::kIntersect;
+          q.entity = entity;
+          UNIFY_ASSIGN_OR_RETURN(auto sides, SplitSetSides(rest, &entity));
+          q.docset = sides.first;
+          q.docset_b = sides.second;
+          return q;
+        }
+        if (TakePrefix(rest, "are in ")) {
+          size_t pos = rest.find(" but not in ");
+          if (pos != std::string_view::npos) {
+            q.task = TaskKind::kSetCount;
+            q.set_op = SetOpKind::kDifference;
+            q.entity = entity;
+            UNIFY_ASSIGN_OR_RETURN(
+                q.docset, ParseSetSide(rest.substr(0, pos), &entity));
+            UNIFY_ASSIGN_OR_RETURN(
+                q.docset_b, ParseSetSide(rest.substr(pos + 12), &entity));
+            return q;
+          }
+        }
+      }
+    }
+    // ---- Plain count: "how many <docset> are there" ----
+    s = norm;
+    TakePrefix(s, "how many ");
+    std::string_view body = s;
+    if (EndsWith(body, " are there")) {
+      body = body.substr(0, body.size() - 10);
+    }
+    std::string entity;
+    UNIFY_ASSIGN_OR_RETURN(q.docset,
+                           ParseDocSetPhrase(std::string(body), &entity));
+    q.task = TaskKind::kCount;
+    if (!entity.empty()) q.entity = entity;
+    return q;
+  }
+  s = norm;
+
+  if (TakePrefix(s, "count the ")) {
+    q.task = TaskKind::kCount;
+    std::string entity;
+    UNIFY_ASSIGN_OR_RETURN(q.docset, ParseDocSetPhrase(std::string(s), &entity));
+    if (!entity.empty()) q.entity = entity;
+    return q;
+  }
+  s = norm;
+
+  if (TakePrefix(s, "what is the number of ")) {
+    q.task = TaskKind::kCount;
+    std::string entity;
+    UNIFY_ASSIGN_OR_RETURN(q.docset, ParseDocSetPhrase(std::string(s), &entity));
+    if (!entity.empty()) q.entity = entity;
+    return q;
+  }
+  s = norm;
+
+  // ---- Aggregation ----
+  if (TakePrefix(s, "what is the ")) {
+    // Post-Extract state: "<funcword> of the values in [v]".
+    {
+      std::string_view probe = s;
+      auto f = TakeFuncWord(probe);
+      if (f.has_value() && TakePrefix(probe, "of the values in ")) {
+        auto var = TakeVarTok(probe);
+        if (var.has_value() && Trim(probe).empty()) {
+          q.task = TaskKind::kAgg;
+          q.agg = f->func;
+          q.percentile = f->percentile;
+          q.extracted_var = *var;
+          return q;
+        }
+      }
+    }
+    UNIFY_ASSIGN_OR_RETURN(AggPhraseParse ap, TakeAggPhrase(s));
+    std::string_view rest = Trim(ap.rest);
+    if (!TakePrefix(rest, "of "))
+      return Status::InvalidArgument("expected 'of <docset>' in agg query");
+    q.task = TaskKind::kAgg;
+    q.agg = ap.func;
+    q.percentile = ap.percentile;
+    q.attr = ap.attr;
+    std::string entity;
+    UNIFY_ASSIGN_OR_RETURN(q.docset,
+                           ParseDocSetPhrase(std::string(rest), &entity));
+    if (!entity.empty()) q.entity = entity;
+    return q;
+  }
+
+  return Status::InvalidArgument("unrecognized query: " + norm);
+}
+
+}  // namespace unify::nlq

@@ -1,0 +1,32 @@
+#ifndef UNIFY_NLQ_PARSE_H_
+#define UNIFY_NLQ_PARSE_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "nlq/ast.h"
+
+namespace unify::nlq {
+
+/// Parses an English analytics question back into a QueryAst.
+///
+/// Accepts every phrasing `Render` can produce, including reduced states
+/// containing variable tokens like "[V3]". Returns InvalidArgument for text
+/// outside the understood query space — the simulated LLM surfaces this as
+/// a planning failure, exercising Unify's backtracking/error-handling
+/// paths.
+StatusOr<QueryAst> Parse(std::string_view text);
+
+/// Parses a single condition postmodifier ("about football",
+/// "with over 500 views"). Used for operator-argument interpretation.
+StatusOr<Condition> ParseConditionPhrase(std::string_view phrase);
+
+/// Parses a document-set phrase ("questions about football, with over 500
+/// views" / "the items in [V2]"). `entity_out` receives the entity noun if
+/// present.
+StatusOr<DocSet> ParseDocSetPhrase(std::string_view phrase,
+                                   std::string* entity_out);
+
+}  // namespace unify::nlq
+
+#endif  // UNIFY_NLQ_PARSE_H_

@@ -1,0 +1,497 @@
+#include "nlq/reduction.h"
+
+#include "common/logging.h"
+#include "nlq/render.h"
+
+namespace unify::nlq {
+
+namespace {
+
+const char* AggOpName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kSum:
+      return "Sum";
+    case AggFunc::kAvg:
+      return "Average";
+    case AggFunc::kMin:
+      return "Min";
+    case AggFunc::kMax:
+      return "Max";
+    case AggFunc::kMedian:
+      return "Median";
+    case AggFunc::kPercentile:
+      return "Percentile";
+  }
+  return "Average";
+}
+
+const char* CmpToken(Condition::Cmp cmp) {
+  switch (cmp) {
+    case Condition::Cmp::kGt:
+      return "gt";
+    case Condition::Cmp::kGe:
+      return "ge";
+    case Condition::Cmp::kLt:
+      return "lt";
+    case Condition::Cmp::kLe:
+      return "le";
+    case Condition::Cmp::kEq:
+      return "eq";
+    case Condition::Cmp::kBetween:
+      return "between";
+  }
+  return "gt";
+}
+
+ReductionStep FilterStep(const QueryAst& q, const DocSet& d,
+                         ReductionStep::Site site, int index) {
+  const Condition& c = d.conditions[index];
+  ReductionStep step;
+  step.op_name = "Filter";
+  step.site = site;
+  step.index = index;
+  step.args["condition"] = RenderCondition(c, 0);
+  if (c.kind == Condition::Kind::kSemantic) {
+    step.args["kind"] = "semantic";
+    step.args["phrase"] = c.text;
+    step.requires_semantics = true;
+  } else {
+    step.args["kind"] = "numeric";
+    step.args["attribute"] = c.attribute;
+    step.args["cmp"] = CmpToken(c.cmp);
+    step.args["value"] = std::to_string(c.value);
+    step.args["value2"] = std::to_string(c.value2);
+  }
+  step.input_vars = {d.base_var};
+  std::string base = d.base_var.empty() ? q.entity : "items of " + d.base_var;
+  step.output_desc = base + " " + step.args["condition"];
+  return step;
+}
+
+ReductionStep MetricFilterStep(const QueryAst& q, const CountTerm& term,
+                               ReductionStep::Site site) {
+  UNIFY_CHECK(term.cond.has_value());
+  const Condition& c = *term.cond;
+  ReductionStep step;
+  step.op_name = "Filter";
+  step.site = site;
+  step.args["condition"] = RenderCondition(c, 0);
+  if (c.kind == Condition::Kind::kSemantic) {
+    step.args["kind"] = "semantic";
+    step.args["phrase"] = c.text;
+    step.requires_semantics = true;
+  } else {
+    step.args["kind"] = "numeric";
+    step.args["attribute"] = c.attribute;
+    step.args["cmp"] = CmpToken(c.cmp);
+    step.args["value"] = std::to_string(c.value);
+    step.args["value2"] = std::to_string(c.value2);
+  }
+  step.input_vars = {q.group_var};
+  step.output_desc =
+      "per-group " + q.entity + " " + step.args["condition"];
+  return step;
+}
+
+ReductionStep CountStep(const std::string& input, ReductionStep::Site site,
+                        SolveDegree degree) {
+  ReductionStep step;
+  step.op_name = "Count";
+  step.site = site;
+  step.input_vars = {input};
+  step.output_desc = input.empty() ? "the number of all documents"
+                                   : "the number of items in " + input;
+  step.degree = degree;
+  return step;
+}
+
+/// Adds Filter steps for every remaining condition of one docset side, and
+/// (when the side is fully filtered) the follow-up step produced by
+/// `then`.
+template <typename ThenFn>
+void SideSteps(const QueryAst& q, const DocSet& d, ReductionStep::Site site,
+               std::vector<ReductionStep>& out, ThenFn then) {
+  if (!d.conditions.empty()) {
+    for (int i = 0; i < static_cast<int>(d.conditions.size()); ++i) {
+      out.push_back(FilterStep(q, d, site, i));
+    }
+  } else {
+    then();
+  }
+}
+
+}  // namespace
+
+bool IsFullyReduced(const QueryAst& q) { return !q.final_var.empty(); }
+
+std::vector<ReductionStep> ApplicableSteps(const QueryAst& q) {
+  std::vector<ReductionStep> out;
+  if (IsFullyReduced(q)) return out;
+
+  switch (q.task) {
+    case TaskKind::kCount: {
+      SideSteps(q, q.docset, ReductionStep::Site::kDocSetCond, out, [&] {
+        out.push_back(CountStep(q.docset.base_var,
+                                ReductionStep::Site::kCountA,
+                                SolveDegree::kFully));
+      });
+      break;
+    }
+
+    case TaskKind::kAgg: {
+      if (!q.extracted_var.empty()) {
+        ReductionStep step;
+        step.op_name = AggOpName(q.agg);
+        step.site = ReductionStep::Site::kAggMain;
+        step.input_vars = {q.extracted_var};
+        if (q.agg == AggFunc::kPercentile)
+          step.args["p"] = std::to_string(q.percentile);
+        step.output_desc = "the aggregated value";
+        step.degree = SolveDegree::kFully;
+        out.push_back(step);
+        break;
+      }
+      SideSteps(q, q.docset, ReductionStep::Site::kDocSetCond, out, [&] {
+        // Two equivalent decompositions (Table II): extract the attribute
+        // values first, or aggregate the documents directly (semantic
+        // aggregation).
+        ReductionStep extract;
+        extract.op_name = "Extract";
+        extract.site = ReductionStep::Site::kExtractMain;
+        extract.input_vars = {q.docset.base_var};
+        extract.args["attribute"] = q.attr;
+        extract.output_desc = "the " + q.attr + " values of the items";
+        out.push_back(extract);
+
+        ReductionStep direct;
+        direct.op_name = AggOpName(q.agg);
+        direct.site = ReductionStep::Site::kAggMain;
+        direct.input_vars = {q.docset.base_var};
+        direct.args["attribute"] = q.attr;
+        if (q.agg == AggFunc::kPercentile)
+          direct.args["p"] = std::to_string(q.percentile);
+        direct.output_desc = "the aggregated " + q.attr + " value";
+        direct.degree = SolveDegree::kFully;
+        out.push_back(direct);
+      });
+      break;
+    }
+
+    case TaskKind::kTopK: {
+      SideSteps(q, q.docset, ReductionStep::Site::kDocSetCond, out, [&] {
+        ReductionStep step;
+        step.op_name = "TopK";
+        step.site = ReductionStep::Site::kTopK;
+        step.input_vars = {q.docset.base_var};
+        step.args["k"] = std::to_string(q.top_k);
+        step.args["attribute"] = q.attr;
+        step.args["desc"] = q.top_desc ? "true" : "false";
+        step.output_desc = "the top " + std::to_string(q.top_k) + " items";
+        step.degree = SolveDegree::kFully;
+        out.push_back(step);
+      });
+      break;
+    }
+
+    case TaskKind::kCompareCount:
+    case TaskKind::kCompareAgg: {
+      const bool is_agg = q.task == TaskKind::kCompareAgg;
+      auto side_final = [&](const DocSet& d, ReductionStep::Site site) {
+        if (is_agg) {
+          ReductionStep step;
+          step.op_name = AggOpName(q.agg);
+          step.site = site;
+          step.input_vars = {d.base_var};
+          step.args["attribute"] = q.attr;
+          if (q.agg == AggFunc::kPercentile)
+            step.args["p"] = std::to_string(q.percentile);
+          step.output_desc = "the aggregated value of one side";
+          out.push_back(step);
+        } else {
+          out.push_back(CountStep(d.base_var, site, SolveDegree::kPartially));
+        }
+      };
+      if (q.count_var_a.empty()) {
+        SideSteps(q, q.docset, ReductionStep::Site::kDocSetCond, out, [&] {
+          side_final(q.docset, ReductionStep::Site::kCountA);
+        });
+      }
+      if (q.count_var_b.empty()) {
+        SideSteps(q, q.docset_b, ReductionStep::Site::kDocSetBCond, out, [&] {
+          side_final(q.docset_b, ReductionStep::Site::kCountB);
+        });
+      }
+      if (!q.count_var_a.empty() && !q.count_var_b.empty()) {
+        ReductionStep step;
+        step.op_name = "Compare";
+        step.site = ReductionStep::Site::kCompare;
+        step.input_vars = {q.count_var_a, q.count_var_b};
+        step.args["direction"] = "max";
+        step.output_desc = "which side is larger";
+        step.degree = SolveDegree::kFully;
+        out.push_back(step);
+      }
+      break;
+    }
+
+    case TaskKind::kGroupArgBest: {
+      if (!q.metric.metric_var.empty()) {
+        ReductionStep step;
+        step.op_name = q.best_is_max ? "Max" : "Min";
+        step.site = ReductionStep::Site::kArgBest;
+        step.input_vars = {q.metric.metric_var};
+        step.args["arg"] = "group";
+        step.output_desc = std::string("the ") + q.group_attr + " with the " +
+                           (q.best_is_max ? "highest" : "lowest") + " value";
+        step.degree = SolveDegree::kFully;
+        out.push_back(step);
+        break;
+      }
+      if (q.group_var.empty()) {
+        SideSteps(q, q.docset, ReductionStep::Site::kDocSetCond, out, [&] {
+          ReductionStep step;
+          step.op_name = "GroupBy";
+          step.site = ReductionStep::Site::kGroupBy;
+          step.input_vars = {q.docset.base_var};
+          step.args["by"] = q.group_attr;
+          step.requires_semantics = true;
+          step.output_desc = "the documents grouped by " + q.group_attr;
+          out.push_back(step);
+        });
+        break;
+      }
+      // Grouped; reduce the per-group metric.
+      switch (q.metric.kind) {
+        case GroupMetric::Kind::kCount: {
+          ReductionStep step = CountStep(
+              q.group_var, ReductionStep::Site::kMetricCount,
+              SolveDegree::kPartially);
+          step.output_desc = "the per-group counts";
+          out.push_back(step);
+          break;
+        }
+        case GroupMetric::Kind::kAgg: {
+          if (q.metric.extracted_var.empty()) {
+            ReductionStep step;
+            step.op_name = "Extract";
+            step.site = ReductionStep::Site::kMetricExtract;
+            step.input_vars = {q.group_var};
+            step.args["attribute"] = q.metric.attr;
+            step.output_desc = "the per-group " + q.metric.attr + " values";
+            out.push_back(step);
+
+            ReductionStep direct;
+            direct.op_name = AggOpName(q.metric.func);
+            direct.site = ReductionStep::Site::kMetricAgg;
+            direct.input_vars = {q.group_var};
+            direct.args["attribute"] = q.metric.attr;
+            if (q.metric.func == AggFunc::kPercentile)
+              direct.args["p"] = std::to_string(q.percentile);
+            direct.output_desc = "the per-group aggregated values";
+            out.push_back(direct);
+          } else {
+            ReductionStep step;
+            step.op_name = AggOpName(q.metric.func);
+            step.site = ReductionStep::Site::kMetricAgg;
+            step.input_vars = {q.metric.extracted_var};
+            if (q.metric.func == AggFunc::kPercentile)
+              step.args["p"] = std::to_string(q.percentile);
+            step.output_desc = "the per-group aggregated values";
+            out.push_back(step);
+          }
+          break;
+        }
+        case GroupMetric::Kind::kRatio: {
+          if (q.metric.num.cond.has_value()) {
+            out.push_back(MetricFilterStep(q, q.metric.num,
+                                           ReductionStep::Site::kNumCond));
+          } else if (!q.metric.num.filtered_var.empty() &&
+                     q.metric.num.count_var.empty()) {
+            ReductionStep step = CountStep(q.metric.num.filtered_var,
+                                           ReductionStep::Site::kNumCount,
+                                           SolveDegree::kPartially);
+            step.output_desc = "the per-group numerator counts";
+            out.push_back(step);
+          }
+          if (q.metric.den.cond.has_value()) {
+            out.push_back(MetricFilterStep(q, q.metric.den,
+                                           ReductionStep::Site::kDenCond));
+          } else if (!q.metric.den.filtered_var.empty() &&
+                     q.metric.den.count_var.empty()) {
+            ReductionStep step = CountStep(q.metric.den.filtered_var,
+                                           ReductionStep::Site::kDenCount,
+                                           SolveDegree::kPartially);
+            step.output_desc = "the per-group denominator counts";
+            out.push_back(step);
+          }
+          if (!q.metric.num.count_var.empty() &&
+              !q.metric.den.count_var.empty()) {
+            ReductionStep step;
+            step.op_name = "Compute";
+            step.site = ReductionStep::Site::kMetricCompute;
+            step.input_vars = {q.metric.num.count_var,
+                               q.metric.den.count_var};
+            step.args["expr"] = "ratio";
+            step.output_desc = "the per-group ratios";
+            out.push_back(step);
+          }
+          break;
+        }
+      }
+      break;
+    }
+
+    case TaskKind::kRatio: {
+      if (q.count_var_a.empty()) {
+        SideSteps(q, q.docset, ReductionStep::Site::kDocSetCond, out, [&] {
+          out.push_back(CountStep(q.docset.base_var,
+                                  ReductionStep::Site::kCountA,
+                                  SolveDegree::kPartially));
+        });
+      }
+      if (q.count_var_b.empty()) {
+        SideSteps(q, q.docset_b, ReductionStep::Site::kDocSetBCond, out, [&] {
+          out.push_back(CountStep(q.docset_b.base_var,
+                                  ReductionStep::Site::kCountB,
+                                  SolveDegree::kPartially));
+        });
+      }
+      if (!q.count_var_a.empty() && !q.count_var_b.empty()) {
+        ReductionStep step;
+        step.op_name = "Compute";
+        step.site = ReductionStep::Site::kMetricCompute;
+        step.input_vars = {q.count_var_a, q.count_var_b};
+        step.args["expr"] = "ratio";
+        step.output_desc = "the ratio of the two counts";
+        step.degree = SolveDegree::kFully;
+        out.push_back(step);
+      }
+      break;
+    }
+
+    case TaskKind::kSetCount: {
+      bool a_ready = q.docset.conditions.empty();
+      bool b_ready = q.docset_b.conditions.empty();
+      if (!a_ready) {
+        for (int i = 0; i < static_cast<int>(q.docset.conditions.size());
+             ++i) {
+          out.push_back(
+              FilterStep(q, q.docset, ReductionStep::Site::kDocSetCond, i));
+        }
+      }
+      if (!b_ready) {
+        for (int i = 0; i < static_cast<int>(q.docset_b.conditions.size());
+             ++i) {
+          out.push_back(FilterStep(q, q.docset_b,
+                                   ReductionStep::Site::kDocSetBCond, i));
+        }
+      }
+      if (a_ready && b_ready) {
+        ReductionStep step;
+        switch (q.set_op) {
+          case SetOpKind::kUnion:
+            step.op_name = "Union";
+            step.output_desc = "the union of the two sets";
+            break;
+          case SetOpKind::kIntersect:
+            step.op_name = "Intersection";
+            step.output_desc = "the intersection of the two sets";
+            break;
+          case SetOpKind::kDifference:
+            step.op_name = "Complementary";
+            step.output_desc = "the first set minus the second";
+            break;
+        }
+        step.site = ReductionStep::Site::kSetOp;
+        step.input_vars = {q.docset.base_var, q.docset_b.base_var};
+        out.push_back(step);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+QueryAst ApplyStep(const QueryAst& q, const ReductionStep& step,
+                   const std::string& new_var) {
+  QueryAst r = q;
+  auto finalize = [&] {
+    QueryAst f;
+    f.final_var = new_var;
+    return f;
+  };
+  using Site = ReductionStep::Site;
+  switch (step.site) {
+    case Site::kDocSetCond:
+      UNIFY_CHECK(step.index < static_cast<int>(r.docset.conditions.size()));
+      r.docset.conditions.erase(r.docset.conditions.begin() + step.index);
+      r.docset.base_var = new_var;
+      return r;
+    case Site::kDocSetBCond:
+      UNIFY_CHECK(step.index <
+                  static_cast<int>(r.docset_b.conditions.size()));
+      r.docset_b.conditions.erase(r.docset_b.conditions.begin() + step.index);
+      r.docset_b.base_var = new_var;
+      return r;
+    case Site::kGroupBy:
+      r.group_var = new_var;
+      r.docset = DocSet{};
+      return r;
+    case Site::kNumCond:
+      r.metric.num.cond.reset();
+      r.metric.num.filtered_var = new_var;
+      return r;
+    case Site::kDenCond:
+      r.metric.den.cond.reset();
+      r.metric.den.filtered_var = new_var;
+      return r;
+    case Site::kNumCount:
+      r.metric.num.filtered_var.clear();
+      r.metric.num.count_var = new_var;
+      return r;
+    case Site::kDenCount:
+      r.metric.den.filtered_var.clear();
+      r.metric.den.count_var = new_var;
+      return r;
+    case Site::kMetricCount:
+    case Site::kMetricAgg:
+    case Site::kMetricCompute:
+      if (q.task == TaskKind::kRatio) return finalize();
+      r.metric = GroupMetric{};
+      r.metric.metric_var = new_var;
+      r.group_var.clear();
+      r.docset = DocSet{};
+      r.percentile = 90;
+      return r;
+    case Site::kMetricExtract:
+      r.metric.extracted_var = new_var;
+      return r;
+    case Site::kArgBest:
+    case Site::kAggMain:
+    case Site::kTopK:
+    case Site::kCompare:
+      return finalize();
+    case Site::kCountA:
+      if (q.task == TaskKind::kCount) return finalize();
+      r.count_var_a = new_var;
+      r.docset = DocSet{};
+      return r;
+    case Site::kCountB:
+      r.count_var_b = new_var;
+      r.docset_b = DocSet{};
+      return r;
+    case Site::kExtractMain:
+      r.extracted_var = new_var;
+      r.docset = DocSet{};
+      r.attr.clear();
+      return r;
+    case Site::kSetOp:
+      r = QueryAst{};
+      r.task = TaskKind::kCount;
+      r.docset.base_var = new_var;
+      return r;
+  }
+  UNIFY_FATAL() << "unhandled reduction site";
+}
+
+}  // namespace unify::nlq

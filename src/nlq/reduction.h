@@ -1,0 +1,97 @@
+#ifndef UNIFY_NLQ_REDUCTION_H_
+#define UNIFY_NLQ_REDUCTION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nlq/ast.h"
+
+namespace unify::nlq {
+
+/// How far applying a step gets the query (the paper's rerank categories,
+/// Section V-A).
+enum class SolveDegree { kFully, kPartially };
+
+/// One legal reduction of a query by one logical operator — the semantic
+/// ground truth the simulated LLM consults when Unify asks it to check
+/// applicability or rewrite the query (Section V-B). A step names the
+/// operator, the inputs it consumes, and the arguments needed to execute
+/// it later.
+struct ReductionStep {
+  /// Logical operator name, matching the core operator registry ("Filter",
+  /// "GroupBy", "Count", "Sum", "Average", "Min", "Max", "Median",
+  /// "Percentile", "Extract", "TopK", "Compare", "Compute", "Union",
+  /// "Intersection", "Complementary").
+  std::string op_name;
+
+  /// Execution arguments (operator-specific):
+  ///   Filter:   condition=<phrase>, kind=semantic|numeric,
+  ///             [attribute,cmp,value,value2]
+  ///   GroupBy:  by=<group attribute>
+  ///   Extract:  attribute=<attr>
+  ///   TopK:     k=<int>, attribute=<attr>, desc=true|false
+  ///   Compare:  direction=max
+  ///   Compute:  expr=ratio
+  ///   Percentile: p=<int>
+  std::map<std::string, std::string> args;
+
+  /// Input variable names; "" denotes the raw document collection.
+  std::vector<std::string> input_vars;
+
+  /// Natural-language description of the step's output (for the planner's
+  /// variable catalog).
+  std::string output_desc;
+
+  /// Whether applying this step fully resolves the query.
+  SolveDegree degree = SolveDegree::kPartially;
+
+  /// True when the operator must understand meaning (semantic condition,
+  /// semantic grouping) — pre-programmed implementations alone cannot
+  /// guarantee correctness. Drives physical operator requirements.
+  bool requires_semantics = false;
+
+  /// --- internal locator (used by ApplyStep only) ---
+  enum class Site {
+    kDocSetCond,    ///< docset.conditions[index]
+    kDocSetBCond,   ///< docset_b.conditions[index]
+    kNumCond,       ///< metric.num.cond
+    kDenCond,       ///< metric.den.cond
+    kGroupBy,
+    kNumCount,
+    kDenCount,
+    kMetricCount,   ///< per-group count metric
+    kMetricExtract, ///< per-group attr extraction
+    kMetricAgg,     ///< per-group aggregate of extracted values
+    kMetricCompute, ///< per-group ratio
+    kArgBest,       ///< final arg-max/min over grouped scalars
+    kCountA,        ///< count/agg of side A (compare/ratio) or main count
+    kCountB,
+    kExtractMain,   ///< Extract for kAgg
+    kAggMain,       ///< final aggregate for kAgg
+    kTopK,
+    kCompare,
+    kSetOp,
+  };
+  Site site = Site::kDocSetCond;
+  int index = 0;
+};
+
+/// All reductions applicable to `q` right now. Deterministic order:
+/// filters (in appearance order), then structural steps. Empty when the
+/// query is fully reduced (`q.final_var` set).
+std::vector<ReductionStep> ApplicableSteps(const QueryAst& q);
+
+/// Applies `step` to `q`, binding the step's output to `new_var`. Returns
+/// the reduced query. The result is normalized so rendering and re-parsing
+/// preserve the remaining semantics.
+QueryAst ApplyStep(const QueryAst& q, const ReductionStep& step,
+                   const std::string& new_var);
+
+/// True when `q` is a minimal irreducible element (end of reduction,
+/// Section V-B).
+bool IsFullyReduced(const QueryAst& q);
+
+}  // namespace unify::nlq
+
+#endif  // UNIFY_NLQ_REDUCTION_H_

@@ -1,0 +1,334 @@
+#include "nlq/render.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace unify::nlq {
+
+namespace {
+
+/// Deterministic variant selection: style 0 is canonical; other styles mix
+/// variants per slot. `slot` distinguishes positions within one query so a
+/// single style exercises several phrasings.
+size_t Pick(uint32_t style, uint32_t slot, size_t n) {
+  if (style == 0 || n <= 1) return 0;
+  uint64_t h = (uint64_t)style * 2654435761ULL + (uint64_t)slot * 40503ULL;
+  h ^= h >> 13;
+  return static_cast<size_t>(h % n);
+}
+
+bool IsVarRef(const std::string& s) {
+  return s.size() >= 2;  // non-empty base_var treated as variable name
+}
+
+std::string VarTok(const std::string& var) { return "[" + var + "]"; }
+
+std::string FuncWord(AggFunc f, int percentile, uint32_t style,
+                     uint32_t slot) {
+  switch (f) {
+    case AggFunc::kSum:
+      return "total";
+    case AggFunc::kAvg:
+      return Pick(style, slot, 2) == 0 ? "average" : "mean";
+    case AggFunc::kMin:
+      return "minimum";
+    case AggFunc::kMax:
+      return "maximum";
+    case AggFunc::kMedian:
+      return "median";
+    case AggFunc::kPercentile:
+      return std::to_string(percentile) + "th percentile";
+  }
+  return "average";
+}
+
+}  // namespace
+
+std::string AttributeNoun(const std::string& attr) {
+  if (attr == "score") return "upvotes";
+  return attr;  // views, answers, comments, words
+}
+
+std::string AttributeFromNoun(const std::string& noun) {
+  if (noun == "upvotes") return "score";
+  if (IsKnownAttribute(noun)) return noun;
+  return "";
+}
+
+std::string RenderCondition(const Condition& c, uint32_t style) {
+  if (c.kind == Condition::Kind::kSemantic) {
+    // Variant 3 ("that are X-related") only reads well for single words.
+    bool multiword = c.text.find(' ') != std::string::npos;
+    size_t n = multiword ? 4 : 5;
+    switch (Pick(style, StableHash64(c.text) & 0xff, n)) {
+      case 0:
+        return "about " + c.text;
+      case 1:
+        return "related to " + c.text;
+      case 2:
+        return "that mention " + c.text;
+      case 3:
+        return "that involve " + c.text;
+      default:
+        return "that are " + c.text + "-related";
+    }
+  }
+  const std::string noun = AttributeNoun(c.attribute);
+  const std::string v = std::to_string(c.value);
+  switch (c.cmp) {
+    case Condition::Cmp::kGt:
+      switch (Pick(style, 7 + c.value % 5, 3)) {
+        case 0:
+          return "with over " + v + " " + noun;
+        case 1:
+          return "with more than " + v + " " + noun;
+        default:
+          return "that have more than " + v + " " + noun;
+      }
+    case Condition::Cmp::kGe:
+      return "with at least " + v + " " + noun;
+    case Condition::Cmp::kLt:
+      return Pick(style, 9, 2) == 0 ? "with fewer than " + v + " " + noun
+                                    : "with under " + v + " " + noun;
+    case Condition::Cmp::kLe:
+      return "with at most " + v + " " + noun;
+    case Condition::Cmp::kEq:
+      return "with exactly " + v + " " + noun;
+    case Condition::Cmp::kBetween:
+      return "with between " + v + " and " + std::to_string(c.value2) + " " +
+             noun;
+  }
+  return "";
+}
+
+namespace {
+
+std::string RenderConditionLr(const Condition& c) { return "[Condition]"; }
+
+std::string DocSetImpl(const DocSet& d, const std::string& entity,
+                       uint32_t style, bool lr) {
+  std::string out;
+  if (!d.base_var.empty() && IsVarRef(d.base_var)) {
+    out = "the items in " + (lr ? std::string("[Entity]") : VarTok(d.base_var));
+  } else {
+    out = lr ? "[Entity]" : entity;
+  }
+  for (size_t i = 0; i < d.conditions.size(); ++i) {
+    const std::string cond =
+        lr ? RenderConditionLr(d.conditions[i])
+           : RenderCondition(d.conditions[i], style);
+    if (i == 0 && d.base_var.empty()) {
+      out += " " + cond;
+    } else {
+      out += ", " + cond;
+    }
+  }
+  return out;
+}
+
+/// Renders one side of a ratio ("the number of questions about X" /
+/// "the count of [V4]" / "[V6]").
+std::string RatioTerm(const CountTerm& t, const std::string& entity,
+                      uint32_t style, bool lr, uint32_t slot) {
+  if (!t.count_var.empty()) return lr ? "[Entity]" : VarTok(t.count_var);
+  if (!t.filtered_var.empty()) {
+    return "the count of " + (lr ? std::string("[Entity]")
+                                 : VarTok(t.filtered_var));
+  }
+  UNIFY_CHECK(t.cond.has_value());
+  std::string docset = lr ? "[Entity] " + RenderConditionLr(*t.cond)
+                          : entity + " " + RenderCondition(*t.cond, style);
+  return "the number of " + docset;
+}
+
+std::string AggPhrase(AggFunc f, int percentile, const std::string& attr,
+                      uint32_t style, uint32_t slot, bool lr) {
+  const std::string noun = lr ? "[Attribute]" : AttributeNoun(attr);
+  if (f == AggFunc::kPercentile) {
+    std::string p = lr ? "[Number]" : std::to_string(percentile);
+    return p + "th percentile of the number of " + noun;
+  }
+  return FuncWord(f, percentile, style, slot) + " number of " + noun;
+}
+
+std::string RenderImpl(const QueryAst& q, uint32_t style, bool lr) {
+  const std::string entity = lr ? "[Entity]" : q.entity;
+  auto docset = [&](const DocSet& d) {
+    return DocSetImpl(d, q.entity, style, lr);
+  };
+  auto var = [&](const std::string& v) {
+    return lr ? std::string("[Entity]") : VarTok(v);
+  };
+
+  // Fully reduced: a minimal irreducible element.
+  if (!q.final_var.empty()) {
+    return "What is " + var(q.final_var) + "?";
+  }
+
+  std::ostringstream os;
+  switch (q.task) {
+    case TaskKind::kCount: {
+      // Count over a bare variable renders as "How many items are in [V]?".
+      if (!q.docset.base_var.empty() && q.docset.conditions.empty()) {
+        os << "How many items are in " << var(q.docset.base_var) << "?";
+        break;
+      }
+      switch (Pick(style, 1, 3)) {
+        case 0:
+          os << "How many " << docset(q.docset) << " are there?";
+          break;
+        case 1:
+          os << "What is the number of " << docset(q.docset) << "?";
+          break;
+        default:
+          os << "Count the " << docset(q.docset) << ".";
+          break;
+      }
+      break;
+    }
+    case TaskKind::kAgg: {
+      if (!q.extracted_var.empty()) {
+        std::string func = (lr && q.agg == AggFunc::kPercentile)
+                               ? "[Number]th percentile"
+                               : FuncWord(q.agg, q.percentile, style, 2);
+        os << "What is the " << func << " of the values in "
+           << var(q.extracted_var) << "?";
+        break;
+      }
+      os << "What is the " << AggPhrase(q.agg, q.percentile, q.attr, style, 3, lr)
+         << " of " << docset(q.docset) << "?";
+      break;
+    }
+    case TaskKind::kTopK: {
+      std::string k = lr ? "[Number]" : std::to_string(q.top_k);
+      const std::string noun = lr ? "[Attribute]" : AttributeNoun(q.attr);
+      if (Pick(style, 4, 2) == 0) {
+        os << "What are the top " << k << " " << docset(q.docset) << " by "
+           << (q.top_desc ? "" : "lowest ") << "number of " << noun << "?";
+      } else {
+        os << "Which " << k << " " << docset(q.docset) << " have the "
+           << (q.top_desc ? "highest" : "lowest") << " number of " << noun
+           << "?";
+      }
+      break;
+    }
+    case TaskKind::kCompareCount: {
+      auto side = [&](const DocSet& d, const std::string& cv) -> std::string {
+        if (!cv.empty()) return var(cv);
+        return "the number of " + docset(d);
+      };
+      if (q.count_var_a.empty() && q.count_var_b.empty() &&
+          Pick(style, 5, 2) == 0) {
+        os << "Are there more " << docset(q.docset) << " or "
+           << docset(q.docset_b) << "?";
+      } else {
+        os << "Which is larger: " << side(q.docset, q.count_var_a) << " or "
+           << side(q.docset_b, q.count_var_b) << "?";
+      }
+      break;
+    }
+    case TaskKind::kCompareAgg: {
+      auto side = [&](const DocSet& d, const std::string& cv) -> std::string {
+        if (!cv.empty()) return var(cv);
+        return "the " + AggPhrase(q.agg, q.percentile, q.attr, style, 6, lr) +
+               " of " + docset(d);
+      };
+      os << "Which is higher: " << side(q.docset, q.count_var_a) << " or "
+         << side(q.docset_b, q.count_var_b) << "?";
+      break;
+    }
+    case TaskKind::kGroupArgBest: {
+      const std::string best = q.best_is_max ? "highest" : "lowest";
+      const std::string group = lr ? "[Group]" : q.group_attr;
+      // Metric already computed per group: only the arg-best remains.
+      if (!q.metric.metric_var.empty()) {
+        os << "For the values in " << var(q.metric.metric_var) << ", which "
+           << group << " has the " << best << " value?";
+        break;
+      }
+      // Prefix: original docset, or the grouped variable.
+      if (!q.group_var.empty()) {
+        os << "For the groups in " << var(q.group_var) << ", which " << group
+           << " has the " << best << " ";
+      } else {
+        os << "Among " << docset(q.docset) << ", which " << group
+           << " has the " << best << " ";
+      }
+      switch (q.metric.kind) {
+        case GroupMetric::Kind::kCount:
+          os << "number of " << entity;
+          break;
+        case GroupMetric::Kind::kAgg:
+          if (!q.metric.extracted_var.empty()) {
+            os << FuncWord(q.metric.func, q.percentile, style, 8)
+               << " of the values in " << var(q.metric.extracted_var);
+          } else {
+            os << AggPhrase(q.metric.func, q.percentile, q.metric.attr, style,
+                            8, lr);
+          }
+          break;
+        case GroupMetric::Kind::kRatio:
+          os << "ratio of " << RatioTerm(q.metric.num, q.entity, style, lr, 9)
+             << " to " << RatioTerm(q.metric.den, q.entity, style, lr, 10);
+          break;
+      }
+      os << "?";
+      break;
+    }
+    case TaskKind::kRatio: {
+      auto term = [&](const DocSet& d, const std::string& cv) -> std::string {
+        if (!cv.empty()) return var(cv);
+        if (!d.base_var.empty() && d.conditions.empty()) {
+          return "the count of " + var(d.base_var);
+        }
+        return "the number of " + docset(d);
+      };
+      os << "What is the ratio of " << term(q.docset, q.count_var_a) << " to "
+         << term(q.docset_b, q.count_var_b) << "?";
+      break;
+    }
+    case TaskKind::kSetCount: {
+      auto side = [&](const DocSet& d) -> std::string {
+        if (!d.base_var.empty() && d.conditions.empty())
+          return var(d.base_var);
+        return docset(d);
+      };
+      switch (q.set_op) {
+        case SetOpKind::kUnion:
+          os << "How many " << entity << " are in the union of "
+             << side(q.docset) << " and " << side(q.docset_b) << "?";
+          break;
+        case SetOpKind::kIntersect:
+          os << "How many " << entity << " appear in both " << side(q.docset)
+             << " and " << side(q.docset_b) << "?";
+          break;
+        case SetOpKind::kDifference:
+          os << "How many " << entity << " are in " << side(q.docset)
+             << " but not in " << side(q.docset_b) << "?";
+          break;
+      }
+      break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string RenderDocSet(const DocSet& d, const std::string& entity,
+                         uint32_t style) {
+  return DocSetImpl(d, entity, style, /*lr=*/false);
+}
+
+std::string Render(const QueryAst& q, uint32_t style) {
+  return RenderImpl(q, style, /*lr=*/false);
+}
+
+std::string RenderLogicalRepresentation(const QueryAst& q) {
+  return RenderImpl(q, /*style=*/0, /*lr=*/true);
+}
+
+}  // namespace unify::nlq

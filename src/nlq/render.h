@@ -1,0 +1,43 @@
+#ifndef UNIFY_NLQ_RENDER_H_
+#define UNIFY_NLQ_RENDER_H_
+
+#include <string>
+
+#include "nlq/ast.h"
+
+namespace unify::nlq {
+
+/// Renders `q` to an English analytics question.
+///
+/// `style` selects among equivalent phrasings (the paper instructs an LLM
+/// to generate "equivalent variants" of each query; here the variants are
+/// enumerated deterministically). For every AST reachable from the workload
+/// generator and every style, `Parse(Render(q, style)) == q` — this
+/// round-trip invariant is enforced by property tests.
+std::string Render(const QueryAst& q, uint32_t style = 0);
+
+/// Renders one condition as an entity postmodifier ("about football",
+/// "with over 500 views"). Exposed for operator-argument rendering.
+std::string RenderCondition(const Condition& c, uint32_t style = 0);
+
+/// Renders a document set ("questions about football, with over 500
+/// views" or "the items in [V2]").
+std::string RenderDocSet(const DocSet& d, const std::string& entity,
+                         uint32_t style = 0);
+
+/// Renders the *logical representation* of `q`: the same surface template
+/// with concrete values abstracted into placeholders ([Entity],
+/// [Condition], [Attribute], [Number], [Group]). This is what the paper's
+/// Semantic Parsing step produces (Section V-A) and what operator matching
+/// embeds.
+std::string RenderLogicalRepresentation(const QueryAst& q);
+
+/// The attribute noun used in surface text ("views", "upvotes", ...).
+std::string AttributeNoun(const std::string& attr);
+
+/// Inverse of AttributeNoun; empty when unknown.
+std::string AttributeFromNoun(const std::string& noun);
+
+}  // namespace unify::nlq
+
+#endif  // UNIFY_NLQ_RENDER_H_

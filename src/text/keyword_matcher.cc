@@ -1,0 +1,57 @@
+#include "text/keyword_matcher.h"
+
+#include "text/tokenizer.h"
+
+namespace unify::text {
+
+KeywordMatcher::KeywordMatcher(std::string_view phrase)
+    : keywords_(StemmedContentTokens(phrase)) {}
+
+namespace {
+
+std::unordered_set<std::string> StemSet(std::string_view text) {
+  std::unordered_set<std::string> set;
+  for (auto& t : StemmedContentTokens(text)) set.insert(std::move(t));
+  return set;
+}
+
+}  // namespace
+
+bool KeywordMatcher::MatchesAll(std::string_view text) const {
+  if (keywords_.empty()) return true;
+  auto set = StemSet(text);
+  for (const auto& k : keywords_) {
+    if (set.count(k) == 0) return false;
+  }
+  return true;
+}
+
+bool KeywordMatcher::MatchesAny(std::string_view text) const {
+  if (keywords_.empty()) return true;
+  auto set = StemSet(text);
+  for (const auto& k : keywords_) {
+    if (set.count(k) > 0) return true;
+  }
+  return false;
+}
+
+double KeywordMatcher::MatchFraction(std::string_view text) const {
+  if (keywords_.empty()) return 1.0;
+  auto set = StemSet(text);
+  size_t hit = 0;
+  for (const auto& k : keywords_) {
+    if (set.count(k) > 0) ++hit;
+  }
+  return static_cast<double>(hit) / static_cast<double>(keywords_.size());
+}
+
+size_t CountKeyword(std::string_view text, std::string_view keyword) {
+  std::string stem = Stem(std::string(keyword));
+  size_t n = 0;
+  for (auto& t : StemmedContentTokens(text)) {
+    if (t == stem) ++n;
+  }
+  return n;
+}
+
+}  // namespace unify::text

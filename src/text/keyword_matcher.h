@@ -1,0 +1,43 @@
+#ifndef UNIFY_TEXT_KEYWORD_MATCHER_H_
+#define UNIFY_TEXT_KEYWORD_MATCHER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace unify::text {
+
+/// Matches documents against keyword queries on stemmed content tokens.
+/// This is the pre-programmed (non-LLM) implementation backing Filter and
+/// Extract: it can only see surface text, so it succeeds exactly when the
+/// relevant words literally appear in the document — the paper's contrast
+/// with LLM-based semantic filtering.
+class KeywordMatcher {
+ public:
+  /// Builds a matcher for `phrase`; its stemmed content tokens become the
+  /// keyword set.
+  explicit KeywordMatcher(std::string_view phrase);
+
+  /// True iff every keyword occurs (stemmed) in `text`.
+  bool MatchesAll(std::string_view text) const;
+
+  /// True iff at least one keyword occurs (stemmed) in `text`.
+  bool MatchesAny(std::string_view text) const;
+
+  /// Fraction of keywords present in `text`, in [0, 1]. Empty keyword sets
+  /// yield 1.0 (vacuous truth).
+  double MatchFraction(std::string_view text) const;
+
+  const std::vector<std::string>& keywords() const { return keywords_; }
+
+ private:
+  std::vector<std::string> keywords_;
+};
+
+/// Counts occurrences of stemmed `keyword` in `text`.
+size_t CountKeyword(std::string_view text, std::string_view keyword);
+
+}  // namespace unify::text
+
+#endif  // UNIFY_TEXT_KEYWORD_MATCHER_H_

@@ -1,0 +1,105 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+namespace unify::text {
+
+namespace {
+
+const std::unordered_set<std::string>& StopwordSet() {
+  static const auto* kSet = new std::unordered_set<std::string>{
+      "a",     "an",    "and",   "are",   "as",    "at",    "be",    "been",
+      "but",   "by",    "can",   "did",   "do",    "does",  "for",   "from",
+      "had",   "has",   "have",  "how",   "i",     "if",    "in",    "into",
+      "is",    "it",    "its",   "of",    "on",    "or",    "over",  "s",
+      "so",    "than",  "that",  "the",   "their", "them",  "then",  "there",
+      "these", "they",  "this",  "those", "to",    "was",   "we",    "were",
+      "what",  "when",  "where", "which", "who",   "whose", "why",   "will",
+      "with",  "would", "you",   "your",  "also",  "about", "after", "before",
+      "among", "any",   "each",  "such",  "very",  "not",   "no",    "only",
+      "out",   "up",    "down",  "more",  "most",  "some",  "all",   "other",
+  };
+  return *kSet;
+}
+
+}  // namespace
+
+std::vector<std::string> Tokenize(std::string_view s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char raw : s) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      cur.push_back(static_cast<char>(std::tolower(c)));
+    } else if (!cur.empty()) {
+      out.push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+bool IsStopword(std::string_view token) {
+  return StopwordSet().count(std::string(token)) > 0;
+}
+
+std::vector<std::string> ContentTokens(std::string_view s) {
+  std::vector<std::string> out;
+  for (auto& tok : Tokenize(s)) {
+    if (tok.size() <= 1) continue;
+    if (IsStopword(tok)) continue;
+    out.push_back(std::move(tok));
+  }
+  return out;
+}
+
+std::string Stem(std::string_view token) {
+  std::string t(token);
+  auto ends_with = [&](std::string_view suf) {
+    return t.size() >= suf.size() &&
+           std::string_view(t).substr(t.size() - suf.size()) == suf;
+  };
+  auto chop = [&](size_t n) { t.erase(t.size() - n); };
+
+  if (t.size() > 4 && ends_with("ies")) {
+    chop(3);
+    t.push_back('y');  // injuries -> injury
+    return t;
+  }
+  if (t.size() > 5 && ends_with("ing")) {
+    chop(3);  // training -> train
+    // Undouble final consonant: running -> run.
+    if (t.size() >= 3 && t[t.size() - 1] == t[t.size() - 2] &&
+        t[t.size() - 1] != 'l' && t[t.size() - 1] != 's') {
+      chop(1);
+    }
+    return t;
+  }
+  if (t.size() > 4 && ends_with("ed")) {
+    chop(2);  // injured -> injur
+    return t;
+  }
+  if (t.size() > 3 && ends_with("es")) {
+    chop(2);  // matches -> match
+    return t;
+  }
+  if (t.size() > 3 && ends_with("s") && !ends_with("ss")) {
+    chop(1);  // sports -> sport
+    return t;
+  }
+  if (t.size() > 5 && ends_with("ly")) {
+    chop(2);
+    return t;
+  }
+  return t;
+}
+
+std::vector<std::string> StemmedContentTokens(std::string_view s) {
+  std::vector<std::string> out;
+  for (auto& tok : ContentTokens(s)) out.push_back(Stem(tok));
+  return out;
+}
+
+}  // namespace unify::text

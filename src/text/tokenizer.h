@@ -1,0 +1,35 @@
+#ifndef UNIFY_TEXT_TOKENIZER_H_
+#define UNIFY_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace unify::text {
+
+/// Splits `s` into lowercase word tokens. A token is a maximal run of
+/// alphanumeric characters; punctuation separates tokens. "Don't" yields
+/// {"don", "t"}; "2000-2010" yields {"2000", "2010"}.
+std::vector<std::string> Tokenize(std::string_view s);
+
+/// True for high-frequency English function words that carry no topical
+/// signal ("the", "of", "and", ...). Used by the bag-of-words embedder and
+/// keyword matcher to focus on content words.
+bool IsStopword(std::string_view token);
+
+/// Tokenize + drop stopwords + drop single-character tokens.
+std::vector<std::string> ContentTokens(std::string_view s);
+
+/// A light stemmer: strips common English suffixes ("-ing", "-ed", "-es",
+/// "-s", "-ly") with guards against over-stripping short words. Not a full
+/// Porter stemmer, but enough for keyword matching across inflections
+/// ("training" ~ "train", "injuries" -> "injuri"/"injury" handled via the
+/// "ies"->"y" rule).
+std::string Stem(std::string_view token);
+
+/// Content tokens, stemmed.
+std::vector<std::string> StemmedContentTokens(std::string_view s);
+
+}  // namespace unify::text
+
+#endif  // UNIFY_TEXT_TOKENIZER_H_

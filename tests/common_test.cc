@@ -1,0 +1,307 @@
+#include <set>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+
+namespace unify {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / StatusOr
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad thing");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad thing");
+}
+
+TEST(StatusTest, AllFactoryCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Aborted("x").code(), StatusCode::kAborted);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x * 2;
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  auto r = ParsePositive(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  auto r = ParsePositive(-1);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+StatusOr<int> ChainTwice(int x) {
+  UNIFY_ASSIGN_OR_RETURN(int doubled, ParsePositive(x));
+  UNIFY_ASSIGN_OR_RETURN(int quadrupled, ParsePositive(doubled));
+  return quadrupled;
+}
+
+TEST(StatusOrTest, AssignOrReturnMacroPropagates) {
+  EXPECT_EQ(ChainTwice(1).value(), 4);
+  EXPECT_FALSE(ChainTwice(0).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextUint64InRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextUint64(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange) {
+  Rng rng(5);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformInt(3, 7));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 3);
+  EXPECT_EQ(*seen.rbegin(), 7);
+}
+
+TEST(RngTest, DoublesInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  SampleStats stats;
+  for (int i = 0; i < 20000; ++i) stats.Add(rng.Gaussian());
+  EXPECT_NEAR(stats.Mean(), 0.0, 0.05);
+  EXPECT_NEAR(stats.StdDev(), 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(19);
+  std::vector<double> weights = {1, 3, 6};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 30000; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_NEAR(counts[0] / 30000.0, 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / 30000.0, 0.3, 0.02);
+  EXPECT_NEAR(counts[2] / 30000.0, 0.6, 0.02);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(23);
+  auto sample = rng.SampleWithoutReplacement(100, 40);
+  std::set<size_t> set(sample.begin(), sample.end());
+  EXPECT_EQ(set.size(), 40u);
+  for (size_t s : set) EXPECT_LT(s, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFullAndOverdraw) {
+  Rng rng(29);
+  EXPECT_EQ(rng.SampleWithoutReplacement(10, 10).size(), 10u);
+  EXPECT_EQ(rng.SampleWithoutReplacement(10, 20).size(), 10u);
+}
+
+TEST(RngTest, ZipfSkewsTowardSmallIndices) {
+  Rng rng(31);
+  int head = 0;
+  for (int i = 0; i < 5000; ++i) head += rng.Zipf(20, 1.0) < 3;
+  EXPECT_GT(head, 2000);  // >40% mass on the top 3 of 20
+}
+
+TEST(RngTest, ForkIsIndependentButDeterministic) {
+  Rng a(7);
+  Rng b(7);
+  Rng fa = a.Fork(1);
+  Rng fb = b.Fork(1);
+  EXPECT_EQ(fa.Next(), fb.Next());
+  Rng other = a.Fork(2);
+  EXPECT_NE(a.Fork(1).Next(), other.Next());
+}
+
+TEST(HashTest, StableHashIsStable) {
+  EXPECT_EQ(StableHash64("hello"), StableHash64("hello"));
+  EXPECT_NE(StableHash64("hello"), StableHash64("hellp"));
+  EXPECT_NE(StableHash64(""), StableHash64(" "));
+}
+
+// ---------------------------------------------------------------------------
+// String utilities
+// ---------------------------------------------------------------------------
+
+TEST(StringUtilTest, StrSplitKeepsEmpty) {
+  auto parts = StrSplit("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsEmpty) {
+  auto parts = SplitWhitespace("  a \t b\nc  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtilTest, JoinAndReplace) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrReplaceAll("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(StrReplaceAll("aaa", "aa", "b"), "ba");
+}
+
+TEST(StringUtilTest, CaseHelpers) {
+  EXPECT_EQ(AsciiToLower("HeLLo"), "hello");
+  EXPECT_TRUE(StrContainsIgnoreCase("Hello World", "WORLD"));
+  EXPECT_FALSE(StrContainsIgnoreCase("Hello", "xyz"));
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+}
+
+TEST(StringUtilTest, ParseNumbers) {
+  EXPECT_EQ(ParseInt64("42").value(), 42);
+  EXPECT_EQ(ParseInt64("-7").value(), -7);
+  EXPECT_FALSE(ParseInt64("4x").has_value());
+  EXPECT_FALSE(ParseInt64("").has_value());
+  EXPECT_DOUBLE_EQ(ParseDouble("3.25").value(), 3.25);
+  EXPECT_FALSE(ParseDouble("3.25x").has_value());
+  EXPECT_EQ(ParseLeadingInt64("over 500 views").value(), 500);
+  EXPECT_FALSE(ParseLeadingInt64("no digits").has_value());
+}
+
+TEST(StringUtilTest, FormatDoubleTrimsZeros) {
+  EXPECT_EQ(FormatDouble(3.1400, 4), "3.14");
+  EXPECT_EQ(FormatDouble(5.0, 3), "5");
+  EXPECT_EQ(FormatDouble(0.5, 2), "0.5");
+}
+
+// ---------------------------------------------------------------------------
+// SampleStats / q-error
+// ---------------------------------------------------------------------------
+
+TEST(StatsTest, BasicMoments) {
+  SampleStats s;
+  s.AddAll({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(s.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  SampleStats s;
+  s.AddAll({0, 10});
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.25), 2.5);
+}
+
+TEST(StatsTest, QuantileAfterIncrementalAdds) {
+  SampleStats s;
+  for (int i = 100; i >= 1; --i) s.Add(i);
+  EXPECT_NEAR(s.Quantile(0.90), 90.1, 0.2);
+  s.Add(1000);
+  EXPECT_GT(s.Max(), 999);
+}
+
+TEST(QErrorTest, SymmetricAndClamped) {
+  EXPECT_DOUBLE_EQ(QError(10, 100), 10.0);
+  EXPECT_DOUBLE_EQ(QError(100, 10), 10.0);
+  EXPECT_DOUBLE_EQ(QError(50, 50), 1.0);
+  // Zero estimates are clamped to 1, not infinite.
+  EXPECT_DOUBLE_EQ(QError(0, 100), 100.0);
+  EXPECT_DOUBLE_EQ(QError(0, 0), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Schedule([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Schedule([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Schedule([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, DrainsOnDestruction) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 50; ++i) {
+      pool.Schedule([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+}  // namespace
+}  // namespace unify

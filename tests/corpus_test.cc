@@ -1,0 +1,368 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "corpus/answer.h"
+#include "corpus/corpus.h"
+#include "corpus/dataset_profile.h"
+#include "corpus/workload.h"
+#include "text/field_extractor.h"
+#include "text/keyword_matcher.h"
+
+namespace unify::corpus {
+namespace {
+
+DatasetProfile SmallSports() {
+  auto profile = SportsProfile();
+  profile.doc_count = 300;
+  return profile;
+}
+
+TEST(ProfilesTest, PaperScaleDocumentCounts) {
+  EXPECT_EQ(SportsProfile().doc_count, 3898u);
+  EXPECT_EQ(AiProfile().doc_count, 5137u);
+  EXPECT_EQ(LawProfile().doc_count, 2053u);
+  EXPECT_EQ(WikiProfile().doc_count, 1000u);
+  EXPECT_EQ(AllProfiles().size(), 4u);
+}
+
+TEST(ProfilesTest, GroupsReferenceExistingCategories) {
+  for (const auto& profile : AllProfiles()) {
+    std::set<std::string> cats;
+    for (const auto& c : profile.categories) cats.insert(c.name);
+    for (const auto& g : profile.groups) {
+      for (const auto& m : g.members) {
+        EXPECT_TRUE(cats.count(m)) << profile.name << ": group " << g.name
+                                   << " references unknown " << m;
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, DeterministicInSeed) {
+  auto a = GenerateCorpus(SmallSports(), 5);
+  auto b = GenerateCorpus(SmallSports(), 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.docs()[i].text, b.docs()[i].text);
+    EXPECT_EQ(a.docs()[i].attrs.category, b.docs()[i].attrs.category);
+  }
+  auto c = GenerateCorpus(SmallSports(), 6);
+  EXPECT_NE(a.docs()[0].text, c.docs()[0].text);
+}
+
+TEST(GeneratorTest, AttributesAreSurfaceExtractable) {
+  auto corpus = GenerateCorpus(SmallSports(), 7);
+  for (const auto& doc : corpus.docs()) {
+    EXPECT_EQ(text::FieldExtractor::ExtractInt(doc.text, "views").value_or(-1),
+              doc.attrs.views)
+        << doc.text;
+    EXPECT_EQ(text::FieldExtractor::ExtractInt(doc.text, "score").value_or(-1),
+              doc.attrs.score);
+    EXPECT_EQ(
+        text::FieldExtractor::ExtractInt(doc.text, "answers").value_or(-1),
+        doc.attrs.answers);
+    EXPECT_EQ(
+        text::FieldExtractor::ExtractInt(doc.text, "comments").value_or(-1),
+        doc.attrs.comments);
+    EXPECT_EQ(text::FieldExtractor::ExtractInt(doc.text, "words").value_or(-1),
+              doc.attrs.words);
+  }
+}
+
+TEST(GeneratorTest, ExplicitDocsContainCategoryKeyword) {
+  auto corpus = GenerateCorpus(SmallSports(), 9);
+  int explicit_docs = 0;
+  for (const auto& doc : corpus.docs()) {
+    if (!doc.attrs.explicit_category) continue;
+    ++explicit_docs;
+    EXPECT_TRUE(text::KeywordMatcher(doc.attrs.category).MatchesAll(doc.text))
+        << doc.text;
+  }
+  // ~80% of documents are explicit.
+  EXPECT_NEAR(static_cast<double>(explicit_docs) / corpus.size(), 0.8, 0.1);
+}
+
+TEST(GeneratorTest, ImplicitDocsLackCategoryKeyword) {
+  auto corpus = GenerateCorpus(SmallSports(), 9);
+  for (const auto& doc : corpus.docs()) {
+    if (doc.attrs.explicit_category) continue;
+    // The category name itself must not appear (that is the point of the
+    // implicit rendering — keyword filters miss these documents).
+    EXPECT_FALSE(text::KeywordMatcher(doc.attrs.category).MatchesAll(doc.text))
+        << doc.text;
+  }
+}
+
+TEST(GeneratorTest, CategoryFrequenciesAreSkewed) {
+  auto corpus = GenerateCorpus(SportsProfile(), 11);
+  std::map<std::string, int> counts;
+  for (const auto& doc : corpus.docs()) ++counts[doc.attrs.category];
+  int head = counts[corpus.profile().categories.front().name];
+  int tail = counts[corpus.profile().categories.back().name];
+  EXPECT_GT(head, tail);
+}
+
+TEST(KnowledgeTest, ResolvesCategoriesGroupsTags) {
+  auto corpus = GenerateCorpus(SmallSports(), 13);
+  const auto& kb = corpus.knowledge();
+  auto tennis = kb.Resolve("tennis");
+  ASSERT_TRUE(tennis.has_value());
+  EXPECT_EQ(tennis->kind, SemanticPredicate::Kind::kCategory);
+  auto balls = kb.Resolve("ball sports");
+  ASSERT_TRUE(balls.has_value());
+  EXPECT_GT(balls->categories.size(), 2u);
+  auto injury = kb.Resolve("injury");
+  ASSERT_TRUE(injury.has_value());
+  EXPECT_EQ(injury->kind, SemanticPredicate::Kind::kTag);
+  EXPECT_FALSE(kb.Resolve("quantum chromodynamics").has_value());
+  // Case-insensitive.
+  EXPECT_TRUE(kb.Resolve("Tennis").has_value());
+}
+
+TEST(KnowledgeTest, MatchesUsesLatentAttributes) {
+  auto corpus = GenerateCorpus(SmallSports(), 13);
+  const auto& kb = corpus.knowledge();
+  DocAttrs attrs;
+  attrs.category = "tennis";
+  attrs.tags = {"injury"};
+  EXPECT_TRUE(kb.Matches("tennis", attrs));
+  EXPECT_TRUE(kb.Matches("ball sports", attrs));
+  EXPECT_TRUE(kb.Matches("injury", attrs));
+  EXPECT_FALSE(kb.Matches("golf", attrs));
+  EXPECT_FALSE(kb.Matches("training", attrs));
+}
+
+// ---------------------------------------------------------------------------
+// Answer equivalence
+// ---------------------------------------------------------------------------
+
+TEST(AnswerTest, NumberToleranceIsRelative) {
+  EXPECT_TRUE(Answer::Equivalent(Answer::Number(100), Answer::Number(104)));
+  EXPECT_FALSE(Answer::Equivalent(Answer::Number(100), Answer::Number(110)));
+  EXPECT_TRUE(Answer::Equivalent(Answer::Number(0), Answer::Number(0)));
+  EXPECT_FALSE(
+      Answer::Equivalent(Answer::Number(100), Answer::Text("100")));
+}
+
+TEST(AnswerTest, TextCaseInsensitive) {
+  EXPECT_TRUE(Answer::Equivalent(Answer::Text("Tennis"),
+                                 Answer::Text("tennis")));
+  EXPECT_FALSE(
+      Answer::Equivalent(Answer::Text("tennis"), Answer::Text("golf")));
+}
+
+TEST(AnswerTest, ListsCompareAsSets) {
+  EXPECT_TRUE(Answer::Equivalent(Answer::List({"a", "b"}),
+                                 Answer::List({"B", "A"})));
+  EXPECT_FALSE(Answer::Equivalent(Answer::List({"a", "b"}),
+                                  Answer::List({"a", "c"})));
+  EXPECT_FALSE(Answer::Equivalent(Answer::List({"a"}),
+                                  Answer::List({"a", "a"})));
+}
+
+// ---------------------------------------------------------------------------
+// Ground-truth evaluator against a hand-built corpus
+// ---------------------------------------------------------------------------
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus_ = new Corpus(GenerateCorpus(SmallSports(), 17));
+  }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    corpus_ = nullptr;
+  }
+  static Corpus* corpus_;
+};
+Corpus* EvaluatorTest::corpus_ = nullptr;
+
+TEST_F(EvaluatorTest, CountMatchesManualCount) {
+  nlq::QueryAst q;
+  q.task = nlq::TaskKind::kCount;
+  q.docset.conditions = {nlq::Condition::Semantic("tennis")};
+  Answer a = EvaluateQuery(q, *corpus_);
+  size_t manual = 0;
+  for (const auto& doc : corpus_->docs()) {
+    manual += doc.attrs.category == "tennis";
+  }
+  ASSERT_EQ(a.kind, Answer::Kind::kNumber);
+  EXPECT_DOUBLE_EQ(a.number, static_cast<double>(manual));
+}
+
+TEST_F(EvaluatorTest, NumericConditionsAllComparators) {
+  using Cmp = nlq::Condition::Cmp;
+  for (Cmp cmp : {Cmp::kGt, Cmp::kGe, Cmp::kLt, Cmp::kLe, Cmp::kEq,
+                  Cmp::kBetween}) {
+    nlq::QueryAst q;
+    q.task = nlq::TaskKind::kCount;
+    q.docset.conditions = {
+        nlq::Condition::Numeric("views", cmp, 300, 600)};
+    Answer a = EvaluateQuery(q, *corpus_);
+    size_t manual = 0;
+    for (const auto& doc : corpus_->docs()) {
+      int64_t v = doc.attrs.views;
+      bool m = false;
+      switch (cmp) {
+        case Cmp::kGt: m = v > 300; break;
+        case Cmp::kGe: m = v >= 300; break;
+        case Cmp::kLt: m = v < 300; break;
+        case Cmp::kLe: m = v <= 300; break;
+        case Cmp::kEq: m = v == 300; break;
+        case Cmp::kBetween: m = v >= 300 && v <= 600; break;
+      }
+      manual += m;
+    }
+    EXPECT_DOUBLE_EQ(a.number, static_cast<double>(manual));
+  }
+}
+
+TEST_F(EvaluatorTest, AggregatesMatchManual) {
+  nlq::QueryAst q;
+  q.task = nlq::TaskKind::kAgg;
+  q.agg = nlq::AggFunc::kAvg;
+  q.attr = "views";
+  q.docset.conditions = {nlq::Condition::Semantic("football")};
+  Answer a = EvaluateQuery(q, *corpus_);
+  double sum = 0;
+  size_t n = 0;
+  for (const auto& doc : corpus_->docs()) {
+    if (doc.attrs.category != "football") continue;
+    sum += static_cast<double>(doc.attrs.views);
+    ++n;
+  }
+  ASSERT_GT(n, 0u);
+  EXPECT_NEAR(a.number, sum / n, 1e-9);
+}
+
+TEST_F(EvaluatorTest, TopKReturnsTitlesInOrder) {
+  nlq::QueryAst q;
+  q.task = nlq::TaskKind::kTopK;
+  q.top_k = 3;
+  q.attr = "views";
+  q.docset.conditions = {nlq::Condition::Semantic("football")};
+  Answer a = EvaluateQuery(q, *corpus_);
+  ASSERT_EQ(a.kind, Answer::Kind::kList);
+  ASSERT_EQ(a.list.size(), 3u);
+}
+
+TEST_F(EvaluatorTest, SetOperationsConsistent) {
+  auto count_of = [&](nlq::SetOpKind op) {
+    nlq::QueryAst q;
+    q.task = nlq::TaskKind::kSetCount;
+    q.set_op = op;
+    q.docset.conditions = {nlq::Condition::Semantic("injury")};
+    q.docset_b.conditions = {nlq::Condition::Semantic("training")};
+    return EvaluateQuery(q, *corpus_).number;
+  };
+  double u = count_of(nlq::SetOpKind::kUnion);
+  double i = count_of(nlq::SetOpKind::kIntersect);
+  double d = count_of(nlq::SetOpKind::kDifference);
+  nlq::QueryAst a;
+  a.task = nlq::TaskKind::kCount;
+  a.docset.conditions = {nlq::Condition::Semantic("injury")};
+  double injury = EvaluateQuery(a, *corpus_).number;
+  // |A∪B| = |A| + |B| - |A∩B| and |A\B| = |A| - |A∩B|.
+  EXPECT_DOUBLE_EQ(d, injury - i);
+  nlq::QueryAst b = a;
+  b.docset.conditions = {nlq::Condition::Semantic("training")};
+  double training = EvaluateQuery(b, *corpus_).number;
+  EXPECT_DOUBLE_EQ(u, injury + training - i);
+}
+
+TEST_F(EvaluatorTest, RatioUndefinedOnZeroDenominator) {
+  nlq::QueryAst q;
+  q.task = nlq::TaskKind::kRatio;
+  q.docset.conditions = {nlq::Condition::Semantic("injury")};
+  q.docset_b.conditions = {
+      nlq::Condition::Numeric("views", nlq::Condition::Cmp::kGt, 1000000000)};
+  Answer a = EvaluateQuery(q, *corpus_);
+  EXPECT_EQ(a.kind, Answer::Kind::kNone);
+}
+
+TEST_F(EvaluatorTest, SubsetEvaluationScalesCounts) {
+  nlq::QueryAst q;
+  q.task = nlq::TaskKind::kCount;
+  q.docset.conditions = {nlq::Condition::Semantic("tennis")};
+  std::vector<const Document*> half;
+  for (size_t i = 0; i < corpus_->size(); i += 2) {
+    half.push_back(&corpus_->docs()[i]);
+  }
+  Answer scaled =
+      EvaluateQueryOnDocs(q, half, corpus_->knowledge(), 2.0);
+  Answer full = EvaluateQuery(q, *corpus_);
+  // Extrapolated count is within sampling error of the truth.
+  EXPECT_NEAR(scaled.number, full.number, full.number * 0.5 + 4);
+}
+
+// ---------------------------------------------------------------------------
+// Workload generation
+// ---------------------------------------------------------------------------
+
+TEST(WorkloadTest, TwentyTemplatesTimesPerTemplate) {
+  auto corpus = GenerateCorpus(SmallSports(), 19);
+  WorkloadOptions options;
+  options.per_template = 3;
+  auto workload = GenerateWorkload(corpus, options);
+  EXPECT_EQ(workload.size(), 60u);
+  std::set<int> templates;
+  for (const auto& qc : workload) templates.insert(qc.template_id);
+  EXPECT_EQ(templates.size(), 20u);
+}
+
+TEST(WorkloadTest, GroundTruthsAreDefined) {
+  auto corpus = GenerateCorpus(SmallSports(), 19);
+  WorkloadOptions options;
+  options.per_template = 2;
+  for (const auto& qc : GenerateWorkload(corpus, options)) {
+    EXPECT_NE(qc.ground_truth.kind, Answer::Kind::kNone) << qc.text;
+    EXPECT_FALSE(qc.text.empty());
+  }
+}
+
+TEST(WorkloadTest, DeterministicInSeed) {
+  auto corpus = GenerateCorpus(SmallSports(), 19);
+  WorkloadOptions options;
+  options.per_template = 1;
+  auto a = GenerateWorkload(corpus, options);
+  auto b = GenerateWorkload(corpus, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].text, b[i].text);
+}
+
+TEST(WorkloadTest, HistoricalPredicatesHaveTrueSelectivities) {
+  auto corpus = GenerateCorpus(SmallSports(), 19);
+  auto history = GenerateHistoricalPredicates(corpus, 20, 3);
+  ASSERT_EQ(history.size(), 20u);
+  for (const auto& hp : history) {
+    EXPECT_GE(hp.selectivity, 0.0);
+    EXPECT_LE(hp.selectivity, 1.0);
+    size_t manual = 0;
+    for (const auto& doc : corpus.docs()) {
+      manual += corpus.knowledge().Matches(hp.phrase, doc.attrs);
+    }
+    EXPECT_NEAR(hp.selectivity,
+                static_cast<double>(manual) / corpus.size(), 1e-9);
+  }
+}
+
+TEST(EmbeddingSpecTest, TopicTokensCoverCategoriesAndTags) {
+  auto profile = SportsProfile();
+  auto spec = BuildEmbeddingSpec(profile);
+  EXPECT_GE(spec.topic_tokens.size(),
+            profile.categories.size() + profile.tags.size());
+  // Unique implicit tokens alias to their category ("wimbledon"→tennis).
+  bool found_wimbledon = false;
+  for (const auto& [alias, targets] : spec.aliases) {
+    if (alias == "wimbledon") {
+      found_wimbledon = true;
+      ASSERT_FALSE(targets.empty());
+      EXPECT_EQ(targets[0], "tennis");
+    }
+  }
+  EXPECT_TRUE(found_wimbledon);
+}
+
+}  // namespace
+}  // namespace unify::corpus

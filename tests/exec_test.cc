@@ -1,0 +1,288 @@
+#include <atomic>
+#include <mutex>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "exec/dag.h"
+#include "exec/dag_runner.h"
+#include "exec/schedule.h"
+#include "exec/virtual_pool.h"
+
+namespace unify::exec {
+namespace {
+
+Dag Diamond() {
+  // 0 -> {1, 2} -> 3
+  Dag dag;
+  for (int i = 0; i < 4; ++i) dag.AddNode();
+  EXPECT_TRUE(dag.AddEdge(0, 1).ok());
+  EXPECT_TRUE(dag.AddEdge(0, 2).ok());
+  EXPECT_TRUE(dag.AddEdge(1, 3).ok());
+  EXPECT_TRUE(dag.AddEdge(2, 3).ok());
+  return dag;
+}
+
+TEST(DagTest, TopologicalOrderRespectsEdges) {
+  Dag dag = Diamond();
+  auto order = dag.TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  std::vector<int> pos(4);
+  for (int i = 0; i < 4; ++i) pos[(*order)[i]] = i;
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[0], pos[2]);
+  EXPECT_LT(pos[1], pos[3]);
+  EXPECT_LT(pos[2], pos[3]);
+}
+
+TEST(DagTest, DetectsCycle) {
+  Dag dag;
+  dag.AddNode();
+  dag.AddNode();
+  ASSERT_TRUE(dag.AddEdge(0, 1).ok());
+  ASSERT_TRUE(dag.AddEdge(1, 0).ok());
+  EXPECT_FALSE(dag.TopologicalOrder().ok());
+}
+
+TEST(DagTest, EdgeValidation) {
+  Dag dag;
+  dag.AddNode();
+  EXPECT_FALSE(dag.AddEdge(0, 0).ok());
+  EXPECT_FALSE(dag.AddEdge(0, 5).ok());
+  EXPECT_FALSE(dag.AddEdge(-1, 0).ok());
+}
+
+TEST(DagTest, DuplicateEdgeIsIdempotent) {
+  Dag dag;
+  dag.AddNode();
+  dag.AddNode();
+  ASSERT_TRUE(dag.AddEdge(0, 1).ok());
+  ASSERT_TRUE(dag.AddEdge(0, 1).ok());
+  EXPECT_EQ(dag.children(0).size(), 1u);
+}
+
+TEST(DagTest, Reaches) {
+  Dag dag = Diamond();
+  EXPECT_TRUE(dag.Reaches(0, 3));
+  EXPECT_TRUE(dag.Reaches(1, 3));
+  EXPECT_FALSE(dag.Reaches(1, 2));
+  EXPECT_FALSE(dag.Reaches(3, 0));
+  EXPECT_TRUE(dag.Reaches(2, 2));
+}
+
+TEST(DagTest, Depth) {
+  EXPECT_EQ(Diamond().Depth(), 3u);
+  Dag chain;
+  for (int i = 0; i < 5; ++i) chain.AddNode();
+  for (int i = 0; i + 1 < 5; ++i) ASSERT_TRUE(chain.AddEdge(i, i + 1).ok());
+  EXPECT_EQ(chain.Depth(), 5u);
+  Dag empty;
+  EXPECT_EQ(empty.Depth(), 0u);
+}
+
+TEST(VirtualPoolTest, SingleServerSerializes) {
+  VirtualLlmPool pool(1);
+  EXPECT_DOUBLE_EQ(pool.ScheduleStream(0, 10), 10);
+  EXPECT_DOUBLE_EQ(pool.ScheduleStream(0, 5), 15);  // waits for server
+  EXPECT_DOUBLE_EQ(pool.ScheduleStream(100, 1), 101);
+}
+
+TEST(VirtualPoolTest, MultipleServersOverlap) {
+  VirtualLlmPool pool(2);
+  EXPECT_DOUBLE_EQ(pool.ScheduleStream(0, 10), 10);
+  EXPECT_DOUBLE_EQ(pool.ScheduleStream(0, 10), 10);  // second server
+  EXPECT_DOUBLE_EQ(pool.ScheduleStream(0, 10), 20);  // queues
+  EXPECT_DOUBLE_EQ(pool.MaxBusyTime(), 20);
+}
+
+TEST(VirtualPoolTest, ZeroDurationIsFree) {
+  VirtualLlmPool pool(1);
+  EXPECT_DOUBLE_EQ(pool.ScheduleStream(5, 0), 5);
+  EXPECT_DOUBLE_EQ(pool.MaxBusyTime(), 0);
+}
+
+TEST(ScheduleDagTest, ParallelBeatsSequentialOnDiamond) {
+  Dag dag = Diamond();
+  std::vector<NodeCost> costs(4);
+  costs[0].cpu_seconds = 1;
+  costs[1].llm_seconds = 10;
+  costs[2].llm_seconds = 10;
+  costs[3].cpu_seconds = 1;
+  auto par = ScheduleDag(dag, costs, 4, /*sequential=*/false);
+  auto seq = ScheduleDag(dag, costs, 4, /*sequential=*/true);
+  ASSERT_TRUE(par.ok());
+  ASSERT_TRUE(seq.ok());
+  // Parallel: the two 10s streams overlap on separate servers.
+  EXPECT_NEAR(par->makespan, 12.0, 1e-9);
+  EXPECT_NEAR(seq->makespan, 22.0, 1e-9);
+}
+
+TEST(ScheduleDagTest, ServerContentionSerializesStreams) {
+  Dag dag;
+  for (int i = 0; i < 3; ++i) dag.AddNode();  // three independent nodes
+  std::vector<NodeCost> costs(3);
+  for (auto& c : costs) c.llm_seconds = 10;
+  auto one = ScheduleDag(dag, costs, 1, false);
+  auto three = ScheduleDag(dag, costs, 3, false);
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(three.ok());
+  EXPECT_NEAR(one->makespan, 30.0, 1e-9);
+  EXPECT_NEAR(three->makespan, 10.0, 1e-9);
+}
+
+TEST(ScheduleDagTest, MakespanAtLeastCriticalPath) {
+  Dag dag = Diamond();
+  std::vector<NodeCost> costs(4);
+  for (auto& c : costs) c.llm_seconds = 3;
+  auto result = ScheduleDag(dag, costs, 8, false);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->makespan, 9.0 - 1e-9);  // depth 3 × 3s
+}
+
+TEST(ScheduleDagTest, SizeMismatchRejected) {
+  Dag dag = Diamond();
+  std::vector<NodeCost> costs(2);
+  EXPECT_FALSE(ScheduleDag(dag, costs, 2, false).ok());
+}
+
+/// Property sweep over random layered DAGs: for any plan shape,
+///   critical-path  <=  parallel makespan  <=  sequential makespan, and
+///   parallel makespan >= total work / number of servers.
+class ScheduleProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ScheduleProperty, ParallelBoundsHold) {
+  Rng rng(GetParam());
+  const int n = 3 + static_cast<int>(rng.NextUint64(20));
+  Dag dag;
+  for (int i = 0; i < n; ++i) dag.AddNode();
+  for (int v = 1; v < n; ++v) {
+    int edges = static_cast<int>(rng.NextUint64(3));
+    for (int e = 0; e < edges; ++e) {
+      int u = static_cast<int>(rng.NextUint64(static_cast<uint64_t>(v)));
+      ASSERT_TRUE(dag.AddEdge(u, v).ok());
+    }
+  }
+  std::vector<NodeCost> costs(n);
+  double total_llm = 0;
+  for (auto& c : costs) {
+    c.llm_seconds = rng.Uniform(0, 20);
+    c.cpu_seconds = rng.Uniform(0, 0.5);
+    total_llm += c.llm_seconds;
+  }
+  const int servers = 1 + static_cast<int>(rng.NextUint64(4));
+
+  auto par = ScheduleDag(dag, costs, servers, /*sequential=*/false);
+  auto seq = ScheduleDag(dag, costs, servers, /*sequential=*/true);
+  ASSERT_TRUE(par.ok());
+  ASSERT_TRUE(seq.ok());
+  EXPECT_LE(par->makespan, seq->makespan + 1e-9);
+  EXPECT_GE(par->makespan + 1e-9, total_llm / servers);
+
+  // Critical path bound.
+  auto order = dag.TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  std::vector<double> longest(n, 0);
+  double critical = 0;
+  for (int u : *order) {
+    longest[u] += costs[u].llm_seconds + costs[u].cpu_seconds;
+    critical = std::max(critical, longest[u]);
+    for (int v : dag.children(u)) {
+      longest[v] = std::max(longest[v], longest[u]);
+    }
+  }
+  EXPECT_GE(par->makespan + 1e-9, critical);
+
+  // Start/finish consistency: children never start before parents finish.
+  for (int u = 0; u < n; ++u) {
+    for (int v : dag.children(u)) {
+      EXPECT_GE(par->start[v] + 1e-9, par->finish[u]);
+    }
+    EXPECT_GE(par->finish[u] + 1e-9, par->start[u]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDags, ScheduleProperty,
+                         ::testing::Range<uint64_t>(1, 13));
+
+TEST(RunDagTest, SequentialRespectsOrder) {
+  Dag dag = Diamond();
+  std::vector<int> finished;
+  auto status = RunDag(dag, nullptr, [&](int u) {
+    finished.push_back(u);
+    return Status::OK();
+  });
+  ASSERT_TRUE(status.ok());
+  ASSERT_EQ(finished.size(), 4u);
+  EXPECT_EQ(finished.front(), 0);
+  EXPECT_EQ(finished.back(), 3);
+}
+
+TEST(RunDagTest, ParallelRunsEveryNodeOnceAfterParents) {
+  Dag dag;
+  const int n = 40;
+  for (int i = 0; i < n; ++i) dag.AddNode();
+  // Layered DAG: each node depends on (i-3, i-7) when valid.
+  for (int i = 0; i < n; ++i) {
+    if (i >= 3) {
+      ASSERT_TRUE(dag.AddEdge(i - 3, i).ok());
+    }
+    if (i >= 7) {
+      ASSERT_TRUE(dag.AddEdge(i - 7, i).ok());
+    }
+  }
+  std::mutex mu;
+  std::vector<int> done_order;
+  std::vector<bool> done(n, false);
+  ThreadPool pool(4);
+  auto status = RunDag(dag, &pool, [&](int u) {
+    std::lock_guard<std::mutex> lock(mu);
+    for (int p : dag.parents(u)) {
+      EXPECT_TRUE(done[p]) << "node " << u << " ran before parent " << p;
+    }
+    EXPECT_FALSE(done[u]);
+    done[u] = true;
+    done_order.push_back(u);
+    return Status::OK();
+  });
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(done_order.size(), static_cast<size_t>(n));
+}
+
+TEST(RunDagTest, ErrorStopsDownstreamAndPropagates) {
+  Dag dag = Diamond();
+  std::atomic<int> ran{0};
+  ThreadPool pool(2);
+  auto status = RunDag(dag, &pool, [&](int u) -> Status {
+    ran.fetch_add(1);
+    if (u == 1) return Status::Internal("boom");
+    return Status::OK();
+  });
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+}
+
+TEST(RunDagTest, EmptyDagIsOk) {
+  Dag dag;
+  EXPECT_TRUE(RunDag(dag, nullptr, [](int) { return Status::OK(); }).ok());
+  ThreadPool pool(2);
+  EXPECT_TRUE(RunDag(dag, &pool, [](int) { return Status::OK(); }).ok());
+}
+
+TEST(RunDagTest, CycleRejectedBeforeRunning) {
+  Dag dag;
+  dag.AddNode();
+  dag.AddNode();
+  ASSERT_TRUE(dag.AddEdge(0, 1).ok());
+  ASSERT_TRUE(dag.AddEdge(1, 0).ok());
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  auto status = RunDag(dag, &pool, [&](int) {
+    ran.fetch_add(1);
+    return Status::OK();
+  });
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(ran.load(), 0);
+}
+
+}  // namespace
+}  // namespace unify::exec

@@ -1,0 +1,150 @@
+#include <fstream>
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "corpus/dataset_profile.h"
+#include "core/runtime/unify.h"
+#include "corpus/io.h"
+#include "embedding/hashed_embedder.h"
+#include "llm/sim_llm.h"
+
+namespace unify::corpus {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / ("unify_io_" + name))
+      .string();
+}
+
+class IoTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const auto& p : cleanup_) std::remove(p.c_str());
+  }
+  std::string Track(const std::string& path) {
+    cleanup_.push_back(path);
+    return path;
+  }
+  std::vector<std::string> cleanup_;
+};
+
+TEST_F(IoTest, CorpusRoundTrip) {
+  auto profile = SportsProfile();
+  profile.doc_count = 120;
+  Corpus original = GenerateCorpus(profile, 55);
+  std::string path = Track(TempPath("corpus.tsv"));
+  ASSERT_TRUE(SaveCorpus(original, path).ok());
+
+  auto loaded = LoadCorpus(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), original.size());
+  EXPECT_EQ(loaded->name(), original.name());
+  EXPECT_EQ(loaded->entity(), original.entity());
+  for (size_t i = 0; i < original.size(); ++i) {
+    const Document& a = original.docs()[i];
+    const Document& b = loaded->docs()[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.title, b.title);
+    EXPECT_EQ(a.text, b.text);
+    EXPECT_EQ(a.attrs.category, b.attrs.category);
+    EXPECT_EQ(a.attrs.tags, b.attrs.tags);
+    EXPECT_EQ(a.attrs.views, b.attrs.views);
+    EXPECT_EQ(a.attrs.score, b.attrs.score);
+    EXPECT_EQ(a.attrs.answers, b.attrs.answers);
+    EXPECT_EQ(a.attrs.comments, b.attrs.comments);
+    EXPECT_EQ(a.attrs.words, b.attrs.words);
+    EXPECT_EQ(a.attrs.explicit_category, b.attrs.explicit_category);
+  }
+  // The knowledge base reconstitutes from the stored profile name.
+  EXPECT_TRUE(loaded->knowledge().Resolve("tennis").has_value());
+}
+
+TEST_F(IoTest, LoadRejectsMissingAndMalformedFiles) {
+  EXPECT_EQ(LoadCorpus("/nonexistent/corpus").status().code(),
+            StatusCode::kNotFound);
+  std::string path = Track(TempPath("garbage.tsv"));
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("this is not a corpus file\n", f);
+    std::fclose(f);
+  }
+  EXPECT_EQ(LoadCorpus(path).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(IoTest, TruncatedCorpusDetected) {
+  auto profile = SportsProfile();
+  profile.doc_count = 30;
+  Corpus original = GenerateCorpus(profile, 55);
+  std::string path = Track(TempPath("truncated.tsv"));
+  ASSERT_TRUE(SaveCorpus(original, path).ok());
+  // Chop off the last line.
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  content.erase(content.rfind('\n', content.size() - 2) + 1);
+  std::ofstream out(path, std::ios::trunc);
+  out << content;
+  out.close();
+  EXPECT_EQ(LoadCorpus(path).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(IoTest, EmbeddingsRoundTripExactly) {
+  embedding::HashedEmbedder embedder(48, 9);
+  std::vector<embedding::Vec> vecs;
+  for (const char* text : {"tennis serve", "golf swing", "boxing ring"}) {
+    vecs.push_back(embedder.Embed(text));
+  }
+  std::string path = Track(TempPath("embeddings.txt"));
+  ASSERT_TRUE(SaveEmbeddings(vecs, path).ok());
+  auto loaded = LoadEmbeddings(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), vecs.size());
+  for (size_t i = 0; i < vecs.size(); ++i) {
+    ASSERT_EQ((*loaded)[i].size(), vecs[i].size());
+    for (size_t j = 0; j < vecs[i].size(); ++j) {
+      EXPECT_EQ((*loaded)[i][j], vecs[i][j]);  // bit-exact via hex floats
+    }
+  }
+}
+
+TEST_F(IoTest, ReloadedCorpusAnswersIdentically) {
+  // Persist, reload, stand up a fresh system on the reloaded corpus, and
+  // verify answers are bit-identical — the "preprocess once" workflow.
+  auto profile = SportsProfile();
+  profile.doc_count = 300;
+  Corpus original = GenerateCorpus(profile, 77);
+  std::string path = Track(TempPath("session.tsv"));
+  ASSERT_TRUE(SaveCorpus(original, path).ok());
+  auto reloaded = LoadCorpus(path);
+  ASSERT_TRUE(reloaded.ok());
+
+  llm::SimulatedLlm llm_a(&original, llm::SimLlmOptions{});
+  llm::SimulatedLlm llm_b(&*reloaded, llm::SimLlmOptions{});
+  core::UnifySystem a(&original, &llm_a, core::UnifyOptions{});
+  core::UnifySystem b(&*reloaded, &llm_b, core::UnifyOptions{});
+  ASSERT_TRUE(a.Setup().ok());
+  ASSERT_TRUE(b.Setup().ok());
+  for (const char* query :
+       {"How many questions about tennis are there?",
+        "What is the average number of views of questions about football?"}) {
+    auto ra = a.Answer(query);
+    auto rb = b.Answer(query);
+    EXPECT_EQ(ra.answer.ToString(), rb.answer.ToString()) << query;
+    EXPECT_DOUBLE_EQ(ra.exec_seconds, rb.exec_seconds) << query;
+  }
+}
+
+TEST_F(IoTest, EmptyEmbeddingsRoundTrip) {
+  std::string path = Track(TempPath("empty.txt"));
+  ASSERT_TRUE(SaveEmbeddings({}, path).ok());
+  auto loaded = LoadEmbeddings(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+}
+
+}  // namespace
+}  // namespace unify::corpus

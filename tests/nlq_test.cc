@@ -1,0 +1,301 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "corpus/corpus.h"
+#include "corpus/dataset_profile.h"
+#include "corpus/workload.h"
+#include "nlq/ast.h"
+#include "nlq/parse.h"
+#include "nlq/reduction.h"
+#include "nlq/render.h"
+
+namespace unify::nlq {
+namespace {
+
+using corpus::GenerateCorpus;
+using corpus::GenerateWorkload;
+using corpus::SportsProfile;
+using corpus::WorkloadOptions;
+
+QueryAst FlagshipQuery() {
+  QueryAst q;
+  q.task = TaskKind::kGroupArgBest;
+  q.entity = "questions";
+  q.group_attr = "sport";
+  q.best_is_max = true;
+  q.docset.conditions = {
+      Condition::Semantic("ball sports"),
+      Condition::Numeric("views", Condition::Cmp::kGt, 500)};
+  q.metric.kind = GroupMetric::Kind::kRatio;
+  q.metric.num.cond = Condition::Semantic("injury");
+  q.metric.den.cond = Condition::Semantic("training");
+  return q;
+}
+
+TEST(RenderTest, FlagshipReadsLikeThePaper) {
+  std::string text = Render(FlagshipQuery(), 0);
+  EXPECT_NE(text.find("Among questions about ball sports"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("which sport has the highest ratio"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("over 500 views"), std::string::npos) << text;
+}
+
+TEST(ParseTest, FlagshipRoundTrip) {
+  QueryAst q = FlagshipQuery();
+  for (uint32_t style = 0; style < 12; ++style) {
+    std::string text = Render(q, style);
+    auto parsed = Parse(text);
+    ASSERT_TRUE(parsed.ok()) << text << " -> " << parsed.status();
+    EXPECT_EQ(*parsed, q) << text;
+  }
+}
+
+TEST(ParseTest, RejectsNonsense) {
+  EXPECT_FALSE(Parse("please write a poem about databases").ok());
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("how many are there?").ok());
+}
+
+TEST(ParseTest, ConditionPhrases) {
+  auto c = ParseConditionPhrase("with over 500 views");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->kind, Condition::Kind::kNumeric);
+  EXPECT_EQ(c->attribute, "views");
+  EXPECT_EQ(c->cmp, Condition::Cmp::kGt);
+  EXPECT_EQ(c->value, 500);
+
+  auto s = ParseConditionPhrase("that are injury-related");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->kind, Condition::Kind::kSemantic);
+  EXPECT_EQ(s->text, "injury");
+
+  auto b = ParseConditionPhrase("with between 100 and 500 upvotes");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->attribute, "score");
+  EXPECT_EQ(b->cmp, Condition::Cmp::kBetween);
+  EXPECT_EQ(b->value, 100);
+  EXPECT_EQ(b->value2, 500);
+}
+
+TEST(ParseTest, FinalState) {
+  auto q = Parse("What is [V9]?");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->final_var, "V9");
+  EXPECT_TRUE(IsFullyReduced(*q));
+}
+
+/// Property: every workload query round-trips exactly through
+/// Render -> Parse, for every paraphrase style used in the benchmark.
+class WorkloadRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadRoundTrip, ParseInvertsRender) {
+  corpus::DatasetProfile profile;
+  for (const auto& p : corpus::AllProfiles()) {
+    if (p.name == GetParam()) profile = p;
+  }
+  profile.doc_count = 400;  // smaller corpus: faster literal sampling
+  auto corp = GenerateCorpus(profile, 7);
+  WorkloadOptions options;
+  options.per_template = 2;
+  auto workload = GenerateWorkload(corp, options);
+  ASSERT_EQ(workload.size(), 40u);
+  for (const auto& qc : workload) {
+    auto parsed = Parse(qc.text);
+    ASSERT_TRUE(parsed.ok()) << qc.text << " -> " << parsed.status();
+    EXPECT_EQ(*parsed, qc.ast) << qc.text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, WorkloadRoundTrip,
+                         ::testing::Values("sports", "ai", "law", "wiki"));
+
+/// Property: reduction chains terminate in a final state, and every
+/// intermediate rendering re-parses to a fixpoint (the simulated LLM can
+/// re-understand its own reduced queries).
+TEST(ReductionTest, ChainsTerminateAndRoundTrip) {
+  corpus::DatasetProfile profile = SportsProfile();
+  profile.doc_count = 400;
+  auto corp = GenerateCorpus(profile, 7);
+  WorkloadOptions options;
+  options.per_template = 2;
+  auto workload = GenerateWorkload(corp, options);
+  for (const auto& qc : workload) {
+    QueryAst q = qc.ast;
+    int var = 0;
+    int steps = 0;
+    while (!IsFullyReduced(q)) {
+      auto applicable = ApplicableSteps(q);
+      ASSERT_FALSE(applicable.empty())
+          << "stuck on: " << Render(q) << " from " << qc.text;
+      const auto& step = applicable.front();
+      q = ApplyStep(q, step, "V" + std::to_string(++var));
+      // Intermediate states must render and re-parse to the same meaning.
+      std::string text = Render(q);
+      auto reparsed = Parse(text);
+      ASSERT_TRUE(reparsed.ok()) << text << " -> " << reparsed.status();
+      EXPECT_EQ(Render(*reparsed), text) << "render fixpoint broken";
+      ASSERT_LT(++steps, 32) << "reduction did not terminate: " << qc.text;
+    }
+  }
+}
+
+/// Property: reduction order can vary (choosing any applicable step) and
+/// still terminates — exercised with a rotating choice index.
+TEST(ReductionTest, AlternativeOrdersTerminate) {
+  corpus::DatasetProfile profile = SportsProfile();
+  profile.doc_count = 300;
+  auto corp = GenerateCorpus(profile, 11);
+  WorkloadOptions options;
+  options.per_template = 1;
+  auto workload = GenerateWorkload(corp, options);
+  for (const auto& qc : workload) {
+    for (int rot = 0; rot < 3; ++rot) {
+      QueryAst q = qc.ast;
+      int var = 0;
+      int steps = 0;
+      while (!IsFullyReduced(q)) {
+        auto applicable = ApplicableSteps(q);
+        ASSERT_FALSE(applicable.empty());
+        const auto& step = applicable[rot % applicable.size()];
+        q = ApplyStep(q, step, "V" + std::to_string(++var));
+        ASSERT_LT(++steps, 32);
+      }
+    }
+  }
+}
+
+/// Property: every workload AST round-trips under EVERY paraphrase style
+/// (the LLM-generated "equivalent variants" of the paper's workloads).
+TEST(ParseTest, StyleSweepRoundTrip) {
+  corpus::DatasetProfile profile = SportsProfile();
+  profile.doc_count = 400;
+  auto corp = GenerateCorpus(profile, 7);
+  WorkloadOptions options;
+  options.per_template = 1;
+  auto workload = GenerateWorkload(corp, options);
+  for (const auto& qc : workload) {
+    for (uint32_t style = 0; style < 10; ++style) {
+      std::string text = Render(qc.ast, style);
+      auto parsed = Parse(text);
+      ASSERT_TRUE(parsed.ok()) << text << " -> " << parsed.status();
+      EXPECT_EQ(*parsed, qc.ast) << text;
+    }
+  }
+}
+
+/// Every condition comparator and every semantic phrasing round-trips.
+TEST(ParseTest, ConditionRoundTripMatrix) {
+  std::vector<Condition> conditions = {
+      Condition::Semantic("tennis"),
+      Condition::Semantic("ball sports"),
+      Condition::Numeric("views", Condition::Cmp::kGt, 500),
+      Condition::Numeric("score", Condition::Cmp::kGe, 10),
+      Condition::Numeric("answers", Condition::Cmp::kLt, 3),
+      Condition::Numeric("comments", Condition::Cmp::kLe, 9),
+      Condition::Numeric("words", Condition::Cmp::kEq, 120),
+      Condition::Numeric("views", Condition::Cmp::kBetween, 100, 900),
+  };
+  for (const auto& c : conditions) {
+    for (uint32_t style = 0; style < 8; ++style) {
+      std::string phrase = RenderCondition(c, style);
+      auto parsed = ParseConditionPhrase(phrase);
+      ASSERT_TRUE(parsed.ok()) << phrase << " -> " << parsed.status();
+      EXPECT_EQ(*parsed, c) << phrase;
+    }
+  }
+}
+
+/// Every task kind round-trips from a hand-built AST (independent of the
+/// workload generator's template coverage).
+TEST(ParseTest, AllTaskKindsRoundTrip) {
+  std::vector<QueryAst> asts;
+  {
+    QueryAst q;
+    q.task = TaskKind::kCount;
+    q.entity = "articles";
+    q.docset.conditions = {Condition::Semantic("history")};
+    asts.push_back(q);
+  }
+  {
+    QueryAst q;
+    q.task = TaskKind::kAgg;
+    q.entity = "posts";
+    q.agg = AggFunc::kPercentile;
+    q.percentile = 75;
+    q.attr = "comments";
+    q.docset.conditions = {Condition::Semantic("music")};
+    asts.push_back(q);
+  }
+  {
+    QueryAst q;
+    q.task = TaskKind::kTopK;
+    q.entity = "questions";
+    q.top_k = 7;
+    q.top_desc = false;
+    q.attr = "words";
+    q.docset.conditions = {Condition::Semantic("golf")};
+    asts.push_back(q);
+  }
+  {
+    QueryAst q;
+    q.task = TaskKind::kCompareAgg;
+    q.entity = "questions";
+    q.agg = AggFunc::kSum;
+    q.attr = "answers";
+    q.docset.conditions = {Condition::Semantic("tennis")};
+    q.docset_b.conditions = {Condition::Semantic("golf")};
+    asts.push_back(q);
+  }
+  {
+    QueryAst q;
+    q.task = TaskKind::kGroupArgBest;
+    q.entity = "questions";
+    q.group_attr = "area";
+    q.best_is_max = false;
+    q.metric.kind = GroupMetric::Kind::kAgg;
+    q.metric.func = AggFunc::kMedian;
+    q.metric.attr = "score";
+    q.docset.conditions = {Condition::Semantic("evidence")};
+    asts.push_back(q);
+  }
+  {
+    QueryAst q;
+    q.task = TaskKind::kRatio;
+    q.entity = "questions";
+    q.docset.conditions = {Condition::Semantic("injury")};
+    q.docset_b.conditions = {
+        Condition::Numeric("views", Condition::Cmp::kGe, 50)};
+    asts.push_back(q);
+  }
+  for (auto set_op : {SetOpKind::kUnion, SetOpKind::kIntersect,
+                      SetOpKind::kDifference}) {
+    QueryAst q;
+    q.task = TaskKind::kSetCount;
+    q.entity = "questions";
+    q.set_op = set_op;
+    q.docset.conditions = {Condition::Semantic("injury")};
+    q.docset_b.conditions = {Condition::Semantic("training")};
+    asts.push_back(q);
+  }
+  for (const auto& q : asts) {
+    for (uint32_t style = 0; style < 6; ++style) {
+      std::string text = Render(q, style);
+      auto parsed = Parse(text);
+      ASSERT_TRUE(parsed.ok()) << text << " -> " << parsed.status();
+      EXPECT_EQ(*parsed, q) << text;
+    }
+  }
+}
+
+TEST(LogicalRepresentationTest, AbstractsValues) {
+  std::string lr = RenderLogicalRepresentation(FlagshipQuery());
+  EXPECT_EQ(lr.find("500"), std::string::npos) << lr;
+  EXPECT_EQ(lr.find("ball"), std::string::npos) << lr;
+  EXPECT_NE(lr.find("[Entity]"), std::string::npos) << lr;
+  EXPECT_NE(lr.find("[Condition]"), std::string::npos) << lr;
+}
+
+}  // namespace
+}  // namespace unify::nlq

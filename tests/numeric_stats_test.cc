@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "core/physical/numeric_stats.h"
+#include "corpus/dataset_profile.h"
+
+namespace unify::core {
+namespace {
+
+class NumericStatsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto profile = corpus::SportsProfile();
+    profile.doc_count = 800;
+    corpus_ = new corpus::Corpus(corpus::GenerateCorpus(profile, 91));
+    stats_ = new NumericStats();
+    stats_->Build(*corpus_);
+  }
+  static void TearDownTestSuite() {
+    delete stats_;
+    delete corpus_;
+  }
+
+  static double Truth(const std::string& attr, const std::string& cmp,
+                      int64_t value, int64_t value2 = 0) {
+    size_t n = 0;
+    for (const auto& doc : corpus_->docs()) {
+      int64_t v = 0;
+      if (attr == "views") v = doc.attrs.views;
+      else if (attr == "score") v = doc.attrs.score;
+      else if (attr == "answers") v = doc.attrs.answers;
+      else if (attr == "comments") v = doc.attrs.comments;
+      else if (attr == "words") v = doc.attrs.words;
+      bool m = false;
+      if (cmp == "gt") m = v > value;
+      else if (cmp == "lt") m = v < value;
+      else if (cmp == "le") m = v <= value;
+      else if (cmp == "ge") m = v >= value;
+      else if (cmp == "between") m = v >= value && v <= value2;
+      n += m;
+    }
+    return static_cast<double>(n);
+  }
+
+  static OpArgs Cond(const std::string& attr, const std::string& cmp,
+                     int64_t value, int64_t value2 = 0) {
+    return {{"kind", "numeric"},
+            {"attribute", attr},
+            {"cmp", cmp},
+            {"value", std::to_string(value)},
+            {"value2", std::to_string(value2)}};
+  }
+
+  static corpus::Corpus* corpus_;
+  static NumericStats* stats_;
+};
+corpus::Corpus* NumericStatsTest::corpus_ = nullptr;
+NumericStats* NumericStatsTest::stats_ = nullptr;
+
+TEST_F(NumericStatsTest, BuildsHistogramsForAllAttributes) {
+  EXPECT_TRUE(stats_->ready());
+  for (const char* attr :
+       {"views", "score", "answers", "comments", "words"}) {
+    EXPECT_EQ(stats_->ValueCount(attr), corpus_->size()) << attr;
+  }
+}
+
+TEST_F(NumericStatsTest, RangeEstimatesCloseToTruth) {
+  struct Case {
+    const char* attr;
+    const char* cmp;
+    int64_t value;
+    int64_t value2;
+  };
+  for (const Case& c : std::initializer_list<Case>{
+           {"views", "gt", 300, 0},
+           {"views", "lt", 150, 0},
+           {"views", "between", 100, 800},
+           {"score", "ge", 5, 0},
+           {"words", "le", 200, 0},
+           {"comments", "gt", 3, 0}}) {
+    double truth = Truth(c.attr, c.cmp, c.value, c.value2);
+    double est = stats_->EstimateCardinality(
+        Cond(c.attr, c.cmp, c.value, c.value2));
+    ASSERT_GE(est, 0) << c.attr;
+    EXPECT_LT(QError(est, truth), 1.25)
+        << c.attr << " " << c.cmp << " " << c.value << ": est " << est
+        << " truth " << truth;
+  }
+}
+
+TEST_F(NumericStatsTest, BoundsAreSane) {
+  // Nothing exceeds the maximum; everything matches "ge min".
+  EXPECT_NEAR(stats_->EstimateCardinality(Cond("views", "gt", 2000000)), 0,
+              1.0);
+  EXPECT_NEAR(stats_->EstimateCardinality(Cond("views", "ge", 0)),
+              static_cast<double>(corpus_->size()), 1.0);
+  EXPECT_NEAR(stats_->EstimateCardinality(Cond("views", "lt", 1)),
+              Truth("views", "lt", 1), corpus_->size() * 0.02 + 2);
+}
+
+TEST_F(NumericStatsTest, UnknownAttributeRejected) {
+  EXPECT_LT(stats_->EstimateCardinality(Cond("nonsense", "gt", 1)), 0);
+  NumericStats empty;
+  EXPECT_FALSE(empty.ready());
+}
+
+}  // namespace
+}  // namespace unify::core

@@ -1,0 +1,346 @@
+#include <gtest/gtest.h>
+
+#include "core/physical/cost_model.h"
+#include "core/physical/optimizer.h"
+#include "corpus/dataset_profile.h"
+#include "embedding/hashed_embedder.h"
+#include "llm/sim_llm.h"
+
+namespace unify::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CostModel
+// ---------------------------------------------------------------------------
+
+TEST(CostModelTest, DefaultsBeforeCalibration) {
+  CostModel model;
+  double llm = model.EstimateSeconds("Filter", PhysicalImpl::kLlmFilter, {},
+                                     1000, 300);
+  double pre = model.EstimateSeconds("Filter", PhysicalImpl::kExactFilter,
+                                     {}, 1000, 300);
+  EXPECT_GT(llm, pre * 100);  // LLM work dominates pre-programmed work
+}
+
+TEST(CostModelTest, CalibrationOverridesDefaults) {
+  CostModel model;
+  model.Record("Filter", PhysicalImpl::kLlmFilter, 100, 5.0, 0.0);
+  EXPECT_NEAR(model.PerElementSeconds("Filter", PhysicalImpl::kLlmFilter),
+              0.05, 1e-9);
+  // Estimates scale linearly with cardinality: card·μ·out_op.
+  double c1 = model.EstimateSeconds("Filter", PhysicalImpl::kLlmFilter, {},
+                                    1000, 0);
+  double c2 = model.EstimateSeconds("Filter", PhysicalImpl::kLlmFilter, {},
+                                    2000, 0);
+  EXPECT_NEAR(c2 - c1, 1000 * 0.05, 1e-6);
+}
+
+TEST(CostModelTest, RunningAverageAcrossRecords) {
+  CostModel model;
+  model.Record("Extract", PhysicalImpl::kLlmExtract, 100, 10.0, 0.0);
+  model.Record("Extract", PhysicalImpl::kLlmExtract, 100, 20.0, 0.0);
+  EXPECT_NEAR(model.PerElementSeconds("Extract", PhysicalImpl::kLlmExtract),
+              0.15, 1e-9);
+  EXPECT_EQ(model.records(), 2);
+}
+
+TEST(CostModelTest, IndexScanCostDrivenByCandidates) {
+  CostModel model;
+  model.Record("Filter", PhysicalImpl::kIndexScanFilter, 100, 5.0, 0.0);
+  OpArgs few{{"index_candidates", "200"}};
+  OpArgs many{{"index_candidates", "2000"}};
+  double cheap = model.EstimateSeconds(
+      "Filter", PhysicalImpl::kIndexScanFilter, few, 4000, 100);
+  double costly = model.EstimateSeconds(
+      "Filter", PhysicalImpl::kIndexScanFilter, many, 4000, 100);
+  EXPECT_LT(cheap, costly);
+  // Never more expensive than scanning the whole input.
+  EXPECT_LE(costly, model.EstimateSeconds(
+                        "Filter", PhysicalImpl::kLlmFilter, {}, 4000, 100) +
+                        1.0);
+}
+
+// ---------------------------------------------------------------------------
+// PhysicalOptimizer on hand-built logical plans
+// ---------------------------------------------------------------------------
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto profile = corpus::SportsProfile();
+    profile.doc_count = 1000;
+    corpus_ = new corpus::Corpus(corpus::GenerateCorpus(profile, 61));
+    llm_ = new llm::SimulatedLlm(corpus_, llm::SimLlmOptions{});
+    auto spec = corpus::BuildEmbeddingSpec(corpus_->profile());
+    embedder_ = new embedding::TopicEmbedder(
+        embedding::TopicEmbedder::Options{}, spec.topic_tokens,
+        spec.aliases);
+    vecs_ = new std::vector<embedding::Vec>();
+    for (const auto& doc : corpus_->docs()) {
+      vecs_->push_back(embedder_->Embed(doc.text));
+    }
+    estimator_ = new CardinalityEstimator(corpus_, embedder_, vecs_, llm_,
+                                          SceOptions{});
+    estimator_->LearnImportanceFunction(
+        corpus::GenerateHistoricalPredicates(*corpus_, 24, 5));
+    cost_model_ = new CostModel();
+    // Simple calibration so relative costs are realistic.
+    cost_model_->Record("Filter", PhysicalImpl::kLlmFilter, 100, 6.0, 0);
+    cost_model_->Record("Filter", PhysicalImpl::kIndexScanFilter, 100, 6.0,
+                        0);
+    cost_model_->Record("Filter", PhysicalImpl::kExactFilter, 100, 0,
+                        0.0005);
+  }
+  static void TearDownTestSuite() {
+    delete cost_model_;
+    delete estimator_;
+    delete vecs_;
+    delete embedder_;
+    delete llm_;
+    delete corpus_;
+  }
+
+  static OptimizerOptions Opts(PhysicalMode mode) {
+    OptimizerOptions options;
+    options.mode = mode;
+    options.corpus_size = corpus_->size();
+    options.num_categories = corpus_->knowledge().categories().size();
+    return options;
+  }
+
+  /// Filter(numeric views>400) -> Filter(semantic tennis) -> Count,
+  /// in the WRONG order (expensive semantic filter first).
+  static LogicalPlan FilterChainPlan() {
+    LogicalPlan plan;
+    plan.query_text = "how many tennis questions with over 400 views";
+    LogicalNode semantic;
+    semantic.op_name = "Filter";
+    semantic.args = {{"kind", "semantic"},
+                     {"phrase", "tennis"},
+                     {"condition", "about tennis"}};
+    semantic.requires_semantics = true;
+    semantic.input_vars = {kDocsVar};
+    semantic.output_var = "V1";
+    LogicalNode numeric;
+    numeric.op_name = "Filter";
+    numeric.args = {{"kind", "numeric"},
+                    {"attribute", "views"},
+                    {"cmp", "gt"},
+                    {"value", "400"},
+                    {"condition", "with over 400 views"}};
+    numeric.input_vars = {"V1"};
+    numeric.output_var = "V2";
+    LogicalNode count;
+    count.op_name = "Count";
+    count.input_vars = {"V2"};
+    count.output_var = "V3";
+    plan.nodes = {semantic, numeric, count};
+    plan.dag.AddNode();
+    plan.dag.AddNode();
+    plan.dag.AddNode();
+    EXPECT_TRUE(plan.dag.AddEdge(0, 1).ok());
+    EXPECT_TRUE(plan.dag.AddEdge(1, 2).ok());
+    plan.answer_var = "V3";
+    return plan;
+  }
+
+  static corpus::Corpus* corpus_;
+  static llm::SimulatedLlm* llm_;
+  static embedding::TopicEmbedder* embedder_;
+  static std::vector<embedding::Vec>* vecs_;
+  static CardinalityEstimator* estimator_;
+  static CostModel* cost_model_;
+};
+corpus::Corpus* OptimizerTest::corpus_ = nullptr;
+llm::SimulatedLlm* OptimizerTest::llm_ = nullptr;
+embedding::TopicEmbedder* OptimizerTest::embedder_ = nullptr;
+std::vector<embedding::Vec>* OptimizerTest::vecs_ = nullptr;
+CardinalityEstimator* OptimizerTest::estimator_ = nullptr;
+CostModel* OptimizerTest::cost_model_ = nullptr;
+
+TEST_F(OptimizerTest, InsertsScanNode) {
+  PhysicalOptimizer optimizer(cost_model_, estimator_,
+                              Opts(PhysicalMode::kGroundTruthCards));
+  auto plan = optimizer.Optimize(FilterChainPlan());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->nodes.front().logical.op_name, "Scan");
+  EXPECT_EQ(plan->nodes.size(), 4u);
+  EXPECT_TRUE(plan->dag.TopologicalOrder().ok());
+}
+
+TEST_F(OptimizerTest, ReordersCheapSelectiveFilterFirst) {
+  PhysicalOptimizer optimizer(cost_model_, estimator_,
+                              Opts(PhysicalMode::kGroundTruthCards));
+  auto plan = optimizer.Optimize(FilterChainPlan());
+  ASSERT_TRUE(plan.ok());
+  // After ordering, the first filter position must hold the cheap numeric
+  // payload (the paper: filters eliminating more data at lower cost run
+  // early).
+  const auto& first_filter = plan->nodes[1].logical;
+  ASSERT_EQ(first_filter.op_name, "Filter");
+  EXPECT_EQ(first_filter.args.at("kind"), "numeric")
+      << plan->DebugString();
+  // Variable wiring stays intact.
+  EXPECT_EQ(first_filter.output_var, "V1");
+  EXPECT_EQ(plan->nodes[2].logical.input_vars[0], "V1");
+}
+
+TEST_F(OptimizerTest, RuleModeKeepsOriginalOrder) {
+  PhysicalOptimizer optimizer(cost_model_, nullptr,
+                              Opts(PhysicalMode::kRule));
+  auto plan = optimizer.Optimize(FilterChainPlan());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->nodes[1].logical.args.at("kind"), "semantic");
+}
+
+TEST_F(OptimizerTest, SemanticRequirementRestrictsImpls) {
+  PhysicalOptimizer optimizer(cost_model_, estimator_,
+                              Opts(PhysicalMode::kGroundTruthCards));
+  auto plan = optimizer.Optimize(FilterChainPlan());
+  ASSERT_TRUE(plan.ok());
+  for (const auto& node : plan->nodes) {
+    if (node.logical.op_name != "Filter") continue;
+    if (node.logical.requires_semantics) {
+      EXPECT_TRUE(ImplSemanticCapable(node.impl)) << PhysicalImplName(node.impl);
+    } else {
+      EXPECT_EQ(node.impl, PhysicalImpl::kExactFilter);
+    }
+  }
+}
+
+TEST_F(OptimizerTest, CardinalityPropagation) {
+  PhysicalOptimizer optimizer(cost_model_, estimator_,
+                              Opts(PhysicalMode::kGroundTruthCards));
+  auto plan = optimizer.Optimize(FilterChainPlan());
+  ASSERT_TRUE(plan.ok());
+  // Scan out = N; each filter shrinks; Count out = 1.
+  EXPECT_DOUBLE_EQ(plan->nodes[0].est_out_card,
+                   static_cast<double>(corpus_->size()));
+  EXPECT_LT(plan->nodes[1].est_out_card, plan->nodes[1].est_in_card);
+  EXPECT_LT(plan->nodes[2].est_out_card, plan->nodes[2].est_in_card);
+  EXPECT_DOUBLE_EQ(plan->nodes[3].est_out_card, 1.0);
+  EXPECT_FALSE(plan->likely_incomplete);
+  EXPECT_GT(plan->est_makespan, 0);
+}
+
+TEST_F(OptimizerTest, GroundTruthModeCostsNoLlm) {
+  PhysicalOptimizer optimizer(cost_model_, estimator_,
+                              Opts(PhysicalMode::kGroundTruthCards));
+  auto plan = optimizer.Optimize(FilterChainPlan());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->optimize_llm_calls, 0);
+}
+
+TEST_F(OptimizerTest, FullModePaysForSceAndCachesAcrossPlans) {
+  PhysicalOptimizer optimizer(cost_model_, estimator_,
+                              Opts(PhysicalMode::kFull));
+  auto plans = std::vector<LogicalPlan>{FilterChainPlan(),
+                                        FilterChainPlan()};
+  auto best = optimizer.SelectBest(plans);
+  ASSERT_TRUE(best.ok());
+  EXPECT_GT(best->optimize_llm_calls, 0);
+  // The second identical plan reuses cached estimates: cost is well below
+  // double.
+  PhysicalOptimizer fresh(cost_model_, estimator_,
+                          Opts(PhysicalMode::kFull));
+  auto single = fresh.SelectBest({FilterChainPlan()});
+  ASSERT_TRUE(single.ok());
+  EXPECT_LT(best->optimize_llm_calls, 2 * single->optimize_llm_calls);
+}
+
+TEST_F(OptimizerTest, SelectBestPrefersCompletePlans) {
+  // A truncated plan (answer var holds grouped values) must lose to a
+  // complete one even if cheaper.
+  LogicalPlan truncated;
+  truncated.query_text = "q";
+  LogicalNode group;
+  group.op_name = "GroupBy";
+  group.args = {{"by", "sport"}};
+  group.requires_semantics = true;
+  group.input_vars = {kDocsVar};
+  group.output_var = "V1";
+  truncated.nodes = {group};
+  truncated.dag.AddNode();
+  truncated.answer_var = "V1";
+
+  LogicalPlan complete = FilterChainPlan();
+  PhysicalOptimizer optimizer(cost_model_, estimator_,
+                              Opts(PhysicalMode::kGroundTruthCards));
+  auto best = optimizer.SelectBest({truncated, complete});
+  ASSERT_TRUE(best.ok());
+  EXPECT_FALSE(best->likely_incomplete);
+  EXPECT_EQ(best->nodes.back().logical.op_name, "Count");
+}
+
+TEST_F(OptimizerTest, SelectBestRejectsEmptyInput) {
+  PhysicalOptimizer optimizer(cost_model_, estimator_,
+                              Opts(PhysicalMode::kFull));
+  EXPECT_FALSE(optimizer.SelectBest({}).ok());
+}
+
+TEST_F(OptimizerTest, ExplainRendersEveryNode) {
+  PhysicalOptimizer optimizer(cost_model_, estimator_,
+                              Opts(PhysicalMode::kGroundTruthCards));
+  auto plan = optimizer.Optimize(FilterChainPlan());
+  ASSERT_TRUE(plan.ok());
+  std::string explain = plan->Explain();
+  EXPECT_NE(explain.find("Scan"), std::string::npos);
+  EXPECT_NE(explain.find("Filter"), std::string::npos);
+  EXPECT_NE(explain.find("Count"), std::string::npos);
+  EXPECT_NE(explain.find("rows"), std::string::npos);
+  EXPECT_NE(explain.find("answer: V3"), std::string::npos);
+  // One line per node plus the header.
+  size_t lines = 0;
+  for (char c : explain) lines += c == '\n';
+  EXPECT_EQ(lines, plan->nodes.size() + 1);
+}
+
+TEST_F(OptimizerTest, DollarObjectiveProducesSpendEstimate) {
+  OptimizerOptions options = Opts(PhysicalMode::kGroundTruthCards);
+  options.objective = OptimizeObjective::kDollars;
+  PhysicalOptimizer optimizer(cost_model_, estimator_, options);
+  auto plan = optimizer.Optimize(FilterChainPlan());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_GT(plan->est_total_dollars, 0);
+  // est_seconds stays a time quantity even under the dollar objective
+  // (it feeds the makespan schedule).
+  EXPECT_GT(plan->est_makespan, 0);
+}
+
+TEST_F(OptimizerTest, IndexScanGetsCandidateBudget) {
+  PhysicalOptimizer optimizer(cost_model_, estimator_,
+                              Opts(PhysicalMode::kGroundTruthCards));
+  // Single very selective semantic filter directly on the corpus: index
+  // scan should win and carry a candidate budget well below N.
+  LogicalPlan plan;
+  plan.query_text = "q";
+  LogicalNode filter;
+  filter.op_name = "Filter";
+  filter.args = {{"kind", "semantic"},
+                 {"phrase", corpus_->knowledge().categories().back()},
+                 {"condition", "about x"}};
+  filter.requires_semantics = true;
+  filter.input_vars = {kDocsVar};
+  filter.output_var = "V1";
+  LogicalNode count;
+  count.op_name = "Count";
+  count.input_vars = {"V1"};
+  count.output_var = "V2";
+  plan.nodes = {filter, count};
+  plan.dag.AddNode();
+  plan.dag.AddNode();
+  ASSERT_TRUE(plan.dag.AddEdge(0, 1).ok());
+  plan.answer_var = "V2";
+  auto optimized = optimizer.Optimize(plan);
+  ASSERT_TRUE(optimized.ok());
+  const auto& fnode = optimized->nodes[1];
+  ASSERT_EQ(fnode.logical.op_name, "Filter");
+  EXPECT_EQ(fnode.impl, PhysicalImpl::kIndexScanFilter)
+      << optimized->DebugString();
+  double candidates =
+      std::stod(fnode.logical.args.at("index_candidates"));
+  EXPECT_LT(candidates, static_cast<double>(corpus_->size()));
+}
+
+}  // namespace
+}  // namespace unify::core

@@ -1,0 +1,256 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/logical/operator_matcher.h"
+#include "core/logical/plan_generator.h"
+#include "corpus/dataset_profile.h"
+#include "llm/sim_llm.h"
+#include "nlq/render.h"
+
+namespace unify::core {
+namespace {
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto profile = corpus::SportsProfile();
+    profile.doc_count = 300;
+    corpus_ = new corpus::Corpus(corpus::GenerateCorpus(profile, 41));
+    llm_ = new llm::SimulatedLlm(corpus_, llm::SimLlmOptions{});
+    registry_ = new OperatorRegistry(OperatorRegistry::Default());
+    matcher_ = new OperatorMatcher(registry_);
+  }
+  static void TearDownTestSuite() {
+    delete matcher_;
+    delete registry_;
+    delete llm_;
+    delete corpus_;
+  }
+
+  static PlanGenerator MakeGenerator(PlanGenerator::Options options) {
+    return PlanGenerator(registry_, matcher_, llm_, options);
+  }
+
+  static corpus::Corpus* corpus_;
+  static llm::SimulatedLlm* llm_;
+  static OperatorRegistry* registry_;
+  static OperatorMatcher* matcher_;
+};
+corpus::Corpus* PlannerTest::corpus_ = nullptr;
+llm::SimulatedLlm* PlannerTest::llm_ = nullptr;
+OperatorRegistry* PlannerTest::registry_ = nullptr;
+OperatorMatcher* PlannerTest::matcher_ = nullptr;
+
+nlq::QueryAst Flagship() {
+  nlq::QueryAst q;
+  q.task = nlq::TaskKind::kGroupArgBest;
+  q.entity = "questions";
+  q.group_attr = "sport";
+  q.best_is_max = true;
+  q.docset.conditions = {
+      nlq::Condition::Semantic("ball sports"),
+      nlq::Condition::Numeric("views", nlq::Condition::Cmp::kGt, 500)};
+  q.metric.kind = nlq::GroupMetric::Kind::kRatio;
+  q.metric.num.cond = nlq::Condition::Semantic("injury");
+  q.metric.den.cond = nlq::Condition::Semantic("training");
+  return q;
+}
+
+TEST_F(PlannerTest, MatcherRanksRelevantOperatorsFirst) {
+  auto matches =
+      matcher_->TopK("[Entity] that [Condition], with [Condition]", 5);
+  ASSERT_EQ(matches.size(), 5u);
+  EXPECT_EQ(matches[0].op_name, "Filter");
+  for (size_t i = 1; i < matches.size(); ++i) {
+    EXPECT_GE(matches[i].distance, matches[i - 1].distance);
+  }
+}
+
+TEST_F(PlannerTest, MatcherCoversAllOperators) {
+  EXPECT_EQ(matcher_->num_operators(), 21u);
+  auto all = matcher_->TopK("anything", 100);
+  EXPECT_EQ(all.size(), 21u);
+}
+
+TEST_F(PlannerTest, GeneratesPlanForSimpleCount) {
+  auto generator = MakeGenerator({});
+  auto result = generator.Generate(
+      "How many questions about tennis are there?");
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->plans.empty());
+  const auto& plan = result->plans.front();
+  // Filter then Count.
+  ASSERT_EQ(plan.nodes.size(), 2u);
+  EXPECT_EQ(plan.nodes[0].op_name, "Filter");
+  EXPECT_EQ(plan.nodes[1].op_name, "Count");
+  EXPECT_EQ(plan.answer_var, plan.nodes[1].output_var);
+  EXPECT_FALSE(result->used_fallback);
+  EXPECT_GT(result->planning_seconds, 0);
+  EXPECT_GT(result->llm_calls, 0);
+}
+
+TEST_F(PlannerTest, PlanIsConnectedDag) {
+  auto generator = MakeGenerator({});
+  auto result = generator.Generate(nlq::Render(Flagship()));
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->plans.empty());
+  for (const auto& plan : result->plans) {
+    EXPECT_TRUE(plan.dag.TopologicalOrder().ok());
+    EXPECT_EQ(plan.dag.size(), plan.nodes.size());
+    // Every non-corpus input must be produced by some node.
+    std::set<std::string> produced = {std::string(kDocsVar)};
+    for (const auto& node : plan.nodes) produced.insert(node.output_var);
+    for (const auto& node : plan.nodes) {
+      for (const auto& in : node.input_vars) {
+        EXPECT_TRUE(produced.count(in)) << in;
+      }
+    }
+  }
+}
+
+TEST_F(PlannerTest, FlagshipPlanContainsExpectedOperators) {
+  auto generator = MakeGenerator({});
+  auto result = generator.Generate(nlq::Render(Flagship()));
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->plans.empty());
+  std::set<std::string> ops;
+  for (const auto& node : result->plans.front().nodes) {
+    ops.insert(node.op_name);
+  }
+  EXPECT_TRUE(ops.count("Filter"));
+  EXPECT_TRUE(ops.count("GroupBy"));
+  EXPECT_TRUE(ops.count("Count"));
+  EXPECT_TRUE(ops.count("Compute"));
+  EXPECT_TRUE(ops.count("Max"));
+}
+
+TEST_F(PlannerTest, FlagshipRatioBranchesAreParallel) {
+  auto generator = MakeGenerator({});
+  auto result = generator.Generate(nlq::Render(Flagship()));
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->plans.empty());
+  const auto& plan = result->plans.front();
+  // The DAG depth must be strictly smaller than the node count: the two
+  // ratio branches (filter+count each) run in parallel (paper Figure 1).
+  EXPECT_LT(plan.dag.Depth(), plan.nodes.size());
+}
+
+TEST_F(PlannerTest, MultiPlanGenerationProducesDistinctPlans) {
+  PlanGenerator::Options options;
+  options.n_c = 3;
+  auto generator = MakeGenerator(options);
+  auto result = generator.Generate(
+      "How many questions about tennis, with over 300 views are there?");
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->plans.size(), 2u);
+  std::set<std::string> signatures;
+  for (const auto& plan : result->plans) {
+    EXPECT_TRUE(signatures.insert(plan.Signature()).second)
+        << "duplicate plan signature";
+  }
+}
+
+TEST_F(PlannerTest, TauOneExploresMoreThanTauSmall) {
+  PlanGenerator::Options narrow;
+  narrow.n_c = 8;
+  narrow.tau = 0.2;
+  PlanGenerator::Options wide;
+  wide.n_c = 8;
+  wide.tau = 1.0;
+  std::string query = nlq::Render(Flagship());
+  auto narrow_result = MakeGenerator(narrow).Generate(query);
+  auto wide_result = MakeGenerator(wide).Generate(query);
+  ASSERT_TRUE(narrow_result.ok());
+  ASSERT_TRUE(wide_result.ok());
+  EXPECT_GE(wide_result->plans.size(), narrow_result->plans.size());
+  EXPECT_GT(wide_result->llm_calls, narrow_result->llm_calls);
+}
+
+TEST_F(PlannerTest, FallbackOnUndecomposableQuery) {
+  auto generator = MakeGenerator({});
+  auto result = generator.Generate(
+      "Write a short poem celebrating the spirit of sportsmanship.");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->used_fallback);
+  ASSERT_EQ(result->plans.size(), 1u);
+  const auto& node = result->plans.front().nodes.front();
+  EXPECT_EQ(node.op_name, "Generate");
+  // An unstructured task resists code generation: RAG strategy chosen.
+  EXPECT_EQ(node.args.at("strategy"), "rag");
+  // The dead-end is collected for future operator building (Section V-D).
+  EXPECT_FALSE(result->unresolved_queries.empty());
+}
+
+TEST_F(PlannerTest, FallbackPrefersCodegenForProgrammableQueries) {
+  // Shrink the operator catalog so a perfectly well-formed query cannot
+  // be decomposed — the fallback must then choose code generation.
+  OperatorRegistry tiny;
+  LogicalOperatorDef only_compare;
+  only_compare.name = "Compare";
+  only_compare.description = "compare";
+  only_compare.logical_representations = {
+      "larger in [Entity] and [Entity]"};
+  tiny.Add(only_compare);
+  OperatorMatcher tiny_matcher(&tiny);
+  PlanGenerator generator(&tiny, &tiny_matcher, llm_, {});
+  auto result =
+      generator.Generate("How many questions about tennis are there?");
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->used_fallback);
+  EXPECT_EQ(result->plans.front().nodes.front().args.at("strategy"),
+            "code");
+}
+
+TEST_F(PlannerTest, PlanningIsDeterministic) {
+  std::string query = nlq::Render(Flagship());
+  auto a = MakeGenerator({}).Generate(query);
+  auto b = MakeGenerator({}).Generate(query);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->plans.size(), b->plans.size());
+  for (size_t i = 0; i < a->plans.size(); ++i) {
+    EXPECT_EQ(a->plans[i].Signature(), b->plans[i].Signature());
+  }
+  EXPECT_DOUBLE_EQ(a->planning_seconds, b->planning_seconds);
+}
+
+TEST_F(PlannerTest, CallBudgetIsRespected) {
+  PlanGenerator::Options options;
+  options.n_c = 50;
+  options.tau = 1.0;
+  options.max_llm_calls = 60;
+  auto generator = MakeGenerator(options);
+  auto result = generator.Generate(nlq::Render(Flagship()));
+  ASSERT_TRUE(result.ok());
+  // Budget + the calls in flight when it tripped.
+  EXPECT_LE(result->llm_calls, 60 + 30);
+}
+
+TEST_F(PlannerTest, FilterArgsCarryConditionDetails) {
+  auto generator = MakeGenerator({});
+  auto result = generator.Generate(
+      "How many questions with over 500 views are there?");
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->plans.empty());
+  const auto& filter = result->plans.front().nodes.front();
+  ASSERT_EQ(filter.op_name, "Filter");
+  EXPECT_EQ(filter.args.at("kind"), "numeric");
+  EXPECT_EQ(filter.args.at("attribute"), "views");
+  EXPECT_EQ(filter.args.at("cmp"), "gt");
+  EXPECT_EQ(filter.args.at("value"), "500");
+  EXPECT_FALSE(filter.requires_semantics);
+}
+
+TEST_F(PlannerTest, SemanticFilterFlagged) {
+  auto generator = MakeGenerator({});
+  auto result =
+      generator.Generate("How many questions about tennis are there?");
+  ASSERT_TRUE(result.ok());
+  const auto& filter = result->plans.front().nodes.front();
+  EXPECT_TRUE(filter.requires_semantics);
+  EXPECT_EQ(filter.args.at("phrase"), "tennis");
+}
+
+}  // namespace
+}  // namespace unify::core

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "nlq/reduction.h"
+#include "nlq/render.h"
+
+namespace unify::nlq {
+namespace {
+
+/// Finds the unique applicable step with the given op name, failing the
+/// test when absent or ambiguous beyond `index`.
+ReductionStep StepFor(const QueryAst& q, const std::string& op,
+                      size_t index = 0) {
+  std::vector<ReductionStep> matching;
+  for (auto& s : ApplicableSteps(q)) {
+    if (s.op_name == op) matching.push_back(std::move(s));
+  }
+  EXPECT_GT(matching.size(), index) << "no step " << op << "#" << index
+                                    << " for " << Render(q);
+  return matching.at(index);
+}
+
+TEST(ReductionArgsTest, NumericFilterCarriesComparison) {
+  QueryAst q;
+  q.task = TaskKind::kCount;
+  q.entity = "questions";
+  q.docset.conditions = {
+      Condition::Numeric("views", Condition::Cmp::kBetween, 100, 500)};
+  auto step = StepFor(q, "Filter");
+  EXPECT_EQ(step.args.at("kind"), "numeric");
+  EXPECT_EQ(step.args.at("attribute"), "views");
+  EXPECT_EQ(step.args.at("cmp"), "between");
+  EXPECT_EQ(step.args.at("value"), "100");
+  EXPECT_EQ(step.args.at("value2"), "500");
+  EXPECT_FALSE(step.requires_semantics);
+  EXPECT_EQ(step.input_vars, std::vector<std::string>{""});
+}
+
+TEST(ReductionArgsTest, SemanticFilterCarriesPhrase) {
+  QueryAst q;
+  q.task = TaskKind::kCount;
+  q.entity = "questions";
+  q.docset.conditions = {Condition::Semantic("ball sports")};
+  auto step = StepFor(q, "Filter");
+  EXPECT_EQ(step.args.at("kind"), "semantic");
+  EXPECT_EQ(step.args.at("phrase"), "ball sports");
+  EXPECT_TRUE(step.requires_semantics);
+  EXPECT_EQ(step.degree, SolveDegree::kPartially);
+}
+
+TEST(ReductionArgsTest, FilterVariantsEnumerateConditions) {
+  QueryAst q;
+  q.task = TaskKind::kCount;
+  q.entity = "questions";
+  q.docset.conditions = {
+      Condition::Semantic("tennis"),
+      Condition::Numeric("views", Condition::Cmp::kGt, 10)};
+  auto first = StepFor(q, "Filter", 0);
+  auto second = StepFor(q, "Filter", 1);
+  EXPECT_EQ(first.args.at("kind"), "semantic");
+  EXPECT_EQ(second.args.at("kind"), "numeric");
+}
+
+TEST(ReductionArgsTest, GroupByCarriesAttribute) {
+  QueryAst q;
+  q.task = TaskKind::kGroupArgBest;
+  q.entity = "questions";
+  q.group_attr = "sport";
+  q.metric.kind = GroupMetric::Kind::kCount;
+  auto step = StepFor(q, "GroupBy");
+  EXPECT_EQ(step.args.at("by"), "sport");
+  EXPECT_TRUE(step.requires_semantics);
+}
+
+TEST(ReductionArgsTest, TopKCarriesRankingSpec) {
+  QueryAst q;
+  q.task = TaskKind::kTopK;
+  q.entity = "questions";
+  q.top_k = 7;
+  q.top_desc = false;
+  q.attr = "comments";
+  auto step = StepFor(q, "TopK");
+  EXPECT_EQ(step.args.at("k"), "7");
+  EXPECT_EQ(step.args.at("attribute"), "comments");
+  EXPECT_EQ(step.args.at("desc"), "false");
+  EXPECT_EQ(step.degree, SolveDegree::kFully);
+}
+
+TEST(ReductionArgsTest, PercentileCarriesP) {
+  QueryAst q;
+  q.task = TaskKind::kAgg;
+  q.entity = "questions";
+  q.agg = AggFunc::kPercentile;
+  q.percentile = 75;
+  q.attr = "views";
+  // Two decompositions offered: Extract→Percentile and direct Percentile.
+  auto direct = StepFor(q, "Percentile");
+  EXPECT_EQ(direct.args.at("p"), "75");
+  EXPECT_EQ(direct.args.at("attribute"), "views");
+  EXPECT_EQ(direct.degree, SolveDegree::kFully);
+  auto extract = StepFor(q, "Extract");
+  EXPECT_EQ(extract.args.at("attribute"), "views");
+}
+
+TEST(ReductionArgsTest, AggViaExtractThenAggregate) {
+  QueryAst q;
+  q.task = TaskKind::kAgg;
+  q.entity = "questions";
+  q.agg = AggFunc::kMedian;
+  q.attr = "score";
+  auto extract = StepFor(q, "Extract");
+  QueryAst reduced = ApplyStep(q, extract, "V1");
+  EXPECT_EQ(reduced.extracted_var, "V1");
+  auto agg = StepFor(reduced, "Median");
+  EXPECT_EQ(agg.input_vars, std::vector<std::string>{"V1"});
+  QueryAst done = ApplyStep(reduced, agg, "V2");
+  EXPECT_TRUE(IsFullyReduced(done));
+  EXPECT_EQ(done.final_var, "V2");
+}
+
+TEST(ReductionArgsTest, SetOpsMapToTableTwoOperators) {
+  for (auto [set_op, name] :
+       {std::pair{SetOpKind::kUnion, "Union"},
+        std::pair{SetOpKind::kIntersect, "Intersection"},
+        std::pair{SetOpKind::kDifference, "Complementary"}}) {
+    QueryAst q;
+    q.task = TaskKind::kSetCount;
+    q.entity = "questions";
+    q.set_op = set_op;
+    q.docset.base_var = "V1";
+    q.docset_b.base_var = "V2";
+    auto step = StepFor(q, name);
+    EXPECT_EQ(step.input_vars, (std::vector<std::string>{"V1", "V2"}));
+    QueryAst reduced = ApplyStep(q, step, "V3");
+    // Task collapses to a count of the combined set.
+    EXPECT_EQ(reduced.task, TaskKind::kCount);
+    EXPECT_EQ(reduced.docset.base_var, "V3");
+  }
+}
+
+TEST(ReductionArgsTest, CompareAggSidesUseDirectAggregation) {
+  QueryAst q;
+  q.task = TaskKind::kCompareAgg;
+  q.entity = "questions";
+  q.agg = AggFunc::kSum;
+  q.attr = "answers";
+  q.docset.base_var = "V1";
+  q.docset_b.base_var = "V2";
+  auto side_a = StepFor(q, "Sum", 0);
+  EXPECT_EQ(side_a.args.at("attribute"), "answers");
+  QueryAst after_a = ApplyStep(q, side_a, "V3");
+  EXPECT_EQ(after_a.count_var_a, "V3");
+  auto side_b = StepFor(after_a, "Sum", 0);
+  QueryAst after_b = ApplyStep(after_a, side_b, "V4");
+  auto compare = StepFor(after_b, "Compare");
+  EXPECT_EQ(compare.input_vars, (std::vector<std::string>{"V3", "V4"}));
+  EXPECT_EQ(compare.degree, SolveDegree::kFully);
+}
+
+TEST(ReductionArgsTest, RatioMetricFullChain) {
+  QueryAst q;
+  q.task = TaskKind::kGroupArgBest;
+  q.entity = "questions";
+  q.group_attr = "sport";
+  q.metric.kind = GroupMetric::Kind::kRatio;
+  q.metric.num.cond = Condition::Semantic("injury");
+  q.metric.den.cond = Condition::Semantic("training");
+  // GroupBy first.
+  QueryAst grouped = ApplyStep(q, StepFor(q, "GroupBy"), "V1");
+  EXPECT_EQ(grouped.group_var, "V1");
+  // Both metric filters offered, inputs = the grouped variable.
+  auto num_filter = StepFor(grouped, "Filter", 0);
+  auto den_filter = StepFor(grouped, "Filter", 1);
+  EXPECT_EQ(num_filter.input_vars, std::vector<std::string>{"V1"});
+  EXPECT_EQ(den_filter.input_vars, std::vector<std::string>{"V1"});
+  QueryAst f1 = ApplyStep(grouped, num_filter, "V2");
+  QueryAst f2 = ApplyStep(f1, StepFor(f1, "Filter", 0), "V3");
+  // Counts on each side, then Compute, then Max.
+  QueryAst c1 = ApplyStep(f2, StepFor(f2, "Count", 0), "V4");
+  QueryAst c2 = ApplyStep(c1, StepFor(c1, "Count", 0), "V5");
+  auto compute = StepFor(c2, "Compute");
+  EXPECT_EQ(compute.input_vars, (std::vector<std::string>{"V4", "V5"}));
+  QueryAst r = ApplyStep(c2, compute, "V6");
+  EXPECT_EQ(r.metric.metric_var, "V6");
+  auto max = StepFor(r, "Max");
+  EXPECT_EQ(max.args.at("arg"), "group");
+  QueryAst done = ApplyStep(r, max, "V7");
+  EXPECT_TRUE(IsFullyReduced(done));
+}
+
+TEST(ReductionArgsTest, ArgMinUsesMinOperator) {
+  QueryAst q;
+  q.task = TaskKind::kGroupArgBest;
+  q.entity = "questions";
+  q.group_attr = "sport";
+  q.best_is_max = false;
+  q.metric.kind = GroupMetric::Kind::kCount;
+  q.metric.metric_var = "V9";
+  auto step = StepFor(q, "Min");
+  EXPECT_EQ(step.input_vars, std::vector<std::string>{"V9"});
+}
+
+TEST(ReductionArgsTest, NoStepsOnFinalState) {
+  QueryAst q;
+  q.final_var = "V5";
+  EXPECT_TRUE(ApplicableSteps(q).empty());
+  EXPECT_TRUE(IsFullyReduced(q));
+}
+
+TEST(ReductionArgsTest, OutputDescriptionsAreInformative) {
+  QueryAst q;
+  q.task = TaskKind::kCount;
+  q.entity = "questions";
+  q.docset.conditions = {Condition::Semantic("tennis")};
+  auto step = StepFor(q, "Filter");
+  EXPECT_NE(step.output_desc.find("tennis"), std::string::npos);
+  EXPECT_NE(step.output_desc.find("questions"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace unify::nlq

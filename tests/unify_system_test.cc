@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include "core/runtime/unify.h"
+#include "corpus/dataset_profile.h"
+#include "corpus/workload.h"
+#include "llm/sim_llm.h"
+#include "nlq/render.h"
+
+namespace unify::core {
+namespace {
+
+using corpus::Answer;
+
+class UnifySystemTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto profile = corpus::SportsProfile();
+    profile.doc_count = 500;  // small corpus: fast tests
+    corpus_ = new corpus::Corpus(corpus::GenerateCorpus(profile, 21));
+    llm_ = new llm::SimulatedLlm(corpus_, llm::SimLlmOptions{});
+    UnifyOptions options;
+    options.exec.threads = 2;
+    system_ = new UnifySystem(corpus_, llm_, options);
+    ASSERT_TRUE(system_->Setup().ok());
+  }
+  static void TearDownTestSuite() {
+    delete system_;
+    delete llm_;
+    delete corpus_;
+    system_ = nullptr;
+    llm_ = nullptr;
+    corpus_ = nullptr;
+  }
+
+  static corpus::Corpus* corpus_;
+  static llm::SimulatedLlm* llm_;
+  static UnifySystem* system_;
+};
+
+corpus::Corpus* UnifySystemTest::corpus_ = nullptr;
+llm::SimulatedLlm* UnifySystemTest::llm_ = nullptr;
+UnifySystem* UnifySystemTest::system_ = nullptr;
+
+TEST_F(UnifySystemTest, AnswersSimpleCountQuery) {
+  nlq::QueryAst ast;
+  ast.task = nlq::TaskKind::kCount;
+  ast.entity = "questions";
+  ast.docset.conditions = {nlq::Condition::Numeric(
+      "views", nlq::Condition::Cmp::kGt, 200)};
+  Answer truth = corpus::EvaluateQuery(ast, *corpus_);
+  auto result = system_->Answer(nlq::Render(ast));
+  ASSERT_TRUE(result.status.ok()) << result.status;
+  EXPECT_TRUE(Answer::Equivalent(result.answer, truth))
+      << "got " << result.answer.ToString() << " want " << truth.ToString()
+      << "\nplan: " << result.plan_debug;
+  EXPECT_GT(result.plan_seconds, 0);
+  EXPECT_GT(result.exec_seconds, 0);
+}
+
+TEST_F(UnifySystemTest, AnswersFlagshipGroupRatioQuery) {
+  nlq::QueryAst ast;
+  ast.task = nlq::TaskKind::kGroupArgBest;
+  ast.entity = "questions";
+  ast.group_attr = "sport";
+  ast.best_is_max = true;
+  ast.docset.conditions = {
+      nlq::Condition::Semantic("ball sports"),
+      nlq::Condition::Numeric("views", nlq::Condition::Cmp::kGt, 150)};
+  ast.metric.kind = nlq::GroupMetric::Kind::kRatio;
+  ast.metric.num.cond = nlq::Condition::Semantic("injury");
+  ast.metric.den.cond = nlq::Condition::Semantic("training");
+  auto result = system_->Answer(nlq::Render(ast));
+  ASSERT_TRUE(result.status.ok()) << result.status;
+  EXPECT_EQ(result.answer.kind, Answer::Kind::kText)
+      << result.answer.ToString() << "\nplan: " << result.plan_debug;
+}
+
+TEST_F(UnifySystemTest, WorkloadAccuracyIsHigh) {
+  corpus::WorkloadOptions wopts;
+  wopts.per_template = 1;
+  auto workload = corpus::GenerateWorkload(*corpus_, wopts);
+  int correct = 0;
+  int failed = 0;
+  for (const auto& qc : workload) {
+    auto result = system_->Answer(qc.text);
+    if (!result.status.ok()) {
+      ++failed;
+      continue;
+    }
+    if (Answer::Equivalent(result.answer, qc.ground_truth)) ++correct;
+  }
+  // The paper reports ~81% accuracy on Sports; with a small corpus and one
+  // query per template we only require a solid majority here.
+  EXPECT_GE(correct, static_cast<int>(workload.size() * 6 / 10))
+      << "correct=" << correct << " failed=" << failed << " of "
+      << workload.size();
+}
+
+TEST_F(UnifySystemTest, AnswerIsDeterministicAcrossCalls) {
+  corpus::WorkloadOptions wopts;
+  wopts.per_template = 1;
+  auto workload = corpus::GenerateWorkload(*corpus_, wopts);
+  const auto& qc = workload[17 % workload.size()];
+  auto a = system_->Answer(qc.text);
+  auto b = system_->Answer(qc.text);
+  EXPECT_EQ(a.answer.ToString(), b.answer.ToString());
+  EXPECT_DOUBLE_EQ(a.exec_seconds, b.exec_seconds);
+}
+
+/// Property: with a perfect LLM (zero error rates), planning and execution
+/// are exact — any residual inaccuracy would indicate a bug in the
+/// pipeline itself rather than modeled LLM fallibility.
+TEST(UnifySystemRobustness, PerfectLlmIsNearPerfect) {
+  auto profile = corpus::SportsProfile();
+  profile.doc_count = 400;
+  corpus::Corpus corp = corpus::GenerateCorpus(profile, 23);
+  llm::SimLlmOptions lopts;
+  lopts.errors = llm::SimLlmErrorRates{};
+  lopts.errors.semantic_parse = 0;
+  lopts.errors.rerank = 0;
+  lopts.errors.reduce = 0;
+  lopts.errors.simple_question = 0;
+  lopts.errors.dependency = 0;
+  lopts.errors.predicate_false_negative = 0;
+  lopts.errors.predicate_false_positive = 0;
+  lopts.errors.numeric_predicate = 0;
+  lopts.errors.extract = 0;
+  lopts.errors.classify = 0;
+  lopts.errors.generate = 0;
+  llm::SimulatedLlm perfect(&corp, lopts);
+  UnifyOptions uopts;
+  // Disable the approximate index scan so execution is exact end to end.
+  uopts.index_candidate_factor = 1e9;
+  UnifySystem system(&corp, &perfect, uopts);
+  ASSERT_TRUE(system.Setup().ok());
+  corpus::WorkloadOptions wopts;
+  wopts.per_template = 1;
+  auto workload = corpus::GenerateWorkload(corp, wopts);
+  int correct = 0;
+  for (const auto& qc : workload) {
+    auto r = system.Answer(qc.text);
+    if (r.status.ok() && Answer::Equivalent(r.answer, qc.ground_truth)) {
+      ++correct;
+    }
+  }
+  EXPECT_EQ(correct, static_cast<int>(workload.size()));
+}
+
+/// Property: a much worse LLM degrades accuracy but never crashes the
+/// system — every query still completes with a definite outcome.
+TEST(UnifySystemRobustness, NoisyLlmDegradesGracefully) {
+  auto profile = corpus::SportsProfile();
+  profile.doc_count = 400;
+  corpus::Corpus corp = corpus::GenerateCorpus(profile, 23);
+  llm::SimLlmOptions lopts;
+  lopts.errors.rerank = 0.35;
+  lopts.errors.reduce = 0.15;
+  lopts.errors.dependency = 0.10;
+  lopts.errors.predicate_false_negative = 0.15;
+  lopts.errors.predicate_false_positive = 0.05;
+  lopts.errors.classify = 0.25;
+  llm::SimulatedLlm noisy(&corp, lopts);
+  UnifySystem system(&corp, &noisy, UnifyOptions{});
+  ASSERT_TRUE(system.Setup().ok());
+  corpus::WorkloadOptions wopts;
+  wopts.per_template = 1;
+  auto workload = corpus::GenerateWorkload(corp, wopts);
+  int correct = 0;
+  for (const auto& qc : workload) {
+    auto r = system.Answer(qc.text);  // must not crash or hang
+    if (r.status.ok() && Answer::Equivalent(r.answer, qc.ground_truth)) {
+      ++correct;
+    }
+  }
+  EXPECT_LT(correct, static_cast<int>(workload.size()));
+  EXPECT_GT(correct, 0);
+}
+
+TEST_F(UnifySystemTest, SequentialModeMatchesParallelAnswers) {
+  UnifyOptions uopts;
+  uopts.exec.parallel = false;
+  UnifySystem sequential(corpus_, llm_, uopts);
+  ASSERT_TRUE(sequential.Setup().ok());
+  corpus::WorkloadOptions wopts;
+  wopts.per_template = 1;
+  auto workload = corpus::GenerateWorkload(*corpus_, wopts);
+  for (size_t i = 0; i < workload.size(); i += 5) {
+    auto a = system_->Answer(workload[i].text);
+    auto b = sequential.Answer(workload[i].text);
+    EXPECT_EQ(a.answer.ToString(), b.answer.ToString()) << workload[i].text;
+    EXPECT_GE(b.exec_seconds + 1e-9, a.exec_seconds);
+  }
+}
+
+TEST_F(UnifySystemTest, FallbackHandlesUnparseableQuery) {
+  auto result =
+      system_->Answer("Summarize the community's opinions on stretching.");
+  // The planner cannot decompose this; the Generate fallback must engage
+  // and still return *something* without crashing.
+  EXPECT_TRUE(result.used_fallback);
+  EXPECT_TRUE(result.status.ok()) << result.status;
+}
+
+/// Integration sweep: the full pipeline clears a majority of the workload
+/// on every dataset profile, not just Sports.
+class CrossDatasetTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CrossDatasetTest, MajorityAccuracyOnEveryProfile) {
+  corpus::DatasetProfile profile;
+  for (const auto& p : corpus::AllProfiles()) {
+    if (p.name == GetParam()) profile = p;
+  }
+  profile.doc_count = 500;
+  corpus::Corpus corp = corpus::GenerateCorpus(profile, 29);
+  llm::SimulatedLlm llm(&corp, llm::SimLlmOptions{});
+  UnifySystem system(&corp, &llm, UnifyOptions{});
+  ASSERT_TRUE(system.Setup().ok());
+  corpus::WorkloadOptions wopts;
+  wopts.per_template = 1;
+  auto workload = corpus::GenerateWorkload(corp, wopts);
+  int correct = 0;
+  for (const auto& qc : workload) {
+    auto r = system.Answer(qc.text);
+    if (r.status.ok() && Answer::Equivalent(r.answer, qc.ground_truth)) {
+      ++correct;
+    }
+  }
+  EXPECT_GE(correct, static_cast<int>(workload.size() * 6 / 10))
+      << GetParam() << ": " << correct << "/" << workload.size();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, CrossDatasetTest,
+                         ::testing::Values("ai", "law", "wiki"));
+
+}  // namespace
+}  // namespace unify::core

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cost_objective.dir/bench_cost_objective.cc.o"
+  "CMakeFiles/bench_cost_objective.dir/bench_cost_objective.cc.o.d"
+  "bench_cost_objective"
+  "bench_cost_objective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cost_objective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_distance_correlation.dir/bench_distance_correlation.cc.o"
+  "CMakeFiles/bench_distance_correlation.dir/bench_distance_correlation.cc.o.d"
+  "bench_distance_correlation"
+  "bench_distance_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_distance_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

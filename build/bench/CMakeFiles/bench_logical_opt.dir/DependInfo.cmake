@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_logical_opt.cc" "bench/CMakeFiles/bench_logical_opt.dir/bench_logical_opt.cc.o" "gcc" "bench/CMakeFiles/bench_logical_opt.dir/bench_logical_opt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/unify_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/unify_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/unify_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/unify_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/unify_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/unify_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlq/CMakeFiles/unify_nlq.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/unify_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/unify_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_logical_opt.dir/bench_logical_opt.cc.o"
+  "CMakeFiles/bench_logical_opt.dir/bench_logical_opt.cc.o.d"
+  "bench_logical_opt"
+  "bench_logical_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_logical_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_physical_opt.dir/bench_physical_opt.cc.o"
+  "CMakeFiles/bench_physical_opt.dir/bench_physical_opt.cc.o.d"
+  "bench_physical_opt"
+  "bench_physical_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_physical_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_planning_ablation.dir/bench_planning_ablation.cc.o"
+  "CMakeFiles/bench_planning_ablation.dir/bench_planning_ablation.cc.o.d"
+  "bench_planning_ablation"
+  "bench_planning_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_planning_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sce.dir/bench_sce.cc.o"
+  "CMakeFiles/bench_sce.dir/bench_sce.cc.o.d"
+  "bench_sce"
+  "bench_sce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

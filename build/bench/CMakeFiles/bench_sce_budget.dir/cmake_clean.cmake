@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sce_budget.dir/bench_sce_budget.cc.o"
+  "CMakeFiles/bench_sce_budget.dir/bench_sce_budget.cc.o.d"
+  "bench_sce_budget"
+  "bench_sce_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sce_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

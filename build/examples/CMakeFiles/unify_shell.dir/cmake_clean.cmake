@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unify_shell.dir/unify_shell.cpp.o"
+  "CMakeFiles/unify_shell.dir/unify_shell.cpp.o.d"
+  "unify_shell"
+  "unify_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unify_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

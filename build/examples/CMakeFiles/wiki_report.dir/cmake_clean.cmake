@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiki_report.dir/wiki_report.cpp.o"
+  "CMakeFiles/wiki_report.dir/wiki_report.cpp.o.d"
+  "wiki_report"
+  "wiki_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiki_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

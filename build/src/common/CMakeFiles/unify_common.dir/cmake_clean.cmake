@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unify_common.dir/logging.cc.o"
+  "CMakeFiles/unify_common.dir/logging.cc.o.d"
+  "CMakeFiles/unify_common.dir/rng.cc.o"
+  "CMakeFiles/unify_common.dir/rng.cc.o.d"
+  "CMakeFiles/unify_common.dir/stats.cc.o"
+  "CMakeFiles/unify_common.dir/stats.cc.o.d"
+  "CMakeFiles/unify_common.dir/status.cc.o"
+  "CMakeFiles/unify_common.dir/status.cc.o.d"
+  "CMakeFiles/unify_common.dir/string_util.cc.o"
+  "CMakeFiles/unify_common.dir/string_util.cc.o.d"
+  "CMakeFiles/unify_common.dir/thread_pool.cc.o"
+  "CMakeFiles/unify_common.dir/thread_pool.cc.o.d"
+  "libunify_common.a"
+  "libunify_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unify_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

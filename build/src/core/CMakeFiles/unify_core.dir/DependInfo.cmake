@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines/exhaust.cc" "src/core/CMakeFiles/unify_core.dir/baselines/exhaust.cc.o" "gcc" "src/core/CMakeFiles/unify_core.dir/baselines/exhaust.cc.o.d"
+  "/root/repo/src/core/baselines/llm_plan.cc" "src/core/CMakeFiles/unify_core.dir/baselines/llm_plan.cc.o" "gcc" "src/core/CMakeFiles/unify_core.dir/baselines/llm_plan.cc.o.d"
+  "/root/repo/src/core/baselines/manual.cc" "src/core/CMakeFiles/unify_core.dir/baselines/manual.cc.o" "gcc" "src/core/CMakeFiles/unify_core.dir/baselines/manual.cc.o.d"
+  "/root/repo/src/core/baselines/rag.cc" "src/core/CMakeFiles/unify_core.dir/baselines/rag.cc.o" "gcc" "src/core/CMakeFiles/unify_core.dir/baselines/rag.cc.o.d"
+  "/root/repo/src/core/baselines/retrieval.cc" "src/core/CMakeFiles/unify_core.dir/baselines/retrieval.cc.o" "gcc" "src/core/CMakeFiles/unify_core.dir/baselines/retrieval.cc.o.d"
+  "/root/repo/src/core/baselines/sample.cc" "src/core/CMakeFiles/unify_core.dir/baselines/sample.cc.o" "gcc" "src/core/CMakeFiles/unify_core.dir/baselines/sample.cc.o.d"
+  "/root/repo/src/core/logical/logical_plan.cc" "src/core/CMakeFiles/unify_core.dir/logical/logical_plan.cc.o" "gcc" "src/core/CMakeFiles/unify_core.dir/logical/logical_plan.cc.o.d"
+  "/root/repo/src/core/logical/operator_matcher.cc" "src/core/CMakeFiles/unify_core.dir/logical/operator_matcher.cc.o" "gcc" "src/core/CMakeFiles/unify_core.dir/logical/operator_matcher.cc.o.d"
+  "/root/repo/src/core/logical/plan_generator.cc" "src/core/CMakeFiles/unify_core.dir/logical/plan_generator.cc.o" "gcc" "src/core/CMakeFiles/unify_core.dir/logical/plan_generator.cc.o.d"
+  "/root/repo/src/core/operators/operator_def.cc" "src/core/CMakeFiles/unify_core.dir/operators/operator_def.cc.o" "gcc" "src/core/CMakeFiles/unify_core.dir/operators/operator_def.cc.o.d"
+  "/root/repo/src/core/operators/physical.cc" "src/core/CMakeFiles/unify_core.dir/operators/physical.cc.o" "gcc" "src/core/CMakeFiles/unify_core.dir/operators/physical.cc.o.d"
+  "/root/repo/src/core/operators/physical_common.cc" "src/core/CMakeFiles/unify_core.dir/operators/physical_common.cc.o" "gcc" "src/core/CMakeFiles/unify_core.dir/operators/physical_common.cc.o.d"
+  "/root/repo/src/core/physical/cost_model.cc" "src/core/CMakeFiles/unify_core.dir/physical/cost_model.cc.o" "gcc" "src/core/CMakeFiles/unify_core.dir/physical/cost_model.cc.o.d"
+  "/root/repo/src/core/physical/numeric_stats.cc" "src/core/CMakeFiles/unify_core.dir/physical/numeric_stats.cc.o" "gcc" "src/core/CMakeFiles/unify_core.dir/physical/numeric_stats.cc.o.d"
+  "/root/repo/src/core/physical/optimizer.cc" "src/core/CMakeFiles/unify_core.dir/physical/optimizer.cc.o" "gcc" "src/core/CMakeFiles/unify_core.dir/physical/optimizer.cc.o.d"
+  "/root/repo/src/core/physical/sce.cc" "src/core/CMakeFiles/unify_core.dir/physical/sce.cc.o" "gcc" "src/core/CMakeFiles/unify_core.dir/physical/sce.cc.o.d"
+  "/root/repo/src/core/runtime/executor.cc" "src/core/CMakeFiles/unify_core.dir/runtime/executor.cc.o" "gcc" "src/core/CMakeFiles/unify_core.dir/runtime/executor.cc.o.d"
+  "/root/repo/src/core/runtime/unify.cc" "src/core/CMakeFiles/unify_core.dir/runtime/unify.cc.o" "gcc" "src/core/CMakeFiles/unify_core.dir/runtime/unify.cc.o.d"
+  "/root/repo/src/core/value/value.cc" "src/core/CMakeFiles/unify_core.dir/value/value.cc.o" "gcc" "src/core/CMakeFiles/unify_core.dir/value/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/unify_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/unify_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/unify_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/unify_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/unify_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/unify_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlq/CMakeFiles/unify_nlq.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/unify_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/answer.cc" "src/corpus/CMakeFiles/unify_corpus.dir/answer.cc.o" "gcc" "src/corpus/CMakeFiles/unify_corpus.dir/answer.cc.o.d"
+  "/root/repo/src/corpus/corpus.cc" "src/corpus/CMakeFiles/unify_corpus.dir/corpus.cc.o" "gcc" "src/corpus/CMakeFiles/unify_corpus.dir/corpus.cc.o.d"
+  "/root/repo/src/corpus/dataset_profile.cc" "src/corpus/CMakeFiles/unify_corpus.dir/dataset_profile.cc.o" "gcc" "src/corpus/CMakeFiles/unify_corpus.dir/dataset_profile.cc.o.d"
+  "/root/repo/src/corpus/io.cc" "src/corpus/CMakeFiles/unify_corpus.dir/io.cc.o" "gcc" "src/corpus/CMakeFiles/unify_corpus.dir/io.cc.o.d"
+  "/root/repo/src/corpus/knowledge.cc" "src/corpus/CMakeFiles/unify_corpus.dir/knowledge.cc.o" "gcc" "src/corpus/CMakeFiles/unify_corpus.dir/knowledge.cc.o.d"
+  "/root/repo/src/corpus/workload.cc" "src/corpus/CMakeFiles/unify_corpus.dir/workload.cc.o" "gcc" "src/corpus/CMakeFiles/unify_corpus.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/unify_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/unify_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/unify_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlq/CMakeFiles/unify_nlq.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

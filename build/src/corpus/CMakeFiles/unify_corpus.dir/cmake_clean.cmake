@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unify_corpus.dir/answer.cc.o"
+  "CMakeFiles/unify_corpus.dir/answer.cc.o.d"
+  "CMakeFiles/unify_corpus.dir/corpus.cc.o"
+  "CMakeFiles/unify_corpus.dir/corpus.cc.o.d"
+  "CMakeFiles/unify_corpus.dir/dataset_profile.cc.o"
+  "CMakeFiles/unify_corpus.dir/dataset_profile.cc.o.d"
+  "CMakeFiles/unify_corpus.dir/io.cc.o"
+  "CMakeFiles/unify_corpus.dir/io.cc.o.d"
+  "CMakeFiles/unify_corpus.dir/knowledge.cc.o"
+  "CMakeFiles/unify_corpus.dir/knowledge.cc.o.d"
+  "CMakeFiles/unify_corpus.dir/workload.cc.o"
+  "CMakeFiles/unify_corpus.dir/workload.cc.o.d"
+  "libunify_corpus.a"
+  "libunify_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unify_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

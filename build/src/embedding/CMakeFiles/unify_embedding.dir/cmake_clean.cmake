@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unify_embedding.dir/hashed_embedder.cc.o"
+  "CMakeFiles/unify_embedding.dir/hashed_embedder.cc.o.d"
+  "CMakeFiles/unify_embedding.dir/vector_math.cc.o"
+  "CMakeFiles/unify_embedding.dir/vector_math.cc.o.d"
+  "libunify_embedding.a"
+  "libunify_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unify_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/dag.cc" "src/exec/CMakeFiles/unify_exec.dir/dag.cc.o" "gcc" "src/exec/CMakeFiles/unify_exec.dir/dag.cc.o.d"
+  "/root/repo/src/exec/dag_runner.cc" "src/exec/CMakeFiles/unify_exec.dir/dag_runner.cc.o" "gcc" "src/exec/CMakeFiles/unify_exec.dir/dag_runner.cc.o.d"
+  "/root/repo/src/exec/schedule.cc" "src/exec/CMakeFiles/unify_exec.dir/schedule.cc.o" "gcc" "src/exec/CMakeFiles/unify_exec.dir/schedule.cc.o.d"
+  "/root/repo/src/exec/virtual_pool.cc" "src/exec/CMakeFiles/unify_exec.dir/virtual_pool.cc.o" "gcc" "src/exec/CMakeFiles/unify_exec.dir/virtual_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/unify_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unify_exec.dir/dag.cc.o"
+  "CMakeFiles/unify_exec.dir/dag.cc.o.d"
+  "CMakeFiles/unify_exec.dir/dag_runner.cc.o"
+  "CMakeFiles/unify_exec.dir/dag_runner.cc.o.d"
+  "CMakeFiles/unify_exec.dir/schedule.cc.o"
+  "CMakeFiles/unify_exec.dir/schedule.cc.o.d"
+  "CMakeFiles/unify_exec.dir/virtual_pool.cc.o"
+  "CMakeFiles/unify_exec.dir/virtual_pool.cc.o.d"
+  "libunify_exec.a"
+  "libunify_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unify_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

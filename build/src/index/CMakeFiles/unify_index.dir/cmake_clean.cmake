@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unify_index.dir/hnsw_index.cc.o"
+  "CMakeFiles/unify_index.dir/hnsw_index.cc.o.d"
+  "CMakeFiles/unify_index.dir/linear_index.cc.o"
+  "CMakeFiles/unify_index.dir/linear_index.cc.o.d"
+  "libunify_index.a"
+  "libunify_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unify_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

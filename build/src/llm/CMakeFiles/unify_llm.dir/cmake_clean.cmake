@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unify_llm.dir/caching_client.cc.o"
+  "CMakeFiles/unify_llm.dir/caching_client.cc.o.d"
+  "CMakeFiles/unify_llm.dir/sim_llm.cc.o"
+  "CMakeFiles/unify_llm.dir/sim_llm.cc.o.d"
+  "libunify_llm.a"
+  "libunify_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unify_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

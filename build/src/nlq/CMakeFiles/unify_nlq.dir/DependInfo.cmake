@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nlq/ast.cc" "src/nlq/CMakeFiles/unify_nlq.dir/ast.cc.o" "gcc" "src/nlq/CMakeFiles/unify_nlq.dir/ast.cc.o.d"
+  "/root/repo/src/nlq/parse.cc" "src/nlq/CMakeFiles/unify_nlq.dir/parse.cc.o" "gcc" "src/nlq/CMakeFiles/unify_nlq.dir/parse.cc.o.d"
+  "/root/repo/src/nlq/reduction.cc" "src/nlq/CMakeFiles/unify_nlq.dir/reduction.cc.o" "gcc" "src/nlq/CMakeFiles/unify_nlq.dir/reduction.cc.o.d"
+  "/root/repo/src/nlq/render.cc" "src/nlq/CMakeFiles/unify_nlq.dir/render.cc.o" "gcc" "src/nlq/CMakeFiles/unify_nlq.dir/render.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/unify_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unify_nlq.dir/ast.cc.o"
+  "CMakeFiles/unify_nlq.dir/ast.cc.o.d"
+  "CMakeFiles/unify_nlq.dir/parse.cc.o"
+  "CMakeFiles/unify_nlq.dir/parse.cc.o.d"
+  "CMakeFiles/unify_nlq.dir/reduction.cc.o"
+  "CMakeFiles/unify_nlq.dir/reduction.cc.o.d"
+  "CMakeFiles/unify_nlq.dir/render.cc.o"
+  "CMakeFiles/unify_nlq.dir/render.cc.o.d"
+  "libunify_nlq.a"
+  "libunify_nlq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unify_nlq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unify_text.dir/field_extractor.cc.o"
+  "CMakeFiles/unify_text.dir/field_extractor.cc.o.d"
+  "CMakeFiles/unify_text.dir/keyword_matcher.cc.o"
+  "CMakeFiles/unify_text.dir/keyword_matcher.cc.o.d"
+  "CMakeFiles/unify_text.dir/tokenizer.cc.o"
+  "CMakeFiles/unify_text.dir/tokenizer.cc.o.d"
+  "libunify_text.a"
+  "libunify_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unify_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numeric_stats_test.dir/numeric_stats_test.cc.o"
+  "CMakeFiles/numeric_stats_test.dir/numeric_stats_test.cc.o.d"
+  "numeric_stats_test"
+  "numeric_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numeric_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sce_test.dir/sce_test.cc.o"
+  "CMakeFiles/sce_test.dir/sce_test.cc.o.d"
+  "sce_test"
+  "sce_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -4,10 +4,17 @@
 //
 // Scale knobs: see bench_util.h (UNIFY_BENCH_FULL=1 for 100 queries per
 // dataset; default is a faster subset with identical shape).
+//
+// --trace-out=PATH writes the last Unify query's lifecycle trace per
+// dataset as Chrome trace-event JSON to PATH.<dataset>.json (open in
+// chrome://tracing or Perfetto; see docs/observability.md).
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <functional>
+#include <memory>
 
 #include "bench_util.h"
 #include "common/logging.h"
@@ -26,7 +33,7 @@ using core::MethodResult;
 using corpus::Answer;
 
 void RunDataset(const corpus::DatasetProfile& profile,
-                const BenchScale& scale) {
+                const BenchScale& scale, const std::string& trace_out) {
   BenchDataset ds = MakeDataset(profile, scale);
   std::printf("\n--- dataset %s: %zu docs, %zu queries ---\n",
               ds.name.c_str(), ds.corpus->size(), ds.workload.size());
@@ -73,9 +80,11 @@ void RunDataset(const corpus::DatasetProfile& profile,
       {"Exhaust", [&](const std::string& q) { return exhaust.Run(q); }, {}});
   rows.push_back(
       {"Manual", [&](const std::string& q) { return manual.Run(q); }, {}});
+  std::shared_ptr<Trace> last_trace;
   rows.push_back({"Unify",
                   [&](const std::string& q) {
                     auto r = system.Answer(q);
+                    last_trace = r.trace;
                     MethodResult m;
                     m.status = r.status;
                     m.answer = r.answer;
@@ -120,17 +129,38 @@ void RunDataset(const corpus::DatasetProfile& profile,
   std::printf("per-query max speedup of Unify:  %.1fx vs Exhaust, "
               "%.1fx vs Manual\n",
               max_vs_exhaust, max_vs_manual);
+
+  if (!trace_out.empty() && last_trace != nullptr) {
+    const std::string path = trace_out + "." + ds.name + ".json";
+    std::ofstream out(path);
+    if (out) {
+      out << last_trace->ToChromeJson();
+      std::printf("trace of the last Unify query written to %s\n",
+                  path.c_str());
+    } else {
+      std::printf("cannot open %s for the trace\n", path.c_str());
+    }
+  }
 }
 
 }  // namespace
 }  // namespace unify::bench
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
+    } else {
+      std::printf("usage: %s [--trace-out=PATH]\n", argv[0]);
+      return 1;
+    }
+  }
   auto scale = unify::bench::BenchScale::FromEnv();
   unify::bench::PrintHeaderLine(
       "Figure 4: overall accuracy and latency of all methods");
   for (const auto& profile : unify::corpus::AllProfiles()) {
-    unify::bench::RunDataset(profile, scale);
+    unify::bench::RunDataset(profile, scale, trace_out);
   }
   return 0;
 }

@@ -4,6 +4,8 @@
 //   $ ./build/examples/unify_shell [sports|ai|law|wiki]
 //   unify> How many questions about tennis are there?
 //   unify> \plan on          (toggle physical-plan printing)
+//   unify> \trace on         (print the span tree of each query)
+//   unify> \trace json FILE  (export the last trace for chrome://tracing)
 //   unify> \stats            (cumulative LLM usage)
 //   unify> \quit
 //
@@ -11,9 +13,12 @@
 //   $ echo "Count the questions about golf." | ./build/examples/unify_shell
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "core/runtime/unify.h"
 #include "corpus/dataset_profile.h"
@@ -53,6 +58,7 @@ int main(int argc, char** argv) {
 
   bool show_plan = false;
   bool show_trace = false;
+  std::shared_ptr<Trace> last_trace;
   std::string line;
   while (true) {
     std::printf("unify> ");
@@ -62,12 +68,17 @@ int main(int argc, char** argv) {
     if (input.empty()) continue;
     if (input == "\\quit" || input == "\\q") break;
     if (input == "\\help") {
-      std::printf("  \\plan on|off   print the optimized physical plan\n");
-      std::printf("  \\trace on|off  print the execution timeline\n");
-      std::printf("  \\stats         cumulative simulated LLM usage\n");
-      std::printf("  \\vocab         categories/tags/groups you can ask "
+      std::printf("  \\plan on|off      print the optimized physical plan\n");
+      std::printf("  \\trace on|off     print each query's span tree and "
+                  "execution timeline\n");
+      std::printf("  \\trace json FILE  export the last query's trace as "
+                  "Chrome trace-event JSON\n");
+      std::printf("  \\metrics          process-wide metrics registry "
+                  "snapshot\n");
+      std::printf("  \\stats            cumulative simulated LLM usage\n");
+      std::printf("  \\vocab            categories/tags/groups you can ask "
                   "about\n");
-      std::printf("  \\quit          exit\n");
+      std::printf("  \\quit             exit\n");
       continue;
     }
     if (input == "\\plan on") {
@@ -84,6 +95,30 @@ int main(int argc, char** argv) {
     }
     if (input == "\\trace off") {
       show_trace = false;
+      continue;
+    }
+    if (input.rfind("\\trace json", 0) == 0) {
+      if (last_trace == nullptr) {
+        std::printf("  no trace yet; run a query first\n");
+        continue;
+      }
+      std::string path(StripAsciiWhitespace(
+          input.substr(std::string("\\trace json").size())));
+      if (path.empty()) path = "unify_trace.json";
+      std::ofstream out(path);
+      if (!out) {
+        std::printf("  cannot open %s\n", path.c_str());
+        continue;
+      }
+      out << last_trace->ToChromeJson();
+      std::printf("  wrote %s (load in chrome://tracing or "
+                  "https://ui.perfetto.dev)\n",
+                  path.c_str());
+      continue;
+    }
+    if (input == "\\metrics") {
+      std::printf("%s",
+                  MetricsRegistry::Global().Snapshot().ToText().c_str());
       continue;
     }
     if (input == "\\stats") {
@@ -108,7 +143,14 @@ int main(int argc, char** argv) {
       continue;
     }
 
+    if (!input.empty() && input[0] == '\\') {
+      std::printf("  unknown command '%s'; \\help lists commands\n",
+                  input.c_str());
+      continue;
+    }
+
     auto result = system.Answer(input);
+    last_trace = result.trace;
     if (!result.status.ok()) {
       std::printf("error: %s\n", result.status.ToString().c_str());
       continue;
@@ -119,7 +161,12 @@ int main(int argc, char** argv) {
                 result.used_fallback ? ", RAG fallback" : "",
                 result.adjusted ? ", plan adjusted" : "");
     if (show_plan) std::printf("%s", result.plan_explain.c_str());
-    if (show_trace) std::printf("%s", result.timeline.c_str());
+    if (show_trace) {
+      if (result.trace != nullptr) {
+        std::printf("%s", result.trace->ToText().c_str());
+      }
+      std::printf("%s", result.timeline.c_str());
+    }
   }
   std::printf("\nbye.\n");
   return 0;

@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+# Documentation lint, wired into ctest as `check_docs`:
+#   1. every span/metric name in src/common/telemetry_names.h is
+#      documented in docs/observability.md;
+#   2. relative Markdown links in README.md and docs/*.md resolve;
+#   3. every `src/...` path mentioned in the docs exists (supports
+#      {h,cc}-style brace lists);
+#   4. docs/benchmarks.md covers every bench/bench_*.cc binary.
+#
+# Usage: scripts/check_docs.sh [repo_root]
+set -u
+
+ROOT="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+cd "$ROOT" || exit 1
+
+failures=0
+fail() {
+  echo "check_docs: $*" >&2
+  failures=$((failures + 1))
+}
+
+DOC_FILES=(README.md docs/*.md)
+
+# --- 1. telemetry names are documented -------------------------------------
+OBS=docs/observability.md
+if [[ ! -f "$OBS" ]]; then
+  fail "$OBS is missing"
+else
+  # Every quoted string literal in the catalog header is a span/metric name.
+  names=$(sed -n 's/^inline constexpr char k[A-Za-z0-9]*\[\] = "\([^"]*\)";.*/\1/p' \
+      src/common/telemetry_names.h)
+  [[ -n "$names" ]] || fail "no names extracted from telemetry_names.h"
+  while IFS= read -r name; do
+    [[ -n "$name" ]] || continue
+    # Accept either the exact name or a parameterized form like
+    # `llm.calls.<type>` for per-PromptType counter prefixes.
+    if ! grep -qF "\`$name\`" "$OBS" && ! grep -qF "\`$name." "$OBS"; then
+      fail "telemetry name '$name' is not documented in $OBS"
+    fi
+  done <<< "$names"
+fi
+
+# --- 2. relative markdown links resolve ------------------------------------
+for doc in "${DOC_FILES[@]}"; do
+  [[ -f "$doc" ]] || continue
+  dir=$(dirname "$doc")
+  # Extract (target) parts of [text](target) links.
+  links=$(grep -o '\[[^]]*\]([^)]*)' "$doc" | sed 's/.*(\(.*\))/\1/')
+  while IFS= read -r link; do
+    [[ -n "$link" ]] || continue
+    case "$link" in
+      http://*|https://*|\#*|mailto:*) continue ;;
+    esac
+    target="${link%%#*}"  # drop anchors
+    [[ -n "$target" ]] || continue
+    if [[ ! -e "$dir/$target" && ! -e "$target" ]]; then
+      fail "$doc: broken link '$link'"
+    fi
+  done <<< "$links"
+done
+
+# --- 3. src/ paths mentioned in docs exist ---------------------------------
+expand_braces() {
+  # Expands one {a,b,...} group per path; plain paths pass through.
+  local path="$1"
+  if [[ "$path" == *"{"* && "$path" == *"}"* ]]; then
+    local pre="${path%%\{*}" rest="${path#*\{}"
+    local body="${rest%%\}*}" post="${rest#*\}}"
+    local part
+    IFS=',' read -ra parts <<< "$body"
+    for part in "${parts[@]}"; do
+      expand_braces "$pre$part$post"
+    done
+  else
+    echo "$path"
+  fi
+}
+
+for doc in "${DOC_FILES[@]}"; do
+  [[ -f "$doc" ]] || continue
+  paths=$(grep -o 'src/[A-Za-z0-9_./{},-]*' "$doc" | sed 's/[.,]$//' | sort -u)
+  while IFS= read -r path; do
+    [[ -n "$path" ]] || continue
+    while IFS= read -r expanded; do
+      # Directory references ("src/core/logical") and files both count.
+      if [[ ! -e "$expanded" ]]; then
+        fail "$doc: referenced path '$expanded' does not exist"
+      fi
+    done < <(expand_braces "$path")
+  done <<< "$paths"
+done
+
+# --- 4. benchmarks.md covers every bench binary ----------------------------
+BENCH_DOC=docs/benchmarks.md
+if [[ ! -f "$BENCH_DOC" ]]; then
+  fail "$BENCH_DOC is missing"
+else
+  for src in bench/bench_*.cc; do
+    bin=$(basename "$src" .cc)
+    if ! grep -q "\`$bin\`" "$BENCH_DOC"; then
+      fail "$BENCH_DOC does not cover $bin"
+    fi
+  done
+fi
+
+if [[ $failures -gt 0 ]]; then
+  echo "check_docs: FAILED with $failures error(s)" >&2
+  exit 1
+fi
+echo "check_docs: OK"

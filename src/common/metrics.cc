@@ -1,0 +1,92 @@
+#include "common/metrics.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace unify {
+
+MetricsSnapshot MetricsSnapshot::DeltaSince(
+    const MetricsSnapshot& earlier) const {
+  MetricsSnapshot delta;
+  for (const auto& [name, value] : counters) {
+    auto it = earlier.counters.find(name);
+    double d = value - (it == earlier.counters.end() ? 0.0 : it->second);
+    if (d != 0.0) delta.counters[name] = d;
+  }
+  delta.gauges = gauges;
+  delta.histograms = histograms;
+  return delta;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::ostringstream os;
+  char buf[160];
+  for (const auto& [name, value] : counters) {
+    std::snprintf(buf, sizeof(buf), "%-34s %.6g\n", name.c_str(), value);
+    os << buf;
+  }
+  for (const auto& [name, value] : gauges) {
+    std::snprintf(buf, sizeof(buf), "%-34s %.6g (gauge)\n", name.c_str(),
+                  value);
+    os << buf;
+  }
+  for (const auto& [name, stats] : histograms) {
+    if (stats.count() == 0) continue;
+    std::snprintf(buf, sizeof(buf),
+                  "%-34s n=%zu mean=%.6g p50=%.6g p99=%.6g\n", name.c_str(),
+                  stats.count(), stats.Mean(), stats.Quantile(0.5),
+                  stats.Quantile(0.99));
+    os << buf;
+  }
+  return os.str();
+}
+
+void MetricsRegistry::AddCounter(const std::string& name, double delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::SetGauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::Observe(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  histograms_[name].Add(value);
+}
+
+double MetricsRegistry::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0.0 : it->second;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters = counters_;
+  snap.gauges = gauges_;
+  snap.histograms = histograms_;
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace unify

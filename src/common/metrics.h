@@ -1,0 +1,81 @@
+#ifndef UNIFY_COMMON_METRICS_H_
+#define UNIFY_COMMON_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/stats.h"
+
+namespace unify {
+
+/// A point-in-time copy of a MetricsRegistry's contents. Counter deltas
+/// between two snapshots isolate one operation's contribution (the
+/// pattern `UnifySystem::Answer()` uses to attach per-query LLM totals to
+/// its trace).
+struct MetricsSnapshot {
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  /// Histogram samples (full SampleStats copies, so quantiles work on the
+  /// snapshot).
+  std::map<std::string, SampleStats> histograms;
+
+  /// Counters minus `earlier`'s counters (absent = 0; zero deltas are
+  /// dropped). Gauges and histograms keep their current values: they are
+  /// level/distribution metrics, not monotone sums.
+  MetricsSnapshot DeltaSince(const MetricsSnapshot& earlier) const;
+
+  /// One metric per line: `name value` for counters/gauges,
+  /// `name count/mean/p50/p99` for histograms. Sorted by name.
+  std::string ToText() const;
+};
+
+/// A process-wide registry of named counters, gauges, and histograms —
+/// the metrics side of the observability layer (spans live in
+/// common/trace.h). Thread-safe; names are flat dotted strings from the
+/// catalog in src/common/telemetry_names.h (documented in
+/// docs/observability.md).
+///
+/// Metrics are cheap enough to record unconditionally: one mutex
+/// acquisition and a map lookup per update, on paths that are dominated
+/// by (virtual) LLM calls.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Adds `delta` to the counter (created at 0 on first use).
+  void AddCounter(const std::string& name, double delta = 1.0);
+
+  /// Sets the gauge's current value.
+  void SetGauge(const std::string& name, double value);
+
+  /// Records one observation into the histogram.
+  void Observe(const std::string& name, double value);
+
+  /// Current counter value; 0 if never touched.
+  double counter(const std::string& name) const;
+
+  /// Current gauge value; 0 if never set.
+  double gauge(const std::string& name) const;
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Drops every metric (tests; not used on serving paths).
+  void Reset();
+
+  /// The process-wide registry all instrumented components write to.
+  static MetricsRegistry& Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, double> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, SampleStats> histograms_;
+};
+
+}  // namespace unify
+
+#endif  // UNIFY_COMMON_METRICS_H_

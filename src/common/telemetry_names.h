@@ -1,0 +1,75 @@
+#ifndef UNIFY_COMMON_TELEMETRY_NAMES_H_
+#define UNIFY_COMMON_TELEMETRY_NAMES_H_
+
+namespace unify::telemetry {
+
+// The complete catalog of span and metric names the system emits. Every
+// instrumented call site names its span/metric through one of these
+// constants, so this header is the single source of truth;
+// scripts/check_docs.sh greps it and fails the build if any name here is
+// missing from docs/observability.md.
+
+// --- Span names (common/trace.h; taxonomy in docs/observability.md) ---
+
+/// Root span of one UnifySystem::Answer() call.
+inline constexpr char kSpanQuery[] = "query";
+/// Logical plan generation (PlanGenerator::Generate, Section V).
+inline constexpr char kSpanPlanLogical[] = "plan.logical";
+/// One accepted reduction step of the DFS (child of plan.logical or of
+/// the enclosing plan.reduce — the span tree mirrors the search tree).
+inline constexpr char kSpanPlanReduce[] = "plan.reduce";
+/// Fallback-plan construction when no reduction path succeeded (V-D).
+inline constexpr char kSpanPlanFallback[] = "plan.fallback";
+/// Physical optimization + plan selection (PhysicalOptimizer::SelectBest).
+inline constexpr char kSpanPlanPhysical[] = "plan.physical";
+/// Lowering/costing of one candidate logical plan (Optimize()).
+inline constexpr char kSpanOptimizeCandidate[] = "optimize.candidate";
+/// One semantic/numeric cardinality estimation (EstimateCondition).
+inline constexpr char kSpanSceEstimate[] = "sce.estimate";
+/// Plan execution (PlanExecutor::Execute, Section III-C).
+inline constexpr char kSpanExecute[] = "execute";
+/// One DAG node's operator execution (wall interval = real work; virtual
+/// interval = its slot on the simulated schedule).
+inline constexpr char kSpanExecNode[] = "exec.node";
+/// Executor-level replanning after a terminal operator failure.
+inline constexpr char kSpanExecFallback[] = "exec.fallback";
+
+// --- Metric names (common/metrics.h; catalog in docs/observability.md) ---
+
+// Planning (counters).
+inline constexpr char kMetricPlanReductions[] = "plan.reductions";
+inline constexpr char kMetricPlanBacktracks[] = "plan.backtracks";
+inline constexpr char kMetricPlanWidenings[] = "plan.widenings";
+inline constexpr char kMetricPlanUnresolved[] = "plan.unresolved";
+
+// Semantic cardinality estimation (counters).
+inline constexpr char kMetricSceEstimates[] = "sce.estimates";
+inline constexpr char kMetricSceSamples[] = "sce.samples";
+inline constexpr char kMetricSceLlmSeconds[] = "sce.llm_seconds";
+
+// Execution.
+inline constexpr char kMetricExecNodes[] = "exec.nodes";
+inline constexpr char kMetricExecAdjustments[] = "exec.adjustments";
+/// Histogram: per-node virtual seconds spent waiting for a free LLM
+/// server (schedule finish - ready - cpu - llm stream).
+inline constexpr char kMetricExecQueueWait[] = "exec.queue_wait_seconds";
+/// Gauge: LLM-server busy fraction of the last executed plan
+/// (llm_seconds_total / (num_servers * makespan)).
+inline constexpr char kMetricExecPoolOccupancy[] = "exec.pool.occupancy";
+
+// LLM layer. The per-type counters append "." + PromptTypeName(type)
+// (e.g. "llm.seconds.eval_predicate"); TracingLlmClient emits them.
+inline constexpr char kMetricLlmCalls[] = "llm.calls";
+inline constexpr char kMetricLlmInTokens[] = "llm.in_tokens";
+inline constexpr char kMetricLlmOutTokens[] = "llm.out_tokens";
+inline constexpr char kMetricLlmSeconds[] = "llm.seconds";
+inline constexpr char kMetricLlmDollars[] = "llm.dollars";
+/// Histogram: virtual seconds of individual LLM calls.
+inline constexpr char kMetricLlmCallSeconds[] = "llm.call_seconds";
+// Per-document memoization (CachingLlmClient).
+inline constexpr char kMetricLlmCacheHits[] = "llm.cache.item_hits";
+inline constexpr char kMetricLlmCacheMisses[] = "llm.cache.item_misses";
+
+}  // namespace unify::telemetry
+
+#endif  // UNIFY_COMMON_TELEMETRY_NAMES_H_

@@ -1,0 +1,224 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <sstream>
+
+namespace unify {
+
+namespace {
+
+/// Shortest decimal that round-trips a double exactly — attribute values
+/// carry accounting totals that tests compare to 1e-9.
+std::string FormatFull(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string FormatMs(double us) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.2fms", us / 1000.0);
+  return buf;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+Trace::Trace() : epoch_(std::chrono::steady_clock::now()) {}
+
+double Trace::NowUs() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+int Trace::ThreadOrdinalLocked() {
+  const std::thread::id self = std::this_thread::get_id();
+  for (const auto& [tid, ordinal] : tids_) {
+    if (tid == self) return ordinal;
+  }
+  tids_.emplace_back(self, static_cast<int>(tids_.size()));
+  return tids_.back().second;
+}
+
+SpanId Trace::StartSpan(std::string name, SpanId parent) {
+  const double now = NowUs();
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceSpan span;
+  span.id = static_cast<SpanId>(spans_.size());
+  span.parent =
+      (parent >= 0 && parent < span.id) ? parent : kNoSpan;
+  span.name = std::move(name);
+  span.wall_start_us = now;
+  span.wall_end_us = now;
+  span.tid = ThreadOrdinalLocked();
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void Trace::EndSpan(SpanId id) {
+  const double now = NowUs();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || id >= static_cast<SpanId>(spans_.size())) return;
+  spans_[static_cast<size_t>(id)].wall_end_us = now;
+}
+
+void Trace::AddAttr(SpanId id, const std::string& key,
+                    const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || id >= static_cast<SpanId>(spans_.size())) return;
+  spans_[static_cast<size_t>(id)].attrs.emplace_back(key, value);
+}
+
+void Trace::AddAttr(SpanId id, const std::string& key, double value) {
+  AddAttr(id, key, FormatFull(value));
+}
+
+void Trace::AddAttr(SpanId id, const std::string& key, int64_t value) {
+  AddAttr(id, key, std::to_string(value));
+}
+
+void Trace::SetVirtualInterval(SpanId id, double start, double end) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || id >= static_cast<SpanId>(spans_.size())) return;
+  spans_[static_cast<size_t>(id)].virt_start = start;
+  spans_[static_cast<size_t>(id)].virt_end = std::max(start, end);
+}
+
+std::vector<TraceSpan> Trace::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+size_t Trace::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::string Trace::ToChromeJson() const {
+  const std::vector<TraceSpan> spans = this->spans();
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  os << "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+        "\"args\":{\"name\":\"wall clock\"}}";
+  os << ",{\"ph\":\"M\",\"pid\":2,\"name\":\"process_name\","
+        "\"args\":{\"name\":\"virtual clock\"}}";
+  auto args_json = [](const TraceSpan& span) {
+    // Last occurrence wins for duplicate keys (JSON objects need unique
+    // keys; viewers would otherwise pick one arbitrarily).
+    std::string out = "{";
+    for (size_t i = 0; i < span.attrs.size(); ++i) {
+      bool last = true;
+      for (size_t j = i + 1; j < span.attrs.size(); ++j) {
+        if (span.attrs[j].first == span.attrs[i].first) {
+          last = false;
+          break;
+        }
+      }
+      if (!last) continue;
+      if (out.size() > 1) out += ',';
+      out += '"' + JsonEscape(span.attrs[i].first) + "\":\"" +
+             JsonEscape(span.attrs[i].second) + '"';
+    }
+    out += '}';
+    return out;
+  };
+  for (const TraceSpan& span : spans) {
+    os << ",{\"ph\":\"X\",\"pid\":1,\"tid\":" << span.tid << ",\"ts\":"
+       << FormatFull(span.wall_start_us) << ",\"dur\":"
+       << FormatFull(std::max(0.0, span.wall_end_us - span.wall_start_us))
+       << ",\"name\":\"" << JsonEscape(span.name) << "\",\"args\":"
+       << args_json(span) << "}";
+    if (span.virt_start >= 0) {
+      // The virtual timeline: seconds rendered as microseconds so the
+      // viewer's "ms" display reads virtual milliseconds. One lane (tid)
+      // per span — virtual intervals of sibling DAG nodes overlap freely.
+      os << ",{\"ph\":\"X\",\"pid\":2,\"tid\":" << span.id << ",\"ts\":"
+         << FormatFull(span.virt_start * 1e6) << ",\"dur\":"
+         << FormatFull((span.virt_end - span.virt_start) * 1e6)
+         << ",\"name\":\"" << JsonEscape(span.name) << "\",\"args\":"
+         << args_json(span) << "}";
+    }
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string Trace::ToText() const {
+  const std::vector<TraceSpan> spans = this->spans();
+  // Children in creation order.
+  std::vector<std::vector<SpanId>> children(spans.size());
+  std::vector<SpanId> roots;
+  for (const TraceSpan& span : spans) {
+    if (span.parent == kNoSpan) {
+      roots.push_back(span.id);
+    } else {
+      children[static_cast<size_t>(span.parent)].push_back(span.id);
+    }
+  }
+  std::ostringstream os;
+  // Depth-first, matching PhysicalPlan::Explain()'s "+-" indentation.
+  std::function<void(SpanId, int)> render = [&](SpanId id, int depth) {
+    const TraceSpan& span = spans[static_cast<size_t>(id)];
+    for (int i = 0; i < depth; ++i) os << "  ";
+    os << "+- " << span.name << " ["
+       << FormatMs(span.wall_end_us - span.wall_start_us) << " wall";
+    if (span.virt_start >= 0) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), ", virt %.2fs..%.2fs", span.virt_start,
+                    span.virt_end);
+      os << buf;
+    }
+    os << "]";
+    for (const auto& [key, value] : span.attrs) {
+      os << ' ' << key << '=';
+      if (value.size() > 48) {
+        os << value.substr(0, 45) << "...";
+      } else {
+        os << value;
+      }
+    }
+    os << '\n';
+    for (SpanId child : children[static_cast<size_t>(id)]) {
+      render(child, depth + 1);
+    }
+  };
+  for (SpanId root : roots) render(root, 0);
+  return os.str();
+}
+
+}  // namespace unify

@@ -1,0 +1,144 @@
+#ifndef UNIFY_COMMON_TRACE_H_
+#define UNIFY_COMMON_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace unify {
+
+/// Identifier of one span inside a Trace (its index in creation order).
+using SpanId = int64_t;
+inline constexpr SpanId kNoSpan = -1;
+
+/// One timed, attributed interval of a trace. Spans form a tree through
+/// `parent`; both a wall-clock interval (microseconds since the trace
+/// epoch, measured with a steady clock) and an optional *virtual-clock*
+/// interval (the simulated seconds the scheduler assigns, Section III-C)
+/// are recorded, because the two timelines tell different stories: wall
+/// time is what this process spent, virtual time is what the modeled LLM
+/// deployment would have spent.
+struct TraceSpan {
+  SpanId id = kNoSpan;
+  SpanId parent = kNoSpan;
+  std::string name;
+  /// Wall-clock interval in microseconds since the trace epoch.
+  double wall_start_us = 0;
+  double wall_end_us = 0;
+  /// Virtual-clock interval in seconds; negative when not assigned.
+  double virt_start = -1;
+  double virt_end = -1;
+  /// Key/value attributes in insertion order (duplicate keys allowed; the
+  /// exporters keep the last occurrence).
+  std::vector<std::pair<std::string, std::string>> attrs;
+  /// Small ordinal of the OS thread that opened the span.
+  int tid = 0;
+};
+
+/// A thread-safe collector of hierarchical spans for one traced operation
+/// (one `UnifySystem::Answer()` call). Spans are created with StartSpan /
+/// ScopedSpan and can be annotated — including after they end, which the
+/// executor uses to attach virtual-schedule times computed only once the
+/// whole DAG has run.
+///
+/// Exports: Chrome trace-event JSON (`ToChromeJson`, loadable in
+/// chrome://tracing and https://ui.perfetto.dev) and an indented
+/// plain-text tree (`ToText`, the shell's `\trace` rendering).
+class Trace {
+ public:
+  Trace();
+
+  /// Opens a span; `parent == kNoSpan` makes a root span.
+  SpanId StartSpan(std::string name, SpanId parent = kNoSpan);
+
+  /// Closes the span (records its wall end time). Idempotent.
+  void EndSpan(SpanId id);
+
+  /// Attaches a key/value attribute. Valid any time after StartSpan.
+  void AddAttr(SpanId id, const std::string& key, const std::string& value);
+  void AddAttr(SpanId id, const std::string& key, const char* value) {
+    AddAttr(id, key, std::string(value));
+  }
+  void AddAttr(SpanId id, const std::string& key, double value);
+  void AddAttr(SpanId id, const std::string& key, int64_t value);
+  void AddAttr(SpanId id, const std::string& key, int value) {
+    AddAttr(id, key, static_cast<int64_t>(value));
+  }
+  void AddAttr(SpanId id, const std::string& key, bool value) {
+    AddAttr(id, key, std::string(value ? "true" : "false"));
+  }
+
+  /// Assigns the span's interval on the virtual clock (seconds).
+  void SetVirtualInterval(SpanId id, double start, double end);
+
+  /// Snapshot of all spans recorded so far, in creation order.
+  std::vector<TraceSpan> spans() const;
+
+  size_t size() const;
+
+  /// Chrome trace-event JSON ("JSON object format"): complete events on
+  /// pid 1 ("wall clock") plus, for spans with a virtual interval, events
+  /// on pid 2 ("virtual clock") whose timestamps are virtual seconds
+  /// rendered as microseconds. See docs/observability.md for the schema.
+  std::string ToChromeJson() const;
+
+  /// Indented span tree with durations and attributes, one span per line.
+  std::string ToText() const;
+
+ private:
+  double NowUs() const;
+  int ThreadOrdinalLocked();
+
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> spans_;
+  std::vector<std::pair<std::thread::id, int>> tids_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII handle opening a span on construction and ending it on scope exit.
+/// A default-constructed or null-trace ScopedSpan is a no-op, so call
+/// sites stay unconditional: tracing disabled means `trace == nullptr`.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(Trace* trace, std::string name, SpanId parent = kNoSpan)
+      : trace_(trace),
+        id_(trace == nullptr ? kNoSpan
+                             : trace->StartSpan(std::move(name), parent)) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() {
+    if (trace_ != nullptr) trace_->EndSpan(id_);
+  }
+
+  /// The underlying span id — pass as `parent` to child spans (including
+  /// spans opened on other threads). kNoSpan when tracing is disabled.
+  SpanId id() const { return id_; }
+
+  template <typename T>
+  void AddAttr(const std::string& key, const T& value) {
+    if (trace_ != nullptr) trace_->AddAttr(id_, key, value);
+  }
+
+  void SetVirtualInterval(double start, double end) {
+    if (trace_ != nullptr) trace_->SetVirtualInterval(id_, start, end);
+  }
+
+ private:
+  Trace* trace_ = nullptr;
+  SpanId id_ = kNoSpan;
+};
+
+/// Escapes a string for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace unify
+
+#endif  // UNIFY_COMMON_TRACE_H_

@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/telemetry_names.h"
 
 namespace unify::core {
 
@@ -36,17 +38,21 @@ llm::LlmResult PlanGenerator::CallLlm(llm::LlmCall call, Result& result) {
 }
 
 StatusOr<PlanGenerator::Result> PlanGenerator::Generate(
-    const std::string& query) {
+    const std::string& query, Trace* trace, SpanId parent) {
   Result result;
   seen_signatures_.clear();
+  trace_ = trace;
+  ScopedSpan span(trace, telemetry::kSpanPlanLogical, parent);
 
   SearchState state;
   state.query = query;
   state.plan.query_text = query;
   state.vars[kDocsVar] = "the document collection";
+  state.span = span.id();
   Dfs(std::move(state), 0, result);
 
   if (result.plans.empty()) {
+    ScopedSpan fallback(trace, telemetry::kSpanPlanFallback, span.id());
     // Error handling (Section V-D): no reduction path fully decomposed the
     // query. The LLM picks one of two strategies for the remainder:
     // (1) a Generate operator over retrieved context (RAG fallback), or
@@ -73,7 +79,23 @@ StatusOr<PlanGenerator::Result> PlanGenerator::Generate(
     plan.dag.AddNode();
     plan.answer_var = "V1";
     result.plans.push_back(std::move(plan));
+    fallback.AddAttr("strategy", strategy);
   }
+
+  span.AddAttr("plans", static_cast<int64_t>(result.plans.size()));
+  span.AddAttr("llm_calls", result.llm_calls);
+  span.AddAttr("planning_seconds", result.planning_seconds);
+  span.AddAttr("backtracks", result.backtracks);
+  span.AddAttr("widenings", result.widenings);
+  span.AddAttr("unresolved",
+               static_cast<int64_t>(result.unresolved_queries.size()));
+  span.AddAttr("used_fallback", result.used_fallback);
+  auto& metrics = MetricsRegistry::Global();
+  metrics.AddCounter(telemetry::kMetricPlanBacktracks, result.backtracks);
+  metrics.AddCounter(telemetry::kMetricPlanWidenings, result.widenings);
+  metrics.AddCounter(telemetry::kMetricPlanUnresolved,
+                     static_cast<double>(result.unresolved_queries.size()));
+  trace_ = nullptr;
   return result;
 }
 
@@ -219,12 +241,27 @@ retry_with_wider_candidates:
         if (StartsWith(key, "arg.")) node.args[key.substr(4)] = value;
       }
 
+      const size_t plans_before = result.plans.size();
+      ScopedSpan step(trace_, telemetry::kSpanPlanReduce, state.span);
+      step.AddAttr("op", node.op_name);
+      step.AddAttr("depth", depth);
+      step.AddAttr("variant", variant);
+      step.AddAttr("output_var", node.output_var);
+      MetricsRegistry::Global().AddCounter(telemetry::kMetricPlanReductions);
+
       SearchState child = state;
       child.var_counter += 1;
       child.query = r.Get("reduced_query");
       child.vars[node.output_var] = node.output_desc;
+      child.span = step.id();
       AddNodeWithDeps(child, std::move(node), result);
       Dfs(std::move(child), depth + 1, result);
+      // Backtrack accounting: a reduction whose whole subtree produced no
+      // new complete plan was searched in vain.
+      if (result.plans.size() == plans_before) {
+        result.backtracks += 1;
+        step.AddAttr("backtracked", true);
+      }
       if (static_cast<int>(result.plans.size()) >= options_.n_c) return;
       if (branches_tried >= branch_budget && !result.plans.empty()) break;
     }
@@ -236,6 +273,7 @@ retry_with_wider_candidates:
   if (branches_tried == 0 && !widened &&
       result.llm_calls <= options_.max_llm_calls) {
     widened = true;
+    result.widenings += 1;
     matches = matcher_->TopK(query_lr, static_cast<size_t>(options_.k) * 4);
     if (matches.size() > first_round) {
       // Rerank only the new tail (the head was already judged "not").

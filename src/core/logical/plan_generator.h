@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/trace.h"
 #include "core/logical/logical_plan.h"
 #include "core/logical/operator_matcher.h"
 #include "core/operators/operator_def.h"
@@ -48,6 +49,10 @@ class PlanGenerator {
     /// Sequential virtual time of all planning LLM calls.
     double planning_seconds = 0;
     int64_t llm_calls = 0;
+    /// Reduction attempts whose subtree yielded no complete plan.
+    int backtracks = 0;
+    /// Candidate-set widenings after all top-k candidates failed (V-D).
+    int widenings = 0;
     /// True when no full decomposition existed and a fallback plan
     /// (Generate-over-retrieval or LLM code generation, chosen by the LLM)
     /// was appended (paper Section V-D, Error Handling).
@@ -64,8 +69,11 @@ class PlanGenerator {
                 const OperatorMatcher* matcher, llm::LlmClient* llm,
                 Options options);
 
-  /// Generates up to n_c candidate logical plans for `query`.
-  StatusOr<Result> Generate(const std::string& query);
+  /// Generates up to n_c candidate logical plans for `query`. When
+  /// `trace` is non-null, a "plan.logical" span (child of `parent`) is
+  /// recorded with one nested "plan.reduce" span per reduction step.
+  StatusOr<Result> Generate(const std::string& query, Trace* trace = nullptr,
+                            SpanId parent = kNoSpan);
 
  private:
   struct SearchState {
@@ -73,6 +81,8 @@ class PlanGenerator {
     LogicalPlan plan;
     std::map<std::string, std::string> vars;  ///< name -> description
     int var_counter = 0;
+    /// Enclosing trace span (the search tree mirrors the span tree).
+    SpanId span = kNoSpan;
   };
 
   /// Recursive DFS; appends complete plans to `result`.
@@ -90,6 +100,8 @@ class PlanGenerator {
   llm::LlmClient* llm_;
   Options options_;
   std::set<std::string> seen_signatures_;
+  /// Active trace of the current Generate() call; null when untraced.
+  Trace* trace_ = nullptr;
 };
 
 }  // namespace unify::core

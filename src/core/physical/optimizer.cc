@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "common/telemetry_names.h"
 #include "exec/schedule.h"
 
 namespace unify::core {
@@ -113,7 +114,8 @@ StatusOr<double> PhysicalOptimizer::Selectivity(const OpArgs& condition,
     case PhysicalMode::kFull: {
       UNIFY_ASSIGN_OR_RETURN(
           SceEstimate est,
-          estimator_->EstimateCondition(condition, options_.sce_method));
+          estimator_->EstimateCondition(condition, options_.sce_method,
+                                        /*salt=*/0, trace_, candidate_span_));
       card = est.cardinality;
       plan.optimize_llm_seconds += est.llm_seconds;
       plan.optimize_llm_calls += est.llm_calls;
@@ -124,7 +126,40 @@ StatusOr<double> PhysicalOptimizer::Selectivity(const OpArgs& condition,
   return card / N;
 }
 
-StatusOr<PhysicalPlan> PhysicalOptimizer::Optimize(const LogicalPlan& lp) {
+StatusOr<PhysicalPlan> PhysicalOptimizer::Optimize(const LogicalPlan& lp,
+                                                   Trace* trace,
+                                                   SpanId parent) {
+  ScopedSpan span(trace, telemetry::kSpanOptimizeCandidate, parent);
+  trace_ = trace;
+  candidate_span_ = span.id();
+  StatusOr<PhysicalPlan> plan = OptimizeImpl(lp);
+  if (trace != nullptr) {
+    if (plan.ok()) {
+      span.AddAttr("nodes", static_cast<int64_t>(plan->nodes.size()));
+      span.AddAttr("est_makespan", plan->est_makespan);
+      span.AddAttr("est_total_dollars", plan->est_total_dollars);
+      span.AddAttr("likely_incomplete", plan->likely_incomplete);
+      span.AddAttr("sce_llm_seconds", plan->optimize_llm_seconds);
+      span.AddAttr("sce_llm_calls", plan->optimize_llm_calls);
+      for (size_t i = 0; i < plan->nodes.size(); ++i) {
+        const PhysicalNode& n = plan->nodes[i];
+        std::ostringstream os;
+        os << n.logical.op_name << "<" << PhysicalImplName(n.impl) << "> ~"
+           << FormatDouble(n.est_in_card, 0) << "->"
+           << FormatDouble(n.est_out_card, 0) << " rows, "
+           << FormatDouble(n.est_seconds, 2) << "s";
+        span.AddAttr("node." + std::to_string(i), os.str());
+      }
+    } else {
+      span.AddAttr("status", plan.status().ToString());
+    }
+  }
+  trace_ = nullptr;
+  candidate_span_ = kNoSpan;
+  return plan;
+}
+
+StatusOr<PhysicalPlan> PhysicalOptimizer::OptimizeImpl(const LogicalPlan& lp) {
   const double N = std::max<double>(1.0, options_.corpus_size);
   PhysicalPlan plan;
   plan.query_text = lp.query_text;
@@ -449,7 +484,11 @@ StatusOr<PhysicalPlan> PhysicalOptimizer::Optimize(const LogicalPlan& lp) {
 }
 
 StatusOr<PhysicalPlan> PhysicalOptimizer::SelectBest(
-    const std::vector<LogicalPlan>& plans) {
+    const std::vector<LogicalPlan>& plans, Trace* trace, SpanId parent) {
+  ScopedSpan span(trace, telemetry::kSpanPlanPhysical, parent);
+  if (trace != nullptr) {
+    span.AddAttr("candidates", static_cast<int64_t>(plans.size()));
+  }
   if (plans.empty()) {
     return Status::InvalidArgument("no candidate plans");
   }
@@ -458,7 +497,7 @@ StatusOr<PhysicalPlan> PhysicalOptimizer::SelectBest(
   double accumulated_llm_seconds = 0;
   int64_t accumulated_llm_calls = 0;
   for (const auto& lp : plans) {
-    auto optimized = Optimize(lp);
+    auto optimized = Optimize(lp, trace, span.id());
     if (!optimized.ok()) continue;  // a malformed candidate is skipped
     accumulated_llm_seconds += optimized->optimize_llm_seconds;
     accumulated_llm_calls += optimized->optimize_llm_calls;
@@ -482,6 +521,12 @@ StatusOr<PhysicalPlan> PhysicalOptimizer::SelectBest(
   }
   best->optimize_llm_seconds = accumulated_llm_seconds;
   best->optimize_llm_calls = accumulated_llm_calls;
+  if (trace != nullptr) {
+    span.AddAttr("llm_seconds", accumulated_llm_seconds);
+    span.AddAttr("llm_calls", accumulated_llm_calls);
+    span.AddAttr("chosen_est_makespan", best->est_makespan);
+    span.AddAttr("chosen_est_dollars", best->est_total_dollars);
+  }
   return *best;
 }
 

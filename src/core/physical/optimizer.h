@@ -4,6 +4,7 @@
 #include <map>
 #include <vector>
 
+#include "common/trace.h"
 #include "core/physical/cost_model.h"
 #include "core/physical/physical_plan.h"
 #include "core/physical/sce.h"
@@ -64,15 +65,25 @@ class PhysicalOptimizer {
   PhysicalOptimizer(CostModel* cost_model, CardinalityEstimator* estimator,
                     OptimizerOptions options);
 
-  /// Lowers one logical plan.
-  StatusOr<PhysicalPlan> Optimize(const LogicalPlan& plan);
+  /// Lowers one logical plan. When `trace` is non-null an
+  /// "optimize.candidate" span (child of `parent`) records per-node
+  /// cardinality/cost estimates and nests the "sce.estimate" spans.
+  StatusOr<PhysicalPlan> Optimize(const LogicalPlan& plan,
+                                  Trace* trace = nullptr,
+                                  SpanId parent = kNoSpan);
 
   /// Plan selection (Section VI-C): optimizes every candidate and returns
   /// the one with the smallest predicted makespan. SCE results are cached
-  /// across candidates, so shared predicates are estimated once.
-  StatusOr<PhysicalPlan> SelectBest(const std::vector<LogicalPlan>& plans);
+  /// across candidates, so shared predicates are estimated once. Traced
+  /// as a "plan.physical" span over the per-candidate spans.
+  StatusOr<PhysicalPlan> SelectBest(const std::vector<LogicalPlan>& plans,
+                                    Trace* trace = nullptr,
+                                    SpanId parent = kNoSpan);
 
  private:
+  /// The untraced lowering algorithm behind Optimize().
+  StatusOr<PhysicalPlan> OptimizeImpl(const LogicalPlan& plan);
+
   /// Selectivity of a filter node's condition in [0, 1]; LLM cost is
   /// accumulated on `plan`.
   StatusOr<double> Selectivity(const OpArgs& condition, PhysicalPlan& plan);
@@ -82,6 +93,9 @@ class PhysicalOptimizer {
   OptimizerOptions options_;
   /// Cross-plan SCE cache: condition key -> estimated cardinality.
   std::map<std::string, double> sce_cache_;
+  /// Trace context of the Optimize() call in flight; null when untraced.
+  Trace* trace_ = nullptr;
+  SpanId candidate_span_ = kNoSpan;
 };
 
 }  // namespace unify::core

@@ -4,8 +4,10 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "common/telemetry_names.h"
 #include "core/operators/physical_common.h"
 
 namespace unify::core {
@@ -188,6 +190,39 @@ double CardinalityEstimator::TrueCardinality(const OpArgs& condition) const {
 }
 
 StatusOr<SceEstimate> CardinalityEstimator::EstimateCondition(
+    const OpArgs& condition, SceMethod method, uint64_t salt, Trace* trace,
+    SpanId parent) {
+  ScopedSpan span(trace, telemetry::kSpanSceEstimate, parent);
+  if (trace != nullptr) {
+    span.AddAttr("method", SceMethodName(method));
+    std::string desc;
+    for (const char* key :
+         {"kind", "phrase", "attribute", "cmp", "value", "value2"}) {
+      auto it = condition.find(key);
+      if (it == condition.end()) continue;
+      if (!desc.empty()) desc += ' ';
+      desc += it->second;
+    }
+    span.AddAttr("condition", desc);
+  }
+  StatusOr<SceEstimate> est = EstimateImpl(condition, method, salt);
+  auto& metrics = MetricsRegistry::Global();
+  metrics.AddCounter(telemetry::kMetricSceEstimates);
+  if (est.ok()) {
+    metrics.AddCounter(telemetry::kMetricSceSamples,
+                       static_cast<double>(est->samples));
+    metrics.AddCounter(telemetry::kMetricSceLlmSeconds, est->llm_seconds);
+    span.AddAttr("cardinality", est->cardinality);
+    span.AddAttr("samples", est->samples);
+    span.AddAttr("llm_calls", est->llm_calls);
+    span.AddAttr("llm_seconds", est->llm_seconds);
+  } else {
+    span.AddAttr("status", est.status().ToString());
+  }
+  return est;
+}
+
+StatusOr<SceEstimate> CardinalityEstimator::EstimateImpl(
     const OpArgs& condition, SceMethod method, uint64_t salt) {
   SceEstimate est;
   const size_t N = corpus_->size();

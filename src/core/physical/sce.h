@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/trace.h"
 #include "core/operators/physical.h"
 #include "corpus/corpus.h"
 #include "corpus/workload.h"
@@ -74,10 +75,13 @@ class CardinalityEstimator {
   /// `condition` (the operator-argument map: kind/phrase or
   /// attribute/cmp/value). Numeric conditions are probed with
   /// pre-programmed sampling (no LLM). `salt` decorrelates repeated
-  /// estimates of the same predicate.
+  /// estimates of the same predicate. When `trace` is non-null, an
+  /// "sce.estimate" span (child of `parent`) records the method, sample
+  /// count, and resulting cardinality.
   StatusOr<SceEstimate> EstimateCondition(const OpArgs& condition,
-                                          SceMethod method,
-                                          uint64_t salt = 0);
+                                          SceMethod method, uint64_t salt = 0,
+                                          Trace* trace = nullptr,
+                                          SpanId parent = kNoSpan);
 
   /// The learned importance values f_i (empty before learning).
   const std::vector<double>& importance() const { return importance_; }
@@ -94,6 +98,10 @@ class CardinalityEstimator {
   double TrueCardinality(const OpArgs& condition) const;
 
  private:
+  /// The untraced estimation algorithm behind EstimateCondition().
+  StatusOr<SceEstimate> EstimateImpl(const OpArgs& condition,
+                                     SceMethod method, uint64_t salt);
+
   /// Ascending distance ranks of all documents w.r.t. `phrase`.
   std::vector<uint32_t> RankByDistance(const std::string& phrase) const;
 

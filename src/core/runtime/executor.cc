@@ -1,24 +1,41 @@
 #include "core/runtime/executor.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include <mutex>
 
+#include "common/metrics.h"
+#include "common/telemetry_names.h"
 #include "exec/dag_runner.h"
 #include "exec/schedule.h"
 
 namespace unify::core {
 
-ExecutionResult PlanExecutor::Execute(const PhysicalPlan& plan) {
+ExecutionResult PlanExecutor::Execute(const PhysicalPlan& plan, Trace* trace,
+                                      SpanId parent) {
+  ScopedSpan exec_span(trace, telemetry::kSpanExecute, parent);
   ExecutionResult result;
   node_stats_.assign(plan.nodes.size(), OpStats{});
+  auto& metrics = MetricsRegistry::Global();
 
   std::mutex mu;
   std::map<std::string, Value> vars;
   bool adjusted = false;
+  // Span of each DAG node, for post-hoc virtual-interval annotation. Slot
+  // u is written only by the worker running node u.
+  std::vector<SpanId> node_spans(plan.nodes.size(), kNoSpan);
 
   auto run_node = [&](int u) -> Status {
     const PhysicalNode& node = plan.nodes[u];
+    ScopedSpan node_span(trace, telemetry::kSpanExecNode, exec_span.id());
+    node_spans[u] = node_span.id();
+    metrics.AddCounter(telemetry::kMetricExecNodes);
+    if (trace != nullptr) {
+      node_span.AddAttr("op", node.logical.op_name);
+      node_span.AddAttr("impl", PhysicalImplName(node.impl));
+      node_span.AddAttr("output_var", node.logical.output_var);
+    }
     std::vector<Value> inputs;
     {
       std::lock_guard<std::mutex> lock(mu);
@@ -45,6 +62,8 @@ ExecutionResult PlanExecutor::Execute(const PhysicalPlan& plan) {
         std::lock_guard<std::mutex> lock(mu);
         adjusted = true;
       }
+      node_span.AddAttr("adjusted", true);
+      metrics.AddCounter(telemetry::kMetricExecAdjustments);
       for (int attempt = 0;
            attempt < options_.max_adjustments && !output.ok(); ++attempt) {
         bool retried = false;
@@ -68,7 +87,14 @@ ExecutionResult PlanExecutor::Execute(const PhysicalPlan& plan) {
 
     std::lock_guard<std::mutex> lock(mu);
     if (!output.ok()) {
+      node_span.AddAttr("status", output.status().ToString());
       return output.status();
+    }
+    if (trace != nullptr) {
+      node_span.AddAttr("llm_seconds", output->stats.llm_seconds);
+      node_span.AddAttr("llm_calls", output->stats.llm_calls);
+      node_span.AddAttr("cpu_seconds", output->stats.cpu_seconds);
+      node_span.AddAttr("dollars", output->stats.llm_dollars);
     }
     node_stats_[u] = output->stats;
     if (!node.logical.output_var.empty()) {
@@ -101,6 +127,29 @@ ExecutionResult PlanExecutor::Execute(const PhysicalPlan& plan) {
                                  /*sequential=*/!options_.parallel);
   if (sched.ok()) {
     result.virtual_seconds = sched->makespan;
+    // Annotate each node span with its virtual interval on the server
+    // pool, plus the time it spent waiting for a free server.
+    for (size_t i = 0; i < plan.nodes.size(); ++i) {
+      const double busy =
+          node_stats_[i].cpu_seconds + node_stats_[i].llm_seconds;
+      const double queue_wait =
+          std::max(0.0, sched->finish[i] - sched->start[i] - busy);
+      metrics.Observe(telemetry::kMetricExecQueueWait, queue_wait);
+      if (trace != nullptr && node_spans[i] != kNoSpan) {
+        trace->SetVirtualInterval(node_spans[i], sched->start[i],
+                                  sched->finish[i]);
+        trace->AddAttr(node_spans[i], "queue_wait_seconds", queue_wait);
+      }
+    }
+    // Fraction of the pool's capacity the plan actually kept busy.
+    if (sched->makespan > 0) {
+      const double capacity =
+          static_cast<double>(options_.num_servers) * sched->makespan;
+      const double occupancy = result.llm_seconds_total / capacity;
+      metrics.SetGauge(telemetry::kMetricExecPoolOccupancy, occupancy);
+      exec_span.AddAttr("pool_occupancy", occupancy);
+    }
+    exec_span.SetVirtualInterval(0, sched->makespan);
     // Execution timeline for observability.
     std::string timeline;
     char line[256];
@@ -120,6 +169,17 @@ ExecutionResult PlanExecutor::Execute(const PhysicalPlan& plan) {
   }
 
   result.adjusted = adjusted;
+  auto finalize = [&]() {
+    if (trace == nullptr) return;
+    exec_span.AddAttr("virtual_seconds", result.virtual_seconds);
+    exec_span.AddAttr("llm_seconds", result.llm_seconds_total);
+    exec_span.AddAttr("llm_calls", result.llm_calls);
+    exec_span.AddAttr("dollars", result.llm_dollars_total);
+    exec_span.AddAttr("adjusted", result.adjusted);
+    if (!result.status.ok()) {
+      exec_span.AddAttr("status", result.status.ToString());
+    }
+  };
   if (!run_status.ok()) {
     // Plan adjustment, stage 2 (Section III-C): an operator failed with
     // every implementation (e.g. a zero-denominator ratio, an empty
@@ -127,6 +187,9 @@ ExecutionResult PlanExecutor::Execute(const PhysicalPlan& plan) {
     // through the Section V-D fallback strategies.
     if (ctx_.llm != nullptr && !plan.query_text.empty() &&
         options_.max_adjustments > 0) {
+      ScopedSpan fallback_span(trace, telemetry::kSpanExecFallback,
+                               exec_span.id());
+      fallback_span.AddAttr("failed_status", run_status.ToString());
       llm::LlmCall choose;
       choose.type = llm::PromptType::kChooseFallbackStrategy;
       choose.tier = llm::ModelTier::kPlanner;
@@ -139,6 +202,7 @@ ExecutionResult PlanExecutor::Execute(const PhysicalPlan& plan) {
       OpArgs args{{"query", plan.query_text},
                   {"strategy", strategy.Get("strategy", "rag")},
                   {"retrieve_k", "100"}};
+      fallback_span.AddAttr("strategy", strategy.Get("strategy", "rag"));
       DocList all;
       all.reserve(ctx_.corpus->size());
       for (uint64_t id = 0; id < ctx_.corpus->size(); ++id) {
@@ -155,11 +219,13 @@ ExecutionResult PlanExecutor::Execute(const PhysicalPlan& plan) {
                                   fallback->stats.cpu_seconds;
         result.answer = fallback->value.ToAnswer();
         result.adjusted = true;
+        finalize();
         return result;
       }
     }
     result.status = run_status;
     result.answer = corpus::Answer::None();
+    finalize();
     return result;
   }
   auto it = vars.find(plan.answer_var);
@@ -167,9 +233,11 @@ ExecutionResult PlanExecutor::Execute(const PhysicalPlan& plan) {
     result.status =
         Status::NotFound("answer variable " + plan.answer_var + " not bound");
     result.answer = corpus::Answer::None();
+    finalize();
     return result;
   }
   result.answer = it->second.ToAnswer();
+  finalize();
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "core/physical/physical_plan.h"
 #include "corpus/answer.h"
 
@@ -50,8 +51,12 @@ class PlanExecutor {
   PlanExecutor(ExecContext ctx, Options options)
       : ctx_(ctx), options_(options) {}
 
-  /// Executes `plan` and converts the answer variable to an Answer.
-  ExecutionResult Execute(const PhysicalPlan& plan);
+  /// Executes `plan` and converts the answer variable to an Answer. When
+  /// `trace` is non-null an "execute" span (child of `parent`) is recorded
+  /// with one "exec.node" span per DAG node, annotated post-hoc with the
+  /// node's virtual-time interval on the simulated server pool.
+  ExecutionResult Execute(const PhysicalPlan& plan, Trace* trace = nullptr,
+                          SpanId parent = kNoSpan);
 
   /// After execution, per-node measured stats (for cost-model feedback).
   const std::vector<OpStats>& node_stats() const { return node_stats_; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/telemetry_names.h"
 #include "corpus/workload.h"
 
 namespace unify::core {
@@ -14,6 +15,10 @@ UnifySystem::UnifySystem(const corpus::Corpus* corpus, llm::LlmClient* llm,
 }
 
 Status UnifySystem::Setup() {
+  // Every internal LLM call goes through the metering decorator so that
+  // per-PromptType counters are recorded for any client implementation.
+  traced_llm_ = std::make_unique<llm::TracingLlmClient>(llm_);
+
   // --- Operator indexing: embed every logical representation offline ---
   matcher_ = std::make_unique<OperatorMatcher>(&registry_, /*dim=*/48,
                                                options_.seed ^ 0x5151);
@@ -42,14 +47,15 @@ Status UnifySystem::Setup() {
   // histograms over surface-extractable attributes ---
   numeric_stats_.Build(*corpus_);
   estimator_ = std::make_unique<CardinalityEstimator>(
-      corpus_, doc_embedder_.get(), &doc_vecs_, llm_, options_.sce);
+      corpus_, doc_embedder_.get(), &doc_vecs_, traced_llm_.get(),
+      options_.sce);
   estimator_->set_numeric_stats(&numeric_stats_);
   estimator_->LearnImportanceFunction(corpus::GenerateHistoricalPredicates(
       *corpus_, options_.history_size, options_.seed ^ 0x31));
 
   // --- Planning engine ---
-  generator_ = std::make_unique<PlanGenerator>(&registry_, matcher_.get(),
-                                               llm_, options_.plan);
+  generator_ = std::make_unique<PlanGenerator>(
+      &registry_, matcher_.get(), traced_llm_.get(), options_.plan);
   OptimizerOptions oopts;
   oopts.mode = options_.physical_mode;
   oopts.objective = options_.objective;
@@ -76,7 +82,7 @@ Status UnifySystem::CalibrateCostModel() {
   // parameters based on historical execution data" (Section VI-A).
   ExecContext ctx;
   ctx.corpus = corpus_;
-  ctx.llm = llm_;
+  ctx.llm = traced_llm_.get();
   ctx.doc_embedder = doc_embedder_.get();
   ctx.doc_index = doc_index_.get();
   ctx.llm_batch_size = options_.llm_batch_size;
@@ -183,10 +189,38 @@ UnifySystem::QueryResult UnifySystem::Answer(const std::string& query) {
     return result;
   }
 
+  std::shared_ptr<Trace> trace;
+  if (options_.collect_trace) trace = std::make_shared<Trace>();
+  const MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  ScopedSpan root(trace.get(), telemetry::kSpanQuery, kNoSpan);
+  root.AddAttr("query", query);
+
+  // Attaches the trace and this query's metrics delta; the llm.*, plan.*,
+  // sce.* and exec.* counter deltas become root-span attributes so they
+  // survive into the exported Chrome JSON.
+  auto finalize = [&]() {
+    result.metrics = MetricsRegistry::Global().Snapshot().DeltaSince(before);
+    if (trace != nullptr) {
+      root.AddAttr("status", result.status.ok()
+                                 ? std::string("ok")
+                                 : result.status.ToString());
+      root.AddAttr("plan_seconds", result.plan_seconds);
+      root.AddAttr("exec_seconds", result.exec_seconds);
+      root.AddAttr("total_seconds", result.total_seconds);
+      root.AddAttr("exec_dollars", result.exec_dollars);
+      root.SetVirtualInterval(0, result.total_seconds);
+      for (const auto& [name, value] : result.metrics.counters) {
+        root.AddAttr(name, value);
+      }
+    }
+    result.trace = trace;
+  };
+
   // --- Logical plan generation (Section V) ---
-  auto generated = generator_->Generate(query);
+  auto generated = generator_->Generate(query, trace.get(), root.id());
   if (!generated.ok()) {
     result.status = generated.status();
+    finalize();
     return result;
   }
   result.plan_seconds += generated->planning_seconds;
@@ -194,9 +228,11 @@ UnifySystem::QueryResult UnifySystem::Answer(const std::string& query) {
   result.used_fallback = generated->used_fallback;
 
   // --- Physical plan generation + plan selection (Section VI) ---
-  auto physical = optimizer_->SelectBest(generated->plans);
+  auto physical = optimizer_->SelectBest(generated->plans, trace.get(),
+                                         root.id());
   if (!physical.ok()) {
     result.status = physical.status();
+    finalize();
     return result;
   }
   result.plan_seconds += physical->optimize_llm_seconds;
@@ -206,13 +242,13 @@ UnifySystem::QueryResult UnifySystem::Answer(const std::string& query) {
   // --- Execution (Section III-C) ---
   ExecContext ctx;
   ctx.corpus = corpus_;
-  ctx.llm = llm_;
+  ctx.llm = traced_llm_.get();
   ctx.doc_embedder = doc_embedder_.get();
   ctx.doc_index = doc_index_.get();
   ctx.custom_ops = options_.custom_ops;
   ctx.llm_batch_size = options_.llm_batch_size;
   PlanExecutor executor(ctx, options_.exec);
-  ExecutionResult exec = executor.Execute(*physical);
+  ExecutionResult exec = executor.Execute(*physical, trace.get(), root.id());
   result.exec_seconds = exec.virtual_seconds;
   result.exec_dollars = exec.llm_dollars_total;
   result.timeline = exec.timeline;
@@ -231,6 +267,7 @@ UnifySystem::QueryResult UnifySystem::Answer(const std::string& query) {
                        physical->nodes[i].impl, card, stats[i].llm_seconds,
                        stats[i].cpu_seconds, stats[i].llm_dollars);
   }
+  finalize();
   return result;
 }
 

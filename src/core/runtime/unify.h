@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "core/logical/operator_matcher.h"
 #include "core/logical/plan_generator.h"
 #include "core/operators/custom_ops.h"
@@ -18,6 +20,7 @@
 #include "embedding/hashed_embedder.h"
 #include "index/hnsw_index.h"
 #include "llm/llm_client.h"
+#include "llm/tracing_client.h"
 
 namespace unify::core {
 
@@ -45,6 +48,10 @@ struct UnifyOptions {
   /// Run cost-model calibration micro-executions during Setup().
   bool calibrate = true;
   double index_candidate_factor = 9.0;
+  /// Record a query-lifecycle trace for every Answer() call (attached to
+  /// QueryResult::trace). Negligible overhead; disable for pure
+  /// throughput benchmarking.
+  bool collect_trace = true;
 };
 
 /// The top-level system (paper Figure 1): offline preprocessing
@@ -80,6 +87,13 @@ class UnifySystem {
     std::string plan_explain;
     /// Per-operator execution timeline (virtual start/finish + LLM usage).
     std::string timeline;
+    /// Query-lifecycle trace (null when UnifyOptions::collect_trace is
+    /// false). Render with Trace::ToText() or export with
+    /// Trace::ToChromeJson() for chrome://tracing / Perfetto.
+    std::shared_ptr<Trace> trace;
+    /// Metrics delta of this query: counters show only what this query
+    /// consumed; gauges/histograms reflect the post-query state.
+    MetricsSnapshot metrics;
   };
 
   /// Answers one natural-language analytics query end to end.
@@ -104,6 +118,10 @@ class UnifySystem {
   const corpus::Corpus* corpus_;
   llm::LlmClient* llm_;
   UnifyOptions options_;
+  /// Metering decorator around `llm_`; all internal components call
+  /// through it so per-PromptType metrics are recorded regardless of the
+  /// client implementation.
+  std::unique_ptr<llm::TracingLlmClient> traced_llm_;
 
   OperatorRegistry registry_;
   std::unique_ptr<OperatorMatcher> matcher_;

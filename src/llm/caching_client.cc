@@ -1,5 +1,8 @@
 #include "llm/caching_client.h"
 
+#include "common/metrics.h"
+#include "common/telemetry_names.h"
+
 namespace unify::llm {
 
 namespace {
@@ -51,6 +54,13 @@ LlmResult CachingLlmClient::Call(const LlmCall& call) {
         ++item_misses_;
       }
     }
+  }
+  auto& metrics = MetricsRegistry::Global();
+  const double hits = static_cast<double>(call.items.size() - missing.size());
+  if (hits > 0) metrics.AddCounter(telemetry::kMetricLlmCacheHits, hits);
+  if (!missing.empty()) {
+    metrics.AddCounter(telemetry::kMetricLlmCacheMisses,
+                       static_cast<double>(missing.size()));
   }
 
   LlmResult merged;

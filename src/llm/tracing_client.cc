@@ -1,0 +1,61 @@
+#include "llm/tracing_client.h"
+
+#include <string>
+
+#include "common/metrics.h"
+#include "common/telemetry_names.h"
+
+namespace unify::llm {
+
+const char* PromptTypeName(PromptType type) {
+  switch (type) {
+    case PromptType::kSemanticParse:
+      return "semantic_parse";
+    case PromptType::kRerankOperators:
+      return "rerank_operators";
+    case PromptType::kReduceQuery:
+      return "reduce_query";
+    case PromptType::kSimpleQuestion:
+      return "simple_question";
+    case PromptType::kDependencyCheck:
+      return "dependency_check";
+    case PromptType::kEvalPredicate:
+      return "eval_predicate";
+    case PromptType::kExtractValue:
+      return "extract_value";
+    case PromptType::kClassifyDoc:
+      return "classify_doc";
+    case PromptType::kSemanticAggregate:
+      return "semantic_aggregate";
+    case PromptType::kGenerateAnswer:
+      return "generate_answer";
+    case PromptType::kChooseFallbackStrategy:
+      return "choose_fallback_strategy";
+    case PromptType::kGenerateCode:
+      return "generate_code";
+    case PromptType::kPlanOneShot:
+      return "plan_one_shot";
+    case PromptType::kDecompose:
+      return "decompose";
+    case PromptType::kSelectAnswer:
+      return "select_answer";
+  }
+  return "unknown";
+}
+
+LlmResult TracingLlmClient::Call(const LlmCall& call) {
+  LlmResult result = base_->Call(call);
+  auto& metrics = MetricsRegistry::Global();
+  const std::string suffix = std::string(".") + PromptTypeName(call.type);
+  metrics.AddCounter(telemetry::kMetricLlmCalls + suffix);
+  metrics.AddCounter(telemetry::kMetricLlmInTokens + suffix,
+                     static_cast<double>(result.in_tokens));
+  metrics.AddCounter(telemetry::kMetricLlmOutTokens + suffix,
+                     static_cast<double>(result.out_tokens));
+  metrics.AddCounter(telemetry::kMetricLlmSeconds + suffix, result.seconds);
+  metrics.AddCounter(telemetry::kMetricLlmDollars + suffix, result.dollars);
+  metrics.Observe(telemetry::kMetricLlmCallSeconds, result.seconds);
+  return result;
+}
+
+}  // namespace unify::llm

@@ -1,0 +1,38 @@
+#ifndef UNIFY_LLM_TRACING_CLIENT_H_
+#define UNIFY_LLM_TRACING_CLIENT_H_
+
+#include "llm/llm_client.h"
+
+namespace unify::llm {
+
+/// Stable lower_snake_case name of a prompt type ("semantic_parse",
+/// "eval_predicate", ...) — the suffix of the per-type LLM metrics.
+const char* PromptTypeName(PromptType type);
+
+/// A transparent decorator over any LlmClient that records per-PromptType
+/// metrics into MetricsRegistry::Global(): `llm.calls.<type>`,
+/// `llm.in_tokens.<type>`, `llm.out_tokens.<type>`, `llm.seconds.<type>`,
+/// `llm.dollars.<type>`, plus the `llm.call_seconds` latency histogram
+/// (see docs/observability.md).
+///
+/// UnifySystem wraps its client in one of these during Setup(), so every
+/// planning, estimation, and execution call is accounted regardless of
+/// which LlmClient implementation serves it. Thread-safe iff `base` is.
+class TracingLlmClient : public LlmClient {
+ public:
+  /// `base` must outlive the decorator.
+  explicit TracingLlmClient(LlmClient* base) : base_(base) {}
+
+  LlmResult Call(const LlmCall& call) override;
+
+  /// Usage of the underlying client.
+  LlmUsage usage() const override { return base_->usage(); }
+  void ResetUsage() override { base_->ResetUsage(); }
+
+ private:
+  LlmClient* base_;
+};
+
+}  // namespace unify::llm
+
+#endif  // UNIFY_LLM_TRACING_CLIENT_H_

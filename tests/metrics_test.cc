@@ -1,0 +1,111 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+
+namespace unify {
+namespace {
+
+TEST(MetricsTest, CountersAccumulate) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.counter("llm.calls"), 0);
+  registry.AddCounter("llm.calls");
+  registry.AddCounter("llm.calls", 2.5);
+  EXPECT_DOUBLE_EQ(registry.counter("llm.calls"), 3.5);
+}
+
+TEST(MetricsTest, GaugesKeepLastValue) {
+  MetricsRegistry registry;
+  registry.SetGauge("exec.pool.occupancy", 0.25);
+  registry.SetGauge("exec.pool.occupancy", 0.75);
+  EXPECT_DOUBLE_EQ(registry.gauge("exec.pool.occupancy"), 0.75);
+}
+
+TEST(MetricsTest, HistogramQuantiles) {
+  MetricsRegistry registry;
+  for (int i = 1; i <= 100; ++i) {
+    registry.Observe("exec.queue_wait_seconds", static_cast<double>(i));
+  }
+  MetricsSnapshot snap = registry.Snapshot();
+  const SampleStats& h = snap.histograms.at("exec.queue_wait_seconds");
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 50.5);
+  EXPECT_GE(h.Quantile(0.5), 50.0);
+  EXPECT_LE(h.Quantile(0.5), 51.0);
+  EXPECT_GE(h.Quantile(0.99), 99.0);
+  EXPECT_LE(h.Quantile(0.99), 100.0);
+  EXPECT_LE(h.Quantile(0.5), h.Quantile(0.99));
+}
+
+TEST(MetricsTest, SnapshotDelta) {
+  MetricsRegistry registry;
+  registry.AddCounter("plan.reductions", 4);
+  registry.AddCounter("llm.calls", 10);
+  MetricsSnapshot before = registry.Snapshot();
+
+  registry.AddCounter("llm.calls", 5);
+  registry.AddCounter("sce.estimates", 2);
+  registry.SetGauge("exec.pool.occupancy", 0.5);
+  MetricsSnapshot delta = registry.Snapshot().DeltaSince(before);
+
+  // Untouched counters drop out; touched ones show only the difference.
+  EXPECT_EQ(delta.counters.count("plan.reductions"), 0u);
+  EXPECT_DOUBLE_EQ(delta.counters.at("llm.calls"), 5);
+  EXPECT_DOUBLE_EQ(delta.counters.at("sce.estimates"), 2);
+  // Gauges pass through at their current level.
+  EXPECT_DOUBLE_EQ(delta.gauges.at("exec.pool.occupancy"), 0.5);
+}
+
+TEST(MetricsTest, ResetClearsEverything) {
+  MetricsRegistry registry;
+  registry.AddCounter("llm.calls");
+  registry.SetGauge("g", 1);
+  registry.Observe("h", 1);
+  registry.Reset();
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+TEST(MetricsTest, GlobalIsASingleton) {
+  MetricsRegistry& a = MetricsRegistry::Global();
+  MetricsRegistry& b = MetricsRegistry::Global();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(MetricsTest, ConcurrentUpdates) {
+  MetricsRegistry registry;
+  constexpr int kTasks = 8;
+  constexpr int kUpdates = 1000;
+  {
+    ThreadPool pool(4);
+    for (int t = 0; t < kTasks; ++t) {
+      pool.Schedule([&registry]() {
+        for (int i = 0; i < kUpdates; ++i) {
+          registry.AddCounter("llm.calls");
+          registry.Observe("llm.call_seconds", 1.0);
+        }
+      });
+    }
+    pool.Wait();
+  }
+  EXPECT_DOUBLE_EQ(registry.counter("llm.calls"), kTasks * kUpdates);
+  EXPECT_EQ(registry.Snapshot().histograms.at("llm.call_seconds").count(),
+            static_cast<size_t>(kTasks * kUpdates));
+}
+
+TEST(MetricsTest, ToTextListsEveryMetric) {
+  MetricsRegistry registry;
+  registry.AddCounter("llm.calls", 3);
+  registry.SetGauge("exec.pool.occupancy", 0.5);
+  registry.Observe("exec.queue_wait_seconds", 2.0);
+  const std::string text = registry.Snapshot().ToText();
+  EXPECT_NE(text.find("llm.calls"), std::string::npos);
+  EXPECT_NE(text.find("exec.pool.occupancy"), std::string::npos);
+  EXPECT_NE(text.find("exec.queue_wait_seconds"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace unify

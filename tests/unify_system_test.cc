@@ -1,8 +1,14 @@
+#include <cstdlib>
+#include <set>
+#include <string>
+
 #include <gtest/gtest.h>
 
+#include "common/telemetry_names.h"
 #include "core/runtime/unify.h"
 #include "corpus/dataset_profile.h"
 #include "corpus/workload.h"
+#include "json_util.h"
 #include "llm/sim_llm.h"
 #include "nlq/render.h"
 
@@ -198,6 +204,113 @@ TEST_F(UnifySystemTest, FallbackHandlesUnparseableQuery) {
   // The planner cannot decompose this; the Generate fallback must engage
   // and still return *something* without crashing.
   EXPECT_TRUE(result.used_fallback);
+  EXPECT_TRUE(result.status.ok()) << result.status;
+}
+
+/// Observability contract: a traced Answer() records spans for all three
+/// lifecycle phases, exports parseable Chrome trace-event JSON, and the
+/// per-PromptType LLM totals attached to the root span agree with the
+/// client's own accounting to within 1e-9.
+TEST(UnifySystemTrace, TracedAnswerMatchesLlmAccounting) {
+  auto profile = corpus::SportsProfile();
+  profile.doc_count = 400;
+  corpus::Corpus corp = corpus::GenerateCorpus(profile, 31);
+  llm::SimulatedLlm llm(&corp, llm::SimLlmOptions{});
+  UnifySystem system(&corp, &llm, UnifyOptions{});
+  ASSERT_TRUE(system.Setup().ok());
+
+  nlq::QueryAst ast;
+  ast.task = nlq::TaskKind::kCount;
+  ast.entity = "questions";
+  ast.docset.conditions = {
+      nlq::Condition::Semantic("tennis"),
+      nlq::Condition::Numeric("views", nlq::Condition::Cmp::kGt, 150)};
+  const auto before = llm.usage();
+  auto result = system.Answer(nlq::Render(ast));
+  const auto after = llm.usage();
+  ASSERT_TRUE(result.status.ok()) << result.status;
+  ASSERT_NE(result.trace, nullptr);
+
+  // All three phases appear as children of the root "query" span.
+  auto spans = result.trace->spans();
+  ASSERT_FALSE(spans.empty());
+  EXPECT_EQ(spans[0].name, telemetry::kSpanQuery);
+  EXPECT_EQ(spans[0].parent, kNoSpan);
+  std::set<std::string> phase_children;
+  for (const auto& s : spans) {
+    if (s.parent == spans[0].id) phase_children.insert(s.name);
+  }
+  EXPECT_TRUE(phase_children.count(telemetry::kSpanPlanLogical));
+  EXPECT_TRUE(phase_children.count(telemetry::kSpanPlanPhysical));
+  EXPECT_TRUE(phase_children.count(telemetry::kSpanExecute));
+
+  // The plain-text rendering shows the same tree.
+  const std::string text = result.trace->ToText();
+  EXPECT_NE(text.find(telemetry::kSpanQuery), std::string::npos);
+  EXPECT_NE(text.find(telemetry::kSpanExecute), std::string::npos);
+
+  // JSON export parses, and the root span's llm.* attribute totals equal
+  // the LlmClient's own usage delta.
+  testing::JsonValue doc;
+  ASSERT_TRUE(ParseJson(result.trace->ToChromeJson(), &doc));
+  const testing::JsonValue* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  const testing::JsonValue* root_args = nullptr;
+  for (const auto& ev : events->array) {
+    const auto* ph = ev.Find("ph");
+    const auto* name = ev.Find("name");
+    const auto* pid = ev.Find("pid");
+    if (ph != nullptr && ph->str == "X" && pid != nullptr &&
+        pid->number == 1 && name != nullptr &&
+        name->str == telemetry::kSpanQuery) {
+      root_args = ev.Find("args");
+      break;
+    }
+  }
+  ASSERT_NE(root_args, nullptr);
+  double seconds = 0;
+  double dollars = 0;
+  double calls = 0;
+  const std::string sec_prefix = std::string(telemetry::kMetricLlmSeconds) +
+                                 ".";
+  const std::string usd_prefix = std::string(telemetry::kMetricLlmDollars) +
+                                 ".";
+  const std::string call_prefix = std::string(telemetry::kMetricLlmCalls) +
+                                  ".";
+  for (const auto& [key, value] : root_args->object) {
+    if (key.rfind(sec_prefix, 0) == 0) {
+      seconds += std::strtod(value.str.c_str(), nullptr);
+    } else if (key.rfind(usd_prefix, 0) == 0) {
+      dollars += std::strtod(value.str.c_str(), nullptr);
+    } else if (key.rfind(call_prefix, 0) == 0) {
+      calls += std::strtod(value.str.c_str(), nullptr);
+    }
+  }
+  EXPECT_NEAR(seconds, after.seconds - before.seconds, 1e-9);
+  EXPECT_NEAR(dollars, after.dollars - before.dollars, 1e-9);
+  EXPECT_DOUBLE_EQ(calls, static_cast<double>(after.calls - before.calls));
+
+  // The attached metrics delta carries the same per-query totals.
+  double snap_seconds = 0;
+  for (const auto& [key, value] : result.metrics.counters) {
+    if (key.rfind(sec_prefix, 0) == 0) snap_seconds += value;
+  }
+  EXPECT_NEAR(snap_seconds, after.seconds - before.seconds, 1e-9);
+}
+
+/// Tracing is opt-out, and disabling it changes nothing but the absence of
+/// the trace object.
+TEST(UnifySystemTrace, CollectTraceOffYieldsNullTrace) {
+  auto profile = corpus::SportsProfile();
+  profile.doc_count = 300;
+  corpus::Corpus corp = corpus::GenerateCorpus(profile, 33);
+  llm::SimulatedLlm llm(&corp, llm::SimLlmOptions{});
+  UnifyOptions uopts;
+  uopts.collect_trace = false;
+  UnifySystem system(&corp, &llm, uopts);
+  ASSERT_TRUE(system.Setup().ok());
+  auto result = system.Answer("How many questions about tennis are there?");
+  EXPECT_EQ(result.trace, nullptr);
   EXPECT_TRUE(result.status.ok()) << result.status;
 }
 

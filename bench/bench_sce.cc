@@ -46,7 +46,7 @@ void RunDataset(const corpus::DatasetProfile& profile,
   uopts.calibrate = false;  // only the estimator is needed
   core::UnifySystem system(ds.corpus.get(), ds.llm.get(), uopts);
   UNIFY_CHECK_OK(system.Setup());
-  CardinalityEstimator& estimator = system.estimator();
+  const CardinalityEstimator& estimator = system.estimator();
 
   auto conditions = WorkloadConditions(ds.workload);
   std::printf("\n--- dataset %s: %zu docs, %zu predicates, 1%% samples ---\n",

@@ -1,0 +1,192 @@
+// Serving-layer throughput/latency benchmark: closed-loop clients submit
+// queries through UnifyService, so every in-flight query's operator
+// streams contend on ONE shared virtual LLM server pool (paper setup: 4
+// servers). Each client is closed-loop on the VIRTUAL clock — its next
+// query arrives when its previous one completed — so 1 client reproduces
+// the sequential one-query-at-a-time model, while higher client counts
+// overlap queries and saturate the pool.
+//
+// Reports per client count (1/4/16/64): virtual makespan + throughput,
+// wall-clock throughput, and p50/p95/p99 virtual latency (arrival ->
+// completion, including cross-query queueing). Writes BENCH_serving.json.
+//
+// Scale knobs: see bench_util.h (UNIFY_BENCH_DOCS caps the corpus).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace unify::bench {
+namespace {
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const size_t idx = std::min(
+      v.size() - 1,
+      static_cast<size_t>(std::ceil(p * static_cast<double>(v.size()))) -
+          (p > 0 ? 1 : 0));
+  return v[idx];
+}
+
+struct LevelResult {
+  int clients = 0;
+  int queries = 0;
+  double virtual_makespan = 0;
+  double virtual_qps = 0;
+  double wall_seconds = 0;
+  double wall_qps = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  int64_t rejected = 0;
+};
+
+LevelResult RunLevel(const core::UnifySystem& system,
+                     const std::vector<std::string>& queries, int clients,
+                     int total_queries) {
+  core::UnifyService::Options sopts;
+  sopts.num_workers = clients;
+  sopts.max_queue_depth = 2 * clients + 8;
+  core::UnifyService service(&system, sopts);
+
+  const int per_client = std::max(1, total_queries / clients);
+  std::vector<double> completions(
+      static_cast<size_t>(clients * per_client), 0);
+  std::vector<double> latencies(static_cast<size_t>(clients * per_client),
+                                0);
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c]() {
+      double clock = 0;  // this client's closed-loop virtual clock
+      for (int i = 0; i < per_client; ++i) {
+        const size_t slot = static_cast<size_t>(c * per_client + i);
+        core::QueryRequest request;
+        request.text = queries[slot % queries.size()];
+        request.client_tag = "client-" + std::to_string(c);
+        request.arrival_seconds = clock;
+        core::QueryResult result = service.Answer(std::move(request));
+        if (!result.status.ok()) continue;  // leaves slot at 0
+        clock = result.completion_seconds;
+        completions[slot] = result.completion_seconds;
+        latencies[slot] = result.total_seconds;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  LevelResult level;
+  level.clients = clients;
+  level.queries = clients * per_client;
+  level.virtual_makespan =
+      *std::max_element(completions.begin(), completions.end());
+  level.virtual_qps = level.virtual_makespan > 0
+                          ? level.queries / level.virtual_makespan
+                          : 0;
+  level.wall_seconds = wall_seconds;
+  level.wall_qps = wall_seconds > 0 ? level.queries / wall_seconds : 0;
+  level.p50 = Percentile(latencies, 0.50);
+  level.p95 = Percentile(latencies, 0.95);
+  level.p99 = Percentile(latencies, 0.99);
+  level.rejected = service.stats().rejected;
+  return level;
+}
+
+int Run() {
+  BenchScale scale = BenchScale::FromEnv();
+  if (scale.max_docs == 0) scale.max_docs = 400;
+  corpus::DatasetProfile profile;
+  for (const auto& p : corpus::AllProfiles()) {
+    if (p.name == "sports") profile = p;
+  }
+  BenchDataset ds = MakeDataset(profile, scale);
+
+  core::UnifyOptions uopts;
+  uopts.collect_trace = false;  // pure throughput
+  // Freeze cost-model feedback so every concurrency level plans the same
+  // queries identically (fair virtual-throughput comparison).
+  uopts.cost_feedback = false;
+  core::UnifySystem system(ds.corpus.get(), ds.llm.get(), uopts);
+  if (auto st = system.Setup(); !st.ok()) {
+    std::printf("setup failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::vector<std::string> queries;
+  for (const auto& qc : ds.workload) {
+    queries.push_back(qc.text);
+    if (queries.size() >= 16) break;
+  }
+
+  const int total_queries = 64;
+  PrintHeaderLine("serving throughput (shared 4-server virtual pool, " +
+                  std::to_string(ds.corpus->size()) + " docs)");
+  std::printf("%8s %8s %12s %12s %10s %10s %10s %10s %9s\n", "clients",
+              "queries", "virt-span", "virt-q/min", "wall-s", "wall-q/s",
+              "p50", "p95", "p99");
+
+  std::vector<LevelResult> levels;
+  for (int clients : {1, 4, 16, 64}) {
+    LevelResult level = RunLevel(system, queries, clients, total_queries);
+    std::printf(
+        "%8d %8d %11.0fs %12.2f %9.2fs %10.2f %9.0fs %9.0fs %8.0fs\n",
+        level.clients, level.queries, level.virtual_makespan,
+        60.0 * level.virtual_qps, level.wall_seconds, level.wall_qps,
+        level.p50, level.p95, level.p99);
+    levels.push_back(level);
+  }
+
+  double virt_1 = 0;
+  double virt_16 = 0;
+  for (const auto& level : levels) {
+    if (level.clients == 1) virt_1 = level.virtual_qps;
+    if (level.clients == 16) virt_16 = level.virtual_qps;
+  }
+  const double speedup = virt_1 > 0 ? virt_16 / virt_1 : 0;
+  std::printf("\nvirtual throughput speedup 16 vs 1 clients: %.2fx %s\n",
+              speedup, speedup >= 4.0 ? "(>= 4x: pool saturated)"
+                                      : "(below the 4x target)");
+
+  std::ofstream out("BENCH_serving.json");
+  out << "{\n  \"benchmark\": \"serving\",\n";
+  out << "  \"dataset\": \"" << ds.name << "\",\n";
+  out << "  \"docs\": " << ds.corpus->size() << ",\n";
+  out << "  \"num_servers\": "
+      << system.options().exec.num_servers << ",\n";
+  out << "  \"virtual_speedup_16v1\": " << speedup << ",\n";
+  out << "  \"levels\": [\n";
+  for (size_t i = 0; i < levels.size(); ++i) {
+    const auto& level = levels[i];
+    out << "    {\"clients\": " << level.clients
+        << ", \"queries\": " << level.queries
+        << ", \"virtual_makespan_seconds\": " << level.virtual_makespan
+        << ", \"virtual_queries_per_second\": " << level.virtual_qps
+        << ", \"wall_seconds\": " << level.wall_seconds
+        << ", \"wall_queries_per_second\": " << level.wall_qps
+        << ", \"latency_p50_seconds\": " << level.p50
+        << ", \"latency_p95_seconds\": " << level.p95
+        << ", \"latency_p99_seconds\": " << level.p99
+        << ", \"rejected\": " << level.rejected << "}"
+        << (i + 1 < levels.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote BENCH_serving.json\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace unify::bench
+
+int main() { return unify::bench::Run(); }

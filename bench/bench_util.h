@@ -7,7 +7,7 @@
 #include <string>
 #include <vector>
 
-#include "core/runtime/unify.h"
+#include "unify/api.h"
 #include "corpus/corpus.h"
 #include "corpus/dataset_profile.h"
 #include "corpus/workload.h"

@@ -5,7 +5,7 @@
 
 #include <cstdio>
 
-#include "core/runtime/unify.h"
+#include "unify/api.h"
 #include "corpus/answer.h"
 #include "corpus/dataset_profile.h"
 #include "llm/sim_llm.h"

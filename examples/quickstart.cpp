@@ -9,7 +9,7 @@
 
 #include <cstdio>
 
-#include "core/runtime/unify.h"
+#include "unify/api.h"
 #include "corpus/dataset_profile.h"
 #include "llm/sim_llm.h"
 

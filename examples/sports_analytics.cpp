@@ -14,7 +14,7 @@
 #include "core/baselines/rag.h"
 #include "core/baselines/retrieval.h"
 #include "core/physical/sce.h"
-#include "core/runtime/unify.h"
+#include "unify/api.h"
 #include "corpus/answer.h"
 #include "corpus/dataset_profile.h"
 #include "llm/sim_llm.h"

@@ -7,20 +7,25 @@
 //   unify> \trace on         (print the span tree of each query)
 //   unify> \trace json FILE  (export the last trace for chrome://tracing)
 //   unify> \stats            (cumulative LLM usage)
+//   unify> \concurrency 8    (size of the serving worker pool)
+//   unify> q1 ;; q2 ;; q3    (submit a batch concurrently)
 //   unify> \quit
 //
 // Reads queries from stdin; also works non-interactively:
 //   $ echo "Count the questions about golf." | ./build/examples/unify_shell
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <future>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/metrics.h"
 #include "common/string_util.h"
-#include "core/runtime/unify.h"
+#include "unify/api.h"
 #include "corpus/dataset_profile.h"
 #include "llm/sim_llm.h"
 
@@ -56,6 +61,13 @@ int main(int argc, char** argv) {
       "commands.\n",
       docs.name().c_str(), docs.entity().c_str());
 
+  // All queries route through the serving layer, so batches submitted with
+  // ";;" share one virtual LLM server pool (their exec times include
+  // cross-query queueing, like a real multi-client deployment).
+  core::UnifyService::Options sopts;
+  sopts.num_workers = 4;
+  auto service = std::make_unique<core::UnifyService>(&system, sopts);
+
   bool show_plan = false;
   bool show_trace = false;
   std::shared_ptr<Trace> last_trace;
@@ -78,7 +90,25 @@ int main(int argc, char** argv) {
       std::printf("  \\stats            cumulative simulated LLM usage\n");
       std::printf("  \\vocab            categories/tags/groups you can ask "
                   "about\n");
+      std::printf("  \\concurrency N    resize the serving worker pool\n");
+      std::printf("  q1 ;; q2 ;; q3    submit a batch of queries "
+                  "concurrently\n");
       std::printf("  \\quit             exit\n");
+      continue;
+    }
+    if (input.rfind("\\concurrency", 0) == 0) {
+      std::string arg(StripAsciiWhitespace(
+          input.substr(std::string("\\concurrency").size())));
+      int n = arg.empty() ? 0 : std::atoi(arg.c_str());
+      if (n < 1 || n > 256) {
+        std::printf("  usage: \\concurrency N   (1..256; currently %d)\n",
+                    service->options().num_workers);
+        continue;
+      }
+      core::UnifyService::Options next = service->options();
+      next.num_workers = n;
+      service = std::make_unique<core::UnifyService>(&system, next);
+      std::printf("  serving with %d workers\n", n);
       continue;
     }
     if (input == "\\plan on") {
@@ -128,6 +158,13 @@ int main(int argc, char** argv) {
                   static_cast<long long>(usage.calls),
                   usage.in_tokens / 1000.0, usage.out_tokens / 1000.0,
                   usage.seconds, usage.dollars);
+      auto stats = service->stats();
+      std::printf("  serving: %lld served, %lld rejected, %lld past "
+                  "deadline; pool clock %.0fs, %.0f busy seconds\n",
+                  static_cast<long long>(stats.completed),
+                  static_cast<long long>(stats.rejected),
+                  static_cast<long long>(stats.deadline_exceeded),
+                  stats.pool_now, stats.pool_busy_seconds);
       continue;
     }
     if (input == "\\vocab") {
@@ -149,23 +186,48 @@ int main(int argc, char** argv) {
       continue;
     }
 
-    auto result = system.Answer(input);
-    last_trace = result.trace;
-    if (!result.status.ok()) {
-      std::printf("error: %s\n", result.status.ToString().c_str());
-      continue;
+    // ";;" splits the line into a batch submitted concurrently; a plain
+    // line is a batch of one.
+    std::vector<std::string> batch;
+    size_t pos = 0;
+    while (true) {
+      size_t sep = input.find(";;", pos);
+      std::string piece(StripAsciiWhitespace(
+          input.substr(pos, sep == std::string::npos ? sep : sep - pos)));
+      if (!piece.empty()) batch.push_back(piece);
+      if (sep == std::string::npos) break;
+      pos = sep + 2;
     }
-    std::printf("%s\n", result.answer.ToString().c_str());
-    std::printf("  [%.1fs planning + %.1fs execution%s%s]\n",
-                result.plan_seconds, result.exec_seconds,
-                result.used_fallback ? ", RAG fallback" : "",
-                result.adjusted ? ", plan adjusted" : "");
-    if (show_plan) std::printf("%s", result.plan_explain.c_str());
-    if (show_trace) {
-      if (result.trace != nullptr) {
-        std::printf("%s", result.trace->ToText().c_str());
+    if (batch.empty()) continue;
+
+    std::vector<std::future<core::QueryResult>> futures;
+    futures.reserve(batch.size());
+    for (const auto& text : batch) {
+      core::QueryRequest request;
+      request.text = text;
+      futures.push_back(service->Submit(std::move(request)));
+    }
+    for (size_t i = 0; i < futures.size(); ++i) {
+      auto result = futures[i].get();
+      if (result.trace != nullptr) last_trace = result.trace;
+      if (batch.size() > 1) std::printf("[%zu] %s\n", i + 1, batch[i].c_str());
+      if (!result.status.ok()) {
+        std::printf("error (%s): %s\n", core::QueryPhaseName(result.phase),
+                    result.status.ToString().c_str());
+        continue;
       }
-      std::printf("%s", result.timeline.c_str());
+      std::printf("%s\n", result.answer.ToString().c_str());
+      std::printf("  [%.1fs planning + %.1fs execution%s%s]\n",
+                  result.plan_seconds, result.exec_seconds,
+                  result.used_fallback ? ", RAG fallback" : "",
+                  result.adjusted ? ", plan adjusted" : "");
+      if (show_plan) std::printf("%s", result.plan_explain.c_str());
+      if (show_trace) {
+        if (result.trace != nullptr) {
+          std::printf("%s", result.trace->ToText().c_str());
+        }
+        std::printf("%s", result.timeline.c_str());
+      }
     }
   }
   std::printf("\nbye.\n");

@@ -6,7 +6,7 @@
 #include <cstdio>
 #include <map>
 
-#include "core/runtime/unify.h"
+#include "unify/api.h"
 #include "corpus/answer.h"
 #include "corpus/dataset_profile.h"
 #include "corpus/workload.h"

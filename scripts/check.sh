@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Builds the concurrency-sensitive tests under ThreadSanitizer and runs
+# them. Wired into ctest as `check_concurrency` (non-sanitized builds
+# only); also runnable by hand:
+#
+#   $ scripts/check.sh [repo-root]
+#
+# Skips gracefully (exit 0 with a notice) when the toolchain cannot link
+# TSAN binaries, so the suite stays green on minimal images.
+set -euo pipefail
+
+ROOT="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+BUILD="$ROOT/build-tsan"
+
+# Probe: can this toolchain produce a TSAN binary at all?
+probe="$(mktemp -d)"
+trap 'rm -rf "$probe"' EXIT
+cat > "$probe/probe.cc" <<'EOF'
+#include <thread>
+int main() {
+  int x = 0;
+  std::thread t([&] { x = 1; });
+  t.join();
+  return x - 1;
+}
+EOF
+if ! c++ -fsanitize=thread -pthread "$probe/probe.cc" -o "$probe/probe" \
+    2>/dev/null || ! "$probe/probe"; then
+  echo "check.sh: toolchain cannot build/run TSAN binaries; skipping"
+  exit 0
+fi
+
+echo "check.sh: configuring $BUILD (UNIFY_SANITIZE=thread)"
+cmake -B "$BUILD" -S "$ROOT" -DUNIFY_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+
+echo "check.sh: building serving tests under TSAN"
+cmake --build "$BUILD" -j "$(nproc)" \
+    --target virtual_pool_test service_test >/dev/null
+
+# halt_on_error: fail loudly on the first race instead of limping on.
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+for test in virtual_pool_test service_test; do
+  echo "check.sh: running $test under TSAN"
+  "$BUILD/tests/$test" --gtest_brief=1
+done
+echo "check.sh: OK (no data races)"

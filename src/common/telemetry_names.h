@@ -33,6 +33,8 @@ inline constexpr char kSpanExecute[] = "execute";
 inline constexpr char kSpanExecNode[] = "exec.node";
 /// Executor-level replanning after a terminal operator failure.
 inline constexpr char kSpanExecFallback[] = "exec.fallback";
+/// One query served through UnifyService (parent of its "query" span).
+inline constexpr char kSpanServeQuery[] = "serve.query";
 
 // --- Metric names (common/metrics.h; catalog in docs/observability.md) ---
 
@@ -69,6 +71,19 @@ inline constexpr char kMetricLlmCallSeconds[] = "llm.call_seconds";
 // Per-document memoization (CachingLlmClient).
 inline constexpr char kMetricLlmCacheHits[] = "llm.cache.item_hits";
 inline constexpr char kMetricLlmCacheMisses[] = "llm.cache.item_misses";
+
+// Serving layer (UnifyService).
+/// Counter: requests accepted into the serving queue.
+inline constexpr char kMetricServeSubmitted[] = "serve.submitted";
+/// Counter: requests rejected by admission control (queue full).
+inline constexpr char kMetricServeRejected[] = "serve.rejected";
+/// Counter: served queries that failed their deadline.
+inline constexpr char kMetricServeDeadlineExceeded[] =
+    "serve.deadline_exceeded";
+/// Histogram: wall-clock seconds a request waited for a free worker.
+inline constexpr char kMetricServeQueueWait[] = "serve.queue_wait_seconds";
+/// Gauge: queries currently being planned/executed by workers.
+inline constexpr char kMetricServeInflight[] = "serve.inflight";
 
 }  // namespace unify::telemetry
 

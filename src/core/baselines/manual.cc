@@ -12,8 +12,8 @@
 namespace unify::core {
 
 ManualBaseline::ManualBaseline(ExecContext ctx,
-                               CardinalityEstimator* estimator,
-                               CostModel* cost_model, Options options)
+                               const CardinalityEstimator* estimator,
+                               const CostModel* cost_model, Options options)
     : ctx_(ctx),
       estimator_(estimator),
       cost_model_(cost_model != nullptr ? cost_model : &own_cost_model_),

@@ -27,16 +27,16 @@ class ManualBaseline : public Method {
 
   /// `estimator` supplies ground-truth cardinalities for the expert's
   /// physical choices; `cost_model` may be null (defaults are used).
-  ManualBaseline(ExecContext ctx, CardinalityEstimator* estimator,
-                 CostModel* cost_model, Options options);
+  ManualBaseline(ExecContext ctx, const CardinalityEstimator* estimator,
+                 const CostModel* cost_model, Options options);
 
   std::string name() const override { return "Manual"; }
   MethodResult Run(const std::string& query) override;
 
  private:
   ExecContext ctx_;
-  CardinalityEstimator* estimator_;
-  CostModel* cost_model_;
+  const CardinalityEstimator* estimator_;
+  const CostModel* cost_model_;
   CostModel own_cost_model_;
   Options options_;
 };

@@ -29,7 +29,8 @@ PlanGenerator::PlanGenerator(const OperatorRegistry* registry,
       llm_(llm),
       options_(options) {}
 
-llm::LlmResult PlanGenerator::CallLlm(llm::LlmCall call, Result& result) {
+llm::LlmResult PlanGenerator::CallLlm(llm::LlmCall call,
+                                      Result& result) const {
   call.tier = llm::ModelTier::kPlanner;
   llm::LlmResult r = llm_->Call(call);
   result.planning_seconds += r.seconds;
@@ -38,10 +39,10 @@ llm::LlmResult PlanGenerator::CallLlm(llm::LlmCall call, Result& result) {
 }
 
 StatusOr<PlanGenerator::Result> PlanGenerator::Generate(
-    const std::string& query, Trace* trace, SpanId parent) {
+    const std::string& query, Trace* trace, SpanId parent) const {
   Result result;
-  seen_signatures_.clear();
-  trace_ = trace;
+  GenCtx ctx;
+  ctx.trace = trace;
   ScopedSpan span(trace, telemetry::kSpanPlanLogical, parent);
 
   SearchState state;
@@ -49,7 +50,7 @@ StatusOr<PlanGenerator::Result> PlanGenerator::Generate(
   state.plan.query_text = query;
   state.vars[kDocsVar] = "the document collection";
   state.span = span.id();
-  Dfs(std::move(state), 0, result);
+  Dfs(std::move(state), 0, ctx, result);
 
   if (result.plans.empty()) {
     ScopedSpan fallback(trace, telemetry::kSpanPlanFallback, span.id());
@@ -95,12 +96,11 @@ StatusOr<PlanGenerator::Result> PlanGenerator::Generate(
   metrics.AddCounter(telemetry::kMetricPlanWidenings, result.widenings);
   metrics.AddCounter(telemetry::kMetricPlanUnresolved,
                      static_cast<double>(result.unresolved_queries.size()));
-  trace_ = nullptr;
   return result;
 }
 
 void PlanGenerator::AddNodeWithDeps(SearchState& state, LogicalNode node,
-                                    Result& result) {
+                                    Result& result) const {
   int new_id = state.plan.dag.AddNode();
   state.plan.nodes.push_back(node);
   UNIFY_CHECK(state.plan.nodes.size() == state.plan.dag.size());
@@ -132,7 +132,8 @@ void PlanGenerator::AddNodeWithDeps(SearchState& state, LogicalNode node,
   }
 }
 
-void PlanGenerator::Dfs(SearchState state, int depth, Result& result) {
+void PlanGenerator::Dfs(SearchState state, int depth, GenCtx& ctx,
+                        Result& result) const {
   if (static_cast<int>(result.plans.size()) >= options_.n_c) return;
   if (depth > options_.max_steps) return;
   if (result.llm_calls > options_.max_llm_calls) return;
@@ -148,7 +149,7 @@ void PlanGenerator::Dfs(SearchState state, int depth, Result& result) {
       std::string final_var = r.Get("final_var");
       state.plan.answer_var =
           final_var.empty() ? state.plan.nodes.back().output_var : final_var;
-      if (seen_signatures_.insert(state.plan.Signature()).second) {
+      if (ctx.seen_signatures.insert(state.plan.Signature()).second) {
         result.plans.push_back(state.plan);
       }
       return;
@@ -242,7 +243,7 @@ retry_with_wider_candidates:
       }
 
       const size_t plans_before = result.plans.size();
-      ScopedSpan step(trace_, telemetry::kSpanPlanReduce, state.span);
+      ScopedSpan step(ctx.trace, telemetry::kSpanPlanReduce, state.span);
       step.AddAttr("op", node.op_name);
       step.AddAttr("depth", depth);
       step.AddAttr("variant", variant);
@@ -255,7 +256,7 @@ retry_with_wider_candidates:
       child.vars[node.output_var] = node.output_desc;
       child.span = step.id();
       AddNodeWithDeps(child, std::move(node), result);
-      Dfs(std::move(child), depth + 1, result);
+      Dfs(std::move(child), depth + 1, ctx, result);
       // Backtrack accounting: a reduction whose whole subtree produced no
       // new complete plan was searched in vain.
       if (result.plans.size() == plans_before) {

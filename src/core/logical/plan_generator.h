@@ -72,8 +72,11 @@ class PlanGenerator {
   /// Generates up to n_c candidate logical plans for `query`. When
   /// `trace` is non-null, a "plan.logical" span (child of `parent`) is
   /// recorded with one nested "plan.reduce" span per reduction step.
+  /// Thread-safe: all search state lives on the caller's stack, so
+  /// concurrent queries may share one generator (provided the LLM client
+  /// is itself thread-safe).
   StatusOr<Result> Generate(const std::string& query, Trace* trace = nullptr,
-                            SpanId parent = kNoSpan);
+                            SpanId parent = kNoSpan) const;
 
  private:
   struct SearchState {
@@ -85,23 +88,30 @@ class PlanGenerator {
     SpanId span = kNoSpan;
   };
 
+  /// Per-Generate() mutable state, kept on the caller's stack so one
+  /// generator can serve concurrent queries.
+  struct GenCtx {
+    /// Signatures of plans already emitted (deduplicates search paths).
+    std::set<std::string> seen_signatures;
+    /// Active trace of this Generate() call; null when untraced.
+    Trace* trace = nullptr;
+  };
+
   /// Recursive DFS; appends complete plans to `result`.
-  void Dfs(SearchState state, int depth, Result& result);
+  void Dfs(SearchState state, int depth, GenCtx& ctx, Result& result) const;
 
   /// Issues one LLM call, accumulating time into `result`.
-  llm::LlmResult CallLlm(llm::LlmCall call, Result& result);
+  llm::LlmResult CallLlm(llm::LlmCall call, Result& result) const;
 
   /// Plan construction (Section V-C): appends `node` to `state.plan`,
   /// determining dependency edges via transitivity + LLM checks.
-  void AddNodeWithDeps(SearchState& state, LogicalNode node, Result& result);
+  void AddNodeWithDeps(SearchState& state, LogicalNode node,
+                       Result& result) const;
 
   const OperatorRegistry* registry_;
   const OperatorMatcher* matcher_;
   llm::LlmClient* llm_;
   Options options_;
-  std::set<std::string> seen_signatures_;
-  /// Active trace of the current Generate() call; null when untraced.
-  Trace* trace_ = nullptr;
 };
 
 }  // namespace unify::core

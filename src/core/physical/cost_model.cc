@@ -19,6 +19,22 @@ double DefaultPerElementDollars(PhysicalImpl impl) {
   return 0;
 }
 
+/// Effective cardinality an implementation touches: IndexScanFilter only
+/// LLM-verifies the ANN candidate set, whose size the optimizer fixes via
+/// args["index_candidates"].
+double EffectiveCard(PhysicalImpl impl, const OpArgs& args, double card_in) {
+  if (impl == PhysicalImpl::kIndexScanFilter) {
+    auto cand_it = args.find("index_candidates");
+    if (cand_it != args.end()) {
+      return std::min(
+          card_in,
+          std::max(1.0, ParseDouble(cand_it->second).value_or(card_in)));
+    }
+    return card_in;
+  }
+  return std::max(0.0, card_in);
+}
+
 }  // namespace
 
 std::string CostModel::Key(const std::string& op_name,
@@ -29,6 +45,7 @@ std::string CostModel::Key(const std::string& op_name,
 void CostModel::Record(const std::string& op_name, PhysicalImpl impl,
                        size_t card, double llm_seconds, double cpu_seconds,
                        double dollars) {
+  std::lock_guard<std::mutex> lock(mu_);
   Entry& e = entries_[Key(op_name, impl)];
   double seconds = llm_seconds + cpu_seconds;
   if (card > 0) {
@@ -46,6 +63,7 @@ void CostModel::Record(const std::string& op_name, PhysicalImpl impl,
 
 double CostModel::PerElementSeconds(const std::string& op_name,
                                     PhysicalImpl impl) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(Key(op_name, impl));
   if (it == entries_.end() || it->second.total_card <= 0) {
     return DefaultPerElement(impl);
@@ -55,6 +73,7 @@ double CostModel::PerElementSeconds(const std::string& op_name,
 
 double CostModel::PerElementDollars(const std::string& op_name,
                                     PhysicalImpl impl) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(Key(op_name, impl));
   if (it == entries_.end() || it->second.total_card <= 0 ||
       it->second.total_dollars <= 0) {
@@ -66,42 +85,34 @@ double CostModel::PerElementDollars(const std::string& op_name,
 double CostModel::EstimateDollars(const std::string& op_name,
                                   PhysicalImpl impl, const OpArgs& args,
                                   double card_in, double card_out) const {
-  double per_elem = PerElementDollars(op_name, impl);
-  if (impl == PhysicalImpl::kIndexScanFilter) {
-    double candidates = card_in;
-    auto cand_it = args.find("index_candidates");
-    if (cand_it != args.end()) {
-      candidates = std::min(
-          card_in,
-          std::max(1.0, ParseDouble(cand_it->second).value_or(card_in)));
-    }
-    return per_elem * candidates;
+  double per_elem;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(Key(op_name, impl));
+    per_elem = (it == entries_.end() || it->second.total_card <= 0 ||
+                it->second.total_dollars <= 0)
+                   ? DefaultPerElementDollars(impl)
+                   : it->second.total_dollars / it->second.total_card;
   }
-  return per_elem * std::max(0.0, card_in);
+  return per_elem * EffectiveCard(impl, args, card_in);
 }
 
 double CostModel::EstimateSeconds(const std::string& op_name,
                                   PhysicalImpl impl, const OpArgs& args,
                                   double card_in, double card_out) const {
-  double per_elem = PerElementSeconds(op_name, impl);
+  double per_elem;
   double flat = 1e-4;
-  auto it = entries_.find(Key(op_name, impl));
-  if (it != entries_.end() && it->second.flat_seconds > 0) {
-    flat = it->second.flat_seconds;
-  }
-  // IndexScanFilter only LLM-verifies the ANN candidate set, whose size
-  // the optimizer fixes via args["index_candidates"].
-  if (impl == PhysicalImpl::kIndexScanFilter) {
-    double candidates = card_in;
-    auto cand_it = args.find("index_candidates");
-    if (cand_it != args.end()) {
-      candidates = std::min(
-          card_in,
-          std::max(1.0, ParseDouble(cand_it->second).value_or(card_in)));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(Key(op_name, impl));
+    per_elem = (it == entries_.end() || it->second.total_card <= 0)
+                   ? DefaultPerElement(impl)
+                   : it->second.total_seconds / it->second.total_card;
+    if (it != entries_.end() && it->second.flat_seconds > 0) {
+      flat = it->second.flat_seconds;
     }
-    return flat + per_elem * candidates;
   }
-  return flat + per_elem * std::max(0.0, card_in);
+  return flat + per_elem * EffectiveCard(impl, args, card_in);
 }
 
 }  // namespace unify::core

@@ -2,6 +2,7 @@
 #define UNIFY_CORE_PHYSICAL_COST_MODEL_H_
 
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "core/operators/physical.h"
@@ -19,6 +20,10 @@ namespace unify::core {
 ///
 /// Before any history exists the model falls back to conservative
 /// defaults. All estimates are deterministic.
+///
+/// Thread-safe: concurrent queries read estimates while completed queries
+/// feed measurements back through Record(); one internal mutex covers
+/// both paths.
 class CostModel {
  public:
   CostModel() = default;
@@ -50,7 +55,10 @@ class CostModel {
                            PhysicalImpl impl) const;
 
   /// Number of calibration records absorbed.
-  int64_t records() const { return records_; }
+  int64_t records() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_;
+  }
 
  private:
   struct Entry {
@@ -62,6 +70,7 @@ class CostModel {
   };
   std::string Key(const std::string& op_name, PhysicalImpl impl) const;
 
+  mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;
   int64_t records_ = 0;
 };

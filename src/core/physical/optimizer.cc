@@ -89,22 +89,30 @@ std::string PhysicalPlan::Explain() const {
   return os.str();
 }
 
-PhysicalOptimizer::PhysicalOptimizer(CostModel* cost_model,
-                                     CardinalityEstimator* estimator,
+PhysicalOptimizer::PhysicalOptimizer(const CostModel* cost_model,
+                                     const CardinalityEstimator* estimator,
                                      OptimizerOptions options)
     : cost_model_(cost_model),
       estimator_(estimator),
       options_(options) {}
 
 StatusOr<double> PhysicalOptimizer::Selectivity(const OpArgs& condition,
-                                                PhysicalPlan& plan) {
-  const double N = std::max<double>(1.0, options_.corpus_size);
+                                                const OptimizerOptions& opts,
+                                                OptCtx& ctx,
+                                                PhysicalPlan& plan) const {
+  const double N = std::max<double>(1.0, opts.corpus_size);
   const std::string key = ConditionKey(condition);
-  auto it = sce_cache_.find(key);
-  if (it != sce_cache_.end()) return it->second / N;
+  {
+    std::unique_lock<std::mutex> lock;
+    if (ctx.cache_mu != nullptr) lock = std::unique_lock(*ctx.cache_mu);
+    auto it = ctx.cache->find(key);
+    if (it != ctx.cache->end()) return it->second / N;
+  }
 
+  // Estimate outside the cache lock (SCE costs LLM calls); a concurrent
+  // query estimating the same key computes the same deterministic value.
   double card = 0;
-  switch (options_.mode) {
+  switch (opts.mode) {
     case PhysicalMode::kRule:
       card = 0.3 * N;  // never consulted for decisions
       break;
@@ -114,25 +122,46 @@ StatusOr<double> PhysicalOptimizer::Selectivity(const OpArgs& condition,
     case PhysicalMode::kFull: {
       UNIFY_ASSIGN_OR_RETURN(
           SceEstimate est,
-          estimator_->EstimateCondition(condition, options_.sce_method,
-                                        /*salt=*/0, trace_, candidate_span_));
+          estimator_->EstimateCondition(condition, opts.sce_method,
+                                        /*salt=*/0, ctx.trace,
+                                        ctx.candidate_span));
       card = est.cardinality;
       plan.optimize_llm_seconds += est.llm_seconds;
       plan.optimize_llm_calls += est.llm_calls;
       break;
     }
   }
-  sce_cache_[key] = card;
+  {
+    std::unique_lock<std::mutex> lock;
+    if (ctx.cache_mu != nullptr) lock = std::unique_lock(*ctx.cache_mu);
+    (*ctx.cache)[key] = card;
+  }
   return card / N;
 }
 
 StatusOr<PhysicalPlan> PhysicalOptimizer::Optimize(const LogicalPlan& lp,
                                                    Trace* trace,
-                                                   SpanId parent) {
+                                                   SpanId parent) const {
+  std::map<std::string, double> local_cache;
+  if (options_.reuse_sce_across_queries) {
+    return OptimizeCandidate(lp, options_, &sce_cache_, &sce_mu_, trace,
+                             parent);
+  }
+  return OptimizeCandidate(lp, options_, &local_cache, nullptr, trace,
+                           parent);
+}
+
+StatusOr<PhysicalPlan> PhysicalOptimizer::OptimizeCandidate(
+    const LogicalPlan& lp, const OptimizerOptions& opts,
+    std::map<std::string, double>* cache, std::mutex* cache_mu, Trace* trace,
+    SpanId parent) const {
   ScopedSpan span(trace, telemetry::kSpanOptimizeCandidate, parent);
-  trace_ = trace;
-  candidate_span_ = span.id();
-  StatusOr<PhysicalPlan> plan = OptimizeImpl(lp);
+  OptCtx ctx;
+  ctx.cache = cache;
+  ctx.cache_mu = cache_mu;
+  ctx.trace = trace;
+  ctx.candidate_span = span.id();
+  StatusOr<PhysicalPlan> plan = OptimizeImpl(lp, opts, ctx);
   if (trace != nullptr) {
     if (plan.ok()) {
       span.AddAttr("nodes", static_cast<int64_t>(plan->nodes.size()));
@@ -154,13 +183,12 @@ StatusOr<PhysicalPlan> PhysicalOptimizer::Optimize(const LogicalPlan& lp,
       span.AddAttr("status", plan.status().ToString());
     }
   }
-  trace_ = nullptr;
-  candidate_span_ = kNoSpan;
   return plan;
 }
 
-StatusOr<PhysicalPlan> PhysicalOptimizer::OptimizeImpl(const LogicalPlan& lp) {
-  const double N = std::max<double>(1.0, options_.corpus_size);
+StatusOr<PhysicalPlan> PhysicalOptimizer::OptimizeImpl(
+    const LogicalPlan& lp, const OptimizerOptions& opts, OptCtx& ctx) const {
+  const double N = std::max<double>(1.0, opts.corpus_size);
   PhysicalPlan plan;
   plan.query_text = lp.query_text;
   plan.answer_var = lp.answer_var;
@@ -205,18 +233,18 @@ StatusOr<PhysicalPlan> PhysicalOptimizer::OptimizeImpl(const LogicalPlan& lp) {
   std::map<int, double> filter_sel;
   for (size_t i = 0; i < plan.nodes.size(); ++i) {
     if (plan.nodes[i].logical.op_name != "Filter") continue;
-    if (options_.mode == PhysicalMode::kRule) {
+    if (opts.mode == PhysicalMode::kRule) {
       filter_sel[static_cast<int>(i)] = 0.3;
       continue;
     }
-    UNIFY_ASSIGN_OR_RETURN(double sel,
-                           Selectivity(plan.nodes[i].logical.args, plan));
+    UNIFY_ASSIGN_OR_RETURN(
+        double sel, Selectivity(plan.nodes[i].logical.args, opts, ctx, plan));
     filter_sel[static_cast<int>(i)] = std::clamp(sel, 0.0, 1.0);
   }
 
   // --- Operator order selection (Section VI-C): permute commuting filter
   // chains so the most selective/cheapest filters run first ---
-  if (options_.mode != PhysicalMode::kRule) {
+  if (opts.mode != PhysicalMode::kRule) {
     // Consumers per variable.
     std::map<std::string, std::vector<int>> consumers;
     for (size_t i = 0; i < plan.nodes.size(); ++i) {
@@ -278,11 +306,10 @@ StatusOr<PhysicalPlan> PhysicalOptimizer::OptimizeImpl(const LogicalPlan& lp) {
             OpArgs args = node.logical.args;
             if (impl == PhysicalImpl::kIndexScanFilter) {
               args["index_candidates"] = std::to_string(
-                  std::min(N,
-                           options_.index_candidate_factor * sel * N + 48));
+                  std::min(N, opts.index_candidate_factor * sel * N + 48));
             }
             double c =
-                options_.objective == OptimizeObjective::kDollars
+                opts.objective == OptimizeObjective::kDollars
                     ? cost_model_->EstimateDollars("Filter", impl, args,
                                                    card, out)
                     : cost_model_->EstimateSeconds("Filter", impl, args,
@@ -321,7 +348,7 @@ StatusOr<PhysicalPlan> PhysicalOptimizer::OptimizeImpl(const LogicalPlan& lp) {
   std::map<std::string, bool> var_grouped;
   var_card[kDocsVar] = N;
   const double groups_est =
-      std::max<double>(2.0, static_cast<double>(options_.num_categories));
+      std::max<double>(2.0, static_cast<double>(opts.num_categories));
   for (int u : order) {
     PhysicalNode& node = plan.nodes[u];
     const std::string& op = node.logical.op_name;
@@ -385,7 +412,7 @@ StatusOr<PhysicalPlan> PhysicalOptimizer::OptimizeImpl(const LogicalPlan& lp) {
   }
 
   // --- Physical operator selection (Section VI-C) ---
-  Rng rule_rng(HashCombine(options_.seed, StableHash64(lp.Signature())));
+  Rng rule_rng(HashCombine(opts.seed, StableHash64(lp.Signature())));
   for (int u : order) {
     PhysicalNode& node = plan.nodes[u];
     const std::string& op = node.logical.op_name;
@@ -411,7 +438,7 @@ StatusOr<PhysicalPlan> PhysicalOptimizer::OptimizeImpl(const LogicalPlan& lp) {
     if (valid.empty()) valid = candidates;
     UNIFY_CHECK(!valid.empty()) << "no impl for " << op;
 
-    if (options_.mode == PhysicalMode::kRule) {
+    if (opts.mode == PhysicalMode::kRule) {
       node.impl = valid[rule_rng.NextUint64(valid.size())];
       if (node.impl == PhysicalImpl::kIndexScanFilter) {
         // Without cardinality knowledge there is no safe cutoff: the
@@ -431,13 +458,13 @@ StatusOr<PhysicalPlan> PhysicalOptimizer::OptimizeImpl(const LogicalPlan& lp) {
     for (PhysicalImpl impl : valid) {
       OpArgs args = node.logical.args;
       if (impl == PhysicalImpl::kIndexScanFilter) {
-        double cand = std::min(
-            N, node.est_out_card * options_.index_candidate_factor + 48);
+        double cand =
+            std::min(N, node.est_out_card * opts.index_candidate_factor + 48);
         args["index_candidates"] =
             std::to_string(static_cast<int64_t>(std::llround(cand)));
       }
       double cost =
-          options_.objective == OptimizeObjective::kDollars
+          opts.objective == OptimizeObjective::kDollars
               ? cost_model_->EstimateDollars(op, impl, args,
                                              node.est_in_card,
                                              node.est_out_card)
@@ -470,7 +497,7 @@ StatusOr<PhysicalPlan> PhysicalOptimizer::OptimizeImpl(const LogicalPlan& lp) {
   }
   UNIFY_ASSIGN_OR_RETURN(
       exec::ScheduleResult sched,
-      exec::ScheduleDag(plan.dag, costs, options_.num_servers,
+      exec::ScheduleDag(plan.dag, costs, opts.num_servers,
                         /*sequential=*/false));
   plan.est_makespan = sched.makespan;
   for (const auto& node : plan.nodes) {
@@ -484,7 +511,14 @@ StatusOr<PhysicalPlan> PhysicalOptimizer::OptimizeImpl(const LogicalPlan& lp) {
 }
 
 StatusOr<PhysicalPlan> PhysicalOptimizer::SelectBest(
-    const std::vector<LogicalPlan>& plans, Trace* trace, SpanId parent) {
+    const std::vector<LogicalPlan>& plans, Trace* trace,
+    SpanId parent) const {
+  return SelectBest(plans, options_, trace, parent);
+}
+
+StatusOr<PhysicalPlan> PhysicalOptimizer::SelectBest(
+    const std::vector<LogicalPlan>& plans, const OptimizerOptions& opts,
+    Trace* trace, SpanId parent) const {
   ScopedSpan span(trace, telemetry::kSpanPlanPhysical, parent);
   if (trace != nullptr) {
     span.AddAttr("candidates", static_cast<int64_t>(plans.size()));
@@ -492,21 +526,28 @@ StatusOr<PhysicalPlan> PhysicalOptimizer::SelectBest(
   if (plans.empty()) {
     return Status::InvalidArgument("no candidate plans");
   }
-  if (!options_.reuse_sce_across_queries) sce_cache_.clear();
+  // With cross-query reuse the shared (mutex-guarded) cache carries
+  // estimates between queries; otherwise a call-local cache still shares
+  // SCE results across this query's candidates.
+  std::map<std::string, double> local_cache;
+  const bool reuse = opts.reuse_sce_across_queries;
+  std::map<std::string, double>* cache = reuse ? &sce_cache_ : &local_cache;
+  std::mutex* cache_mu = reuse ? &sce_mu_ : nullptr;
   std::optional<PhysicalPlan> best;
   double accumulated_llm_seconds = 0;
   int64_t accumulated_llm_calls = 0;
   for (const auto& lp : plans) {
-    auto optimized = Optimize(lp, trace, span.id());
+    auto optimized =
+        OptimizeCandidate(lp, opts, cache, cache_mu, trace, span.id());
     if (!optimized.ok()) continue;  // a malformed candidate is skipped
     accumulated_llm_seconds += optimized->optimize_llm_seconds;
     accumulated_llm_calls += optimized->optimize_llm_calls;
     // Prefer structurally complete plans; among equals, the cheapest.
-    auto better = [this](const PhysicalPlan& a, const PhysicalPlan& b) {
+    auto better = [&opts](const PhysicalPlan& a, const PhysicalPlan& b) {
       if (a.likely_incomplete != b.likely_incomplete) {
         return !a.likely_incomplete;
       }
-      if (options_.objective == OptimizeObjective::kDollars) {
+      if (opts.objective == OptimizeObjective::kDollars) {
         return a.est_total_dollars < b.est_total_dollars;
       }
       return a.est_makespan < b.est_makespan;
@@ -514,7 +555,7 @@ StatusOr<PhysicalPlan> PhysicalOptimizer::SelectBest(
     if (!best.has_value() || better(*optimized, *best)) {
       best = std::move(optimized).value();
     }
-    if (options_.mode == PhysicalMode::kRule) break;  // no plan selection
+    if (opts.mode == PhysicalMode::kRule) break;  // no plan selection
   }
   if (!best.has_value()) {
     return Status::Internal("all candidate plans failed to optimize");

@@ -2,6 +2,7 @@
 #define UNIFY_CORE_PHYSICAL_OPTIMIZER_H_
 
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "common/trace.h"
@@ -58,11 +59,16 @@ struct OptimizerOptions {
 /// operator's physical implementation by estimated cost subject to
 /// semantic requirements, and (4) ranking whole plans by predicted
 /// makespan for plan selection.
+///
+/// Thread-safe: per-call state lives on the caller's stack; the only
+/// shared mutable state is the optional cross-query SCE cache, which is
+/// mutex-guarded. One optimizer may serve concurrent queries.
 class PhysicalOptimizer {
  public:
   /// Pointers must outlive the optimizer. `estimator` may be null only in
   /// kRule mode.
-  PhysicalOptimizer(CostModel* cost_model, CardinalityEstimator* estimator,
+  PhysicalOptimizer(const CostModel* cost_model,
+                    const CardinalityEstimator* estimator,
                     OptimizerOptions options);
 
   /// Lowers one logical plan. When `trace` is non-null an
@@ -70,7 +76,7 @@ class PhysicalOptimizer {
   /// cardinality/cost estimates and nests the "sce.estimate" spans.
   StatusOr<PhysicalPlan> Optimize(const LogicalPlan& plan,
                                   Trace* trace = nullptr,
-                                  SpanId parent = kNoSpan);
+                                  SpanId parent = kNoSpan) const;
 
   /// Plan selection (Section VI-C): optimizes every candidate and returns
   /// the one with the smallest predicted makespan. SCE results are cached
@@ -78,24 +84,58 @@ class PhysicalOptimizer {
   /// as a "plan.physical" span over the per-candidate spans.
   StatusOr<PhysicalPlan> SelectBest(const std::vector<LogicalPlan>& plans,
                                     Trace* trace = nullptr,
-                                    SpanId parent = kNoSpan);
+                                    SpanId parent = kNoSpan) const;
+
+  /// Per-query variant: same machinery under call-specific options (how
+  /// QueryRequest's objective / physical-mode overrides reach the
+  /// optimizer without mutating shared state). `opts` should be derived
+  /// from options() so corpus statistics stay intact.
+  StatusOr<PhysicalPlan> SelectBest(const std::vector<LogicalPlan>& plans,
+                                    const OptimizerOptions& opts,
+                                    Trace* trace = nullptr,
+                                    SpanId parent = kNoSpan) const;
+
+  const OptimizerOptions& options() const { return options_; }
 
  private:
+  /// Per-call mutable state threaded through the lowering algorithm.
+  struct OptCtx {
+    /// SCE cache: condition key -> estimated cardinality. Either the
+    /// call-local cache (reuse off) or the shared cross-query cache.
+    std::map<std::string, double>* cache = nullptr;
+    /// Guards `cache` when it is the shared cross-query cache; null for a
+    /// call-local cache (single-threaded by construction).
+    std::mutex* cache_mu = nullptr;
+    /// Trace context of the candidate in flight; null when untraced.
+    Trace* trace = nullptr;
+    SpanId candidate_span = kNoSpan;
+  };
+
+  /// Traced lowering of one candidate using an established cache context.
+  StatusOr<PhysicalPlan> OptimizeCandidate(const LogicalPlan& plan,
+                                           const OptimizerOptions& opts,
+                                           std::map<std::string, double>* cache,
+                                           std::mutex* cache_mu, Trace* trace,
+                                           SpanId parent) const;
+
   /// The untraced lowering algorithm behind Optimize().
-  StatusOr<PhysicalPlan> OptimizeImpl(const LogicalPlan& plan);
+  StatusOr<PhysicalPlan> OptimizeImpl(const LogicalPlan& plan,
+                                      const OptimizerOptions& opts,
+                                      OptCtx& ctx) const;
 
   /// Selectivity of a filter node's condition in [0, 1]; LLM cost is
   /// accumulated on `plan`.
-  StatusOr<double> Selectivity(const OpArgs& condition, PhysicalPlan& plan);
+  StatusOr<double> Selectivity(const OpArgs& condition,
+                               const OptimizerOptions& opts, OptCtx& ctx,
+                               PhysicalPlan& plan) const;
 
-  CostModel* cost_model_;
-  CardinalityEstimator* estimator_;
+  const CostModel* cost_model_;
+  const CardinalityEstimator* estimator_;
   OptimizerOptions options_;
-  /// Cross-plan SCE cache: condition key -> estimated cardinality.
-  std::map<std::string, double> sce_cache_;
-  /// Trace context of the Optimize() call in flight; null when untraced.
-  Trace* trace_ = nullptr;
-  SpanId candidate_span_ = kNoSpan;
+  /// Cross-query SCE cache (reuse_sce_across_queries), mutex-guarded so
+  /// concurrent queries share estimates safely.
+  mutable std::mutex sce_mu_;
+  mutable std::map<std::string, double> sce_cache_;
 };
 
 }  // namespace unify::core

@@ -191,7 +191,7 @@ double CardinalityEstimator::TrueCardinality(const OpArgs& condition) const {
 
 StatusOr<SceEstimate> CardinalityEstimator::EstimateCondition(
     const OpArgs& condition, SceMethod method, uint64_t salt, Trace* trace,
-    SpanId parent) {
+    SpanId parent) const {
   ScopedSpan span(trace, telemetry::kSpanSceEstimate, parent);
   if (trace != nullptr) {
     span.AddAttr("method", SceMethodName(method));
@@ -223,7 +223,7 @@ StatusOr<SceEstimate> CardinalityEstimator::EstimateCondition(
 }
 
 StatusOr<SceEstimate> CardinalityEstimator::EstimateImpl(
-    const OpArgs& condition, SceMethod method, uint64_t salt) {
+    const OpArgs& condition, SceMethod method, uint64_t salt) const {
   SceEstimate est;
   const size_t N = corpus_->size();
   if (N == 0) return est;

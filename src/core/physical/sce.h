@@ -78,10 +78,12 @@ class CardinalityEstimator {
   /// estimates of the same predicate. When `trace` is non-null, an
   /// "sce.estimate" span (child of `parent`) records the method, sample
   /// count, and resulting cardinality.
+  /// Thread-safe: estimation state is per-call (the RNG is seeded from the
+  /// condition and salt), so concurrent queries may share one estimator.
   StatusOr<SceEstimate> EstimateCondition(const OpArgs& condition,
                                           SceMethod method, uint64_t salt = 0,
                                           Trace* trace = nullptr,
-                                          SpanId parent = kNoSpan);
+                                          SpanId parent = kNoSpan) const;
 
   /// The learned importance values f_i (empty before learning).
   const std::vector<double>& importance() const { return importance_; }
@@ -100,7 +102,7 @@ class CardinalityEstimator {
  private:
   /// The untraced estimation algorithm behind EstimateCondition().
   StatusOr<SceEstimate> EstimateImpl(const OpArgs& condition,
-                                     SceMethod method, uint64_t salt);
+                                     SceMethod method, uint64_t salt) const;
 
   /// Ascending distance ranks of all documents w.r.t. `phrase`.
   std::vector<uint32_t> RankByDistance(const std::string& phrase) const;

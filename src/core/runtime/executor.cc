@@ -123,10 +123,20 @@ ExecutionResult PlanExecutor::Execute(const PhysicalPlan& plan, Trace* trace,
     result.llm_dollars_total += stats.llm_dollars;
     result.llm_calls += stats.llm_calls;
   }
-  auto sched = exec::ScheduleDag(plan.dag, costs, options_.num_servers,
-                                 /*sequential=*/!options_.parallel);
+  // With a shared pool (serving session) the streams contend with other
+  // in-flight queries and the timeline starts at the query's virtual
+  // ready time; a private pool reproduces the standalone model.
+  const bool shared = options_.shared_pool != nullptr;
+  const double base = shared ? options_.start_seconds : 0.0;
+  exec::VirtualLlmPool local_pool(std::max(1, options_.num_servers));
+  exec::VirtualLlmPool* pool = shared ? options_.shared_pool : &local_pool;
+  auto sched = exec::ScheduleDag(plan.dag, costs, pool,
+                                 /*sequential=*/!options_.parallel, base);
   if (sched.ok()) {
-    result.virtual_seconds = sched->makespan;
+    // Report times relative to the query's own ready time, so standalone
+    // and served queries read the same way; contention shows up as a
+    // longer makespan and per-node queue waits.
+    result.virtual_seconds = sched->makespan - base;
     // Annotate each node span with its virtual interval on the server
     // pool, plus the time it spent waiting for a free server.
     for (size_t i = 0; i < plan.nodes.size(); ++i) {
@@ -136,20 +146,20 @@ ExecutionResult PlanExecutor::Execute(const PhysicalPlan& plan, Trace* trace,
           std::max(0.0, sched->finish[i] - sched->start[i] - busy);
       metrics.Observe(telemetry::kMetricExecQueueWait, queue_wait);
       if (trace != nullptr && node_spans[i] != kNoSpan) {
-        trace->SetVirtualInterval(node_spans[i], sched->start[i],
-                                  sched->finish[i]);
+        trace->SetVirtualInterval(node_spans[i], sched->start[i] - base,
+                                  sched->finish[i] - base);
         trace->AddAttr(node_spans[i], "queue_wait_seconds", queue_wait);
       }
     }
     // Fraction of the pool's capacity the plan actually kept busy.
-    if (sched->makespan > 0) {
-      const double capacity =
-          static_cast<double>(options_.num_servers) * sched->makespan;
+    if (result.virtual_seconds > 0) {
+      const double capacity = static_cast<double>(pool->num_servers()) *
+                              result.virtual_seconds;
       const double occupancy = result.llm_seconds_total / capacity;
       metrics.SetGauge(telemetry::kMetricExecPoolOccupancy, occupancy);
       exec_span.AddAttr("pool_occupancy", occupancy);
     }
-    exec_span.SetVirtualInterval(0, sched->makespan);
+    exec_span.SetVirtualInterval(0, result.virtual_seconds);
     // Execution timeline for observability.
     std::string timeline;
     char line[256];
@@ -157,7 +167,7 @@ ExecutionResult PlanExecutor::Execute(const PhysicalPlan& plan, Trace* trace,
       std::snprintf(line, sizeof(line),
                     "t=%8.2fs..%8.2fs  %-10s <%s> -> %s  (llm %.2fs, %lld "
                     "calls)\n",
-                    sched->start[i], sched->finish[i],
+                    sched->start[i] - base, sched->finish[i] - base,
                     plan.nodes[i].logical.op_name.c_str(),
                     PhysicalImplName(plan.nodes[i].impl),
                     plan.nodes[i].logical.output_var.c_str(),
@@ -215,8 +225,12 @@ ExecutionResult PlanExecutor::Execute(const PhysicalPlan& plan, Trace* trace,
         result.llm_seconds_total += fallback->stats.llm_seconds;
         result.llm_dollars_total += fallback->stats.llm_dollars;
         result.llm_calls += fallback->stats.llm_calls;
-        result.virtual_seconds += fallback->stats.llm_seconds +
-                                  fallback->stats.cpu_seconds;
+        // The fallback generation is one more stream on the server pool.
+        const double fb_ready = base + result.virtual_seconds +
+                                fallback->stats.cpu_seconds;
+        result.virtual_seconds =
+            pool->ScheduleStream(fb_ready, fallback->stats.llm_seconds) -
+            base;
         result.answer = fallback->value.ToAnswer();
         result.adjusted = true;
         finalize();

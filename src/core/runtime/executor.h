@@ -8,6 +8,7 @@
 #include "common/trace.h"
 #include "core/physical/physical_plan.h"
 #include "corpus/answer.h"
+#include "exec/virtual_pool.h"
 
 namespace unify::core {
 
@@ -46,6 +47,16 @@ class PlanExecutor {
     int threads = 0;
     /// Retries per failing operator during plan adjustment.
     int max_adjustments = 2;
+    /// Shared virtual LLM server pool (a UnifyService serving session):
+    /// this plan's operator streams compete with every other in-flight
+    /// query's streams, so the reported virtual times include cross-query
+    /// queueing. Null = a fresh private pool of `num_servers` (the
+    /// standalone one-query-at-a-time model). Must outlive the executor.
+    exec::VirtualLlmPool* shared_pool = nullptr;
+    /// Absolute virtual time at which the plan becomes ready on
+    /// `shared_pool` (the query's arrival + planning time). Ignored for a
+    /// private pool, which always starts at 0.
+    double start_seconds = 0;
   };
 
   PlanExecutor(ExecContext ctx, Options options)

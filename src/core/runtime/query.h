@@ -1,0 +1,134 @@
+#ifndef UNIFY_CORE_RUNTIME_QUERY_H_
+#define UNIFY_CORE_RUNTIME_QUERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "common/trace.h"
+#include "core/physical/optimizer.h"
+#include "corpus/answer.h"
+
+namespace unify::core {
+
+/// Where query processing stopped. Successful queries end in kComplete;
+/// a failed query's phase names the stage whose status is reported in
+/// QueryResult::status (the error taxonomy of the request/response API).
+enum class QueryPhase {
+  /// Rejected before any work: invalid request (kInvalidArgument),
+  /// Setup() not called (kFailedPrecondition), or serving-layer admission
+  /// control (kResourceExhausted when the queue is full).
+  kAdmission,
+  /// Logical plan generation failed (parse / reduction errors).
+  kPlanning,
+  /// Physical optimization / plan selection failed, or the per-query
+  /// deadline was exceeded by the predicted makespan (kDeadlineExceeded).
+  kOptimization,
+  /// Plan execution failed, or the measured virtual completion overran
+  /// the deadline (kDeadlineExceeded).
+  kExecution,
+  /// All phases succeeded.
+  kComplete,
+};
+
+/// "admission", "planning", "optimization", "execution", or "complete".
+const char* QueryPhaseName(QueryPhase phase);
+
+/// One analytics query plus its per-query options. The explicit request
+/// type is the stable public entry point: construct with just `text` for
+/// defaults, or override objective/mode/tracing per query without touching
+/// the system-wide UnifyOptions.
+struct QueryRequest {
+  /// The natural-language analytics question.
+  std::string text;
+
+  /// Per-query override of UnifyOptions::objective (time vs. dollars).
+  std::optional<OptimizeObjective> objective;
+  /// Per-query override of UnifyOptions::physical_mode.
+  std::optional<PhysicalMode> physical_mode;
+  /// Per-query override of UnifyOptions::collect_trace.
+  std::optional<bool> collect_trace;
+
+  /// Upper bound on the query's *virtual* total time (planning + execution
+  /// including cross-query queueing), in seconds; 0 = no deadline. A query
+  /// whose predicted or measured completion overruns it fails with
+  /// kDeadlineExceeded — after planning the predicted makespan aborts
+  /// execution early, saving the execution-side LLM spend.
+  double deadline_seconds = 0;
+
+  /// Virtual time at which the query becomes ready to execute. Negative
+  /// (the default) means "now": a standalone Answer() uses 0, a
+  /// UnifyService uses the shared pool's monotonic clock. Closed-loop
+  /// benchmark clients set it to their previous query's completion time.
+  double arrival_seconds = -1;
+
+  /// Free-form caller identity, echoed into QueryResult and the
+  /// serve.query span (multi-tenant attribution).
+  std::string client_tag;
+
+  /// Stable per-query id deriving the query's RNG streams
+  /// (seed ⊕ query_id). 0 (the default) derives it from a stable hash of
+  /// `text`, so identical queries behave identically regardless of
+  /// submission order — the property that makes concurrent serving
+  /// byte-identical to a sequential run.
+  uint64_t query_id = 0;
+};
+
+/// The outcome of one query: answer, status + phase taxonomy, virtual-time
+/// accounting, and observability payloads.
+struct QueryResult {
+  Status status = Status::OK();
+  /// Stage the query reached (kComplete on success).
+  QueryPhase phase = QueryPhase::kComplete;
+  corpus::Answer answer;
+
+  /// The effective query id (request id, or the stable text hash).
+  uint64_t query_id = 0;
+  /// Echo of QueryRequest::client_tag.
+  std::string client_tag;
+
+  /// Planning time: logical plan generation + physical optimization
+  /// (including SCE sampling), sequential LLM virtual time.
+  double plan_seconds = 0;
+  /// Execution time: plan makespan on the LLM server pool, measured from
+  /// the moment the query's execution became ready. Under concurrent
+  /// serving this includes waiting for servers occupied by other queries'
+  /// streams (cross-query contention).
+  double exec_seconds = 0;
+  double total_seconds = 0;
+  /// Virtual arrival (ready) time of the query and its absolute
+  /// completion time on the serving clock: completion = arrival + total.
+  double arrival_seconds = 0;
+  double completion_seconds = 0;
+  /// Wall-clock seconds the request spent queued in the serving layer
+  /// before a worker picked it up (0 for standalone Answer() calls).
+  double queue_wall_seconds = 0;
+
+  /// API spend of plan execution (footnote-1 objective accounting).
+  double exec_dollars = 0;
+  int num_candidate_plans = 0;
+  bool used_fallback = false;
+  bool adjusted = false;
+  std::string plan_debug;
+  /// EXPLAIN rendering of the chosen physical plan.
+  std::string plan_explain;
+  /// Per-operator execution timeline (virtual start/finish + LLM usage).
+  std::string timeline;
+  /// Query-lifecycle trace (null when tracing is disabled). Render with
+  /// Trace::ToText() or export with Trace::ToChromeJson() for
+  /// chrome://tracing / Perfetto.
+  std::shared_ptr<Trace> trace;
+  /// Metrics delta of this query: counters show only what this query
+  /// consumed; gauges/histograms reflect the post-query state. Under
+  /// concurrent serving the delta spans the query's wall interval and may
+  /// include activity of overlapping queries — per-batch deltas remain
+  /// exact (see docs/api.md).
+  MetricsSnapshot metrics;
+};
+
+}  // namespace unify::core
+
+#endif  // UNIFY_CORE_RUNTIME_QUERY_H_

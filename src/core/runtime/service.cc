@@ -1,0 +1,131 @@
+#include "core/runtime/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/telemetry_names.h"
+
+namespace unify::core {
+
+UnifyService::UnifyService(const UnifySystem* system, Options options)
+    : system_(system),
+      options_(options),
+      pool_(std::max(1, system->options().exec.num_servers)),
+      workers_(static_cast<size_t>(std::max(1, options.num_workers))) {}
+
+std::future<QueryResult> UnifyService::Submit(QueryRequest request) {
+  auto promise = std::make_shared<std::promise<QueryResult>>();
+  std::future<QueryResult> future = promise->get_future();
+  auto& metrics = MetricsRegistry::Global();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (inflight_ >= options_.max_queue_depth) {
+      rejected_ += 1;
+      metrics.AddCounter(telemetry::kMetricServeRejected);
+      QueryResult rejected;
+      rejected.status = Status::ResourceExhausted(
+          "serving queue full (" + std::to_string(inflight_) + " in flight, "
+          "max_queue_depth " + std::to_string(options_.max_queue_depth) +
+          ")");
+      rejected.phase = QueryPhase::kAdmission;
+      rejected.client_tag = request.client_tag;
+      promise->set_value(std::move(rejected));
+      return future;
+    }
+    submitted_ += 1;
+    inflight_ += 1;
+    metrics.AddCounter(telemetry::kMetricServeSubmitted);
+    metrics.SetGauge(telemetry::kMetricServeInflight,
+                     static_cast<double>(inflight_));
+  }
+
+  const auto enqueued = std::chrono::steady_clock::now();
+  workers_.Schedule([this, promise, request = std::move(request),
+                     enqueued]() mutable {
+    const double queue_wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      enqueued)
+            .count();
+    promise->set_value(Serve(request, queue_wall_seconds));
+  });
+  return future;
+}
+
+QueryResult UnifyService::Serve(const QueryRequest& request,
+                                double queue_wall_seconds) {
+  auto& metrics = MetricsRegistry::Global();
+  metrics.Observe(telemetry::kMetricServeQueueWait, queue_wall_seconds);
+
+  QueryRequest effective = request;
+  if (effective.deadline_seconds <= 0) {
+    effective.deadline_seconds = options_.default_deadline_seconds;
+  }
+
+  // The serve.query span parents the query's own span tree, so a served
+  // trace shows the serving layer on top of the usual lifecycle.
+  const bool collect_trace =
+      effective.collect_trace.value_or(system_->options().collect_trace);
+  std::shared_ptr<Trace> trace;
+  if (collect_trace) trace = std::make_shared<Trace>();
+  QueryResult result;
+  {
+    // Null-trace ScopedSpan is a no-op, so the flow stays unconditional.
+    ScopedSpan serve_span(trace.get(), telemetry::kSpanServeQuery, kNoSpan);
+    if (!effective.client_tag.empty()) {
+      serve_span.AddAttr("client", effective.client_tag);
+    }
+    serve_span.AddAttr("queue_wall_seconds", queue_wall_seconds);
+    result = system_->AnswerInternal(effective, &pool_, trace,
+                                     serve_span.id());
+    serve_span.AddAttr("status", result.status.ok()
+                                     ? std::string("ok")
+                                     : result.status.ToString());
+    serve_span.SetVirtualInterval(result.arrival_seconds,
+                                  result.completion_seconds);
+  }
+  result.queue_wall_seconds = queue_wall_seconds;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_ -= 1;
+    completed_ += 1;
+    if (result.status.code() == StatusCode::kDeadlineExceeded) {
+      deadline_exceeded_ += 1;
+      metrics.AddCounter(telemetry::kMetricServeDeadlineExceeded);
+    }
+    metrics.SetGauge(telemetry::kMetricServeInflight,
+                     static_cast<double>(inflight_));
+  }
+  return result;
+}
+
+QueryResult UnifyService::Answer(QueryRequest request) {
+  return Submit(std::move(request)).get();
+}
+
+QueryResult UnifyService::Answer(const std::string& text) {
+  QueryRequest request;
+  request.text = text;
+  return Answer(std::move(request));
+}
+
+UnifyService::Stats UnifyService::stats() const {
+  Stats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.submitted = submitted_;
+    s.rejected = rejected_;
+    s.completed = completed_;
+    s.deadline_exceeded = deadline_exceeded_;
+    s.inflight = inflight_;
+  }
+  s.pool_now = pool_.Now();
+  s.pool_busy_seconds = pool_.TotalBusySeconds();
+  return s;
+}
+
+}  // namespace unify::core

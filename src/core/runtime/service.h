@@ -1,0 +1,105 @@
+#ifndef UNIFY_CORE_RUNTIME_SERVICE_H_
+#define UNIFY_CORE_RUNTIME_SERVICE_H_
+
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <string>
+
+#include "common/thread_pool.h"
+#include "core/runtime/query.h"
+#include "core/runtime/unify.h"
+#include "exec/virtual_pool.h"
+
+namespace unify::core {
+
+/// The concurrent serving layer: a thread-safe facade over a UnifySystem
+/// that accepts Submit() calls from any number of client threads, plans
+/// and executes them on a bounded worker pool, and schedules every
+/// in-flight query's operator streams on ONE shared virtual LLM server
+/// pool — so the virtual times in each QueryResult reflect cross-query
+/// queueing for the paper's 4 simulated servers, not a private pool per
+/// query.
+///
+/// Admission control keeps the service responsive under overload: when
+/// queued + running requests reach Options::max_queue_depth, Submit()
+/// resolves immediately with kResourceExhausted (phase kAdmission)
+/// instead of growing the queue without bound. Per-query deadlines
+/// (QueryRequest::deadline_seconds, with an optional service-wide
+/// default) bound each query's virtual completion.
+class UnifyService {
+ public:
+  struct Options {
+    /// Worker threads planning/executing queries concurrently.
+    int num_workers = 4;
+    /// Queued + running requests beyond which Submit() rejects with
+    /// kResourceExhausted.
+    int max_queue_depth = 64;
+    /// Deadline applied to requests that carry none (0 = unlimited).
+    double default_deadline_seconds = 0;
+  };
+
+  /// Serving counters (wall-clock process state, not virtual time).
+  struct Stats {
+    int64_t submitted = 0;
+    int64_t rejected = 0;
+    int64_t completed = 0;
+    int64_t deadline_exceeded = 0;
+    /// Requests currently queued or being served.
+    int64_t inflight = 0;
+    /// The shared pool's monotonic virtual clock.
+    double pool_now = 0;
+    /// Total virtual busy seconds across the pool's servers.
+    double pool_busy_seconds = 0;
+  };
+
+  /// `system` must have completed Setup() and outlive the service. The
+  /// shared virtual pool is sized from the system's exec.num_servers.
+  UnifyService(const UnifySystem* system, Options options);
+
+  /// Drains in-flight queries before returning.
+  ~UnifyService() = default;
+
+  UnifyService(const UnifyService&) = delete;
+  UnifyService& operator=(const UnifyService&) = delete;
+
+  /// Enqueues one query; the future resolves when it completes (or
+  /// immediately, with phase kAdmission, when admission control rejects
+  /// it). Thread-safe.
+  std::future<QueryResult> Submit(QueryRequest request);
+
+  /// Synchronous convenience: Submit() and wait.
+  QueryResult Answer(QueryRequest request);
+  QueryResult Answer(const std::string& text);
+
+  Stats stats() const;
+
+  /// The shared virtual LLM server pool (its Now() is the serving clock).
+  const exec::VirtualLlmPool& pool() const { return pool_; }
+
+  const UnifySystem& system() const { return *system_; }
+  const Options& options() const { return options_; }
+
+ private:
+  /// Runs one admitted request on a worker thread.
+  QueryResult Serve(const QueryRequest& request, double queue_wall_seconds);
+
+  const UnifySystem* system_;
+  Options options_;
+  exec::VirtualLlmPool pool_;
+
+  mutable std::mutex mu_;
+  int64_t submitted_ = 0;
+  int64_t rejected_ = 0;
+  int64_t completed_ = 0;
+  int64_t deadline_exceeded_ = 0;
+  int64_t inflight_ = 0;
+
+  /// Last member: destroyed (and drained) first, so worker tasks never
+  /// outlive the state above.
+  ThreadPool workers_;
+};
+
+}  // namespace unify::core
+
+#endif  // UNIFY_CORE_RUNTIME_SERVICE_H_

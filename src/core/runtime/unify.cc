@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/rng.h"
 #include "common/telemetry_names.h"
 #include "corpus/workload.h"
 
@@ -182,28 +183,84 @@ Status UnifySystem::CalibrateCostModel() {
   return Status::OK();
 }
 
-UnifySystem::QueryResult UnifySystem::Answer(const std::string& query) {
+const char* QueryPhaseName(QueryPhase phase) {
+  switch (phase) {
+    case QueryPhase::kAdmission:
+      return "admission";
+    case QueryPhase::kPlanning:
+      return "planning";
+    case QueryPhase::kOptimization:
+      return "optimization";
+    case QueryPhase::kExecution:
+      return "execution";
+    case QueryPhase::kComplete:
+      return "complete";
+  }
+  return "unknown";
+}
+
+QueryResult UnifySystem::Answer(const std::string& query) const {
+  QueryRequest request;
+  request.text = query;
+  return Answer(request);
+}
+
+QueryResult UnifySystem::Answer(const QueryRequest& request) const {
+  return AnswerInternal(request, /*shared_pool=*/nullptr, /*trace=*/nullptr,
+                        kNoSpan);
+}
+
+QueryResult UnifySystem::AnswerInternal(const QueryRequest& request,
+                                        exec::VirtualLlmPool* shared_pool,
+                                        std::shared_ptr<Trace> trace,
+                                        SpanId parent) const {
   QueryResult result;
+  result.client_tag = request.client_tag;
+  result.query_id = request.query_id != 0 ? request.query_id
+                                          : StableHash64(request.text);
   if (!ready_) {
     result.status = Status::FailedPrecondition("Setup() not called");
+    result.phase = QueryPhase::kAdmission;
+    return result;
+  }
+  if (request.text.empty()) {
+    result.status = Status::InvalidArgument("empty query text");
+    result.phase = QueryPhase::kAdmission;
     return result;
   }
 
-  std::shared_ptr<Trace> trace;
-  if (options_.collect_trace) trace = std::make_shared<Trace>();
+  const bool collect_trace =
+      request.collect_trace.value_or(options_.collect_trace);
+  if (trace == nullptr && collect_trace) trace = std::make_shared<Trace>();
+  // Virtual arrival: explicit request time (closed-loop clients), else the
+  // serving clock, else 0 for a standalone call.
+  result.arrival_seconds =
+      request.arrival_seconds >= 0
+          ? request.arrival_seconds
+          : (shared_pool != nullptr ? shared_pool->Now() : 0.0);
+
   const MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
-  ScopedSpan root(trace.get(), telemetry::kSpanQuery, kNoSpan);
-  root.AddAttr("query", query);
+  ScopedSpan root(trace.get(), telemetry::kSpanQuery, parent);
+  root.AddAttr("query", request.text);
+  if (!request.client_tag.empty()) {
+    root.AddAttr("client", request.client_tag);
+  }
 
   // Attaches the trace and this query's metrics delta; the llm.*, plan.*,
   // sce.* and exec.* counter deltas become root-span attributes so they
   // survive into the exported Chrome JSON.
   auto finalize = [&]() {
+    result.total_seconds = result.plan_seconds + result.exec_seconds;
+    result.completion_seconds = result.arrival_seconds + result.total_seconds;
+    if (result.status.ok()) {
+      result.phase = QueryPhase::kComplete;
+    }
     result.metrics = MetricsRegistry::Global().Snapshot().DeltaSince(before);
     if (trace != nullptr) {
       root.AddAttr("status", result.status.ok()
                                  ? std::string("ok")
                                  : result.status.ToString());
+      root.AddAttr("phase", QueryPhaseName(result.phase));
       root.AddAttr("plan_seconds", result.plan_seconds);
       root.AddAttr("exec_seconds", result.exec_seconds);
       root.AddAttr("total_seconds", result.total_seconds);
@@ -217,9 +274,10 @@ UnifySystem::QueryResult UnifySystem::Answer(const std::string& query) {
   };
 
   // --- Logical plan generation (Section V) ---
-  auto generated = generator_->Generate(query, trace.get(), root.id());
+  auto generated = generator_->Generate(request.text, trace.get(), root.id());
   if (!generated.ok()) {
     result.status = generated.status();
+    result.phase = QueryPhase::kPlanning;
     finalize();
     return result;
   }
@@ -227,17 +285,37 @@ UnifySystem::QueryResult UnifySystem::Answer(const std::string& query) {
   result.num_candidate_plans = static_cast<int>(generated->plans.size());
   result.used_fallback = generated->used_fallback;
 
-  // --- Physical plan generation + plan selection (Section VI) ---
-  auto physical = optimizer_->SelectBest(generated->plans, trace.get(),
-                                         root.id());
+  // --- Physical plan generation + plan selection (Section VI), under the
+  // request's per-query objective / mode overrides ---
+  OptimizerOptions oopts = optimizer_->options();
+  if (request.objective.has_value()) oopts.objective = *request.objective;
+  if (request.physical_mode.has_value()) oopts.mode = *request.physical_mode;
+  auto physical =
+      optimizer_->SelectBest(generated->plans, oopts, trace.get(), root.id());
   if (!physical.ok()) {
     result.status = physical.status();
+    result.phase = QueryPhase::kOptimization;
     finalize();
     return result;
   }
   result.plan_seconds += physical->optimize_llm_seconds;
   result.plan_debug = physical->DebugString();
   result.plan_explain = physical->Explain();
+
+  // Deadline pre-check: if planning plus the *predicted* makespan already
+  // overruns the budget, abort before spending execution-side LLM calls.
+  if (request.deadline_seconds > 0 &&
+      result.plan_seconds + physical->est_makespan >
+          request.deadline_seconds) {
+    result.status = Status::DeadlineExceeded(
+        "predicted completion " +
+        std::to_string(result.plan_seconds + physical->est_makespan) +
+        "s exceeds deadline " + std::to_string(request.deadline_seconds) +
+        "s");
+    result.phase = QueryPhase::kOptimization;
+    finalize();
+    return result;
+  }
 
   // --- Execution (Section III-C) ---
   ExecContext ctx;
@@ -247,7 +325,12 @@ UnifySystem::QueryResult UnifySystem::Answer(const std::string& query) {
   ctx.doc_index = doc_index_.get();
   ctx.custom_ops = options_.custom_ops;
   ctx.llm_batch_size = options_.llm_batch_size;
-  PlanExecutor executor(ctx, options_.exec);
+  PlanExecutor::Options eopts = options_.exec;
+  eopts.shared_pool = shared_pool;
+  // Execution streams become ready once planning finishes on the virtual
+  // clock (planning runs on the planner tier, not the worker pool).
+  eopts.start_seconds = result.arrival_seconds + result.plan_seconds;
+  PlanExecutor executor(ctx, eopts);
   ExecutionResult exec = executor.Execute(*physical, trace.get(), root.id());
   result.exec_seconds = exec.virtual_seconds;
   result.exec_dollars = exec.llm_dollars_total;
@@ -255,17 +338,34 @@ UnifySystem::QueryResult UnifySystem::Answer(const std::string& query) {
   result.adjusted = exec.adjusted;
   result.answer = exec.answer;
   result.status = exec.status;
-  result.total_seconds = result.plan_seconds + result.exec_seconds;
+  if (!result.status.ok()) {
+    result.phase = QueryPhase::kExecution;
+  } else if (request.deadline_seconds > 0 &&
+             result.plan_seconds + result.exec_seconds >
+                 request.deadline_seconds) {
+    // Deadline post-check on the measured virtual completion (the answer
+    // stays attached for diagnostics).
+    result.status = Status::DeadlineExceeded(
+        "completed at " +
+        std::to_string(result.plan_seconds + result.exec_seconds) +
+        "s, after the " + std::to_string(request.deadline_seconds) +
+        "s deadline");
+    result.phase = QueryPhase::kExecution;
+  }
 
-  // Feed measured costs back into the model (running calibration).
-  const auto& stats = executor.node_stats();
-  for (size_t i = 0; i < stats.size() && i < physical->nodes.size(); ++i) {
-    if (stats[i].llm_calls == 0) continue;
-    size_t card = static_cast<size_t>(
-        std::max(1.0, physical->nodes[i].est_in_card));
-    cost_model_.Record(physical->nodes[i].logical.op_name,
-                       physical->nodes[i].impl, card, stats[i].llm_seconds,
-                       stats[i].cpu_seconds, stats[i].llm_dollars);
+  // Feed measured costs back into the model (running calibration). Off
+  // when cost_feedback is disabled, keeping plan choice independent of
+  // which queries ran earlier.
+  if (options_.cost_feedback) {
+    const auto& stats = executor.node_stats();
+    for (size_t i = 0; i < stats.size() && i < physical->nodes.size(); ++i) {
+      if (stats[i].llm_calls == 0) continue;
+      size_t card = static_cast<size_t>(
+          std::max(1.0, physical->nodes[i].est_in_card));
+      cost_model_.Record(physical->nodes[i].logical.op_name,
+                         physical->nodes[i].impl, card, stats[i].llm_seconds,
+                         stats[i].cpu_seconds, stats[i].llm_dollars);
+    }
   }
   finalize();
   return result;

@@ -16,6 +16,7 @@
 #include "core/physical/numeric_stats.h"
 #include "core/physical/sce.h"
 #include "core/runtime/executor.h"
+#include "core/runtime/query.h"
 #include "corpus/corpus.h"
 #include "embedding/hashed_embedder.h"
 #include "index/hnsw_index.h"
@@ -23,6 +24,8 @@
 #include "llm/tracing_client.h"
 
 namespace unify::core {
+
+class UnifyService;
 
 /// Configuration of a UnifySystem instance. Defaults follow the paper's
 /// hyper-parameters (Section VII-A): k = 5 candidate operators, n_c = 3
@@ -52,56 +55,53 @@ struct UnifyOptions {
   /// QueryResult::trace). Negligible overhead; disable for pure
   /// throughput benchmarking.
   bool collect_trace = true;
+  /// Feed measured execution costs back into the cost model after each
+  /// query (running calibration). Disable to make plan choice independent
+  /// of the order in which earlier queries ran — the setting under which
+  /// concurrent serving is byte-identical to a sequential replay.
+  bool cost_feedback = true;
 };
 
 /// The top-level system (paper Figure 1): offline preprocessing
 /// (embedding + HNSW indexing of documents, operator-representation
 /// indexing, cost calibration, importance-function learning), the planning
 /// engine (logical + physical), and the execution module.
+///
+/// After Setup(), Answer() is const and safe to call from multiple
+/// threads: planning/optimization keep their state on the caller's stack,
+/// the SCE cache and cost model are mutex-guarded, and the per-query RNG
+/// streams are derived from stable content hashes, so concurrent calls
+/// produce byte-identical answers to a sequential run (with cost_feedback
+/// off; see docs/api.md). For a managed worker pool with admission
+/// control and a shared virtual server pool, wrap the system in a
+/// UnifyService.
 class UnifySystem {
  public:
   /// `corpus` and `llm` must outlive the system.
   UnifySystem(const corpus::Corpus* corpus, llm::LlmClient* llm,
               UnifyOptions options);
 
-  /// Offline preprocessing (Section III-A). Must be called once before
-  /// Answer().
+  /// Offline preprocessing (Section III-A). Must be called once (from one
+  /// thread) before Answer().
   Status Setup();
 
-  struct QueryResult {
-    Status status = Status::OK();
-    corpus::Answer answer;
-    /// Planning time: logical plan generation + physical optimization
-    /// (including SCE sampling), sequential LLM virtual time.
-    double plan_seconds = 0;
-    /// Execution time: plan makespan on the LLM server pool.
-    double exec_seconds = 0;
-    double total_seconds = 0;
-    /// API spend of plan execution (footnote-1 objective accounting).
-    double exec_dollars = 0;
-    int num_candidate_plans = 0;
-    bool used_fallback = false;
-    bool adjusted = false;
-    std::string plan_debug;
-    /// EXPLAIN rendering of the chosen physical plan.
-    std::string plan_explain;
-    /// Per-operator execution timeline (virtual start/finish + LLM usage).
-    std::string timeline;
-    /// Query-lifecycle trace (null when UnifyOptions::collect_trace is
-    /// false). Render with Trace::ToText() or export with
-    /// Trace::ToChromeJson() for chrome://tracing / Perfetto.
-    std::shared_ptr<Trace> trace;
-    /// Metrics delta of this query: counters show only what this query
-    /// consumed; gauges/histograms reflect the post-query state.
-    MetricsSnapshot metrics;
-  };
+  /// The request/response types of the public query API (see
+  /// core/runtime/query.h). The aliases keep the historical spellings
+  /// UnifySystem::QueryResult valid.
+  using Request = core::QueryRequest;
+  using Result = core::QueryResult;
+  using QueryResult = core::QueryResult;
 
-  /// Answers one natural-language analytics query end to end.
-  QueryResult Answer(const std::string& query);
+  /// Answers one analytics query end to end, honoring the request's
+  /// per-query overrides (objective, physical mode, tracing, deadline).
+  QueryResult Answer(const QueryRequest& request) const;
 
-  // --- component access (benchmarks, ablations, tests) ---
-  CardinalityEstimator& estimator() { return *estimator_; }
-  CostModel& cost_model() { return cost_model_; }
+  /// Convenience overload: a request with default options.
+  QueryResult Answer(const std::string& query) const;
+
+  // --- component access (read-only) ---
+  const CardinalityEstimator& estimator() const { return *estimator_; }
+  const CostModel& cost_model() const { return cost_model_; }
   const OperatorRegistry& registry() const { return registry_; }
   const OperatorMatcher& matcher() const { return *matcher_; }
   const embedding::Embedder& doc_embedder() const { return *doc_embedder_; }
@@ -112,8 +112,38 @@ class UnifySystem {
 
   const UnifyOptions& options() const { return options_; }
 
+  /// Mutable access to internal components, for benchmarks, ablation
+  /// studies and tests only — nothing here is part of the stable API, and
+  /// mutating components concurrently with in-flight queries is not
+  /// thread-safe. Production code should configure behavior through
+  /// UnifyOptions / QueryRequest instead.
+  struct TestingHooks {
+    CardinalityEstimator* estimator = nullptr;
+    CostModel* cost_model = nullptr;
+    llm::TracingLlmClient* llm = nullptr;
+  };
+  TestingHooks testing_hooks() {
+    TestingHooks hooks;
+    hooks.estimator = estimator_.get();
+    hooks.cost_model = &cost_model_;
+    hooks.llm = traced_llm_.get();
+    return hooks;
+  }
+
  private:
+  friend class UnifyService;
+
   Status CalibrateCostModel();
+
+  /// The full query pipeline. `shared_pool` non-null schedules execution
+  /// streams on a serving session's shared virtual server pool (times
+  /// become absolute on its clock); null uses a fresh private pool.
+  /// `trace` non-null lets the caller nest the query under its own spans
+  /// (`parent`); null creates a trace per the effective collect_trace.
+  QueryResult AnswerInternal(const QueryRequest& request,
+                             exec::VirtualLlmPool* shared_pool,
+                             std::shared_ptr<Trace> trace,
+                             SpanId parent) const;
 
   const corpus::Corpus* corpus_;
   llm::LlmClient* llm_;
@@ -128,7 +158,9 @@ class UnifySystem {
   std::unique_ptr<embedding::TopicEmbedder> doc_embedder_;
   std::vector<embedding::Vec> doc_vecs_;
   std::unique_ptr<index::HnswIndex> doc_index_;
-  CostModel cost_model_;
+  /// Mutable: absorbs feedback from const Answer() calls (internally
+  /// mutex-guarded).
+  mutable CostModel cost_model_;
   NumericStats numeric_stats_;
   std::unique_ptr<CardinalityEstimator> estimator_;
   std::unique_ptr<PlanGenerator> generator_;

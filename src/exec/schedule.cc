@@ -3,31 +3,33 @@
 #include <algorithm>
 #include <queue>
 
-#include "exec/virtual_pool.h"
-
 namespace unify::exec {
 
 StatusOr<ScheduleResult> ScheduleDag(const Dag& dag,
                                      const std::vector<NodeCost>& costs,
-                                     int num_servers, bool sequential) {
+                                     VirtualLlmPool* pool, bool sequential,
+                                     double base) {
+  if (pool == nullptr) {
+    return Status::InvalidArgument("ScheduleDag: null pool");
+  }
   if (costs.size() != dag.size()) {
     return Status::InvalidArgument("costs/DAG size mismatch");
   }
   UNIFY_ASSIGN_OR_RETURN(std::vector<int> order, dag.TopologicalOrder());
 
   ScheduleResult result;
-  result.start.assign(dag.size(), 0.0);
-  result.finish.assign(dag.size(), 0.0);
-  VirtualLlmPool pool(num_servers);
+  result.start.assign(dag.size(), base);
+  result.finish.assign(dag.size(), base);
 
   if (sequential) {
-    double clock = 0;
+    double clock = base;
     for (int u : order) {
       double ready = clock;
       for (int p : dag.parents(u)) ready = std::max(ready, result.finish[p]);
       result.start[u] = ready;
       double after_cpu = ready + costs[u].cpu_seconds;
-      result.finish[u] = pool.ScheduleStream(after_cpu, costs[u].llm_seconds);
+      result.finish[u] =
+          pool->ScheduleStream(after_cpu, costs[u].llm_seconds);
       clock = result.finish[u];
     }
     result.makespan = clock;
@@ -48,21 +50,21 @@ StatusOr<ScheduleResult> ScheduleDag(const Dag& dag,
   std::priority_queue<Ready, std::vector<Ready>, std::greater<Ready>> queue;
   for (size_t u = 0; u < dag.size(); ++u) {
     pending[u] = static_cast<int>(dag.parents(static_cast<int>(u)).size());
-    if (pending[u] == 0) queue.push({0.0, static_cast<int>(u)});
+    if (pending[u] == 0) queue.push({base, static_cast<int>(u)});
   }
-  double makespan = 0;
+  double makespan = base;
   size_t done = 0;
   while (!queue.empty()) {
     auto [ready, u] = queue.top();
     queue.pop();
     result.start[u] = ready;
     double after_cpu = ready + costs[u].cpu_seconds;
-    result.finish[u] = pool.ScheduleStream(after_cpu, costs[u].llm_seconds);
+    result.finish[u] = pool->ScheduleStream(after_cpu, costs[u].llm_seconds);
     makespan = std::max(makespan, result.finish[u]);
     ++done;
     for (int v : dag.children(u)) {
       if (--pending[v] == 0) {
-        double v_ready = 0;
+        double v_ready = base;
         for (int p : dag.parents(v)) {
           v_ready = std::max(v_ready, result.finish[p]);
         }
@@ -75,6 +77,13 @@ StatusOr<ScheduleResult> ScheduleDag(const Dag& dag,
   }
   result.makespan = makespan;
   return result;
+}
+
+StatusOr<ScheduleResult> ScheduleDag(const Dag& dag,
+                                     const std::vector<NodeCost>& costs,
+                                     int num_servers, bool sequential) {
+  VirtualLlmPool pool(num_servers);
+  return ScheduleDag(dag, costs, &pool, sequential, /*base=*/0);
 }
 
 }  // namespace unify::exec

@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "exec/dag.h"
+#include "exec/virtual_pool.h"
 
 namespace unify::exec {
 
@@ -17,22 +18,35 @@ struct NodeCost {
   double llm_seconds = 0;
 };
 
-/// A computed execution timeline.
+/// A computed execution timeline. All times are absolute virtual seconds
+/// on the pool the schedule ran against (for a fresh pool and base 0 they
+/// coincide with query-relative times).
 struct ScheduleResult {
   std::vector<double> start;
   std::vector<double> finish;
-  /// When the whole plan completes.
+  /// When the whole plan completes (absolute).
   double makespan = 0;
 };
 
 /// Computes the virtual-time timeline of executing `dag` with per-node
-/// `costs` on `num_servers` LLM servers.
+/// `costs` on the LLM servers of `pool`, with every root node becoming
+/// ready at absolute time `base`. The pool may be shared with other
+/// concurrent schedules (a UnifyService serving session), in which case
+/// the returned intervals include cross-query queueing for servers.
 ///
 /// `sequential` = the paper's Unify–noLO ablation (Section VII-D): nodes
 /// run strictly one after another in topological order. Otherwise nodes
 /// are dispatched as soon as their dependencies finish (the paper's
 /// "Parallel Topological Execution", Section III-C), with LLM streams
 /// competing for servers.
+StatusOr<ScheduleResult> ScheduleDag(const Dag& dag,
+                                     const std::vector<NodeCost>& costs,
+                                     VirtualLlmPool* pool, bool sequential,
+                                     double base = 0);
+
+/// Convenience overload: schedules on a fresh private pool of
+/// `num_servers` servers starting at time 0 (the standalone,
+/// one-query-at-a-time model).
 StatusOr<ScheduleResult> ScheduleDag(const Dag& dag,
                                      const std::vector<NodeCost>& costs,
                                      int num_servers, bool sequential);

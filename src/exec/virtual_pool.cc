@@ -13,6 +13,7 @@ VirtualLlmPool::VirtualLlmPool(int num_servers) {
 
 double VirtualLlmPool::ScheduleStream(double ready, double total_seconds) {
   if (total_seconds <= 0) return ready;
+  std::lock_guard<std::mutex> lock(mu_);
   // Earliest-available server; if one is already idle at `ready`, no wait.
   size_t best = 0;
   for (size_t s = 1; s < free_at_.size(); ++s) {
@@ -21,15 +22,23 @@ double VirtualLlmPool::ScheduleStream(double ready, double total_seconds) {
   double start = std::max(free_at_[best], ready);
   double end = start + total_seconds;
   free_at_[best] = end;
+  busy_seconds_ += total_seconds;
   return end;
 }
 
-void VirtualLlmPool::Reset() {
-  std::fill(free_at_.begin(), free_at_.end(), 0.0);
+double VirtualLlmPool::Now() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return *std::min_element(free_at_.begin(), free_at_.end());
 }
 
 double VirtualLlmPool::MaxBusyTime() const {
+  std::lock_guard<std::mutex> lock(mu_);
   return *std::max_element(free_at_.begin(), free_at_.end());
+}
+
+double VirtualLlmPool::TotalBusySeconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return busy_seconds_;
 }
 
 }  // namespace unify::exec

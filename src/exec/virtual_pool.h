@@ -1,6 +1,7 @@
 #ifndef UNIFY_EXEC_VIRTUAL_POOL_H_
 #define UNIFY_EXEC_VIRTUAL_POOL_H_
 
+#include <mutex>
 #include <vector>
 
 namespace unify::exec {
@@ -13,24 +14,41 @@ namespace unify::exec {
 /// operators run concurrently on different servers. Greedy
 /// earliest-available-server assignment — the classic list-scheduling
 /// machine model.
+///
+/// A pool is shared by every query in flight on a UnifyService: operator
+/// streams from concurrent queries compete for the same servers, so a
+/// query's reported execution time includes cross-query queueing. All
+/// methods are thread-safe, and the pool's virtual clock is monotonic —
+/// there is no reset; standalone callers simply construct a fresh pool per
+/// schedule.
 class VirtualLlmPool {
  public:
   explicit VirtualLlmPool(int num_servers);
 
   /// Schedules a stream of `total_seconds` of back-to-back calls that
-  /// becomes ready at time `ready`. Returns its completion time.
+  /// becomes ready at absolute virtual time `ready`. Returns its
+  /// completion time. Thread-safe.
   double ScheduleStream(double ready, double total_seconds);
 
-  /// All servers idle again; time resets to 0.
-  void Reset();
-
   int num_servers() const { return static_cast<int>(free_at_.size()); }
+
+  /// The pool's monotonic virtual clock: the earliest absolute time at
+  /// which a newly arriving stream could start (the least-loaded server's
+  /// free time). Never decreases, because ScheduleStream only pushes
+  /// server free times forward. New queries admitted to a serving session
+  /// use this as their virtual arrival time.
+  double Now() const;
 
   /// The time the last-busy server frees up.
   double MaxBusyTime() const;
 
+  /// Total stream-seconds ever scheduled (for occupancy accounting).
+  double TotalBusySeconds() const;
+
  private:
+  mutable std::mutex mu_;
   std::vector<double> free_at_;
+  double busy_seconds_ = 0;
 };
 
 }  // namespace unify::exec

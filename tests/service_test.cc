@@ -1,0 +1,266 @@
+#include "core/runtime/service.h"
+
+#include <future>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/telemetry_names.h"
+#include "corpus/dataset_profile.h"
+#include "corpus/workload.h"
+#include "llm/sim_llm.h"
+
+namespace unify::core {
+namespace {
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto profile = corpus::SportsProfile();
+    profile.doc_count = 400;  // small corpus: fast tests
+    corpus_ = new corpus::Corpus(corpus::GenerateCorpus(profile, 33));
+    llm_ = new llm::SimulatedLlm(corpus_, llm::SimLlmOptions{});
+    UnifyOptions options;
+    options.collect_trace = false;
+    // Freeze cost-model feedback: plan choice must not depend on which
+    // queries ran earlier, the setting under which concurrent serving is
+    // byte-identical to a sequential replay.
+    options.cost_feedback = false;
+    system_ = new UnifySystem(corpus_, llm_, options);
+    ASSERT_TRUE(system_->Setup().ok());
+  }
+  static void TearDownTestSuite() {
+    delete system_;
+    delete llm_;
+    delete corpus_;
+    system_ = nullptr;
+    llm_ = nullptr;
+    corpus_ = nullptr;
+  }
+
+  static std::vector<std::string> Queries() {
+    corpus::WorkloadOptions wopts;
+    wopts.per_template = 1;
+    wopts.seed = 99;
+    std::vector<std::string> queries;
+    for (const auto& qc : corpus::GenerateWorkload(*corpus_, wopts)) {
+      queries.push_back(qc.text);
+      if (queries.size() >= 8) break;
+    }
+    return queries;
+  }
+
+  static corpus::Corpus* corpus_;
+  static llm::SimulatedLlm* llm_;
+  static UnifySystem* system_;
+};
+
+corpus::Corpus* ServiceTest::corpus_ = nullptr;
+llm::SimulatedLlm* ServiceTest::llm_ = nullptr;
+UnifySystem* ServiceTest::system_ = nullptr;
+
+/// Counters that are sums of integers (exact, order-independent); the
+/// seconds/dollars counters accumulate fractional doubles whose addition
+/// order differs under concurrency.
+const char* const kExactCounters[] = {
+    telemetry::kMetricLlmCalls,     telemetry::kMetricExecNodes,
+    telemetry::kMetricSceEstimates, telemetry::kMetricSceSamples,
+    telemetry::kMetricPlanReductions,
+};
+
+TEST_F(ServiceTest, ConcurrentAnswersMatchSequentialByteForByte) {
+  const std::vector<std::string> queries = Queries();
+  ASSERT_GE(queries.size(), 4u);
+
+  // Sequential reference, straight through the system.
+  std::map<std::string, std::string> expected;
+  MetricsSnapshot seq_before = MetricsRegistry::Global().Snapshot();
+  for (const auto& q : queries) {
+    QueryResult result = system_->Answer(q);
+    ASSERT_TRUE(result.status.ok()) << q << ": " << result.status;
+    expected[q] = result.answer.ToString();
+  }
+  MetricsSnapshot seq_delta =
+      MetricsRegistry::Global().Snapshot().DeltaSince(seq_before);
+
+  // Concurrent serving of the same batch (more workers than queries, so
+  // everything is truly in flight at once).
+  UnifyService::Options sopts;
+  sopts.num_workers = 8;
+  UnifyService service(system_, sopts);
+  MetricsSnapshot conc_before = MetricsRegistry::Global().Snapshot();
+  std::vector<std::future<QueryResult>> futures;
+  for (const auto& q : queries) {
+    QueryRequest request;
+    request.text = q;
+    futures.push_back(service.Submit(std::move(request)));
+  }
+  for (size_t i = 0; i < queries.size(); ++i) {
+    QueryResult result = futures[i].get();
+    ASSERT_TRUE(result.status.ok()) << queries[i] << ": " << result.status;
+    EXPECT_EQ(result.phase, QueryPhase::kComplete);
+    EXPECT_EQ(result.answer.ToString(), expected[queries[i]])
+        << "concurrent answer diverged for: " << queries[i];
+    EXPECT_GE(result.queue_wall_seconds, 0);
+    EXPECT_GE(result.completion_seconds,
+              result.arrival_seconds + result.total_seconds - 1e-9);
+  }
+  MetricsSnapshot conc_delta =
+      MetricsRegistry::Global().Snapshot().DeltaSince(conc_before);
+
+  // The batch did identical work: every exact counter's batch-level delta
+  // matches the sequential run (DeltaSince omits zero deltas, so a missing
+  // entry reads as 0).
+  auto delta_of = [](const MetricsSnapshot& snapshot, const char* name) {
+    auto it = snapshot.counters.find(name);
+    return it == snapshot.counters.end() ? 0.0 : it->second;
+  };
+  for (const char* name : kExactCounters) {
+    EXPECT_DOUBLE_EQ(delta_of(seq_delta, name), delta_of(conc_delta, name))
+        << name;
+  }
+  // Every query executes at least one plan node, so this one cannot be 0.
+  EXPECT_GT(delta_of(conc_delta, telemetry::kMetricExecNodes), 0);
+
+  auto stats = service.stats();
+  EXPECT_EQ(stats.submitted, static_cast<int64_t>(queries.size()));
+  EXPECT_EQ(stats.completed, static_cast<int64_t>(queries.size()));
+  EXPECT_EQ(stats.rejected, 0);
+  EXPECT_EQ(stats.inflight, 0);
+  EXPECT_GT(stats.pool_busy_seconds, 0);
+}
+
+TEST_F(ServiceTest, SubmissionOrderDoesNotChangeAnswers) {
+  const std::vector<std::string> queries = Queries();
+  std::vector<std::string> reversed(queries.rbegin(), queries.rend());
+
+  UnifyService::Options sopts;
+  sopts.num_workers = 4;
+  UnifyService forward(system_, sopts);
+  UnifyService backward(system_, sopts);
+
+  std::map<std::string, std::string> forward_answers;
+  std::vector<std::future<QueryResult>> ff;
+  std::vector<std::future<QueryResult>> bf;
+  for (const auto& q : queries) {
+    QueryRequest request;
+    request.text = q;
+    ff.push_back(forward.Submit(std::move(request)));
+  }
+  for (const auto& q : reversed) {
+    QueryRequest request;
+    request.text = q;
+    bf.push_back(backward.Submit(std::move(request)));
+  }
+  for (size_t i = 0; i < queries.size(); ++i) {
+    forward_answers[queries[i]] = ff[i].get().answer.ToString();
+  }
+  for (size_t i = 0; i < reversed.size(); ++i) {
+    EXPECT_EQ(bf[i].get().answer.ToString(), forward_answers[reversed[i]])
+        << "answer depends on submission order: " << reversed[i];
+  }
+}
+
+TEST_F(ServiceTest, AdmissionControlRejectsWhenQueueIsFull) {
+  UnifyService::Options sopts;
+  sopts.num_workers = 1;
+  sopts.max_queue_depth = 2;
+  UnifyService service(system_, sopts);
+
+  const std::vector<std::string> queries = Queries();
+  std::vector<std::future<QueryResult>> futures;
+  for (int i = 0; i < 8; ++i) {
+    QueryRequest request;
+    request.text = queries[static_cast<size_t>(i) % queries.size()];
+    futures.push_back(service.Submit(std::move(request)));
+  }
+  int rejected = 0;
+  for (auto& f : futures) {
+    QueryResult result = f.get();
+    if (result.status.code() == StatusCode::kResourceExhausted) {
+      EXPECT_EQ(result.phase, QueryPhase::kAdmission);
+      rejected += 1;
+    } else {
+      EXPECT_TRUE(result.status.ok()) << result.status;
+    }
+  }
+  // 8 submissions raced into a depth-2 queue served by one worker: at
+  // least the overflow beyond queue+worker capacity was rejected.
+  EXPECT_GE(rejected, 1);
+  EXPECT_EQ(service.stats().rejected, rejected);
+}
+
+TEST_F(ServiceTest, DeadlineExceededBeforeExecutionSavesLlmSpend) {
+  UnifyService::Options sopts;
+  sopts.num_workers = 1;
+  UnifyService service(system_, sopts);
+
+  QueryRequest request;
+  request.text = Queries().front();
+  request.deadline_seconds = 1e-3;  // virtually nothing: planning alone busts
+  QueryResult result = service.Answer(std::move(request));
+  EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded)
+      << result.status;
+  // Rejected from the predicted makespan, before execution spent anything.
+  EXPECT_EQ(result.phase, QueryPhase::kOptimization);
+  EXPECT_EQ(result.exec_seconds, 0);
+  EXPECT_EQ(service.stats().deadline_exceeded, 1);
+}
+
+TEST_F(ServiceTest, DefaultDeadlineAppliesToRequestsWithoutOne) {
+  UnifyService::Options sopts;
+  sopts.num_workers = 1;
+  sopts.default_deadline_seconds = 1e-3;
+  UnifyService service(system_, sopts);
+  QueryResult result = service.Answer(Queries().front());
+  EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(ServiceTest, EmptyQueryFailsAdmission) {
+  UnifyService service(system_, {});
+  QueryResult result = service.Answer(std::string());
+  EXPECT_EQ(result.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(result.phase, QueryPhase::kAdmission);
+}
+
+TEST_F(ServiceTest, PerQueryOverridesReachTheOptimizer) {
+  UnifyService service(system_, {});
+  QueryRequest request;
+  request.text = Queries().front();
+  request.collect_trace = true;
+  request.client_tag = "tenant-7";
+  QueryResult result = service.Answer(std::move(request));
+  ASSERT_TRUE(result.status.ok()) << result.status;
+  EXPECT_EQ(result.client_tag, "tenant-7");
+  ASSERT_NE(result.trace, nullptr);
+  // The serving span parents the query's lifecycle span tree.
+  const auto spans = result.trace->spans();
+  ASSERT_FALSE(spans.empty());
+  EXPECT_EQ(spans.front().name, telemetry::kSpanServeQuery);
+  bool found_query_span = false;
+  for (const auto& span : spans) {
+    if (span.name == telemetry::kSpanQuery) {
+      found_query_span = true;
+      EXPECT_EQ(span.parent, spans.front().id);
+    }
+  }
+  EXPECT_TRUE(found_query_span);
+}
+
+TEST_F(ServiceTest, DollarsObjectiveOverrideProducesAResult) {
+  UnifyService service(system_, {});
+  QueryRequest request;
+  request.text = Queries().front();
+  request.objective = OptimizeObjective::kDollars;
+  QueryResult timed = service.Answer(Queries().front());
+  QueryResult dollars = service.Answer(std::move(request));
+  ASSERT_TRUE(dollars.status.ok()) << dollars.status;
+  // Same question, so whatever plan the objective picks must agree.
+  EXPECT_EQ(dollars.answer.ToString(), timed.answer.ToString());
+}
+
+}  // namespace
+}  // namespace unify::core

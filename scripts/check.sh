@@ -1,18 +1,36 @@
 #!/usr/bin/env bash
-# Builds the concurrency-sensitive tests under ThreadSanitizer and runs
-# them. Wired into ctest as `check_concurrency` (non-sanitized builds
-# only); also runnable by hand:
+# Builds the concurrency-sensitive tests (shared virtual pool, serving
+# layer, partitioned executor) under a sanitizer and runs them. Two modes:
 #
-#   $ scripts/check.sh [repo-root]
+#   $ scripts/check.sh [repo-root]          # ThreadSanitizer (data races)
+#   $ scripts/check.sh --asan [repo-root]   # AddressSanitizer (memory)
 #
-# Skips gracefully (exit 0 with a notice) when the toolchain cannot link
-# TSAN binaries, so the suite stays green on minimal images.
+# Wired into ctest as `check_concurrency` (TSAN) and `check_asan` (ASAN),
+# registered in non-sanitized builds only. Skips gracefully (exit 0 with
+# a notice) when the toolchain cannot link sanitizer binaries, so the
+# suite stays green on minimal images.
 set -euo pipefail
 
-ROOT="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
-BUILD="$ROOT/build-tsan"
+MODE=thread
+if [[ "${1:-}" == "--asan" ]]; then
+  MODE=address
+  shift
+elif [[ "${1:-}" == "--tsan" ]]; then
+  shift
+fi
 
-# Probe: can this toolchain produce a TSAN binary at all?
+ROOT="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+if [[ "$MODE" == "address" ]]; then
+  BUILD="$ROOT/build-asan"
+  FLAG="-fsanitize=address"
+else
+  BUILD="$ROOT/build-tsan"
+  FLAG="-fsanitize=thread"
+fi
+
+TESTS=(virtual_pool_test service_test executor_test partition_test)
+
+# Probe: can this toolchain produce a binary under this sanitizer at all?
 probe="$(mktemp -d)"
 trap 'rm -rf "$probe"' EXIT
 cat > "$probe/probe.cc" <<'EOF'
@@ -24,24 +42,27 @@ int main() {
   return x - 1;
 }
 EOF
-if ! c++ -fsanitize=thread -pthread "$probe/probe.cc" -o "$probe/probe" \
+if ! c++ "$FLAG" -pthread "$probe/probe.cc" -o "$probe/probe" \
     2>/dev/null || ! "$probe/probe"; then
-  echo "check.sh: toolchain cannot build/run TSAN binaries; skipping"
+  echo "check.sh: toolchain cannot build/run $MODE-sanitized binaries;" \
+       "skipping"
   exit 0
 fi
 
-echo "check.sh: configuring $BUILD (UNIFY_SANITIZE=thread)"
-cmake -B "$BUILD" -S "$ROOT" -DUNIFY_SANITIZE=thread \
+echo "check.sh: configuring $BUILD (UNIFY_SANITIZE=$MODE)"
+cmake -B "$BUILD" -S "$ROOT" -DUNIFY_SANITIZE="$MODE" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 
-echo "check.sh: building serving tests under TSAN"
-cmake --build "$BUILD" -j "$(nproc)" \
-    --target virtual_pool_test service_test >/dev/null
+echo "check.sh: building ${TESTS[*]} under $MODE sanitizer"
+cmake --build "$BUILD" -j "$(nproc)" --target "${TESTS[@]}" >/dev/null
 
-# halt_on_error: fail loudly on the first race instead of limping on.
+# halt_on_error: fail loudly on the first finding instead of limping on.
+# Leak checking is disabled under ASAN — LSAN needs ptrace, which minimal
+# CI containers often lack; the tests free what they allocate regardless.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
-for test in virtual_pool_test service_test; do
-  echo "check.sh: running $test under TSAN"
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=0 ${ASAN_OPTIONS:-}"
+for test in "${TESTS[@]}"; do
+  echo "check.sh: running $test under $MODE sanitizer"
   "$BUILD/tests/$test" --gtest_brief=1
 done
-echo "check.sh: OK (no data races)"
+echo "check.sh: OK (no $MODE sanitizer findings)"

@@ -1,0 +1,27 @@
+#ifndef UNIFY_CORE_OPERATORS_OP_FAMILIES_H_
+#define UNIFY_CORE_OPERATORS_OP_FAMILIES_H_
+
+#include "core/operators/physical_operator.h"
+
+namespace unify::core::ops {
+
+/// Stateless singleton accessors for the operator families, one per
+/// translation unit (the former physical.cc monolith, split):
+///   op_scan.cc      — Scan, Identity
+///   op_filter.cc    — Filter (exact/keyword/LLM/index-scan)
+///   op_group.cc     — GroupBy, Classify
+///   op_aggregate.cc — Count, Sum/Average/Min/Max/Median/Percentile, Extract
+///   op_order.cc     — OrderBy, TopK
+///   op_join.cc      — Join, Union, Intersection, Complementary
+///   op_scalar.cc    — Compare, Compute, Generate
+const PhysicalOperator& ScanOp();
+const PhysicalOperator& FilterOp();
+const PhysicalOperator& GroupOp();
+const PhysicalOperator& AggregateOp();
+const PhysicalOperator& OrderOp();
+const PhysicalOperator& JoinOp();
+const PhysicalOperator& ScalarOp();
+
+}  // namespace unify::core::ops
+
+#endif  // UNIFY_CORE_OPERATORS_OP_FAMILIES_H_

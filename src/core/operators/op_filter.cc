@@ -1,0 +1,167 @@
+#include <algorithm>
+#include <set>
+
+#include "core/operators/op_families.h"
+#include "core/operators/physical_common.h"
+
+namespace unify::core::ops {
+namespace {
+
+using internal::ArgInt;
+using internal::ArgStr;
+using internal::kCpuFlat;
+using internal::kCpuPerDoc;
+using internal::WrongInput;
+
+/// Runs the ANN probe for IndexScanFilter: candidates by embedding
+/// distance, restricted to the operator's input scope, id-sorted. The
+/// returned list is what the LLM then verifies; `stats` gets the probe's
+/// CPU cost.
+StatusOr<DocList> IndexScanCandidates(const DocList& docs, const OpArgs& args,
+                                      ExecContext& ctx, OpStats& stats) {
+  if (ctx.doc_index == nullptr || ctx.doc_embedder == nullptr) {
+    return Status::FailedPrecondition("IndexScanFilter without index");
+  }
+  size_t candidates = static_cast<size_t>(
+      ArgInt(args, "index_candidates",
+             static_cast<int64_t>(ctx.corpus->size() / 4)));
+  candidates = std::min(candidates, ctx.corpus->size());
+  const std::string phrase = ArgStr(args, "phrase", ArgStr(args, "condition"));
+  auto query_vec = ctx.doc_embedder->Embed(phrase);
+  auto hits = ctx.doc_index->Search(query_vec, candidates);
+  stats.cpu_seconds += kCpuFlat + 2e-6 * static_cast<double>(candidates);
+  std::set<uint64_t> scope(docs.begin(), docs.end());
+  DocList in_scope;
+  for (const auto& hit : hits) {
+    if (scope.count(hit.id) > 0) in_scope.push_back(hit.id);
+  }
+  std::sort(in_scope.begin(), in_scope.end());
+  return in_scope;
+}
+
+class FilterOperator : public PhysicalOperator {
+ public:
+  std::vector<std::string> OpNames() const override { return {"Filter"}; }
+
+  StatusOr<OpOutput> Execute(const std::string& op_name, PhysicalImpl impl,
+                             const OpArgs& args,
+                             const std::vector<Value>& inputs,
+                             ExecContext& ctx) const override {
+    if (inputs.empty()) return WrongInput("Filter", "one");
+    OpOutput out;
+    auto surface = [&](const DocList& docs) -> StatusOr<DocList> {
+      DocList kept;
+      for (uint64_t id : docs) {
+        if (internal::SurfaceConditionMatch(ctx.corpus->doc(id), args)) {
+          kept.push_back(id);
+        }
+      }
+      out.stats.cpu_seconds += kCpuPerDoc * static_cast<double>(docs.size());
+      return kept;
+    };
+    auto llm = [&](const DocList& docs) -> StatusOr<DocList> {
+      return internal::LlmFilterDocs(docs, args, ctx, out.stats);
+    };
+
+    switch (impl) {
+      case PhysicalImpl::kExactFilter:
+      case PhysicalImpl::kKeywordFilter: {
+        UNIFY_ASSIGN_OR_RETURN(out.value,
+                               internal::BroadcastDocs("Filter", inputs[0],
+                                                       surface));
+        return out;
+      }
+      case PhysicalImpl::kLlmFilter: {
+        UNIFY_ASSIGN_OR_RETURN(
+            out.value, internal::BroadcastDocs("Filter", inputs[0], llm));
+        return out;
+      }
+      case PhysicalImpl::kIndexScanFilter: {
+        if (!inputs[0].is<DocList>()) {
+          return WrongInput("IndexScanFilter", "flat document list");
+        }
+        UNIFY_ASSIGN_OR_RETURN(
+            DocList in_scope,
+            IndexScanCandidates(inputs[0].get<DocList>(), args, ctx,
+                                out.stats));
+        UNIFY_ASSIGN_OR_RETURN(DocList kept, llm(in_scope));
+        out.value = Value::Docs(std::move(kept));
+        return out;
+      }
+      default:
+        return Status::InvalidArgument("bad Filter impl");
+    }
+  }
+
+  std::vector<PhysicalImpl> Candidates(const std::string& op_name,
+                                       const OpArgs& args) const override {
+    if (ArgStr(args, "kind") == "numeric") {
+      return {PhysicalImpl::kExactFilter, PhysicalImpl::kLlmFilter};
+    }
+    return {PhysicalImpl::kLlmFilter, PhysicalImpl::kIndexScanFilter,
+            PhysicalImpl::kKeywordFilter};
+  }
+
+  bool SupportsPartitioning(const std::string& op_name,
+                            PhysicalImpl impl) const override {
+    return impl == PhysicalImpl::kLlmFilter ||
+           impl == PhysicalImpl::kIndexScanFilter;
+  }
+
+  StatusOr<std::optional<PartitionedExecution>> Partition(
+      const std::string& op_name, PhysicalImpl impl, const OpArgs& args,
+      const std::vector<Value>& inputs, ExecContext& ctx,
+      int max_partitions) const override {
+    std::optional<PartitionedExecution> none;
+    if (!SupportsPartitioning(op_name, impl)) return none;
+    if (inputs.empty() || !inputs[0].is<DocList>()) return none;
+
+    PartitionedExecution exec;
+    DocList verify_docs = inputs[0].get<DocList>();
+    if (impl == PhysicalImpl::kIndexScanFilter) {
+      // The ANN probe is shared setup: run it once here, partition only
+      // the LLM verification stream over its candidates.
+      if (ctx.doc_index == nullptr || ctx.doc_embedder == nullptr) {
+        return none;  // sequential path reports the precondition error
+      }
+      UNIFY_ASSIGN_OR_RETURN(
+          verify_docs,
+          IndexScanCandidates(verify_docs, args, ctx, exec.base_stats));
+    }
+    std::vector<DocList> chunks =
+        PartitionDocs(verify_docs, ctx.llm_batch_size, max_partitions);
+    if (chunks.size() <= 1) return none;
+    for (DocList& chunk : chunks) {
+      OpPartition part;
+      part.num_docs = chunk.size();
+      part.run = [chunk = std::move(chunk), args, &ctx]()
+          -> StatusOr<OpOutput> {
+        OpOutput out;
+        UNIFY_ASSIGN_OR_RETURN(
+            DocList kept, internal::LlmFilterDocs(chunk, args, ctx,
+                                                  out.stats));
+        out.value = Value::Docs(std::move(kept));
+        return out;
+      };
+      exec.partitions.push_back(std::move(part));
+    }
+    exec.merge = [](const std::vector<OpOutput>& parts) -> StatusOr<Value> {
+      DocList kept;
+      for (const OpOutput& part : parts) {
+        const DocList& ids = part.value.get<DocList>();
+        kept.insert(kept.end(), ids.begin(), ids.end());
+      }
+      return Value::Docs(std::move(kept));
+    };
+    return std::optional<PartitionedExecution>(std::move(exec));
+  }
+};
+
+}  // namespace
+
+const PhysicalOperator& FilterOp() {
+  static const FilterOperator* op = new FilterOperator();
+  return *op;
+}
+
+}  // namespace unify::core::ops

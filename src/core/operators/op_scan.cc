@@ -1,0 +1,51 @@
+#include "core/operators/op_families.h"
+#include "core/operators/physical_common.h"
+
+namespace unify::core::ops {
+namespace {
+
+using internal::kCpuFlat;
+
+/// Scan materializes the corpus id range; Identity forwards its input
+/// (the fallback when a plan node has nothing to compute). Both are pure
+/// CPU — zero LLM partitions.
+class ScanOperator : public PhysicalOperator {
+ public:
+  std::vector<std::string> OpNames() const override {
+    return {"Scan", "Identity"};
+  }
+
+  StatusOr<OpOutput> Execute(const std::string& op_name, PhysicalImpl impl,
+                             const OpArgs& args,
+                             const std::vector<Value>& inputs,
+                             ExecContext& ctx) const override {
+    OpOutput out;
+    if (op_name == "Scan") {
+      DocList all;
+      all.reserve(ctx.corpus->size());
+      for (uint64_t id = 0; id < ctx.corpus->size(); ++id) all.push_back(id);
+      out.stats.cpu_seconds +=
+          1e-6 * static_cast<double>(ctx.corpus->size()) + kCpuFlat;
+      out.value = Value::Docs(std::move(all));
+      return out;
+    }
+    if (inputs.empty()) return internal::WrongInput("Identity", "one");
+    out.value = inputs[0];
+    return out;
+  }
+
+  std::vector<PhysicalImpl> Candidates(const std::string& op_name,
+                                       const OpArgs& args) const override {
+    if (op_name == "Scan") return {PhysicalImpl::kLinearScan};
+    return {PhysicalImpl::kIdentity};
+  }
+};
+
+}  // namespace
+
+const PhysicalOperator& ScanOp() {
+  static const ScanOperator* op = new ScanOperator();
+  return *op;
+}
+
+}  // namespace unify::core::ops

@@ -1,20 +1,9 @@
 #include "core/operators/physical.h"
 
-#include <algorithm>
-#include <cmath>
-#include <functional>
-#include <map>
-#include <set>
-
-#include "common/string_util.h"
 #include "core/operators/custom_ops.h"
-#include "core/operators/physical_common.h"
+#include "core/operators/physical_operator.h"
 
 namespace unify::core {
-
-using internal::kCpuFlat;
-using internal::kCpuPerDoc;
-using internal::kCpuPerValue;
 
 const char* PhysicalImplName(PhysicalImpl impl) {
   switch (impl) {
@@ -107,690 +96,6 @@ bool ImplSemanticCapable(PhysicalImpl impl) {
   }
 }
 
-namespace {
-
-Status WrongInput(const std::string& op, const char* expect) {
-  return Status::InvalidArgument(op + ": expected " + expect + " input");
-}
-
-int64_t ArgInt(const OpArgs& args, const char* key, int64_t dflt) {
-  auto it = args.find(key);
-  if (it == args.end()) return dflt;
-  return ParseInt64(it->second).value_or(dflt);
-}
-
-std::string ArgStr(const OpArgs& args, const char* key,
-                   const std::string& dflt = "") {
-  auto it = args.find(key);
-  return it == args.end() ? dflt : it->second;
-}
-
-/// Applies `fn : DocList -> StatusOr<DocList>` to a doc-shaped value,
-/// broadcasting over groups.
-StatusOr<Value> BroadcastDocs(
-    const std::string& op, const Value& input,
-    const std::function<StatusOr<DocList>(const DocList&)>& fn) {
-  if (input.is<DocList>()) {
-    UNIFY_ASSIGN_OR_RETURN(DocList out, fn(input.get<DocList>()));
-    return Value(Value::Rep(std::move(out)));
-  }
-  if (input.is<GroupedDocs>()) {
-    GroupedDocs out;
-    for (const auto& [label, docs] : input.get<GroupedDocs>().groups) {
-      UNIFY_ASSIGN_OR_RETURN(DocList filtered, fn(docs));
-      out.groups.emplace_back(label, std::move(filtered));
-    }
-    return Value(Value::Rep(std::move(out)));
-  }
-  return WrongInput(op, "documents");
-}
-
-// ---------------------------------------------------------------------------
-// Filter family
-// ---------------------------------------------------------------------------
-
-StatusOr<OpOutput> ExecFilter(PhysicalImpl impl, const OpArgs& args,
-                              const std::vector<Value>& inputs,
-                              ExecContext& ctx) {
-  if (inputs.empty()) return WrongInput("Filter", "one");
-  OpOutput out;
-  auto surface = [&](const DocList& docs) -> StatusOr<DocList> {
-    DocList kept;
-    for (uint64_t id : docs) {
-      if (internal::SurfaceConditionMatch(ctx.corpus->doc(id), args)) {
-        kept.push_back(id);
-      }
-    }
-    out.stats.cpu_seconds += kCpuPerDoc * static_cast<double>(docs.size());
-    return kept;
-  };
-  auto llm = [&](const DocList& docs) -> StatusOr<DocList> {
-    return internal::LlmFilterDocs(docs, args, ctx, out.stats);
-  };
-
-  switch (impl) {
-    case PhysicalImpl::kExactFilter:
-    case PhysicalImpl::kKeywordFilter: {
-      UNIFY_ASSIGN_OR_RETURN(out.value,
-                             BroadcastDocs("Filter", inputs[0], surface));
-      return out;
-    }
-    case PhysicalImpl::kLlmFilter: {
-      UNIFY_ASSIGN_OR_RETURN(out.value,
-                             BroadcastDocs("Filter", inputs[0], llm));
-      return out;
-    }
-    case PhysicalImpl::kIndexScanFilter: {
-      if (!inputs[0].is<DocList>()) {
-        return WrongInput("IndexScanFilter", "flat document list");
-      }
-      if (ctx.doc_index == nullptr || ctx.doc_embedder == nullptr) {
-        return Status::FailedPrecondition("IndexScanFilter without index");
-      }
-      const DocList& docs = inputs[0].get<DocList>();
-      size_t candidates = static_cast<size_t>(
-          ArgInt(args, "index_candidates",
-                 static_cast<int64_t>(ctx.corpus->size() / 4)));
-      candidates = std::min(candidates, ctx.corpus->size());
-      const std::string phrase =
-          ArgStr(args, "phrase", ArgStr(args, "condition"));
-      auto query_vec = ctx.doc_embedder->Embed(phrase);
-      auto hits = ctx.doc_index->Search(query_vec, candidates);
-      out.stats.cpu_seconds +=
-          kCpuFlat + 2e-6 * static_cast<double>(candidates);
-      // Restrict to the operator's input set, then verify with the LLM.
-      std::set<uint64_t> scope(docs.begin(), docs.end());
-      DocList in_scope;
-      for (const auto& hit : hits) {
-        if (scope.count(hit.id) > 0) in_scope.push_back(hit.id);
-      }
-      std::sort(in_scope.begin(), in_scope.end());
-      UNIFY_ASSIGN_OR_RETURN(DocList kept, llm(in_scope));
-      out.value = Value::Docs(std::move(kept));
-      return out;
-    }
-    default:
-      return Status::InvalidArgument("bad Filter impl");
-  }
-}
-
-// ---------------------------------------------------------------------------
-// GroupBy / Classify
-// ---------------------------------------------------------------------------
-
-StatusOr<OpOutput> ExecGroupBy(PhysicalImpl impl, const OpArgs& args,
-                               const std::vector<Value>& inputs,
-                               ExecContext& ctx) {
-  if (inputs.empty() || !inputs[0].is<DocList>()) {
-    return WrongInput("GroupBy", "flat document list");
-  }
-  const DocList& docs = inputs[0].get<DocList>();
-  OpOutput out;
-  std::vector<std::string> labels;
-  if (impl == PhysicalImpl::kRuleGroupBy) {
-    labels.reserve(docs.size());
-    for (uint64_t id : docs) {
-      labels.push_back(
-          internal::RuleClassify(ctx.corpus->doc(id), ctx.corpus->profile()));
-    }
-    out.stats.cpu_seconds += 10 * kCpuPerDoc * static_cast<double>(docs.size());
-  } else if (impl == PhysicalImpl::kLlmGroupBy) {
-    UNIFY_ASSIGN_OR_RETURN(
-        labels,
-        internal::LlmClassifyDocs(docs, ArgStr(args, "by"), ctx, out.stats));
-  } else {
-    return Status::InvalidArgument("bad GroupBy impl");
-  }
-  std::map<std::string, DocList> grouped;
-  for (size_t i = 0; i < docs.size(); ++i) {
-    if (labels[i].empty()) continue;  // unclassifiable documents drop out
-    grouped[labels[i]].push_back(docs[i]);
-  }
-  GroupedDocs result;
-  for (auto& [label, members] : grouped) {
-    result.groups.emplace_back(label, std::move(members));
-  }
-  out.value = Value(Value::Rep(std::move(result)));
-  return out;
-}
-
-StatusOr<OpOutput> ExecClassify(PhysicalImpl impl, const OpArgs& args,
-                                const std::vector<Value>& inputs,
-                                ExecContext& ctx) {
-  if (inputs.empty() || !inputs[0].is<DocList>()) {
-    return WrongInput("Classify", "flat document list");
-  }
-  const DocList& docs = inputs[0].get<DocList>();
-  OpOutput out;
-  TextList labels;
-  if (impl == PhysicalImpl::kRuleClassify) {
-    for (uint64_t id : docs) {
-      labels.push_back(
-          internal::RuleClassify(ctx.corpus->doc(id), ctx.corpus->profile()));
-    }
-    out.stats.cpu_seconds += 10 * kCpuPerDoc * static_cast<double>(docs.size());
-  } else {
-    UNIFY_ASSIGN_OR_RETURN(
-        labels,
-        internal::LlmClassifyDocs(docs, ArgStr(args, "by"), ctx, out.stats));
-  }
-  out.value = Value(Value::Rep(std::move(labels)));
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Count / aggregation / extraction
-// ---------------------------------------------------------------------------
-
-StatusOr<OpOutput> ExecCount(PhysicalImpl impl, const OpArgs& args,
-                             const std::vector<Value>& inputs,
-                             ExecContext& ctx) {
-  if (inputs.empty()) return WrongInput("Count", "one");
-  OpOutput out;
-  const Value& input = inputs[0];
-  if (impl == PhysicalImpl::kLlmCount && input.is<DocList>()) {
-    llm::LlmCall call;
-    call.type = llm::PromptType::kSemanticAggregate;
-    call.tier = llm::ModelTier::kWorker;
-    call.fields["op"] = "Count";
-    for (uint64_t id : input.get<DocList>()) {
-      call.items.push_back(std::to_string(id));
-    }
-    llm::LlmResult result = ctx.llm->Call(call);
-    if (!result.status.ok()) return result.status;
-    out.stats.llm_seconds += result.seconds;
-  out.stats.llm_dollars += result.dollars;
-    out.stats.llm_calls += 1;
-    out.value = Value::Number(ParseDouble(result.Get("value")).value_or(0));
-    return out;
-  }
-  out.stats.cpu_seconds += kCpuFlat;
-  if (input.is<DocList>()) {
-    out.value =
-        Value::Number(static_cast<double>(input.get<DocList>().size()));
-    return out;
-  }
-  if (input.is<GroupedDocs>()) {
-    GroupedNumbers counts;
-    for (const auto& [label, docs] : input.get<GroupedDocs>().groups) {
-      counts.values.emplace_back(label, static_cast<double>(docs.size()));
-    }
-    out.value = Value(Value::Rep(std::move(counts)));
-    return out;
-  }
-  if (input.is<NumberList>()) {
-    out.value = Value::Number(
-        static_cast<double>(input.get<NumberList>().values.size()));
-    return out;
-  }
-  return WrongInput("Count", "documents or values");
-}
-
-StatusOr<double> LlmAggregateDocs(const DocList& docs,
-                                  const std::string& op_name,
-                                  const OpArgs& args, ExecContext& ctx,
-                                  OpStats& stats) {
-  llm::LlmCall call;
-  call.type = llm::PromptType::kSemanticAggregate;
-  call.tier = llm::ModelTier::kWorker;
-  call.fields["op"] = op_name;
-  call.fields["attribute"] = ArgStr(args, "attribute");
-  call.fields["p"] = ArgStr(args, "p", "90");
-  for (uint64_t id : docs) call.items.push_back(std::to_string(id));
-  llm::LlmResult result = ctx.llm->Call(call);
-  if (!result.status.ok()) return result.status;
-  stats.llm_seconds += result.seconds;
-  stats.llm_dollars += result.dollars;
-  stats.llm_calls += 1;
-  return ParseDouble(result.Get("value")).value_or(0.0);
-}
-
-StatusOr<OpOutput> ExecAggregate(const std::string& op_name,
-                                 PhysicalImpl impl, const OpArgs& args,
-                                 const std::vector<Value>& inputs,
-                                 ExecContext& ctx) {
-  if (inputs.empty()) return WrongInput(op_name, "one");
-  OpOutput out;
-  const Value& input = inputs[0];
-
-  // Arg-best over grouped scalars ("which group has the highest value").
-  if (input.is<GroupedNumbers>()) {
-    const auto& values = input.get<GroupedNumbers>().values;
-    if (values.empty()) {
-      return Status::FailedPrecondition(op_name + " over empty groups");
-    }
-    bool want_max = op_name == "Max";
-    size_t best = 0;
-    for (size_t i = 1; i < values.size(); ++i) {
-      if (want_max ? values[i].second > values[best].second
-                   : values[i].second < values[best].second) {
-        best = i;
-      }
-    }
-    out.stats.cpu_seconds += kCpuFlat;
-    if (ArgStr(args, "arg") == "group") {
-      out.value = Value::Text(values[best].first);
-    } else {
-      out.value = Value::Number(values[best].second);
-    }
-    return out;
-  }
-
-  if (input.is<NumberList>()) {
-    UNIFY_ASSIGN_OR_RETURN(
-        double v,
-        internal::AggregateValues(input.get<NumberList>().values, op_name,
-                                  args));
-    out.stats.cpu_seconds +=
-        kCpuFlat +
-        kCpuPerValue *
-            static_cast<double>(input.get<NumberList>().values.size());
-    out.value = Value::Number(v);
-    return out;
-  }
-  if (input.is<GroupedNumberLists>()) {
-    GroupedNumbers result;
-    for (const auto& [label, values] : input.get<GroupedNumberLists>().groups) {
-      if (values.values.empty()) continue;
-      UNIFY_ASSIGN_OR_RETURN(
-          double v, internal::AggregateValues(values.values, op_name, args));
-      result.values.emplace_back(label, v);
-    }
-    if (result.values.empty()) {
-      return Status::FailedPrecondition(op_name + " over empty groups");
-    }
-    out.stats.cpu_seconds += kCpuFlat;
-    out.value = Value(Value::Rep(std::move(result)));
-    return out;
-  }
-
-  // Aggregation straight over documents: extract, then fold.
-  if (input.is<DocList>()) {
-    const DocList& docs = input.get<DocList>();
-    if (impl == PhysicalImpl::kLlmAggregate) {
-      UNIFY_ASSIGN_OR_RETURN(
-          double v, LlmAggregateDocs(docs, op_name, args, ctx, out.stats));
-      out.value = Value::Number(v);
-      return out;
-    }
-    std::vector<double> values;
-    for (uint64_t id : docs) {
-      auto v = internal::RegexExtractValue(ctx.corpus->doc(id),
-                                           ArgStr(args, "attribute"));
-      if (v.has_value()) values.push_back(*v);
-    }
-    out.stats.cpu_seconds += kCpuPerDoc * static_cast<double>(docs.size());
-    UNIFY_ASSIGN_OR_RETURN(double v,
-                           internal::AggregateValues(values, op_name, args));
-    out.value = Value::Number(v);
-    return out;
-  }
-  if (input.is<GroupedDocs>()) {
-    GroupedNumbers result;
-    for (const auto& [label, docs] : input.get<GroupedDocs>().groups) {
-      if (docs.empty()) continue;
-      double v = 0;
-      if (impl == PhysicalImpl::kLlmAggregate) {
-        UNIFY_ASSIGN_OR_RETURN(
-            v, LlmAggregateDocs(docs, op_name, args, ctx, out.stats));
-      } else {
-        std::vector<double> values;
-        for (uint64_t id : docs) {
-          auto ev = internal::RegexExtractValue(ctx.corpus->doc(id),
-                                                ArgStr(args, "attribute"));
-          if (ev.has_value()) values.push_back(*ev);
-        }
-        out.stats.cpu_seconds += kCpuPerDoc * static_cast<double>(docs.size());
-        if (values.empty()) continue;
-        UNIFY_ASSIGN_OR_RETURN(
-            v, internal::AggregateValues(values, op_name, args));
-      }
-      result.values.emplace_back(label, v);
-    }
-    if (result.values.empty()) {
-      return Status::FailedPrecondition(op_name + " over empty groups");
-    }
-    out.value = Value(Value::Rep(std::move(result)));
-    return out;
-  }
-  return WrongInput(op_name, "documents or values");
-}
-
-StatusOr<OpOutput> ExecExtract(PhysicalImpl impl, const OpArgs& args,
-                               const std::vector<Value>& inputs,
-                               ExecContext& ctx) {
-  if (inputs.empty()) return WrongInput("Extract", "one");
-  OpOutput out;
-  const std::string attr = ArgStr(args, "attribute");
-  auto extract = [&](const DocList& docs) -> StatusOr<NumberList> {
-    NumberList values;
-    if (impl == PhysicalImpl::kLlmExtract) {
-      UNIFY_ASSIGN_OR_RETURN(
-          values.values, internal::LlmExtractValues(docs, attr, ctx, out.stats));
-    } else {
-      for (uint64_t id : docs) {
-        auto v = internal::RegexExtractValue(ctx.corpus->doc(id), attr);
-        if (v.has_value()) values.values.push_back(*v);
-      }
-      out.stats.cpu_seconds += kCpuPerDoc * static_cast<double>(docs.size());
-    }
-    return values;
-  };
-  if (inputs[0].is<DocList>()) {
-    UNIFY_ASSIGN_OR_RETURN(NumberList values,
-                           extract(inputs[0].get<DocList>()));
-    out.value = Value(Value::Rep(std::move(values)));
-    return out;
-  }
-  if (inputs[0].is<GroupedDocs>()) {
-    GroupedNumberLists result;
-    for (const auto& [label, docs] : inputs[0].get<GroupedDocs>().groups) {
-      UNIFY_ASSIGN_OR_RETURN(NumberList values, extract(docs));
-      result.groups.emplace_back(label, std::move(values));
-    }
-    out.value = Value(Value::Rep(std::move(result)));
-    return out;
-  }
-  return WrongInput("Extract", "documents");
-}
-
-// ---------------------------------------------------------------------------
-// Ordering and ranking
-// ---------------------------------------------------------------------------
-
-StatusOr<std::vector<std::pair<uint64_t, double>>> KeyedDocs(
-    PhysicalImpl impl, const DocList& docs, const std::string& attr,
-    ExecContext& ctx, OpStats& stats) {
-  std::vector<std::pair<uint64_t, double>> keyed;
-  if (impl == PhysicalImpl::kLlmSort || impl == PhysicalImpl::kLlmTopK ||
-      impl == PhysicalImpl::kLlmJoin) {
-    UNIFY_ASSIGN_OR_RETURN(std::vector<double> values,
-                           internal::LlmExtractValues(docs, attr, ctx, stats));
-    for (size_t i = 0; i < docs.size(); ++i) {
-      keyed.emplace_back(docs[i], values[i]);
-    }
-  } else {
-    for (uint64_t id : docs) {
-      auto v = internal::RegexExtractValue(ctx.corpus->doc(id), attr);
-      keyed.emplace_back(id, v.value_or(0.0));
-    }
-    stats.cpu_seconds += kCpuPerDoc * static_cast<double>(docs.size());
-  }
-  return keyed;
-}
-
-StatusOr<OpOutput> ExecOrderBy(PhysicalImpl impl, const OpArgs& args,
-                               const std::vector<Value>& inputs,
-                               ExecContext& ctx) {
-  if (inputs.empty() || !inputs[0].is<DocList>()) {
-    return WrongInput("OrderBy", "flat document list");
-  }
-  bool desc = ArgStr(args, "desc", "true") == "true";
-  OpOutput out;
-  UNIFY_ASSIGN_OR_RETURN(
-      auto keyed, KeyedDocs(impl, inputs[0].get<DocList>(),
-                            ArgStr(args, "attribute"), ctx, out.stats));
-  std::sort(keyed.begin(), keyed.end(), [&](const auto& a, const auto& b) {
-    if (a.second != b.second) return desc ? a.second > b.second
-                                          : a.second < b.second;
-    return a.first < b.first;
-  });
-  DocList sorted;
-  for (const auto& [id, key] : keyed) sorted.push_back(id);
-  out.stats.cpu_seconds += kCpuFlat;
-  out.value = Value::Docs(std::move(sorted));
-  return out;
-}
-
-StatusOr<OpOutput> ExecTopK(PhysicalImpl impl, const OpArgs& args,
-                            const std::vector<Value>& inputs,
-                            ExecContext& ctx) {
-  if (inputs.empty() || !inputs[0].is<DocList>()) {
-    return WrongInput("TopK", "flat document list");
-  }
-  int64_t k = ArgInt(args, "k", 5);
-  bool desc = ArgStr(args, "desc", "true") == "true";
-  OpOutput out;
-  UNIFY_ASSIGN_OR_RETURN(
-      auto keyed, KeyedDocs(impl, inputs[0].get<DocList>(),
-                            ArgStr(args, "attribute"), ctx, out.stats));
-  std::sort(keyed.begin(), keyed.end(), [&](const auto& a, const auto& b) {
-    if (a.second != b.second) return desc ? a.second > b.second
-                                          : a.second < b.second;
-    return a.first < b.first;
-  });
-  TextList titles;
-  for (const auto& [id, key] : keyed) {
-    if (static_cast<int64_t>(titles.size()) >= k) break;
-    titles.push_back(ctx.corpus->doc(id).title);
-  }
-  out.stats.cpu_seconds += kCpuFlat;
-  out.value = Value(Value::Rep(std::move(titles)));
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Join, set ops, scalar math
-// ---------------------------------------------------------------------------
-
-StatusOr<OpOutput> ExecJoin(PhysicalImpl impl, const OpArgs& args,
-                            const std::vector<Value>& inputs,
-                            ExecContext& ctx) {
-  if (inputs.size() < 2 || !inputs[0].is<DocList>() ||
-      !inputs[1].is<DocList>()) {
-    return WrongInput("Join", "two document lists");
-  }
-  const DocList& left = inputs[0].get<DocList>();
-  const DocList& right = inputs[1].get<DocList>();
-  const std::string on = ArgStr(args, "on", "category");
-  OpOutput out;
-
-  auto keys_of = [&](const DocList& docs)
-      -> StatusOr<std::vector<std::string>> {
-    std::vector<std::string> keys;
-    if (on == "category") {
-      if (impl == PhysicalImpl::kLlmJoin) {
-        return internal::LlmClassifyDocs(
-            docs, ctx.corpus->category_kind(), ctx, out.stats);
-      }
-      for (uint64_t id : docs) {
-        keys.push_back(internal::RuleClassify(ctx.corpus->doc(id),
-                                              ctx.corpus->profile()));
-      }
-      out.stats.cpu_seconds += 10 * kCpuPerDoc * static_cast<double>(docs.size());
-      return keys;
-    }
-    if (impl == PhysicalImpl::kLlmJoin) {
-      UNIFY_ASSIGN_OR_RETURN(std::vector<double> values,
-                             internal::LlmExtractValues(docs, on, ctx,
-                                                        out.stats));
-      for (double v : values) keys.push_back(FormatDouble(v, 6));
-      return keys;
-    }
-    for (uint64_t id : docs) {
-      auto v = internal::RegexExtractValue(ctx.corpus->doc(id), on);
-      keys.push_back(v.has_value() ? FormatDouble(*v, 6) : "");
-    }
-    out.stats.cpu_seconds += kCpuPerDoc * static_cast<double>(docs.size());
-    return keys;
-  };
-
-  UNIFY_ASSIGN_OR_RETURN(auto left_keys, keys_of(left));
-  UNIFY_ASSIGN_OR_RETURN(auto right_keys, keys_of(right));
-  std::set<std::string> right_set;
-  for (const auto& k : right_keys) {
-    if (!k.empty()) right_set.insert(k);
-  }
-  DocList joined;
-  for (size_t i = 0; i < left.size(); ++i) {
-    if (!left_keys[i].empty() && right_set.count(left_keys[i]) > 0) {
-      joined.push_back(left[i]);
-    }
-  }
-  out.value = Value::Docs(std::move(joined));
-  return out;
-}
-
-StatusOr<OpOutput> ExecSetOp(const std::string& op_name,
-                             const std::vector<Value>& inputs) {
-  if (inputs.size() < 2 || !inputs[0].is<DocList>() ||
-      !inputs[1].is<DocList>()) {
-    return WrongInput(op_name, "two document lists");
-  }
-  std::set<uint64_t> a(inputs[0].get<DocList>().begin(),
-                       inputs[0].get<DocList>().end());
-  std::set<uint64_t> b(inputs[1].get<DocList>().begin(),
-                       inputs[1].get<DocList>().end());
-  DocList result;
-  if (op_name == "Union") {
-    std::set_union(a.begin(), a.end(), b.begin(), b.end(),
-                   std::back_inserter(result));
-  } else if (op_name == "Intersection") {
-    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
-                          std::back_inserter(result));
-  } else {
-    std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
-                        std::back_inserter(result));
-  }
-  OpOutput out;
-  out.stats.cpu_seconds +=
-      kCpuFlat + kCpuPerValue * static_cast<double>(a.size() + b.size());
-  out.value = Value::Docs(std::move(result));
-  return out;
-}
-
-StatusOr<OpOutput> ExecCompare(const OpArgs& args,
-                               const std::vector<Value>& inputs) {
-  if (inputs.size() < 2 || !inputs[0].is<double>() ||
-      !inputs[1].is<double>()) {
-    return WrongInput("Compare", "two numbers");
-  }
-  OpOutput out;
-  out.stats.cpu_seconds += kCpuFlat;
-  bool want_max = ArgStr(args, "direction", "max") != "min";
-  double a = inputs[0].get<double>();
-  double b = inputs[1].get<double>();
-  out.value = Value::Text((a >= b) == want_max ? "A" : "B");
-  return out;
-}
-
-StatusOr<OpOutput> ExecCompute(const OpArgs& args,
-                               const std::vector<Value>& inputs) {
-  if (inputs.size() < 2) return WrongInput("Compute", "two");
-  OpOutput out;
-  out.stats.cpu_seconds += kCpuFlat;
-  // Scalar ratio.
-  if (inputs[0].is<double>() && inputs[1].is<double>()) {
-    double den = inputs[1].get<double>();
-    if (den == 0) {
-      return Status::FailedPrecondition("Compute: division by zero");
-    }
-    out.value = Value::Number(inputs[0].get<double>() / den);
-    return out;
-  }
-  // Per-group ratio: match labels; groups with zero denominators drop.
-  if (inputs[0].is<GroupedNumbers>() && inputs[1].is<GroupedNumbers>()) {
-    std::map<std::string, double> den;
-    for (const auto& [label, v] : inputs[1].get<GroupedNumbers>().values) {
-      den[label] = v;
-    }
-    GroupedNumbers result;
-    for (const auto& [label, v] : inputs[0].get<GroupedNumbers>().values) {
-      auto it = den.find(label);
-      if (it == den.end() || it->second == 0) continue;
-      result.values.emplace_back(label, v / it->second);
-    }
-    if (result.values.empty()) {
-      return Status::FailedPrecondition("Compute: no valid groups");
-    }
-    out.value = Value(Value::Rep(std::move(result)));
-    return out;
-  }
-  return WrongInput("Compute", "numbers or grouped numbers");
-}
-
-StatusOr<OpOutput> ExecGenerate(const OpArgs& args,
-                                const std::vector<Value>& inputs,
-                                ExecContext& ctx) {
-  OpOutput out;
-  llm::LlmCall call;
-  // Fallback strategy 2 (Section V-D): the model writes a program for the
-  // remaining task; the program then scans the corpus (CPU cost).
-  if (ArgStr(args, "strategy") == "code") {
-    call.type = llm::PromptType::kGenerateCode;
-    call.tier = llm::ModelTier::kPlanner;
-    call.fields["query"] = ArgStr(args, "query");
-    llm::LlmResult result = ctx.llm->Call(call);
-    if (!result.status.ok()) return result.status;
-    out.stats.llm_seconds += result.seconds;
-    out.stats.llm_dollars += result.dollars;
-    out.stats.llm_calls += 1;
-    out.stats.cpu_seconds +=
-        kCpuFlat + 20 * kCpuPerDoc * static_cast<double>(ctx.corpus->size());
-    const std::string kind = result.Get("kind");
-    const std::string answer = result.Get("answer");
-    if (kind == "number") {
-      out.value = Value::Number(ParseDouble(answer).value_or(0));
-    } else if (kind == "list") {
-      TextList items = StrSplit(answer, ';');
-      out.value = Value(Value::Rep(std::move(items)));
-    } else if (kind == "text") {
-      out.value = Value::Text(answer);
-    } else {
-      out.value = Value();
-    }
-    return out;
-  }
-  call.type = llm::PromptType::kGenerateAnswer;
-  call.tier = llm::ModelTier::kPlanner;
-  call.fields["query"] = ArgStr(args, "query");
-  if (!inputs.empty() && inputs[0].is<DocList>()) {
-    const DocList& docs = inputs[0].get<DocList>();
-    int64_t retrieve_k = ArgInt(args, "retrieve_k", 0);
-    if (retrieve_k > 0 && ctx.doc_index != nullptr &&
-        ctx.doc_embedder != nullptr &&
-        docs.size() > static_cast<size_t>(retrieve_k)) {
-      // RAG-style fallback: only the documents nearest to the query fit
-      // into the generation context.
-      auto query_vec = ctx.doc_embedder->Embed(call.fields["query"]);
-      std::set<uint64_t> scope(docs.begin(), docs.end());
-      auto hits = ctx.doc_index->Search(
-          query_vec, static_cast<size_t>(retrieve_k) * 2);
-      for (const auto& hit : hits) {
-        if (static_cast<int64_t>(call.items.size()) >= retrieve_k) break;
-        if (scope.count(hit.id) > 0) {
-          call.items.push_back(std::to_string(hit.id));
-        }
-      }
-      out.stats.cpu_seconds += kCpuFlat + 2e-6 * static_cast<double>(docs.size());
-    } else {
-      for (uint64_t id : docs) {
-        call.items.push_back(std::to_string(id));
-      }
-    }
-  }
-  llm::LlmResult result = ctx.llm->Call(call);
-  if (!result.status.ok()) return result.status;
-  out.stats.llm_seconds += result.seconds;
-  out.stats.llm_dollars += result.dollars;
-  out.stats.llm_calls += 1;
-  const std::string kind = result.Get("kind");
-  const std::string answer = result.Get("answer");
-  if (kind == "number") {
-    out.value = Value::Number(ParseDouble(answer).value_or(0));
-  } else if (kind == "list") {
-    TextList items = StrSplit(answer, ';');
-    out.value = Value(Value::Rep(std::move(items)));
-  } else if (kind == "text") {
-    out.value = Value::Text(answer);
-  } else {
-    out.value = Value();
-  }
-  return out;
-}
-
-}  // namespace
-
 StatusOr<OpOutput> ExecuteOp(const std::string& op_name, PhysicalImpl impl,
                              const OpArgs& args,
                              const std::vector<Value>& inputs,
@@ -808,92 +113,18 @@ StatusOr<OpOutput> ExecuteOp(const std::string& op_name, PhysicalImpl impl,
   if (ImplUsesLlm(impl) && ctx.llm == nullptr) {
     return Status::FailedPrecondition("LLM implementation without client");
   }
-  if (op_name == "Scan") {
-    OpOutput out;
-    DocList all;
-    all.reserve(ctx.corpus->size());
-    for (uint64_t id = 0; id < ctx.corpus->size(); ++id) all.push_back(id);
-    out.stats.cpu_seconds +=
-        1e-6 * static_cast<double>(ctx.corpus->size()) + kCpuFlat;
-    out.value = Value::Docs(std::move(all));
-    return out;
+  const PhysicalOperator* op = FindPhysicalOperator(op_name);
+  if (op == nullptr) {
+    return Status::Unimplemented("no physical implementation for " + op_name);
   }
-  if (op_name == "Identity") {
-    if (inputs.empty()) return WrongInput("Identity", "one");
-    OpOutput out;
-    out.value = inputs[0];
-    return out;
-  }
-  if (op_name == "Filter") return ExecFilter(impl, args, inputs, ctx);
-  if (op_name == "GroupBy") return ExecGroupBy(impl, args, inputs, ctx);
-  if (op_name == "Classify") return ExecClassify(impl, args, inputs, ctx);
-  if (op_name == "Count") return ExecCount(impl, args, inputs, ctx);
-  if (op_name == "Sum" || op_name == "Average" || op_name == "Min" ||
-      op_name == "Max" || op_name == "Median" || op_name == "Percentile") {
-    return ExecAggregate(op_name, impl, args, inputs, ctx);
-  }
-  if (op_name == "Extract") return ExecExtract(impl, args, inputs, ctx);
-  if (op_name == "OrderBy") return ExecOrderBy(impl, args, inputs, ctx);
-  if (op_name == "TopK") return ExecTopK(impl, args, inputs, ctx);
-  if (op_name == "Join") return ExecJoin(impl, args, inputs, ctx);
-  if (op_name == "Union" || op_name == "Intersection" ||
-      op_name == "Complementary") {
-    return ExecSetOp(op_name, inputs);
-  }
-  if (op_name == "Compare") return ExecCompare(args, inputs);
-  if (op_name == "Compute") return ExecCompute(args, inputs);
-  if (op_name == "Generate") return ExecGenerate(args, inputs, ctx);
-  return Status::Unimplemented("no physical implementation for " + op_name);
+  return op->Execute(op_name, impl, args, inputs, ctx);
 }
 
 std::vector<PhysicalImpl> CandidateImpls(const std::string& op_name,
                                          const OpArgs& args) {
-  auto arg = [&](const char* key) {
-    auto it = args.find(key);
-    return it == args.end() ? std::string() : it->second;
-  };
-  if (op_name == "Scan") return {PhysicalImpl::kLinearScan};
-  if (op_name == "Filter") {
-    if (arg("kind") == "numeric") {
-      return {PhysicalImpl::kExactFilter, PhysicalImpl::kLlmFilter};
-    }
-    return {PhysicalImpl::kLlmFilter, PhysicalImpl::kIndexScanFilter,
-            PhysicalImpl::kKeywordFilter};
-  }
-  if (op_name == "GroupBy") {
-    return {PhysicalImpl::kLlmGroupBy, PhysicalImpl::kRuleGroupBy};
-  }
-  if (op_name == "Classify") {
-    return {PhysicalImpl::kLlmClassify, PhysicalImpl::kRuleClassify};
-  }
-  if (op_name == "Count") {
-    return {PhysicalImpl::kPreCount, PhysicalImpl::kLlmCount};
-  }
-  if (op_name == "Sum" || op_name == "Average" || op_name == "Min" ||
-      op_name == "Max" || op_name == "Median" || op_name == "Percentile") {
-    return {PhysicalImpl::kPreAggregate, PhysicalImpl::kLlmAggregate};
-  }
-  if (op_name == "Extract") {
-    return {PhysicalImpl::kRegexExtract, PhysicalImpl::kLlmExtract};
-  }
-  if (op_name == "OrderBy") {
-    return {PhysicalImpl::kNumericSort, PhysicalImpl::kLlmSort};
-  }
-  if (op_name == "TopK") {
-    return {PhysicalImpl::kNumericTopK, PhysicalImpl::kLlmTopK};
-  }
-  if (op_name == "Join") {
-    return {PhysicalImpl::kHashJoin, PhysicalImpl::kLlmJoin};
-  }
-  if (op_name == "Union" || op_name == "Intersection" ||
-      op_name == "Complementary") {
-    return {PhysicalImpl::kPreSetOp};
-  }
-  if (op_name == "Compare") return {PhysicalImpl::kPreCompare};
-  if (op_name == "Compute") return {PhysicalImpl::kPreCompute};
-  if (op_name == "Generate") return {PhysicalImpl::kLlmGenerate};
-  if (op_name == "Identity") return {PhysicalImpl::kIdentity};
-  return {};
+  const PhysicalOperator* op = FindPhysicalOperator(op_name);
+  if (op == nullptr) return {};
+  return op->Candidates(op_name, args);
 }
 
 }  // namespace unify::core

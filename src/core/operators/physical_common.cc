@@ -11,6 +11,40 @@
 
 namespace unify::core::internal {
 
+Status WrongInput(const std::string& op, const char* expect) {
+  return Status::InvalidArgument(op + ": expected " + expect + " input");
+}
+
+int64_t ArgInt(const OpArgs& args, const char* key, int64_t dflt) {
+  auto it = args.find(key);
+  if (it == args.end()) return dflt;
+  return ParseInt64(it->second).value_or(dflt);
+}
+
+std::string ArgStr(const OpArgs& args, const char* key,
+                   const std::string& dflt) {
+  auto it = args.find(key);
+  return it == args.end() ? dflt : it->second;
+}
+
+StatusOr<Value> BroadcastDocs(
+    const std::string& op, const Value& input,
+    const std::function<StatusOr<DocList>(const DocList&)>& fn) {
+  if (input.is<DocList>()) {
+    UNIFY_ASSIGN_OR_RETURN(DocList out, fn(input.get<DocList>()));
+    return Value(Value::Rep(std::move(out)));
+  }
+  if (input.is<GroupedDocs>()) {
+    GroupedDocs out;
+    for (const auto& [label, docs] : input.get<GroupedDocs>().groups) {
+      UNIFY_ASSIGN_OR_RETURN(DocList filtered, fn(docs));
+      out.groups.emplace_back(label, std::move(filtered));
+    }
+    return Value(Value::Rep(std::move(out)));
+  }
+  return WrongInput(op, "documents");
+}
+
 std::vector<DocList> BatchDocs(const DocList& docs, const ExecContext& ctx) {
   std::vector<DocList> batches;
   size_t batch_size = std::max(1, ctx.llm_batch_size);

@@ -1,6 +1,8 @@
 #ifndef UNIFY_CORE_OPERATORS_PHYSICAL_COMMON_H_
 #define UNIFY_CORE_OPERATORS_PHYSICAL_COMMON_H_
 
+#include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -56,6 +58,20 @@ StatusOr<double> AggregateValues(const std::vector<double>& values,
 
 /// Splits `docs` into batches of `ctx.llm_batch_size`.
 std::vector<DocList> BatchDocs(const DocList& docs, const ExecContext& ctx);
+
+/// Uniform "wrong input shape" error for operator implementations.
+Status WrongInput(const std::string& op, const char* expect);
+
+/// Argument accessors over the planner-extracted OpArgs map.
+int64_t ArgInt(const OpArgs& args, const char* key, int64_t dflt);
+std::string ArgStr(const OpArgs& args, const char* key,
+                   const std::string& dflt = "");
+
+/// Applies `fn : DocList -> StatusOr<DocList>` to a doc-shaped value,
+/// broadcasting over groups.
+StatusOr<Value> BroadcastDocs(
+    const std::string& op, const Value& input,
+    const std::function<StatusOr<DocList>(const DocList&)>& fn);
 
 }  // namespace unify::core::internal
 

@@ -1,0 +1,60 @@
+#include "core/operators/physical_operator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "core/operators/op_families.h"
+
+namespace unify::core {
+
+const PhysicalOperator* FindPhysicalOperator(const std::string& op_name) {
+  static const std::map<std::string, const PhysicalOperator*>* registry =
+      [] {
+        auto* m = new std::map<std::string, const PhysicalOperator*>();
+        for (const PhysicalOperator* op :
+             {&ops::ScanOp(), &ops::FilterOp(), &ops::GroupOp(),
+              &ops::AggregateOp(), &ops::OrderOp(), &ops::JoinOp(),
+              &ops::ScalarOp()}) {
+          for (const std::string& name : op->OpNames()) (*m)[name] = op;
+        }
+        return m;
+      }();
+  auto it = registry->find(op_name);
+  return it == registry->end() ? nullptr : it->second;
+}
+
+int PlanPartitionCount(double cardinality, int llm_batch_size,
+                       int max_partitions) {
+  if (max_partitions <= 1) return 1;
+  double batch = static_cast<double>(std::max(1, llm_batch_size));
+  int batches =
+      static_cast<int>(std::ceil(std::max(0.0, cardinality) / batch));
+  return std::max(1, std::min(max_partitions, batches));
+}
+
+std::vector<DocList> PartitionDocs(const DocList& docs, int llm_batch_size,
+                                   int max_partitions) {
+  size_t batch = static_cast<size_t>(std::max(1, llm_batch_size));
+  size_t num_batches = (docs.size() + batch - 1) / batch;
+  int k = PlanPartitionCount(static_cast<double>(docs.size()), llm_batch_size,
+                             max_partitions);
+  if (k <= 1 || num_batches <= 1) return {docs};
+  std::vector<DocList> chunks;
+  chunks.reserve(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    // Contiguous whole-batch ranges: chunk i covers batches
+    // [i*nb/k, (i+1)*nb/k), so boundaries always land on batch edges.
+    size_t lo_batch = num_batches * static_cast<size_t>(i) /
+                      static_cast<size_t>(k);
+    size_t hi_batch = num_batches * static_cast<size_t>(i + 1) /
+                      static_cast<size_t>(k);
+    size_t lo = std::min(docs.size(), lo_batch * batch);
+    size_t hi = std::min(docs.size(), hi_batch * batch);
+    chunks.emplace_back(docs.begin() + static_cast<ptrdiff_t>(lo),
+                        docs.begin() + static_cast<ptrdiff_t>(hi));
+  }
+  return chunks;
+}
+
+}  // namespace unify::core

@@ -1,0 +1,105 @@
+#ifndef UNIFY_CORE_OPERATORS_PHYSICAL_OPERATOR_H_
+#define UNIFY_CORE_OPERATORS_PHYSICAL_OPERATOR_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/operators/physical.h"
+
+namespace unify::core {
+
+/// One morsel of an operator's partitionable work: an independent closure
+/// that issues its own LLM stream and returns a partial result. Closures
+/// capture their document chunk by value and the ExecContext by reference
+/// (the executor keeps it alive for the node's whole run); they are safe to
+/// run concurrently with each other because the LLM client and corpus are
+/// thread-safe and every closure owns its partial OpStats.
+struct OpPartition {
+  std::function<StatusOr<OpOutput>()> run;
+  /// Documents this morsel covers (for cost attribution and telemetry).
+  size_t num_docs = 0;
+};
+
+/// A partitioned execution plan for one operator invocation, produced by
+/// PhysicalOperator::Partition. Running every partition (in any order, any
+/// concurrency) and then calling `merge` on the partial outputs — indexed
+/// in partition order — yields a value byte-identical to the sequential
+/// Execute() path. Partitions are whole LLM batches, so the set of LLM
+/// calls (and therefore OpStats totals) is also identical to sequential
+/// execution; `base_stats` accounts setup work already performed while
+/// partitioning (e.g. IndexScanFilter's ANN probe) plus any merge-side CPU.
+struct PartitionedExecution {
+  OpStats base_stats;
+  std::vector<OpPartition> partitions;
+  std::function<StatusOr<Value>(const std::vector<OpOutput>&)> merge;
+};
+
+/// A family of physical operator implementations (paper Section IV-B)
+/// behind a uniform interface: sequential execution, candidate enumeration
+/// for the optimizer, and optional morsel-driven partitioning of
+/// per-document LLM work (intra-operator parallelism). Implementations are
+/// stateless singletons; all methods are const and thread-safe.
+class PhysicalOperator {
+ public:
+  virtual ~PhysicalOperator() = default;
+
+  /// Logical operator names this family implements (registry keys).
+  virtual std::vector<std::string> OpNames() const = 0;
+
+  /// Whole-input sequential execution — the parallelism-1 semantics every
+  /// other path must reproduce exactly.
+  virtual StatusOr<OpOutput> Execute(const std::string& op_name,
+                                     PhysicalImpl impl, const OpArgs& args,
+                                     const std::vector<Value>& inputs,
+                                     ExecContext& ctx) const = 0;
+
+  /// Physical implementations available for `op_name` given its args
+  /// (stable order; first is not necessarily preferred — the optimizer
+  /// costs them).
+  virtual std::vector<PhysicalImpl> Candidates(const std::string& op_name,
+                                               const OpArgs& args) const = 0;
+
+  /// True when `impl` does per-document LLM work that Partition() can
+  /// split into independent morsels. CPU-only impls and single-call LLM
+  /// impls (e.g. kLlmCount) report false — they have zero LLM partitions.
+  virtual bool SupportsPartitioning(const std::string& op_name,
+                                    PhysicalImpl impl) const {
+    return false;
+  }
+
+  /// Splits this invocation into at most `max_partitions` morsels.
+  /// Returns nullopt when partitioning does not apply (unsupported impl,
+  /// grouped input, or fewer than two whole-batch morsels) — the caller
+  /// then falls back to Execute(). Never performs LLM work itself.
+  virtual StatusOr<std::optional<PartitionedExecution>> Partition(
+      const std::string& op_name, PhysicalImpl impl, const OpArgs& args,
+      const std::vector<Value>& inputs, ExecContext& ctx,
+      int max_partitions) const {
+    return std::optional<PartitionedExecution>();
+  }
+};
+
+/// Looks up the operator family implementing `op_name`; nullptr when no
+/// family claims it.
+const PhysicalOperator* FindPhysicalOperator(const std::string& op_name);
+
+/// Number of morsels a doc-level operator over `cardinality` documents
+/// splits into: whole LLM batches are never split (that would change the
+/// issued calls), so the count is min(max_partitions, ceil(card/batch)),
+/// at least 1.
+int PlanPartitionCount(double cardinality, int llm_batch_size,
+                       int max_partitions);
+
+/// Splits `docs` into contiguous chunks of whole LLM batches, one chunk
+/// per morsel. Concatenating the chunks in order reproduces `docs`, and
+/// every chunk boundary is a batch boundary, so batched LLM helpers issue
+/// exactly the same calls over the chunks as over the whole list. Returns
+/// a single chunk when PlanPartitionCount says 1 (or `docs` is empty).
+std::vector<DocList> PartitionDocs(const DocList& docs, int llm_batch_size,
+                                   int max_partitions);
+
+}  // namespace unify::core
+
+#endif  // UNIFY_CORE_OPERATORS_PHYSICAL_OPERATOR_H_

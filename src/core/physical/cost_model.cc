@@ -19,10 +19,10 @@ double DefaultPerElementDollars(PhysicalImpl impl) {
   return 0;
 }
 
-/// Effective cardinality an implementation touches: IndexScanFilter only
-/// LLM-verifies the ANN candidate set, whose size the optimizer fixes via
-/// args["index_candidates"].
-double EffectiveCard(PhysicalImpl impl, const OpArgs& args, double card_in) {
+}  // namespace
+
+double CostModel::EffectiveCardinality(PhysicalImpl impl, const OpArgs& args,
+                                       double card_in) {
   if (impl == PhysicalImpl::kIndexScanFilter) {
     auto cand_it = args.find("index_candidates");
     if (cand_it != args.end()) {
@@ -34,8 +34,6 @@ double EffectiveCard(PhysicalImpl impl, const OpArgs& args, double card_in) {
   }
   return std::max(0.0, card_in);
 }
-
-}  // namespace
 
 std::string CostModel::Key(const std::string& op_name,
                            PhysicalImpl impl) const {
@@ -94,12 +92,13 @@ double CostModel::EstimateDollars(const std::string& op_name,
                    ? DefaultPerElementDollars(impl)
                    : it->second.total_dollars / it->second.total_card;
   }
-  return per_elem * EffectiveCard(impl, args, card_in);
+  return per_elem * EffectiveCardinality(impl, args, card_in);
 }
 
 double CostModel::EstimateSeconds(const std::string& op_name,
                                   PhysicalImpl impl, const OpArgs& args,
-                                  double card_in, double card_out) const {
+                                  double card_in, double card_out,
+                                  int parallelism) const {
   double per_elem;
   double flat = 1e-4;
   {
@@ -112,7 +111,8 @@ double CostModel::EstimateSeconds(const std::string& op_name,
       flat = it->second.flat_seconds;
     }
   }
-  return flat + per_elem * EffectiveCard(impl, args, card_in);
+  double par = static_cast<double>(std::max(1, parallelism));
+  return flat + per_elem * EffectiveCardinality(impl, args, card_in) / par;
 }
 
 }  // namespace unify::core

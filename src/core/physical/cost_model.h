@@ -37,9 +37,20 @@ class CostModel {
   /// Estimated seconds for running `impl` of `op_name` over `card_in`
   /// elements producing `card_out`. For IndexScanFilter the LLM-verified
   /// candidate count matters, so `card_out` drives the cost; see .cc.
+  /// `parallelism` models morsel-driven intra-operator execution: the
+  /// per-element term divides by the number of concurrent partitions
+  /// (the fixed per-run cost does not), so a partitionable LLM impl gets
+  /// cheaper when servers are idle. 1 = the sequential stream model.
   double EstimateSeconds(const std::string& op_name, PhysicalImpl impl,
-                         const OpArgs& args, double card_in,
-                         double card_out) const;
+                         const OpArgs& args, double card_in, double card_out,
+                         int parallelism = 1) const;
+
+  /// The input cardinality `impl` actually touches: IndexScanFilter only
+  /// LLM-verifies its ANN candidate set (args["index_candidates"]);
+  /// everything else touches `card_in`. Exposed so the optimizer can size
+  /// partitions from the same number the estimates use.
+  static double EffectiveCardinality(PhysicalImpl impl, const OpArgs& args,
+                                     double card_in);
 
   /// Estimated per-element LLM seconds for `impl` (after calibration).
   double PerElementSeconds(const std::string& op_name,

@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "common/telemetry_names.h"
+#include "core/operators/physical_operator.h"
 #include "exec/schedule.h"
 
 namespace unify::core {
@@ -84,7 +85,9 @@ std::string PhysicalPlan::Explain() const {
     os << "  [" << StrJoin(n.logical.input_vars, ",") << "] -> "
        << n.logical.output_var << "  ~" << FormatDouble(n.est_in_card, 0)
        << "->" << FormatDouble(n.est_out_card, 0) << " rows, "
-       << FormatDouble(n.est_seconds, 2) << "s\n";
+       << FormatDouble(n.est_seconds, 2) << "s";
+    if (n.est_partitions > 1) os << " x" << n.est_partitions << " morsels";
+    os << "\n";
   }
   return os.str();
 }
@@ -412,10 +415,31 @@ StatusOr<PhysicalPlan> PhysicalOptimizer::OptimizeImpl(
   }
 
   // --- Physical operator selection (Section VI-C) ---
+  // Morsels the executor would split (op, impl) into: partitionable
+  // per-document LLM impls over flat inputs divide their per-element cost
+  // by up to max_intra_op_parallelism whole-batch partitions. Grouped
+  // inputs don't partition (the executor broadcasts per group instead).
+  auto partitions_for = [&opts](const PhysicalNode& node, PhysicalImpl impl,
+                                const OpArgs& args, bool in_grouped) {
+    if (opts.max_intra_op_parallelism <= 1 || in_grouped) return 1;
+    const PhysicalOperator* family =
+        FindPhysicalOperator(node.logical.op_name);
+    if (family == nullptr ||
+        !family->SupportsPartitioning(node.logical.op_name, impl)) {
+      return 1;
+    }
+    return PlanPartitionCount(
+        CostModel::EffectiveCardinality(impl, args, node.est_in_card),
+        opts.llm_batch_size, opts.max_intra_op_parallelism);
+  };
   Rng rule_rng(HashCombine(opts.seed, StableHash64(lp.Signature())));
   for (int u : order) {
     PhysicalNode& node = plan.nodes[u];
     const std::string& op = node.logical.op_name;
+    bool in_grouped = false;
+    for (const auto& in : node.logical.input_vars) {
+      in_grouped = in_grouped || var_grouped[in];
+    }
     if (op == "Scan") {
       node.impl = PhysicalImpl::kLinearScan;
       node.est_seconds = cost_model_->EstimateSeconds(
@@ -446,6 +470,8 @@ StatusOr<PhysicalPlan> PhysicalOptimizer::OptimizeImpl(
         node.logical.args["index_candidates"] =
             std::to_string(static_cast<int64_t>(N));
       }
+      node.est_partitions = partitions_for(node, node.impl,
+                                           node.logical.args, in_grouped);
       node.est_seconds = cost_model_->EstimateSeconds(
           op, node.impl, node.logical.args, node.est_in_card,
           node.est_out_card);
@@ -463,6 +489,12 @@ StatusOr<PhysicalPlan> PhysicalOptimizer::OptimizeImpl(
         args["index_candidates"] =
             std::to_string(static_cast<int64_t>(std::llround(cand)));
       }
+      // Implementation choice ranks candidates by their *sequential* cost
+      // on purpose: partitioning shortens every partitionable impl's span
+      // without changing its total work, and keeping the ranking
+      // independent of max_intra_op_parallelism is what makes answers
+      // byte-identical across parallelism settings. The parallelism
+      // speedup enters the plan-level est_makespan below instead.
       double cost =
           opts.objective == OptimizeObjective::kDollars
               ? cost_model_->EstimateDollars(op, impl, args,
@@ -479,6 +511,10 @@ StatusOr<PhysicalPlan> PhysicalOptimizer::OptimizeImpl(
     }
     node.impl = best_impl;
     node.logical.args = best_args;
+    node.est_partitions =
+        partitions_for(node, best_impl, best_args, in_grouped);
+    // est_seconds stays the sequential total: partitioning redistributes
+    // the work across servers, it does not reduce it.
     node.est_seconds = cost_model_->EstimateSeconds(
         op, best_impl, best_args, node.est_in_card, node.est_out_card);
   }
@@ -490,6 +526,12 @@ StatusOr<PhysicalPlan> PhysicalOptimizer::OptimizeImpl(
     exec::NodeCost c;
     if (ImplUsesLlm(node.impl)) {
       c.llm_seconds = node.est_seconds;
+      if (node.est_partitions > 1) {
+        c.llm_partitions.assign(
+            static_cast<size_t>(node.est_partitions),
+            node.est_seconds / static_cast<double>(node.est_partitions));
+        c.max_parallelism = opts.max_intra_op_parallelism;
+      }
     } else {
       c.cpu_seconds = node.est_seconds;
     }
@@ -500,6 +542,22 @@ StatusOr<PhysicalPlan> PhysicalOptimizer::OptimizeImpl(
       exec::ScheduleDag(plan.dag, costs, opts.num_servers,
                         /*sequential=*/false));
   plan.est_makespan = sched.makespan;
+  // Parallelism-independent ranking key: the same schedule with every
+  // node as one sequential stream.
+  if (opts.max_intra_op_parallelism > 1) {
+    std::vector<exec::NodeCost> seq_costs = costs;
+    for (auto& c : seq_costs) {
+      c.llm_partitions.clear();
+      c.max_parallelism = 1;
+    }
+    UNIFY_ASSIGN_OR_RETURN(
+        exec::ScheduleResult seq_sched,
+        exec::ScheduleDag(plan.dag, seq_costs, opts.num_servers,
+                          /*sequential=*/false));
+    plan.est_seq_makespan = seq_sched.makespan;
+  } else {
+    plan.est_seq_makespan = sched.makespan;
+  }
   for (const auto& node : plan.nodes) {
     plan.est_total_dollars += cost_model_->EstimateDollars(
         node.logical.op_name, node.impl, node.logical.args,
@@ -550,7 +608,9 @@ StatusOr<PhysicalPlan> PhysicalOptimizer::SelectBest(
       if (opts.objective == OptimizeObjective::kDollars) {
         return a.est_total_dollars < b.est_total_dollars;
       }
-      return a.est_makespan < b.est_makespan;
+      // Ranking by the sequential makespan keeps the chosen plan (and so
+      // the answer) independent of max_intra_op_parallelism.
+      return a.est_seq_makespan < b.est_seq_makespan;
     };
     if (!best.has_value() || better(*optimized, *best)) {
       best = std::move(optimized).value();

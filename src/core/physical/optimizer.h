@@ -41,6 +41,15 @@ struct OptimizerOptions {
   size_t num_categories = 10;
   /// LLM servers assumed when predicting plan makespans.
   int num_servers = 4;
+  /// Morsel-driven intra-operator parallelism the executor will run with:
+  /// a partitionable per-document LLM impl splits into up to this many
+  /// concurrent partition streams, so its predicted cost shrinks when
+  /// servers are idle (the cost objective models it, Section III-C
+  /// extended). 1 = the sequential stream model.
+  int max_intra_op_parallelism = 1;
+  /// Documents per batched LLM call — partitions are whole batches, so
+  /// this bounds how finely an operator can split.
+  int llm_batch_size = 16;
   /// IndexScanFilter verifies factor × estimated-cardinality candidates.
   double index_candidate_factor = 9.0;
   /// Which SCE method powers the cost model (Unify uses importance

@@ -17,7 +17,13 @@ struct PhysicalNode {
   PhysicalImpl impl = PhysicalImpl::kIdentity;
   double est_in_card = 0;
   double est_out_card = 0;
+  /// Total operator work (sequential-stream seconds); intra-operator
+  /// parallelism shortens the node's *span*, not its total work.
   double est_seconds = 0;
+  /// Morsels the optimizer expects the executor to split this node into
+  /// (1 = unpartitioned), bounded by max_intra_op_parallelism and the
+  /// node's whole-batch count.
+  int est_partitions = 1;
 };
 
 /// An executable physical plan (paper Section VI): DAG-shaped, with a
@@ -29,8 +35,15 @@ struct PhysicalPlan {
   std::string answer_var;
   std::string query_text;
 
-  /// Predicted end-to-end execution time on the LLM server pool.
+  /// Predicted end-to-end execution time on the LLM server pool, under
+  /// the effective max_intra_op_parallelism (partitioned nodes fan their
+  /// morsels across servers).
   double est_makespan = 0;
+  /// The same prediction with every node as one sequential stream
+  /// (parallelism 1). Plan *selection* ranks by this key so the chosen
+  /// plan — and therefore the answer — is byte-identical across
+  /// parallelism settings; est_makespan is the honest prediction.
+  double est_seq_makespan = 0;
   /// Predicted total API spend (the alternative objective).
   double est_total_dollars = 0;
   /// Structural red flag from the optimizer: the answer variable still

@@ -1,12 +1,15 @@
 #include "core/runtime/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 #include <mutex>
 
 #include "common/metrics.h"
 #include "common/telemetry_names.h"
+#include "core/operators/custom_ops.h"
+#include "core/operators/physical_operator.h"
 #include "exec/dag_runner.h"
 #include "exec/schedule.h"
 
@@ -25,6 +28,9 @@ ExecutionResult PlanExecutor::Execute(const PhysicalPlan& plan, Trace* trace,
   // Span of each DAG node, for post-hoc virtual-interval annotation. Slot
   // u is written only by the worker running node u.
   std::vector<SpanId> node_spans(plan.nodes.size(), kNoSpan);
+  // Per-partition LLM stream seconds of nodes that actually split (empty =
+  // node ran as one sequential stream). Same single-writer discipline.
+  std::vector<std::vector<double>> node_partitions(plan.nodes.size());
 
   auto run_node = [&](int u) -> Status {
     const PhysicalNode& node = plan.nodes[u];
@@ -51,8 +57,95 @@ ExecutionResult PlanExecutor::Execute(const PhysicalPlan& plan, Trace* trace,
     }
 
     ExecContext ctx = ctx_;  // per-node copy (cheap; pointers only)
-    auto output = ExecuteOp(node.logical.op_name, node.impl,
-                            node.logical.args, inputs, ctx);
+
+    // Runs one partitioned execution: every morsel is an independent LLM
+    // stream (concurrent on the wall-clock pool when threads are
+    // configured), merged order-stably into the node's output. Partitions
+    // are whole LLM batches, so the calls issued — and therefore the
+    // answer and the summed OpStats — are byte-identical to sequential.
+    auto run_partitioned =
+        [&](const PartitionedExecution& pe) -> StatusOr<OpOutput> {
+      const size_t num_parts = pe.partitions.size();
+      metrics.AddCounter(telemetry::kMetricExecPartitions,
+                         static_cast<double>(num_parts));
+      node_span.AddAttr("partitions", static_cast<int64_t>(num_parts));
+      std::vector<StatusOr<OpOutput>> parts(
+          num_parts, Status::Internal("partition not run"));
+      auto run_one = [&](size_t i) {
+        // Slot i is written only by the worker running morsel i.
+        ScopedSpan part_span(trace, telemetry::kSpanExecPartition,
+                             node_span.id());
+        if (trace != nullptr) {
+          part_span.AddAttr("partition", static_cast<int64_t>(i));
+          part_span.AddAttr("docs",
+                            static_cast<int64_t>(pe.partitions[i].num_docs));
+        }
+        parts[i] = pe.partitions[i].run();
+        if (trace != nullptr) {
+          if (parts[i].ok()) {
+            part_span.AddAttr("llm_seconds", parts[i]->stats.llm_seconds);
+            part_span.AddAttr("llm_calls", parts[i]->stats.llm_calls);
+          } else {
+            part_span.AddAttr("status", parts[i].status().ToString());
+          }
+        }
+      };
+      if (options_.threads > 1) {
+        ThreadPool part_pool(std::min(static_cast<size_t>(options_.threads),
+                                      num_parts));
+        for (size_t i = 0; i < num_parts; ++i) {
+          part_pool.Schedule([&run_one, i] { run_one(i); });
+        }
+        part_pool.Wait();
+      } else {
+        for (size_t i = 0; i < num_parts; ++i) run_one(i);
+      }
+      OpOutput out;
+      out.stats = pe.base_stats;
+      std::vector<double> part_llm;
+      part_llm.reserve(num_parts);
+      std::vector<OpOutput> outputs;
+      outputs.reserve(num_parts);
+      for (StatusOr<OpOutput>& part : parts) {
+        if (!part.ok()) return part.status();
+        out.stats.Add(part->stats);
+        part_llm.push_back(part->stats.llm_seconds);
+        outputs.push_back(std::move(*part));
+      }
+      const auto merge_start = std::chrono::steady_clock::now();
+      UNIFY_ASSIGN_OR_RETURN(out.value, pe.merge(outputs));
+      const double merge_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        merge_start)
+              .count();
+      metrics.Observe(telemetry::kMetricExecPartitionMerge, merge_seconds);
+      node_span.AddAttr("merge_seconds", merge_seconds);
+      node_partitions[u] = std::move(part_llm);
+      return out;
+    };
+
+    // Try morsel-driven execution first; anything unpartitionable (CPU
+    // impls, grouped inputs, custom ops, single-batch inputs) falls back
+    // to the whole-input path with identical semantics.
+    std::optional<StatusOr<OpOutput>> partitioned_output;
+    if (options_.max_intra_op_parallelism > 1 && ctx.llm != nullptr &&
+        (ctx.custom_ops == nullptr ||
+         ctx.custom_ops->Find(node.logical.op_name) == nullptr)) {
+      if (const PhysicalOperator* family =
+              FindPhysicalOperator(node.logical.op_name);
+          family != nullptr) {
+        auto pe = family->Partition(node.logical.op_name, node.impl,
+                                    node.logical.args, inputs, ctx,
+                                    options_.max_intra_op_parallelism);
+        if (pe.ok() && pe->has_value()) {
+          partitioned_output = run_partitioned(**pe);
+        }
+      }
+    }
+    auto output = partitioned_output.has_value()
+                      ? std::move(*partitioned_output)
+                      : ExecuteOp(node.logical.op_name, node.impl,
+                                  node.logical.args, inputs, ctx);
 
     // Plan adjustment (Section III-C): when an operator fails to produce
     // the expected result, retry with alternative physical
@@ -114,10 +207,17 @@ ExecutionResult PlanExecutor::Execute(const PhysicalPlan& plan, Trace* trace,
   // Virtual-time accounting from the measured per-node streams.
   std::vector<exec::NodeCost> costs;
   costs.reserve(plan.nodes.size());
-  for (const auto& stats : node_stats_) {
+  for (size_t i = 0; i < node_stats_.size(); ++i) {
+    const OpStats& stats = node_stats_[i];
     exec::NodeCost c;
     c.cpu_seconds = stats.cpu_seconds;
     c.llm_seconds = stats.llm_seconds;
+    // Nodes that split carry their measured per-morsel streams so the
+    // virtual schedule fans them across servers.
+    if (node_partitions[i].size() > 1) {
+      c.llm_partitions = node_partitions[i];
+      c.max_parallelism = options_.max_intra_op_parallelism;
+    }
     costs.push_back(c);
     result.llm_seconds_total += stats.llm_seconds;
     result.llm_dollars_total += stats.llm_dollars;

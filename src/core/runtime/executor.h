@@ -47,6 +47,13 @@ class PlanExecutor {
     int threads = 0;
     /// Retries per failing operator during plan adjustment.
     int max_adjustments = 2;
+    /// Morsel-driven intra-operator parallelism: a partitionable
+    /// per-document LLM operator splits into up to this many independent
+    /// whole-batch partitions that occupy distinct virtual servers
+    /// concurrently (and run on `threads` wall-clock workers when set).
+    /// Answers are byte-identical for every setting; 1 reproduces the
+    /// sequential single-stream model exactly.
+    int max_intra_op_parallelism = 1;
     /// Shared virtual LLM server pool (a UnifyService serving session):
     /// this plan's operator streams compete with every other in-flight
     /// query's streams, so the reported virtual times include cross-query

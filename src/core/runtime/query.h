@@ -51,6 +51,12 @@ struct QueryRequest {
   std::optional<PhysicalMode> physical_mode;
   /// Per-query override of UnifyOptions::collect_trace.
   std::optional<bool> collect_trace;
+  /// Per-query override of the executor's morsel-driven intra-operator
+  /// parallelism (PlanExecutor::Options::max_intra_op_parallelism) —
+  /// also steers the optimizer's makespan prediction. Values < 1 clamp
+  /// to 1; 1 reproduces the sequential single-stream model exactly, and
+  /// answers are byte-identical for every setting.
+  std::optional<int> max_intra_op_parallelism;
 
   /// Upper bound on the query's *virtual* total time (planning + execution
   /// including cross-query queueing), in seconds; 0 = no deadline. A query
@@ -98,6 +104,10 @@ struct QueryResult {
   /// serving this includes waiting for servers occupied by other queries'
   /// streams (cross-query contention).
   double exec_seconds = 0;
+  /// The optimizer's predicted makespan for the chosen plan (est_makespan,
+  /// under the query's effective intra-operator parallelism) — compare
+  /// with exec_seconds to judge cost-model accuracy.
+  double predicted_exec_seconds = 0;
   double total_seconds = 0;
   /// Virtual arrival (ready) time of the query and its absolute
   /// completion time on the serving clock: completion = arrival + total.

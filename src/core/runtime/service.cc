@@ -64,6 +64,11 @@ QueryResult UnifyService::Serve(const QueryRequest& request,
   if (effective.deadline_seconds <= 0) {
     effective.deadline_seconds = options_.default_deadline_seconds;
   }
+  if (!effective.max_intra_op_parallelism.has_value() &&
+      options_.default_max_intra_op_parallelism > 0) {
+    effective.max_intra_op_parallelism =
+        options_.default_max_intra_op_parallelism;
+  }
 
   // The serve.query span parents the query's own span tree, so a served
   // trace shows the serving layer on top of the usual lifecycle.

@@ -37,6 +37,10 @@ class UnifyService {
     int max_queue_depth = 64;
     /// Deadline applied to requests that carry none (0 = unlimited).
     double default_deadline_seconds = 0;
+    /// Intra-operator parallelism applied to requests that carry no
+    /// max_intra_op_parallelism override (0 = keep the system-wide
+    /// UnifyOptions::exec setting).
+    int default_max_intra_op_parallelism = 0;
   };
 
   /// Serving counters (wall-clock process state, not virtual time).

@@ -64,6 +64,9 @@ Status UnifySystem::Setup() {
   oopts.corpus_size = corpus_->size();
   oopts.num_categories = corpus_->knowledge().categories().size();
   oopts.num_servers = options_.exec.num_servers;
+  oopts.max_intra_op_parallelism =
+      std::max(1, options_.exec.max_intra_op_parallelism);
+  oopts.llm_batch_size = options_.llm_batch_size;
   oopts.index_candidate_factor = options_.index_candidate_factor;
   oopts.seed = options_.seed ^ 0xabcd;
   optimizer_ = std::make_unique<PhysicalOptimizer>(&cost_model_,
@@ -290,6 +293,13 @@ QueryResult UnifySystem::AnswerInternal(const QueryRequest& request,
   OptimizerOptions oopts = optimizer_->options();
   if (request.objective.has_value()) oopts.objective = *request.objective;
   if (request.physical_mode.has_value()) oopts.mode = *request.physical_mode;
+  // Effective intra-operator parallelism: the request override wins, else
+  // the system-wide setting; the optimizer predicts and the executor runs
+  // under the same value.
+  const int intra_op_parallelism =
+      std::max(1, request.max_intra_op_parallelism.value_or(
+                      options_.exec.max_intra_op_parallelism));
+  oopts.max_intra_op_parallelism = intra_op_parallelism;
   auto physical =
       optimizer_->SelectBest(generated->plans, oopts, trace.get(), root.id());
   if (!physical.ok()) {
@@ -301,6 +311,7 @@ QueryResult UnifySystem::AnswerInternal(const QueryRequest& request,
   result.plan_seconds += physical->optimize_llm_seconds;
   result.plan_debug = physical->DebugString();
   result.plan_explain = physical->Explain();
+  result.predicted_exec_seconds = physical->est_makespan;
 
   // Deadline pre-check: if planning plus the *predicted* makespan already
   // overruns the budget, abort before spending execution-side LLM calls.
@@ -326,6 +337,7 @@ QueryResult UnifySystem::AnswerInternal(const QueryRequest& request,
   ctx.custom_ops = options_.custom_ops;
   ctx.llm_batch_size = options_.llm_batch_size;
   PlanExecutor::Options eopts = options_.exec;
+  eopts.max_intra_op_parallelism = intra_op_parallelism;
   eopts.shared_pool = shared_pool;
   // Execution streams become ready once planning finishes on the virtual
   // clock (planning runs on the planner tier, not the worker pool).

@@ -17,6 +17,18 @@ StatusOr<ScheduleResult> ScheduleDag(const Dag& dag,
   }
   UNIFY_ASSIGN_OR_RETURN(std::vector<int> order, dag.TopologicalOrder());
 
+  // Finish time of node `u` whose LLM work becomes ready at `at`:
+  // partitioned nodes fan their morsels across servers, everything else
+  // runs as one sequential stream.
+  auto finish_of = [&](int u, double at) {
+    const NodeCost& c = costs[u];
+    if (c.max_parallelism > 1 && c.llm_partitions.size() > 1) {
+      return pool->ScheduleParallelStream(at, c.llm_partitions,
+                                          c.max_parallelism);
+    }
+    return pool->ScheduleStream(at, c.llm_seconds);
+  };
+
   ScheduleResult result;
   result.start.assign(dag.size(), base);
   result.finish.assign(dag.size(), base);
@@ -27,9 +39,7 @@ StatusOr<ScheduleResult> ScheduleDag(const Dag& dag,
       double ready = clock;
       for (int p : dag.parents(u)) ready = std::max(ready, result.finish[p]);
       result.start[u] = ready;
-      double after_cpu = ready + costs[u].cpu_seconds;
-      result.finish[u] =
-          pool->ScheduleStream(after_cpu, costs[u].llm_seconds);
+      result.finish[u] = finish_of(u, ready + costs[u].cpu_seconds);
       clock = result.finish[u];
     }
     result.makespan = clock;
@@ -58,8 +68,7 @@ StatusOr<ScheduleResult> ScheduleDag(const Dag& dag,
     auto [ready, u] = queue.top();
     queue.pop();
     result.start[u] = ready;
-    double after_cpu = ready + costs[u].cpu_seconds;
-    result.finish[u] = pool->ScheduleStream(after_cpu, costs[u].llm_seconds);
+    result.finish[u] = finish_of(u, ready + costs[u].cpu_seconds);
     makespan = std::max(makespan, result.finish[u]);
     ++done;
     for (int v : dag.children(u)) {

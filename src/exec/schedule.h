@@ -16,6 +16,13 @@ struct NodeCost {
   /// LLM-side work: a sequential stream of batched calls occupying one
   /// simulated server.
   double llm_seconds = 0;
+  /// Morsel-driven intra-operator parallelism: when non-empty AND
+  /// `max_parallelism` > 1, the node's LLM work is issued as these
+  /// independent partition streams (they should sum to `llm_seconds`)
+  /// instead of one sequential stream, with at most `max_parallelism`
+  /// partitions in flight at once. Empty = unpartitioned (the default).
+  std::vector<double> llm_partitions;
+  int max_parallelism = 1;
 };
 
 /// A computed execution timeline. All times are absolute virtual seconds

@@ -1,6 +1,8 @@
 #include "exec/virtual_pool.h"
 
 #include <algorithm>
+#include <functional>
+#include <queue>
 
 #include "common/logging.h"
 
@@ -24,6 +26,52 @@ double VirtualLlmPool::ScheduleStream(double ready, double total_seconds) {
   free_at_[best] = end;
   busy_seconds_ += total_seconds;
   return end;
+}
+
+double VirtualLlmPool::ScheduleParallelStream(
+    double ready, const std::vector<double>& partition_seconds,
+    int max_parallelism) {
+  // Degenerate cases reduce to the single-stream path so parallelism 1
+  // reproduces the sequential model exactly (one stream, one server).
+  double total = 0;
+  int live = 0;
+  for (double s : partition_seconds) {
+    if (s > 0) {
+      total += s;
+      ++live;
+    }
+  }
+  if (live == 0) return ready;
+  if (max_parallelism <= 1 || live == 1) return ScheduleStream(ready, total);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  // Morsel lanes: at most `max_parallelism` partitions in flight at once.
+  // Partitions are dispatched in order; each waits for a free lane (its
+  // own node's concurrency budget) AND a free server (the shared pool).
+  // Everything is assigned under one lock so a node's partitions land as
+  // one atomic unit relative to other concurrent schedules.
+  std::priority_queue<double, std::vector<double>, std::greater<double>>
+      lane_free;
+  double end_max = ready;
+  for (double s : partition_seconds) {
+    if (s <= 0) continue;
+    double at = ready;
+    if (static_cast<int>(lane_free.size()) >= max_parallelism) {
+      at = std::max(at, lane_free.top());
+      lane_free.pop();
+    }
+    size_t best = 0;
+    for (size_t i = 1; i < free_at_.size(); ++i) {
+      if (free_at_[i] < free_at_[best]) best = i;
+    }
+    double start = std::max(free_at_[best], at);
+    double end = start + s;
+    free_at_[best] = end;
+    busy_seconds_ += s;
+    lane_free.push(end);
+    end_max = std::max(end_max, end);
+  }
+  return end_max;
 }
 
 double VirtualLlmPool::Now() const {

@@ -30,6 +30,20 @@ class VirtualLlmPool {
   /// completion time. Thread-safe.
   double ScheduleStream(double ready, double total_seconds);
 
+  /// Schedules one operator's work as independent partition streams
+  /// (morsel-driven intra-operator parallelism): every entry of
+  /// `partition_seconds` is its own stream, all ready at `ready`, with at
+  /// most `max_parallelism` of them in flight at once. Each in-flight
+  /// partition occupies one server, so a node can keep several servers
+  /// busy while still queueing fairly against other concurrent schedules
+  /// (the whole assignment happens under one lock). Returns the completion
+  /// time of the last partition. With `max_parallelism` <= 1 or a single
+  /// partition this degenerates to ScheduleStream over the summed
+  /// duration — exactly the sequential behavior. Thread-safe.
+  double ScheduleParallelStream(double ready,
+                                const std::vector<double>& partition_seconds,
+                                int max_parallelism);
+
   int num_servers() const { return static_cast<int>(free_at_.size()); }
 
   /// The pool's monotonic virtual clock: the earliest absolute time at

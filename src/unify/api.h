@@ -11,6 +11,10 @@
 ///                                    llm/caching_client.h)
 ///   * the system + options          (core/runtime/unify.h)
 ///   * the query request/response    (core/runtime/query.h)
+///     — including the morsel-driven intra-operator parallelism knob
+///       (UnifyOptions::exec.max_intra_op_parallelism, overridable per
+///       query via QueryRequest::max_intra_op_parallelism; answers are
+///       byte-identical for every setting, see docs/api.md)
 ///   * the concurrent serving layer  (core/runtime/service.h)
 ///   * custom operator registration  (core/operators/custom_ops.h)
 ///   * status/error taxonomy         (common/status.h)

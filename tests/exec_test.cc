@@ -101,6 +101,43 @@ TEST(VirtualPoolTest, ZeroDurationIsFree) {
   EXPECT_DOUBLE_EQ(pool.MaxBusyTime(), 0);
 }
 
+TEST(VirtualPoolTest, ParallelStreamOverlapsPartitions) {
+  VirtualLlmPool pool(4);
+  // Four equal partitions on four servers finish together.
+  EXPECT_DOUBLE_EQ(pool.ScheduleParallelStream(0, {10, 10, 10, 10}, 4), 10);
+  EXPECT_DOUBLE_EQ(pool.TotalBusySeconds(), 40);
+}
+
+TEST(VirtualPoolTest, ParallelStreamDegeneratesToSequential) {
+  // max_parallelism 1 must be byte-for-byte ScheduleStream of the sum.
+  VirtualLlmPool a(4);
+  VirtualLlmPool b(4);
+  EXPECT_DOUBLE_EQ(a.ScheduleParallelStream(2, {3, 4, 5}, 1),
+                   b.ScheduleStream(2, 12));
+  // A single live partition also collapses to one stream.
+  EXPECT_DOUBLE_EQ(a.ScheduleParallelStream(0, {0, 7, 0}, 4),
+                   b.ScheduleStream(0, 7));
+}
+
+TEST(VirtualPoolTest, ParallelStreamRespectsLaneCap) {
+  // Four 10s partitions but only 2 allowed in flight: two rounds.
+  VirtualLlmPool pool(4);
+  EXPECT_DOUBLE_EQ(pool.ScheduleParallelStream(0, {10, 10, 10, 10}, 2), 20);
+}
+
+TEST(VirtualPoolTest, ParallelStreamBoundByServers) {
+  // Parallelism 4 on a 2-server pool: the servers are the bottleneck.
+  VirtualLlmPool pool(2);
+  EXPECT_DOUBLE_EQ(pool.ScheduleParallelStream(0, {10, 10, 10, 10}, 4), 20);
+}
+
+TEST(VirtualPoolTest, ParallelStreamEmptyIsFree) {
+  VirtualLlmPool pool(2);
+  EXPECT_DOUBLE_EQ(pool.ScheduleParallelStream(5, {}, 4), 5);
+  EXPECT_DOUBLE_EQ(pool.ScheduleParallelStream(5, {0, 0}, 4), 5);
+  EXPECT_DOUBLE_EQ(pool.TotalBusySeconds(), 0);
+}
+
 TEST(ScheduleDagTest, ParallelBeatsSequentialOnDiamond) {
   Dag dag = Diamond();
   std::vector<NodeCost> costs(4);
@@ -137,6 +174,73 @@ TEST(ScheduleDagTest, MakespanAtLeastCriticalPath) {
   auto result = ScheduleDag(dag, costs, 8, false);
   ASSERT_TRUE(result.ok());
   EXPECT_GE(result->makespan, 9.0 - 1e-9);  // depth 3 × 3s
+}
+
+TEST(ScheduleDagTest, PartitionedNodeShortensSpanNotWork) {
+  Dag dag;
+  dag.AddNode();
+  std::vector<NodeCost> costs(1);
+  costs[0].llm_seconds = 40;
+
+  auto whole = ScheduleDag(dag, costs, 4, false);
+  ASSERT_TRUE(whole.ok());
+  EXPECT_NEAR(whole->makespan, 40.0, 1e-9);
+
+  costs[0].llm_partitions = {10, 10, 10, 10};
+  costs[0].max_parallelism = 4;
+  auto split = ScheduleDag(dag, costs, 4, false);
+  ASSERT_TRUE(split.ok());
+  EXPECT_NEAR(split->makespan, 10.0, 1e-9);
+}
+
+TEST(ScheduleDagTest, NonzeroBaseOnSharedPoolInterleavesQueries) {
+  // Two queries share one 2-server pool (the UnifyService model); their
+  // schedules interleave on the shared clock instead of resetting to 0.
+  VirtualLlmPool pool(2);
+  Dag dag;
+  dag.AddNode();
+  dag.AddNode();
+  ASSERT_TRUE(dag.AddEdge(0, 1).ok());
+  std::vector<NodeCost> costs(2);
+  costs[0].llm_seconds = 10;
+  costs[1].llm_seconds = 10;
+
+  // Query A arrives at t=0: node 0 on server one [0,10], node 1 on
+  // server two [10,20] (greedy earliest-free).
+  auto a = ScheduleDag(dag, costs, &pool, /*sequential=*/false, /*base=*/0);
+  ASSERT_TRUE(a.ok());
+  EXPECT_NEAR(a->start[0], 0.0, 1e-9);
+  EXPECT_NEAR(a->makespan, 20.0, 1e-9);
+
+  // Query B arrives at t=5 but both servers are taken by A (free at 10
+  // and 20): its first stream queues until 10 — absolute times on the
+  // shared clock, with cross-query waiting, not a private 0-based pool.
+  auto b = ScheduleDag(dag, costs, &pool, /*sequential=*/false, /*base=*/5);
+  ASSERT_TRUE(b.ok());
+  EXPECT_NEAR(b->start[0], 5.0, 1e-9);   // ready (arrival), not dispatch
+  EXPECT_NEAR(b->finish[0], 20.0, 1e-9);  // waited 5s for A's server
+  EXPECT_NEAR(b->makespan, 30.0, 1e-9);
+
+  // Query C arrives at t=0 on the now-loaded pool (servers free at 30
+  // and 20): its 2s stream queues until 20.
+  Dag one;
+  one.AddNode();
+  std::vector<NodeCost> c_costs(1);
+  c_costs[0].llm_seconds = 2;
+  auto c = ScheduleDag(one, c_costs, &pool, false, /*base=*/0);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NEAR(c->makespan, 22.0, 1e-9);
+
+  // A partitioned node arriving at t=20 still respects the shared load:
+  // one server is busy until 30, so its two 4s morsels share the other
+  // server back to back: [22,26] and [26,30].
+  std::vector<NodeCost> p_costs(1);
+  p_costs[0].llm_seconds = 8;
+  p_costs[0].llm_partitions = {4, 4};
+  p_costs[0].max_parallelism = 2;
+  auto p = ScheduleDag(one, p_costs, &pool, false, /*base=*/20);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(p->makespan, 30.0, 1e-9);
 }
 
 TEST(ScheduleDagTest, SizeMismatchRejected) {

@@ -1,4 +1,6 @@
 #include <algorithm>
+#include <set>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -637,6 +639,25 @@ TEST_F(OperatorsTest, ValueToAnswerConversions) {
   EXPECT_EQ(Value(Value::Rep(g)).ToAnswer().kind,
             corpus::Answer::Kind::kNone);
   EXPECT_EQ(Value().ToAnswer().kind, corpus::Answer::Kind::kNone);
+}
+
+// Every PhysicalImpl enum value must render a unique, non-empty name:
+// the switch in PhysicalImplName() has no default, so a newly added
+// implementation that misses a case falls through to "Unknown" and this
+// test catches it.
+TEST(RegistryTest, PhysicalImplNameExhaustive) {
+  const int first = static_cast<int>(PhysicalImpl::kLinearScan);
+  const int last = static_cast<int>(PhysicalImpl::kIdentity);
+  std::set<std::string> seen;
+  for (int i = first; i <= last; ++i) {
+    const char* name = PhysicalImplName(static_cast<PhysicalImpl>(i));
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "") << "impl " << i;
+    EXPECT_STRNE(name, "Unknown") << "impl " << i;
+    EXPECT_TRUE(seen.insert(name).second)
+        << "duplicate PhysicalImplName: " << name;
+  }
+  EXPECT_EQ(seen.size(), static_cast<size_t>(last - first + 1));
 }
 
 TEST_F(OperatorsTest, CardinalityAccounting) {

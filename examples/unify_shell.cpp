@@ -6,6 +6,11 @@
 //   unify> \plan on          (toggle physical-plan printing)
 //   unify> \trace on         (print the span tree of each query)
 //   unify> \trace json FILE  (export the last trace for chrome://tracing)
+//   unify> \explain analyze  (last query: estimated vs actual, per node)
+//   unify> \events 20        (recent serving flight-recorder events)
+//   unify> \slow             (slowest served queries, with traces)
+//   unify> \prom             (Prometheus text exposition of all metrics)
+//   unify> \accuracy         (estimator/cost-model calibration report)
 //   unify> \stats            (cumulative LLM usage)
 //   unify> \concurrency 8    (size of the serving worker pool)
 //   unify> q1 ;; q2 ;; q3    (submit a batch concurrently)
@@ -23,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "common/accuracy.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "unify/api.h"
@@ -71,6 +77,8 @@ int main(int argc, char** argv) {
   bool show_plan = false;
   bool show_trace = false;
   std::shared_ptr<Trace> last_trace;
+  // Last completed QueryResult, for \explain analyze.
+  std::unique_ptr<core::QueryResult> last_result;
   std::string line;
   while (true) {
     std::printf("unify> ");
@@ -85,6 +93,20 @@ int main(int argc, char** argv) {
                   "execution timeline\n");
       std::printf("  \\trace json FILE  export the last query's trace as "
                   "Chrome trace-event JSON\n");
+      std::printf("  \\explain analyze  last query's per-node estimated vs "
+                  "actual (EXPLAIN ANALYZE)\n");
+      std::printf("  \\events [N]       last N serving flight-recorder "
+                  "events (default 16)\n");
+      std::printf("  \\events json FILE export all retained events as JSON "
+                  "Lines\n");
+      std::printf("  \\slow             slowest served queries (traces "
+                  "retained)\n");
+      std::printf("  \\slow json FILE   export the slowest query's trace as "
+                  "Chrome JSON\n");
+      std::printf("  \\prom             Prometheus text exposition of the "
+                  "metrics registry\n");
+      std::printf("  \\accuracy         prediction-accuracy ledger "
+                  "(q-errors, cost calibration)\n");
       std::printf("  \\metrics          process-wide metrics registry "
                   "snapshot\n");
       std::printf("  \\stats            cumulative simulated LLM usage\n");
@@ -151,6 +173,99 @@ int main(int argc, char** argv) {
                   MetricsRegistry::Global().Snapshot().ToText().c_str());
       continue;
     }
+    if (input == "\\prom") {
+      std::printf(
+          "%s",
+          MetricsRegistry::Global().Snapshot().ToPrometheusText().c_str());
+      continue;
+    }
+    if (input == "\\accuracy") {
+      std::printf("%s", AccuracyLedger::Global().ToText().c_str());
+      continue;
+    }
+    if (input == "\\explain analyze") {
+      if (last_result == nullptr || last_result->plan_analysis.empty()) {
+        std::printf("  no executed query yet; run a query first\n");
+        continue;
+      }
+      std::printf("%s", last_result->explain_analyze().c_str());
+      continue;
+    }
+    if (input.rfind("\\events json", 0) == 0) {
+      std::string path(StripAsciiWhitespace(
+          input.substr(std::string("\\events json").size())));
+      if (path.empty()) path = "unify_events.jsonl";
+      std::ofstream out(path);
+      if (!out) {
+        std::printf("  cannot open %s\n", path.c_str());
+        continue;
+      }
+      out << service->flight_recorder().ToJsonl();
+      std::printf("  wrote %s\n", path.c_str());
+      continue;
+    }
+    if (input.rfind("\\events", 0) == 0) {
+      std::string arg(StripAsciiWhitespace(
+          input.substr(std::string("\\events").size())));
+      size_t limit = arg.empty() ? 16 : static_cast<size_t>(
+                                            std::atoi(arg.c_str()));
+      if (limit == 0) limit = 16;
+      auto events = service->flight_recorder().events();
+      const size_t first = events.size() > limit ? events.size() - limit : 0;
+      std::printf("  %llu events recorded, %zu retained; showing %zu:\n",
+                  static_cast<unsigned long long>(
+                      service->flight_recorder().total_recorded()),
+                  events.size(), events.size() - first);
+      for (size_t i = first; i < events.size(); ++i) {
+        const auto& e = events[i];
+        std::printf("  #%-5llu %8.2fs %-13s q=%016llx %s%s%s%s\n",
+                    static_cast<unsigned long long>(e.seq), e.wall_seconds,
+                    core::ServeEventKindName(e.kind),
+                    static_cast<unsigned long long>(e.query_id),
+                    e.client_tag.empty() ? "" : (e.client_tag + " ").c_str(),
+                    e.phase.empty() ? "" : ("[" + e.phase + "] ").c_str(),
+                    e.total_seconds > 0
+                        ? (FormatDouble(e.total_seconds, 1) + "s ").c_str()
+                        : "",
+                    e.detail.c_str());
+      }
+      continue;
+    }
+    if (input.rfind("\\slow json", 0) == 0) {
+      auto slow = service->flight_recorder().slow_queries();
+      if (slow.empty() || slow.front().trace == nullptr) {
+        std::printf("  no slow-query trace retained yet\n");
+        continue;
+      }
+      std::string path(StripAsciiWhitespace(
+          input.substr(std::string("\\slow json").size())));
+      if (path.empty()) path = "unify_slow_trace.json";
+      std::ofstream out(path);
+      if (!out) {
+        std::printf("  cannot open %s\n", path.c_str());
+        continue;
+      }
+      out << slow.front().trace->ToChromeJson();
+      std::printf("  wrote %s (trace of the slowest query)\n", path.c_str());
+      continue;
+    }
+    if (input == "\\slow") {
+      auto slow = service->flight_recorder().slow_queries();
+      if (slow.empty()) {
+        std::printf("  no served queries yet\n");
+        continue;
+      }
+      for (size_t i = 0; i < slow.size(); ++i) {
+        const auto& s = slow[i];
+        std::printf("  %zu. %7.1fs (%.1fs plan + %.1fs exec)%s %s%s\n",
+                    i + 1, s.total_seconds, s.plan_seconds, s.exec_seconds,
+                    s.trace != nullptr ? " [trace]" : "",
+                    s.client_tag.empty() ? "" : (s.client_tag + ": ").c_str(),
+                    s.text.c_str());
+      }
+      std::printf("  (\\slow json FILE exports the slowest query's trace)\n");
+      continue;
+    }
     if (input == "\\stats") {
       auto usage = llm.usage();
       std::printf("  %lld calls, %.1fk in-tokens, %.1fk out-tokens, "
@@ -210,6 +325,9 @@ int main(int argc, char** argv) {
     for (size_t i = 0; i < futures.size(); ++i) {
       auto result = futures[i].get();
       if (result.trace != nullptr) last_trace = result.trace;
+      if (!result.plan_analysis.empty()) {
+        last_result = std::make_unique<core::QueryResult>(result);
+      }
       if (batch.size() > 1) std::printf("[%zu] %s\n", i + 1, batch[i].c_str());
       if (!result.status.ok()) {
         std::printf("error (%s): %s\n", core::QueryPhaseName(result.phase),

@@ -28,7 +28,7 @@ else
   FLAG="-fsanitize=thread"
 fi
 
-TESTS=(virtual_pool_test service_test executor_test partition_test)
+TESTS=(virtual_pool_test service_test executor_test partition_test flight_recorder_test)
 
 # Probe: can this toolchain produce a binary under this sanitizer at all?
 probe="$(mktemp -d)"

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Documentation lint, wired into ctest as `check_docs`:
-#   1. every span/metric name in src/common/telemetry_names.h is
-#      documented in docs/observability.md;
+#   1. every span/metric/accuracy/serve-event name in
+#      src/common/telemetry_names.h is documented in
+#      docs/observability.md;
 #   2. relative Markdown links in README.md and docs/*.md resolve;
 #   3. every `src/...` path mentioned in the docs exists (supports
 #      {h,cc}-style brace lists);
@@ -26,9 +27,12 @@ OBS=docs/observability.md
 if [[ ! -f "$OBS" ]]; then
   fail "$OBS is missing"
 else
-  # Every quoted string literal in the catalog header is a span/metric name.
-  names=$(sed -n 's/^inline constexpr char k[A-Za-z0-9]*\[\] = "\([^"]*\)";.*/\1/p' \
-      src/common/telemetry_names.h)
+  # Every quoted string literal in the catalog header is a span, metric,
+  # accuracy-ledger, or flight-recorder event name. Joining lines first
+  # keeps declarations that wrap onto a continuation line in scope.
+  names=$(tr '\n' ' ' < src/common/telemetry_names.h |
+      grep -o 'inline constexpr char k[A-Za-z0-9]*\[\] *= *"[^"]*"' |
+      sed 's/.*"\([^"]*\)"/\1/')
   [[ -n "$names" ]] || fail "no names extracted from telemetry_names.h"
   while IFS= read -r name; do
     [[ -n "$name" ]] || continue

@@ -1,0 +1,121 @@
+#include "common/accuracy.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/metrics.h"
+#include "common/telemetry_names.h"
+
+namespace unify {
+
+namespace {
+
+void AppendHistLine(std::ostringstream& os, const std::string& label,
+                    const Histogram& h) {
+  char buf[192];
+  if (h.count() == 0) {
+    std::snprintf(buf, sizeof(buf), "  %-28s (no samples)\n", label.c_str());
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "  %-28s n=%-6zu p50=%-9.4g p90=%-9.4g max=%.4g\n",
+                  label.c_str(), h.count(), h.Quantile(0.5), h.Quantile(0.9),
+                  h.Max());
+  }
+  os << buf;
+}
+
+}  // namespace
+
+void AccuracyLedger::RecordSceQError(const std::string& method,
+                                     double qerror) {
+  MetricObserve(std::string(telemetry::kMetricSceQError) + "." + method,
+                qerror);
+  std::lock_guard<std::mutex> lock(mu_);
+  data_.sce_qerror[method].Add(qerror);
+}
+
+void AccuracyLedger::RecordCardQError(double qerror) {
+  MetricObserve(telemetry::kMetricCardQError, qerror);
+  std::lock_guard<std::mutex> lock(mu_);
+  data_.card_qerror.Add(qerror);
+}
+
+void AccuracyLedger::RecordMakespanRelError(double rel_error) {
+  MetricObserve(telemetry::kMetricMakespanRelError, rel_error);
+  std::lock_guard<std::mutex> lock(mu_);
+  data_.makespan_rel_error.Add(rel_error);
+}
+
+void AccuracyLedger::RecordDollarsRelError(double rel_error) {
+  MetricObserve(telemetry::kMetricDollarsRelError, rel_error);
+  std::lock_guard<std::mutex> lock(mu_);
+  data_.dollars_rel_error.Add(rel_error);
+}
+
+void AccuracyLedger::RecordImplChoice(const std::string& impl_name,
+                                      bool hindsight_optimal) {
+  MetricAddCounter(std::string(telemetry::kMetricImplChosen) + "." +
+                   impl_name);
+  MetricAddCounter(hindsight_optimal
+                       ? telemetry::kMetricImplChoiceOptimal
+                       : telemetry::kMetricImplChoiceSuboptimal);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++data_.impl_chosen[impl_name];
+  if (hindsight_optimal) {
+    ++data_.impl_optimal;
+  } else {
+    ++data_.impl_suboptimal;
+  }
+}
+
+AccuracyLedger::Snapshot AccuracyLedger::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return data_;
+}
+
+std::string AccuracyLedger::ToText() const {
+  Snapshot snap = snapshot();
+  std::ostringstream os;
+  os << "prediction accuracy\n";
+  os << "SCE q-error by method:\n";
+  if (snap.sce_qerror.empty()) os << "  (no estimates recorded)\n";
+  for (const auto& [method, hist] : snap.sce_qerror) {
+    AppendHistLine(os, method, hist);
+  }
+  os << "plan vs execution:\n";
+  AppendHistLine(os, "node card q-error", snap.card_qerror);
+  AppendHistLine(os, "makespan rel error", snap.makespan_rel_error);
+  AppendHistLine(os, "dollars rel error", snap.dollars_rel_error);
+  int64_t audited = snap.impl_optimal + snap.impl_suboptimal;
+  os << "impl choice (hindsight audit):\n";
+  if (audited == 0) {
+    os << "  (no executed nodes audited)\n";
+  } else {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "  optimal %lld / %lld (%.1f%%)\n",
+                  static_cast<long long>(snap.impl_optimal),
+                  static_cast<long long>(audited),
+                  100.0 * static_cast<double>(snap.impl_optimal) /
+                      static_cast<double>(audited));
+    os << buf;
+    for (const auto& [impl, count] : snap.impl_chosen) {
+      std::snprintf(buf, sizeof(buf), "  chosen %-22s %lld\n", impl.c_str(),
+                    static_cast<long long>(count));
+      os << buf;
+    }
+  }
+  return os.str();
+}
+
+void AccuracyLedger::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  data_ = Snapshot();
+}
+
+AccuracyLedger& AccuracyLedger::Global() {
+  static AccuracyLedger* ledger = new AccuracyLedger();
+  return *ledger;
+}
+
+}  // namespace unify

@@ -41,6 +41,59 @@ std::string MetricsSnapshot::ToText() const {
   return os.str();
 }
 
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z_:][a-zA-Z0-9_:]*; the registry's
+/// dotted names are mapped into that alphabet under a `unify_` prefix.
+std::string PrometheusName(const std::string& name) {
+  std::string out = "unify_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void AppendHelpType(std::ostringstream& os, const std::string& prom,
+                    const std::string& name, const char* type) {
+  os << "# HELP " << prom << " Unify metric " << name << "\n";
+  os << "# TYPE " << prom << " " << type << "\n";
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::ostringstream os;
+  char buf[64];
+  auto num = [&buf](double v) {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return std::string(buf);
+  };
+  for (const auto& [name, value] : counters) {
+    std::string prom = PrometheusName(name);
+    AppendHelpType(os, prom, name, "counter");
+    os << prom << " " << num(value) << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    std::string prom = PrometheusName(name);
+    AppendHelpType(os, prom, name, "gauge");
+    os << prom << " " << num(value) << "\n";
+  }
+  for (const auto& [name, hist] : histograms) {
+    if (hist.count() == 0) continue;
+    std::string prom = PrometheusName(name);
+    AppendHelpType(os, prom, name, "summary");
+    for (double q : {0.5, 0.9, 0.99}) {
+      os << prom << "{quantile=\"" << num(q) << "\"} "
+         << num(hist.Quantile(q)) << "\n";
+    }
+    os << prom << "_sum " << num(hist.sum()) << "\n";
+    os << prom << "_count " << hist.count() << "\n";
+  }
+  return os.str();
+}
+
 void MetricsRegistry::AddCounter(const std::string& name, double delta) {
   std::lock_guard<std::mutex> lock(mu_);
   counters_[name] += delta;
@@ -87,6 +140,34 @@ void MetricsRegistry::Reset() {
 MetricsRegistry& MetricsRegistry::Global() {
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;
+}
+
+namespace {
+thread_local MetricsRegistry* t_metrics_sink = nullptr;
+}  // namespace
+
+MetricsRegistry* MetricsRegistry::ThreadSink() { return t_metrics_sink; }
+
+MetricsRegistry::ScopedSink::ScopedSink(MetricsRegistry* sink)
+    : prev_(t_metrics_sink) {
+  t_metrics_sink = sink;
+}
+
+MetricsRegistry::ScopedSink::~ScopedSink() { t_metrics_sink = prev_; }
+
+void MetricAddCounter(const std::string& name, double delta) {
+  MetricsRegistry::Global().AddCounter(name, delta);
+  if (t_metrics_sink != nullptr) t_metrics_sink->AddCounter(name, delta);
+}
+
+void MetricSetGauge(const std::string& name, double value) {
+  MetricsRegistry::Global().SetGauge(name, value);
+  if (t_metrics_sink != nullptr) t_metrics_sink->SetGauge(name, value);
+}
+
+void MetricObserve(const std::string& name, double value) {
+  MetricsRegistry::Global().Observe(name, value);
+  if (t_metrics_sink != nullptr) t_metrics_sink->Observe(name, value);
 }
 
 }  // namespace unify

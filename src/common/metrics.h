@@ -17,9 +17,10 @@ namespace unify {
 struct MetricsSnapshot {
   std::map<std::string, double> counters;
   std::map<std::string, double> gauges;
-  /// Histogram samples (full SampleStats copies, so quantiles work on the
-  /// snapshot).
-  std::map<std::string, SampleStats> histograms;
+  /// Histogram copies (bounded reservoirs — see Histogram in
+  /// common/stats.h — so quantiles work on the snapshot and memory stays
+  /// bounded in long-lived serving processes).
+  std::map<std::string, Histogram> histograms;
 
   /// Counters minus `earlier`'s counters (absent = 0; zero deltas are
   /// dropped). Gauges and histograms keep their current values: they are
@@ -29,6 +30,13 @@ struct MetricsSnapshot {
   /// One metric per line: `name value` for counters/gauges,
   /// `name count/mean/p50/p99` for histograms. Sorted by name.
   std::string ToText() const;
+
+  /// Prometheus text exposition format (version 0.0.4). Metric names are
+  /// sanitized to [a-zA-Z0-9_:] and prefixed with `unify_`; every metric
+  /// gets `# HELP` and `# TYPE` lines. Counters expose as `counter`,
+  /// gauges as `gauge`, histograms as `summary` with quantile 0.5/0.9/
+  /// 0.99 series plus `_sum`/`_count`.
+  std::string ToPrometheusText() const;
 };
 
 /// A process-wide registry of named counters, gauges, and histograms —
@@ -69,12 +77,42 @@ class MetricsRegistry {
   /// The process-wide registry all instrumented components write to.
   static MetricsRegistry& Global();
 
+  /// The calling thread's additional per-query sink (nullptr when none).
+  /// Instrumented sites that use the Metric* free functions below write
+  /// to Global() AND to this sink, which is how `QueryResult::metrics`
+  /// stays exact under concurrent serving: each query installs its own
+  /// local registry on every thread that works on it.
+  static MetricsRegistry* ThreadSink();
+
+  /// RAII installer for ThreadSink(). Restores the previous sink on
+  /// destruction, so scopes nest (the per-query registry stays installed
+  /// across nested spans). Pass nullptr to suppress sink writes inside
+  /// the scope.
+  class ScopedSink {
+   public:
+    explicit ScopedSink(MetricsRegistry* sink);
+    ~ScopedSink();
+    ScopedSink(const ScopedSink&) = delete;
+    ScopedSink& operator=(const ScopedSink&) = delete;
+
+   private:
+    MetricsRegistry* prev_;
+  };
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, double> counters_;
   std::map<std::string, double> gauges_;
-  std::map<std::string, SampleStats> histograms_;
+  std::map<std::string, Histogram> histograms_;
 };
+
+/// Record into the process-wide registry and, when one is installed, the
+/// calling thread's per-query sink. All instrumented components use these
+/// instead of calling MetricsRegistry::Global() directly so per-query
+/// attribution works (docs/observability.md, "Per-query attribution").
+void MetricAddCounter(const std::string& name, double delta = 1.0);
+void MetricSetGauge(const std::string& name, double value);
+void MetricObserve(const std::string& name, double value);
 
 }  // namespace unify
 

@@ -66,6 +66,76 @@ double SampleStats::Quantile(double q) const {
   return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
 }
 
+Histogram::Histogram(size_t capacity, uint64_t seed)
+    : capacity_(capacity == 0 ? 1 : capacity), rng_state_(seed) {}
+
+uint64_t Histogram::NextRandom() {
+  // splitmix64: tiny, deterministic, and statistically fine for
+  // reservoir-slot selection.
+  uint64_t z = (rng_state_ += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+void Histogram::Add(double v) {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  ++count_;
+  sum_ += v;
+  if (reservoir_.size() < capacity_) {
+    reservoir_.push_back(v);
+    sorted_valid_ = false;
+    return;
+  }
+  // Algorithm R: the i-th observation (1-based) replaces a uniformly
+  // random retained slot with probability capacity/i.
+  size_t slot = static_cast<size_t>(NextRandom() % count_);
+  if (slot < capacity_) {
+    reservoir_[slot] = v;
+    sorted_valid_ = false;
+  }
+}
+
+double Histogram::Mean() const {
+  UNIFY_CHECK(count_ > 0);
+  return sum_ / static_cast<double>(count_);
+}
+
+double Histogram::Min() const {
+  UNIFY_CHECK(count_ > 0);
+  return min_;
+}
+
+double Histogram::Max() const {
+  UNIFY_CHECK(count_ > 0);
+  return max_;
+}
+
+void Histogram::EnsureSorted() const {
+  if (!sorted_valid_) {
+    sorted_ = reservoir_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Histogram::Quantile(double q) const {
+  UNIFY_CHECK(!reservoir_.empty());
+  EnsureSorted();
+  if (q <= 0) return sorted_.front();
+  if (q >= 1) return sorted_.back();
+  double pos = q * static_cast<double>(sorted_.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
 double QError(double estimate, double ground_truth) {
   double e = std::max(estimate, 1.0);
   double t = std::max(ground_truth, 1.0);

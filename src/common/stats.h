@@ -2,6 +2,7 @@
 #define UNIFY_COMMON_STATS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace unify {
@@ -39,6 +40,55 @@ class SampleStats {
   void EnsureSorted() const;
 
   std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+/// A bounded-memory distribution accumulator for long-lived registries
+/// (the histogram type behind MetricsRegistry). count/sum/mean/min/max are
+/// exact for the full observation stream. Quantiles are computed over a
+/// retained sample: every observation while count() <= capacity (exact
+/// quantiles), then a uniform random reservoir (Vitter's algorithm R)
+/// driven by a fixed-seed splitmix64 stream, so a given observation
+/// sequence always yields the same quantiles. Above the capacity,
+/// Quantile(q) is an unbiased estimate over `capacity` uniformly chosen
+/// observations, not an exact order statistic.
+class Histogram {
+ public:
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  explicit Histogram(size_t capacity = kDefaultCapacity,
+                     uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Adds one observation.
+  void Add(double v);
+
+  /// Total observations ever added (exact, unaffected by the reservoir).
+  size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  /// Quantile q in [0, 1] over the retained sample. Requires count() > 0.
+  double Quantile(double q) const;
+  double Median() const { return Quantile(0.5); }
+
+  /// Observations currently retained for quantile queries
+  /// (== min(count(), capacity)).
+  size_t retained() const { return reservoir_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  void EnsureSorted() const;
+  uint64_t NextRandom();
+
+  size_t capacity_;
+  uint64_t rng_state_;
+  size_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  std::vector<double> reservoir_;
   mutable std::vector<double> sorted_;
   mutable bool sorted_valid_ = false;
 };

@@ -94,6 +94,43 @@ inline constexpr char kMetricServeDeadlineExceeded[] =
 inline constexpr char kMetricServeQueueWait[] = "serve.queue_wait_seconds";
 /// Gauge: queries currently being planned/executed by workers.
 inline constexpr char kMetricServeInflight[] = "serve.inflight";
+/// Counter: served queries whose execution replanned mid-flight (plan
+/// adjustment or executor fallback).
+inline constexpr char kMetricServeReplans[] = "serve.replans";
+
+// Prediction accuracy (AccuracyLedger in common/accuracy.h mirrors these
+// into the metrics registry; see "Prediction accuracy" in
+// docs/observability.md).
+/// Histogram family: SCE q-error per estimation method — the full name
+/// appends "." + SceMethodName (e.g. "sce.qerror.importance"). Observed
+/// against the simulated corpus's latent ground truth at estimation time.
+inline constexpr char kMetricSceQError[] = "sce.qerror";
+/// Histogram: per-executed-node q-error of the optimizer's output-
+/// cardinality estimate vs the cardinality execution actually produced.
+inline constexpr char kMetricCardQError[] = "card.qerror";
+/// Histogram: |predicted - measured| / measured execution makespan.
+inline constexpr char kMetricMakespanRelError[] = "plan.makespan_rel_error";
+/// Histogram: |predicted - measured| / measured execution dollars.
+inline constexpr char kMetricDollarsRelError[] = "plan.dollars_rel_error";
+/// Counter family: physical implementation chosen per executed node — the
+/// full name appends "." + PhysicalImplName.
+inline constexpr char kMetricImplChosen[] = "plan.impl_chosen";
+/// Counter: executed nodes whose chosen impl is still the cost-model
+/// argmin when re-costed with the measured cardinalities (hindsight).
+inline constexpr char kMetricImplChoiceOptimal[] = "plan.impl_choice.optimal";
+/// Counter: executed nodes where hindsight re-costing prefers another impl.
+inline constexpr char kMetricImplChoiceSuboptimal[] =
+    "plan.impl_choice.suboptimal";
+
+// Serving flight-recorder event kinds (core/runtime/flight_recorder.h;
+// rendered by ServeEventKindName and in the `kind` field of the JSONL
+// export; see "Flight recorder" in docs/observability.md).
+inline constexpr char kEventAdmit[] = "admit";
+inline constexpr char kEventStart[] = "start";
+inline constexpr char kEventComplete[] = "complete";
+inline constexpr char kEventReject[] = "reject";
+inline constexpr char kEventDeadlineMiss[] = "deadline_miss";
+inline constexpr char kEventReplan[] = "replan";
 
 }  // namespace unify::telemetry
 

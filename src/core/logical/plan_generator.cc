@@ -91,11 +91,10 @@ StatusOr<PlanGenerator::Result> PlanGenerator::Generate(
   span.AddAttr("unresolved",
                static_cast<int64_t>(result.unresolved_queries.size()));
   span.AddAttr("used_fallback", result.used_fallback);
-  auto& metrics = MetricsRegistry::Global();
-  metrics.AddCounter(telemetry::kMetricPlanBacktracks, result.backtracks);
-  metrics.AddCounter(telemetry::kMetricPlanWidenings, result.widenings);
-  metrics.AddCounter(telemetry::kMetricPlanUnresolved,
-                     static_cast<double>(result.unresolved_queries.size()));
+  MetricAddCounter(telemetry::kMetricPlanBacktracks, result.backtracks);
+  MetricAddCounter(telemetry::kMetricPlanWidenings, result.widenings);
+  MetricAddCounter(telemetry::kMetricPlanUnresolved,
+                   static_cast<double>(result.unresolved_queries.size()));
   return result;
 }
 
@@ -248,7 +247,7 @@ retry_with_wider_candidates:
       step.AddAttr("depth", depth);
       step.AddAttr("variant", variant);
       step.AddAttr("output_var", node.output_var);
-      MetricsRegistry::Global().AddCounter(telemetry::kMetricPlanReductions);
+      MetricAddCounter(telemetry::kMetricPlanReductions);
 
       SearchState child = state;
       child.var_counter += 1;

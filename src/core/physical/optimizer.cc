@@ -558,10 +558,11 @@ StatusOr<PhysicalPlan> PhysicalOptimizer::OptimizeImpl(
   } else {
     plan.est_seq_makespan = sched.makespan;
   }
-  for (const auto& node : plan.nodes) {
-    plan.est_total_dollars += cost_model_->EstimateDollars(
+  for (auto& node : plan.nodes) {
+    node.est_dollars = cost_model_->EstimateDollars(
         node.logical.op_name, node.impl, node.logical.args,
         node.est_in_card, node.est_out_card);
+    plan.est_total_dollars += node.est_dollars;
   }
   plan.likely_incomplete =
       var_card.count(plan.answer_var) == 0 || var_grouped[plan.answer_var];

@@ -24,6 +24,8 @@ struct PhysicalNode {
   /// (1 = unpartitioned), bounded by max_intra_op_parallelism and the
   /// node's whole-batch count.
   int est_partitions = 1;
+  /// Predicted API spend of this node (cost model, chosen impl).
+  double est_dollars = 0;
 };
 
 /// An executable physical plan (paper Section VI): DAG-shaped, with a

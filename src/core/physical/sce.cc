@@ -4,8 +4,10 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/accuracy.h"
 #include "common/metrics.h"
 #include "common/rng.h"
+#include "common/stats.h"
 #include "common/string_util.h"
 #include "common/telemetry_names.h"
 #include "core/operators/physical_common.h"
@@ -206,12 +208,17 @@ StatusOr<SceEstimate> CardinalityEstimator::EstimateCondition(
     span.AddAttr("condition", desc);
   }
   StatusOr<SceEstimate> est = EstimateImpl(condition, method, salt);
-  auto& metrics = MetricsRegistry::Global();
-  metrics.AddCounter(telemetry::kMetricSceEstimates);
+  MetricAddCounter(telemetry::kMetricSceEstimates);
   if (est.ok()) {
-    metrics.AddCounter(telemetry::kMetricSceSamples,
-                       static_cast<double>(est->samples));
-    metrics.AddCounter(telemetry::kMetricSceLlmSeconds, est->llm_seconds);
+    MetricAddCounter(telemetry::kMetricSceSamples,
+                     static_cast<double>(est->samples));
+    MetricAddCounter(telemetry::kMetricSceLlmSeconds, est->llm_seconds);
+    // Accuracy ledger: the simulated corpus carries latent ground truth,
+    // so every estimate's q-error is observable at estimation time (no
+    // extra LLM cost — TrueCardinality reads latent attributes directly).
+    AccuracyLedger::Global().RecordSceQError(
+        SceMethodName(method), QError(est->cardinality,
+                                      TrueCardinality(condition)));
     span.AddAttr("cardinality", est->cardinality);
     span.AddAttr("samples", est->samples);
     span.AddAttr("llm_calls", est->llm_calls);

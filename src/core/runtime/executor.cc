@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include <mutex>
+#include <optional>
 
 #include "common/metrics.h"
 #include "common/telemetry_names.h"
@@ -20,7 +21,7 @@ ExecutionResult PlanExecutor::Execute(const PhysicalPlan& plan, Trace* trace,
   ScopedSpan exec_span(trace, telemetry::kSpanExecute, parent);
   ExecutionResult result;
   node_stats_.assign(plan.nodes.size(), OpStats{});
-  auto& metrics = MetricsRegistry::Global();
+  node_executions_.assign(plan.nodes.size(), NodeExecution{});
 
   std::mutex mu;
   std::map<std::string, Value> vars;
@@ -34,9 +35,17 @@ ExecutionResult PlanExecutor::Execute(const PhysicalPlan& plan, Trace* trace,
 
   auto run_node = [&](int u) -> Status {
     const PhysicalNode& node = plan.nodes[u];
+    // DAG workers don't inherit the query's thread-local metrics sink, so
+    // install it for the duration of the node.
+    std::optional<MetricsRegistry::ScopedSink> sink_scope;
+    if (options_.metrics_sink != nullptr) {
+      sink_scope.emplace(options_.metrics_sink);
+    }
+    // Slot u is written only by the worker running node u.
+    NodeExecution& record = node_executions_[u];
     ScopedSpan node_span(trace, telemetry::kSpanExecNode, exec_span.id());
     node_spans[u] = node_span.id();
-    metrics.AddCounter(telemetry::kMetricExecNodes);
+    MetricAddCounter(telemetry::kMetricExecNodes);
     if (trace != nullptr) {
       node_span.AddAttr("op", node.logical.op_name);
       node_span.AddAttr("impl", PhysicalImplName(node.impl));
@@ -55,6 +64,11 @@ ExecutionResult PlanExecutor::Execute(const PhysicalPlan& plan, Trace* trace,
         inputs.push_back(it->second);
       }
     }
+    for (const Value& in : inputs) {
+      record.actual_in_card =
+          std::max(record.actual_in_card,
+                   static_cast<double>(in.Cardinality()));
+    }
 
     ExecContext ctx = ctx_;  // per-node copy (cheap; pointers only)
 
@@ -66,12 +80,17 @@ ExecutionResult PlanExecutor::Execute(const PhysicalPlan& plan, Trace* trace,
     auto run_partitioned =
         [&](const PartitionedExecution& pe) -> StatusOr<OpOutput> {
       const size_t num_parts = pe.partitions.size();
-      metrics.AddCounter(telemetry::kMetricExecPartitions,
+      MetricAddCounter(telemetry::kMetricExecPartitions,
                          static_cast<double>(num_parts));
       node_span.AddAttr("partitions", static_cast<int64_t>(num_parts));
       std::vector<StatusOr<OpOutput>> parts(
           num_parts, Status::Internal("partition not run"));
       auto run_one = [&](size_t i) {
+        // Morsel workers need the query's sink too (fresh pool threads).
+        std::optional<MetricsRegistry::ScopedSink> part_sink;
+        if (options_.metrics_sink != nullptr) {
+          part_sink.emplace(options_.metrics_sink);
+        }
         // Slot i is written only by the worker running morsel i.
         ScopedSpan part_span(trace, telemetry::kSpanExecPartition,
                              node_span.id());
@@ -118,7 +137,7 @@ ExecutionResult PlanExecutor::Execute(const PhysicalPlan& plan, Trace* trace,
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         merge_start)
               .count();
-      metrics.Observe(telemetry::kMetricExecPartitionMerge, merge_seconds);
+      MetricObserve(telemetry::kMetricExecPartitionMerge, merge_seconds);
       node_span.AddAttr("merge_seconds", merge_seconds);
       node_partitions[u] = std::move(part_llm);
       return out;
@@ -156,7 +175,8 @@ ExecutionResult PlanExecutor::Execute(const PhysicalPlan& plan, Trace* trace,
         adjusted = true;
       }
       node_span.AddAttr("adjusted", true);
-      metrics.AddCounter(telemetry::kMetricExecAdjustments);
+      record.adjusted = true;
+      MetricAddCounter(telemetry::kMetricExecAdjustments);
       for (int attempt = 0;
            attempt < options_.max_adjustments && !output.ok(); ++attempt) {
         bool retried = false;
@@ -166,6 +186,7 @@ ExecutionResult PlanExecutor::Execute(const PhysicalPlan& plan, Trace* trace,
           if (node.logical.requires_semantics && !ImplSemanticCapable(alt)) {
             continue;
           }
+          ++record.retries;
           auto retry = ExecuteOp(node.logical.op_name, alt,
                                  node.logical.args, inputs, ctx);
           if (retry.ok()) {
@@ -190,6 +211,11 @@ ExecutionResult PlanExecutor::Execute(const PhysicalPlan& plan, Trace* trace,
       node_span.AddAttr("dollars", output->stats.llm_dollars);
     }
     node_stats_[u] = output->stats;
+    record.executed = true;
+    record.actual_out_card = static_cast<double>(output->value.Cardinality());
+    record.partitions = node_partitions[u].size() > 1
+                            ? static_cast<int>(node_partitions[u].size())
+                            : 1;
     if (!node.logical.output_var.empty()) {
       vars[node.logical.output_var] = output->value;
     }
@@ -244,7 +270,10 @@ ExecutionResult PlanExecutor::Execute(const PhysicalPlan& plan, Trace* trace,
           node_stats_[i].cpu_seconds + node_stats_[i].llm_seconds;
       const double queue_wait =
           std::max(0.0, sched->finish[i] - sched->start[i] - busy);
-      metrics.Observe(telemetry::kMetricExecQueueWait, queue_wait);
+      MetricObserve(telemetry::kMetricExecQueueWait, queue_wait);
+      node_executions_[i].virt_start = sched->start[i] - base;
+      node_executions_[i].virt_finish = sched->finish[i] - base;
+      node_executions_[i].queue_wait_seconds = queue_wait;
       if (trace != nullptr && node_spans[i] != kNoSpan) {
         trace->SetVirtualInterval(node_spans[i], sched->start[i] - base,
                                   sched->finish[i] - base);
@@ -256,7 +285,7 @@ ExecutionResult PlanExecutor::Execute(const PhysicalPlan& plan, Trace* trace,
       const double capacity = static_cast<double>(pool->num_servers()) *
                               result.virtual_seconds;
       const double occupancy = result.llm_seconds_total / capacity;
-      metrics.SetGauge(telemetry::kMetricExecPoolOccupancy, occupancy);
+      MetricSetGauge(telemetry::kMetricExecPoolOccupancy, occupancy);
       exec_span.AddAttr("pool_occupancy", occupancy);
     }
     exec_span.SetVirtualInterval(0, result.virtual_seconds);

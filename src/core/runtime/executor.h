@@ -4,6 +4,7 @@
 #include <map>
 #include <string>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "core/physical/physical_plan.h"
@@ -30,6 +31,30 @@ struct ExecutionResult {
   /// Human-readable execution timeline: one line per operator with its
   /// virtual start/finish on the server pool and measured LLM usage.
   std::string timeline;
+};
+
+/// What execution actually measured for one DAG node — the "actual" side
+/// of EXPLAIN ANALYZE (the "estimated" side lives on PhysicalNode).
+/// Indexed like PhysicalPlan::nodes / PlanExecutor::node_stats().
+struct NodeExecution {
+  /// False when the node never ran (an upstream failure aborted the DAG).
+  bool executed = false;
+  /// Measured input cardinality (max over input values, the same
+  /// convention the optimizer uses for est_in_card).
+  double actual_in_card = 0;
+  /// Measured output cardinality of the value the node produced.
+  double actual_out_card = 0;
+  /// Morsels the node actually ran as (1 = sequential single stream).
+  int partitions = 1;
+  /// True when plan adjustment fired on this node (its first impl failed).
+  bool adjusted = false;
+  /// Alternative implementations tried during adjustment.
+  int retries = 0;
+  /// Virtual interval on the server pool, relative to the query's ready
+  /// time, and the wait for a free server inside it.
+  double virt_start = 0;
+  double virt_finish = 0;
+  double queue_wait_seconds = 0;
 };
 
 /// The execution module (paper Section III-C): runs a physical plan with
@@ -64,6 +89,11 @@ class PlanExecutor {
     /// `shared_pool` (the query's arrival + planning time). Ignored for a
     /// private pool, which always starts at 0.
     double start_seconds = 0;
+    /// Per-query metrics sink: installed (MetricsRegistry::ScopedSink) on
+    /// every worker thread that runs a node or a morsel, so this query's
+    /// execution-side metrics land in its own registry even when other
+    /// queries share the process. Null = global registry only.
+    MetricsRegistry* metrics_sink = nullptr;
   };
 
   PlanExecutor(ExecContext ctx, Options options)
@@ -79,10 +109,16 @@ class PlanExecutor {
   /// After execution, per-node measured stats (for cost-model feedback).
   const std::vector<OpStats>& node_stats() const { return node_stats_; }
 
+  /// After execution, what each node actually did (EXPLAIN ANALYZE).
+  const std::vector<NodeExecution>& node_executions() const {
+    return node_executions_;
+  }
+
  private:
   ExecContext ctx_;
   Options options_;
   std::vector<OpStats> node_stats_;
+  std::vector<NodeExecution> node_executions_;
 };
 
 }  // namespace unify::core

@@ -5,6 +5,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/metrics.h"
 #include "common/status.h"
@@ -83,6 +84,52 @@ struct QueryRequest {
   uint64_t query_id = 0;
 };
 
+/// One physical node's EXPLAIN ANALYZE record: the optimizer's estimates
+/// next to what execution measured, in the plan's topological render
+/// order. Populated for every node of the chosen plan whenever execution
+/// was reached; `executed` is false for nodes an upstream failure skipped.
+struct PlanNodeAnalysis {
+  std::string op_name;
+  /// Chosen physical implementation (PhysicalImplName).
+  std::string impl;
+  std::string output_var;
+  /// Indentation depth in the plan DAG render (longest path from a root).
+  int depth = 0;
+  /// False when the node never ran (upstream failure aborted the DAG).
+  bool executed = false;
+
+  /// Cardinalities: the optimizer's estimates vs the values execution
+  /// measured, and their q-error (max of the two ratios, clamped ≥ 1).
+  double est_in_card = 0;
+  double est_out_card = 0;
+  double actual_in_card = 0;
+  double actual_out_card = 0;
+  double card_qerror = 0;
+
+  /// Virtual seconds: the cost model's sequential-work estimate vs the
+  /// measured operator stream (cpu + llm), plus the node's interval on
+  /// the server pool and its wait for a free server.
+  double est_seconds = 0;
+  double actual_seconds = 0;
+  double virt_start = 0;
+  double virt_finish = 0;
+  double queue_wait_seconds = 0;
+
+  /// API spend: predicted vs measured.
+  double est_dollars = 0;
+  double actual_dollars = 0;
+  int64_t llm_calls = 0;
+
+  /// Morsels: predicted vs actually run (1 = sequential stream).
+  int est_partitions = 1;
+  int partitions = 1;
+
+  /// Plan adjustment on this node: its chosen impl failed and `retries`
+  /// alternatives were attempted.
+  bool adjusted = false;
+  int retries = 0;
+};
+
 /// The outcome of one query: answer, status + phase taxonomy, virtual-time
 /// accounting, and observability payloads.
 struct QueryResult {
@@ -108,6 +155,9 @@ struct QueryResult {
   /// under the query's effective intra-operator parallelism) — compare
   /// with exec_seconds to judge cost-model accuracy.
   double predicted_exec_seconds = 0;
+  /// The optimizer's predicted API spend for the chosen plan — compare
+  /// with exec_dollars.
+  double predicted_exec_dollars = 0;
   double total_seconds = 0;
   /// Virtual arrival (ready) time of the query and its absolute
   /// completion time on the serving clock: completion = arrival + total.
@@ -131,12 +181,24 @@ struct QueryResult {
   /// Trace::ToText() or export with Trace::ToChromeJson() for
   /// chrome://tracing / Perfetto.
   std::shared_ptr<Trace> trace;
-  /// Metrics delta of this query: counters show only what this query
-  /// consumed; gauges/histograms reflect the post-query state. Under
-  /// concurrent serving the delta spans the query's wall interval and may
-  /// include activity of overlapping queries — per-batch deltas remain
-  /// exact (see docs/api.md).
+  /// This query's own metrics: every instrumented site records into a
+  /// per-query registry (installed thread-locally on each thread that
+  /// works on the query) alongside the process-wide one, so counters and
+  /// histograms here are exact even under concurrent serving — they never
+  /// absorb overlapping queries' activity (see docs/api.md).
   MetricsSnapshot metrics;
+
+  /// EXPLAIN ANALYZE records: one entry per node of the chosen physical
+  /// plan, in render order. Empty when execution was never reached
+  /// (planning/optimization failure, deadline pre-check abort).
+  std::vector<PlanNodeAnalysis> plan_analysis;
+
+  /// Text rendering of `plan_analysis` in the style of
+  /// `PhysicalPlan::Explain()`: header with predicted vs measured
+  /// makespan/dollars, then one line per node with estimated vs actual
+  /// cardinalities (q-error), seconds, dollars, morsels, and retries.
+  /// Empty string when `plan_analysis` is empty.
+  std::string explain_analyze() const;
 };
 
 }  // namespace unify::core

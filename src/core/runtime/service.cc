@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/metrics.h"
+#include "common/rng.h"
 #include "common/telemetry_names.h"
 
 namespace unify::core {
@@ -14,18 +15,27 @@ UnifyService::UnifyService(const UnifySystem* system, Options options)
     : system_(system),
       options_(options),
       pool_(std::max(1, system->options().exec.num_servers)),
+      recorder_(FlightRecorder::Options{options.flight_recorder_capacity,
+                                        options.slow_query_capacity}),
       workers_(static_cast<size_t>(std::max(1, options.num_workers))) {}
 
 std::future<QueryResult> UnifyService::Submit(QueryRequest request) {
   auto promise = std::make_shared<std::promise<QueryResult>>();
   std::future<QueryResult> future = promise->get_future();
-  auto& metrics = MetricsRegistry::Global();
+  // The same derivation AnswerInternal uses, so flight-recorder events
+  // match the QueryResult's id.
+  const uint64_t query_id = request.query_id != 0
+                                ? request.query_id
+                                : StableHash64(request.text);
 
+  ServeEvent event;
+  event.query_id = query_id;
+  event.client_tag = request.client_tag;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (inflight_ >= options_.max_queue_depth) {
       rejected_ += 1;
-      metrics.AddCounter(telemetry::kMetricServeRejected);
+      MetricAddCounter(telemetry::kMetricServeRejected);
       QueryResult rejected;
       rejected.status = Status::ResourceExhausted(
           "serving queue full (" + std::to_string(inflight_) + " in flight, "
@@ -33,15 +43,23 @@ std::future<QueryResult> UnifyService::Submit(QueryRequest request) {
           ")");
       rejected.phase = QueryPhase::kAdmission;
       rejected.client_tag = request.client_tag;
+      rejected.query_id = query_id;
+      event.kind = ServeEventKind::kReject;
+      event.phase = QueryPhaseName(rejected.phase);
+      event.detail = rejected.status.message();
       promise->set_value(std::move(rejected));
-      return future;
-    }
-    submitted_ += 1;
-    inflight_ += 1;
-    metrics.AddCounter(telemetry::kMetricServeSubmitted);
-    metrics.SetGauge(telemetry::kMetricServeInflight,
+    } else {
+      submitted_ += 1;
+      inflight_ += 1;
+      MetricAddCounter(telemetry::kMetricServeSubmitted);
+      MetricSetGauge(telemetry::kMetricServeInflight,
                      static_cast<double>(inflight_));
+      event.kind = ServeEventKind::kAdmit;
+    }
   }
+  const bool admitted = event.kind == ServeEventKind::kAdmit;
+  recorder_.Record(std::move(event));
+  if (!admitted) return future;
 
   const auto enqueued = std::chrono::steady_clock::now();
   workers_.Schedule([this, promise, request = std::move(request),
@@ -57,8 +75,16 @@ std::future<QueryResult> UnifyService::Submit(QueryRequest request) {
 
 QueryResult UnifyService::Serve(const QueryRequest& request,
                                 double queue_wall_seconds) {
-  auto& metrics = MetricsRegistry::Global();
-  metrics.Observe(telemetry::kMetricServeQueueWait, queue_wall_seconds);
+  MetricObserve(telemetry::kMetricServeQueueWait, queue_wall_seconds);
+  {
+    ServeEvent start;
+    start.kind = ServeEventKind::kStart;
+    start.query_id = request.query_id != 0 ? request.query_id
+                                           : StableHash64(request.text);
+    start.client_tag = request.client_tag;
+    start.queue_wall_seconds = queue_wall_seconds;
+    recorder_.Record(std::move(start));
+  }
 
   QueryRequest effective = request;
   if (effective.deadline_seconds <= 0) {
@@ -100,11 +126,49 @@ QueryResult UnifyService::Serve(const QueryRequest& request,
     completed_ += 1;
     if (result.status.code() == StatusCode::kDeadlineExceeded) {
       deadline_exceeded_ += 1;
-      metrics.AddCounter(telemetry::kMetricServeDeadlineExceeded);
+      MetricAddCounter(telemetry::kMetricServeDeadlineExceeded);
     }
-    metrics.SetGauge(telemetry::kMetricServeInflight,
-                     static_cast<double>(inflight_));
+    MetricSetGauge(telemetry::kMetricServeInflight,
+                   static_cast<double>(inflight_));
   }
+
+  // Postmortem events: replan and deadline-miss markers first, then the
+  // terminal completion event carrying phase + timings.
+  ServeEvent completion;
+  completion.query_id = result.query_id;
+  completion.client_tag = result.client_tag;
+  completion.phase = QueryPhaseName(result.phase);
+  completion.queue_wall_seconds = queue_wall_seconds;
+  completion.plan_seconds = result.plan_seconds;
+  completion.exec_seconds = result.exec_seconds;
+  completion.total_seconds = result.total_seconds;
+  if (result.adjusted || result.used_fallback) {
+    MetricAddCounter(telemetry::kMetricServeReplans);
+    ServeEvent replan = completion;
+    replan.kind = ServeEventKind::kReplan;
+    replan.detail = result.adjusted ? "plan adjustment" : "planning fallback";
+    recorder_.Record(std::move(replan));
+  }
+  if (result.status.code() == StatusCode::kDeadlineExceeded) {
+    ServeEvent miss = completion;
+    miss.kind = ServeEventKind::kDeadlineMiss;
+    miss.detail = result.status.message();
+    recorder_.Record(std::move(miss));
+  }
+  completion.kind = ServeEventKind::kComplete;
+  completion.detail =
+      result.status.ok() ? std::string("ok") : result.status.ToString();
+  recorder_.Record(std::move(completion));
+
+  SlowQuery slow;
+  slow.query_id = result.query_id;
+  slow.client_tag = result.client_tag;
+  slow.text = request.text;
+  slow.total_seconds = result.total_seconds;
+  slow.plan_seconds = result.plan_seconds;
+  slow.exec_seconds = result.exec_seconds;
+  slow.trace = result.trace;
+  recorder_.RecordSlow(std::move(slow));
   return result;
 }
 

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/thread_pool.h"
+#include "core/runtime/flight_recorder.h"
 #include "core/runtime/query.h"
 #include "core/runtime/unify.h"
 #include "exec/virtual_pool.h"
@@ -41,6 +42,10 @@ class UnifyService {
     /// max_intra_op_parallelism override (0 = keep the system-wide
     /// UnifyOptions::exec setting).
     int default_max_intra_op_parallelism = 0;
+    /// Flight-recorder event ring size (postmortem window).
+    size_t flight_recorder_capacity = 256;
+    /// Slowest queries the flight recorder retains with their traces.
+    size_t slow_query_capacity = 8;
   };
 
   /// Serving counters (wall-clock process state, not virtual time).
@@ -81,6 +86,11 @@ class UnifyService {
   /// The shared virtual LLM server pool (its Now() is the serving clock).
   const exec::VirtualLlmPool& pool() const { return pool_; }
 
+  /// The serving flight recorder: bounded event ring (admission, start,
+  /// completion, rejection, deadline-miss, replan) plus the retained
+  /// top-K slow queries. Thread-safe to read while serving.
+  const FlightRecorder& flight_recorder() const { return recorder_; }
+
   const UnifySystem& system() const { return *system_; }
   const Options& options() const { return options_; }
 
@@ -91,6 +101,7 @@ class UnifyService {
   const UnifySystem* system_;
   Options options_;
   exec::VirtualLlmPool pool_;
+  FlightRecorder recorder_;
 
   mutable std::mutex mu_;
   int64_t submitted_ = 0;

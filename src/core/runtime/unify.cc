@@ -1,9 +1,14 @@
 #include "core/runtime/unify.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <sstream>
 
+#include "common/accuracy.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/stats.h"
+#include "common/string_util.h"
 #include "common/telemetry_names.h"
 #include "corpus/workload.h"
 
@@ -202,6 +207,52 @@ const char* QueryPhaseName(QueryPhase phase) {
   return "unknown";
 }
 
+std::string QueryResult::explain_analyze() const {
+  if (plan_analysis.empty()) return "";
+  std::ostringstream os;
+  os << "EXPLAIN ANALYZE (makespan est " << FormatDouble(
+         predicted_exec_seconds, 1)
+     << "s -> actual " << FormatDouble(exec_seconds, 1) << "s";
+  if (exec_seconds > 0) {
+    const double rel = (predicted_exec_seconds - exec_seconds) /
+                       exec_seconds;
+    char relbuf[32];
+    std::snprintf(relbuf, sizeof(relbuf), "%+.1f%%", 100.0 * rel);
+    os << " (" << relbuf << ")";
+  }
+  os << ", $ est " << FormatDouble(predicted_exec_dollars, 3)
+     << " -> actual " << FormatDouble(exec_dollars, 3) << ")\n";
+  for (const PlanNodeAnalysis& a : plan_analysis) {
+    for (int i = 0; i < a.depth; ++i) os << "  ";
+    os << "+- " << a.op_name << " <" << a.impl << "> -> " << a.output_var;
+    if (!a.executed) {
+      os << "  [not executed]\n";
+      continue;
+    }
+    os << "  card est " << FormatDouble(a.est_in_card, 0) << "->"
+       << FormatDouble(a.est_out_card, 0) << " actual "
+       << FormatDouble(a.actual_in_card, 0) << "->"
+       << FormatDouble(a.actual_out_card, 0) << " (q-err "
+       << FormatDouble(a.card_qerror, 2) << ")";
+    os << " | est " << FormatDouble(a.est_seconds, 2) << "s actual "
+       << FormatDouble(a.actual_seconds, 2) << "s";
+    if (a.queue_wait_seconds > 0.005) {
+      os << " (+" << FormatDouble(a.queue_wait_seconds, 2) << "s wait)";
+    }
+    os << " | $ est " << FormatDouble(a.est_dollars, 3) << " actual "
+       << FormatDouble(a.actual_dollars, 3);
+    if (a.partitions > 1 || a.est_partitions > 1) {
+      os << " | x" << a.partitions << " morsels (est x" << a.est_partitions
+         << ")";
+    }
+    if (a.adjusted) {
+      os << " | adjusted (" << a.retries << " retries)";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
 QueryResult UnifySystem::Answer(const std::string& query) const {
   QueryRequest request;
   request.text = query;
@@ -242,7 +293,13 @@ QueryResult UnifySystem::AnswerInternal(const QueryRequest& request,
           ? request.arrival_seconds
           : (shared_pool != nullptr ? shared_pool->Now() : 0.0);
 
-  const MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  // Per-query metrics: a local registry installed as this thread's sink
+  // (and, via PlanExecutor::Options::metrics_sink, on every executor
+  // worker that touches this query). Instrumented sites record into the
+  // global registry AND the installed sink, so result.metrics is exact
+  // even when other queries run concurrently in the process.
+  MetricsRegistry query_metrics;
+  MetricsRegistry::ScopedSink metrics_scope(&query_metrics);
   ScopedSpan root(trace.get(), telemetry::kSpanQuery, parent);
   root.AddAttr("query", request.text);
   if (!request.client_tag.empty()) {
@@ -258,7 +315,7 @@ QueryResult UnifySystem::AnswerInternal(const QueryRequest& request,
     if (result.status.ok()) {
       result.phase = QueryPhase::kComplete;
     }
-    result.metrics = MetricsRegistry::Global().Snapshot().DeltaSince(before);
+    result.metrics = query_metrics.Snapshot();
     if (trace != nullptr) {
       root.AddAttr("status", result.status.ok()
                                  ? std::string("ok")
@@ -312,6 +369,7 @@ QueryResult UnifySystem::AnswerInternal(const QueryRequest& request,
   result.plan_debug = physical->DebugString();
   result.plan_explain = physical->Explain();
   result.predicted_exec_seconds = physical->est_makespan;
+  result.predicted_exec_dollars = physical->est_total_dollars;
 
   // Deadline pre-check: if planning plus the *predicted* makespan already
   // overruns the budget, abort before spending execution-side LLM calls.
@@ -342,6 +400,7 @@ QueryResult UnifySystem::AnswerInternal(const QueryRequest& request,
   // Execution streams become ready once planning finishes on the virtual
   // clock (planning runs on the planner tier, not the worker pool).
   eopts.start_seconds = result.arrival_seconds + result.plan_seconds;
+  eopts.metrics_sink = &query_metrics;
   PlanExecutor executor(ctx, eopts);
   ExecutionResult exec = executor.Execute(*physical, trace.get(), root.id());
   result.exec_seconds = exec.virtual_seconds;
@@ -363,6 +422,108 @@ QueryResult UnifySystem::AnswerInternal(const QueryRequest& request,
         "s, after the " + std::to_string(request.deadline_seconds) +
         "s deadline");
     result.phase = QueryPhase::kExecution;
+  }
+
+  // --- EXPLAIN ANALYZE + accuracy ledger: the optimizer's estimates next
+  // to what execution measured, per node and plan-wide ---
+  {
+    auto& ledger = AccuracyLedger::Global();
+    const auto& stats = executor.node_stats();
+    const auto& actuals = executor.node_executions();
+    // Hindsight impl audit: with the measured cardinalities in hand, is
+    // the chosen implementation still the cost-model argmin among the
+    // semantically valid candidates? Index-scan alternatives are skipped
+    // unless chosen — their cost depends on an index_candidates argument
+    // the optimizer only computes when it selects them.
+    auto hindsight_optimal = [&](const PhysicalNode& node,
+                                 const NodeExecution& actual) {
+      double chosen_cost = -1;
+      double best_cost = -1;
+      for (PhysicalImpl alt :
+           CandidateImpls(node.logical.op_name, node.logical.args)) {
+        if (node.logical.requires_semantics && !ImplSemanticCapable(alt)) {
+          continue;
+        }
+        if (alt == PhysicalImpl::kIndexScanFilter && alt != node.impl) {
+          continue;
+        }
+        const double cost =
+            oopts.objective == OptimizeObjective::kDollars
+                ? cost_model_.EstimateDollars(
+                      node.logical.op_name, alt, node.logical.args,
+                      actual.actual_in_card, actual.actual_out_card)
+                : cost_model_.EstimateSeconds(
+                      node.logical.op_name, alt, node.logical.args,
+                      actual.actual_in_card, actual.actual_out_card);
+        if (alt == node.impl) chosen_cost = cost;
+        if (best_cost < 0 || cost < best_cost) best_cost = cost;
+      }
+      // Impls outside the candidate list (custom operators) have no
+      // alternative to compare against.
+      if (chosen_cost < 0) return true;
+      return chosen_cost <= best_cost * (1 + 1e-9);
+    };
+    // Render order and indentation depth, matching Explain().
+    auto order = physical->dag.TopologicalOrder();
+    std::vector<int> render;
+    std::vector<int> depth(physical->nodes.size(), 0);
+    if (order.ok()) {
+      render = *order;
+      for (int u : render) {
+        for (int v : physical->dag.children(u)) {
+          depth[v] = std::max(depth[v], depth[u] + 1);
+        }
+      }
+    } else {
+      render.resize(physical->nodes.size());
+      for (size_t i = 0; i < render.size(); ++i) {
+        render[i] = static_cast<int>(i);
+      }
+    }
+    result.plan_analysis.reserve(render.size());
+    for (int u : render) {
+      const PhysicalNode& node = physical->nodes[u];
+      const NodeExecution& actual = actuals[u];
+      const OpStats& st = stats[u];
+      PlanNodeAnalysis a;
+      a.op_name = node.logical.op_name;
+      a.impl = PhysicalImplName(node.impl);
+      a.output_var = node.logical.output_var;
+      a.depth = depth[u];
+      a.executed = actual.executed;
+      a.est_in_card = node.est_in_card;
+      a.est_out_card = node.est_out_card;
+      a.actual_in_card = actual.actual_in_card;
+      a.actual_out_card = actual.actual_out_card;
+      a.est_seconds = node.est_seconds;
+      a.actual_seconds = st.cpu_seconds + st.llm_seconds;
+      a.virt_start = actual.virt_start;
+      a.virt_finish = actual.virt_finish;
+      a.queue_wait_seconds = actual.queue_wait_seconds;
+      a.est_dollars = node.est_dollars;
+      a.actual_dollars = st.llm_dollars;
+      a.llm_calls = st.llm_calls;
+      a.est_partitions = node.est_partitions;
+      a.partitions = actual.partitions;
+      a.adjusted = actual.adjusted;
+      a.retries = actual.retries;
+      if (actual.executed) {
+        a.card_qerror = QError(a.est_out_card, a.actual_out_card);
+        ledger.RecordCardQError(a.card_qerror);
+        ledger.RecordImplChoice(a.impl, hindsight_optimal(node, actual));
+      }
+      result.plan_analysis.push_back(std::move(a));
+    }
+    if (result.exec_seconds > 0) {
+      ledger.RecordMakespanRelError(
+          std::abs(result.predicted_exec_seconds - result.exec_seconds) /
+          result.exec_seconds);
+    }
+    if (result.exec_dollars > 0) {
+      ledger.RecordDollarsRelError(
+          std::abs(result.predicted_exec_dollars - result.exec_dollars) /
+          result.exec_dollars);
+    }
   }
 
   // Feed measured costs back into the model (running calibration). Off

@@ -55,12 +55,11 @@ LlmResult CachingLlmClient::Call(const LlmCall& call) {
       }
     }
   }
-  auto& metrics = MetricsRegistry::Global();
   const double hits = static_cast<double>(call.items.size() - missing.size());
-  if (hits > 0) metrics.AddCounter(telemetry::kMetricLlmCacheHits, hits);
+  if (hits > 0) MetricAddCounter(telemetry::kMetricLlmCacheHits, hits);
   if (!missing.empty()) {
-    metrics.AddCounter(telemetry::kMetricLlmCacheMisses,
-                       static_cast<double>(missing.size()));
+    MetricAddCounter(telemetry::kMetricLlmCacheMisses,
+                     static_cast<double>(missing.size()));
   }
 
   LlmResult merged;

@@ -45,16 +45,15 @@ const char* PromptTypeName(PromptType type) {
 
 LlmResult TracingLlmClient::Call(const LlmCall& call) {
   LlmResult result = base_->Call(call);
-  auto& metrics = MetricsRegistry::Global();
   const std::string suffix = std::string(".") + PromptTypeName(call.type);
-  metrics.AddCounter(telemetry::kMetricLlmCalls + suffix);
-  metrics.AddCounter(telemetry::kMetricLlmInTokens + suffix,
+  MetricAddCounter(telemetry::kMetricLlmCalls + suffix);
+  MetricAddCounter(telemetry::kMetricLlmInTokens + suffix,
                      static_cast<double>(result.in_tokens));
-  metrics.AddCounter(telemetry::kMetricLlmOutTokens + suffix,
+  MetricAddCounter(telemetry::kMetricLlmOutTokens + suffix,
                      static_cast<double>(result.out_tokens));
-  metrics.AddCounter(telemetry::kMetricLlmSeconds + suffix, result.seconds);
-  metrics.AddCounter(telemetry::kMetricLlmDollars + suffix, result.dollars);
-  metrics.Observe(telemetry::kMetricLlmCallSeconds, result.seconds);
+  MetricAddCounter(telemetry::kMetricLlmSeconds + suffix, result.seconds);
+  MetricAddCounter(telemetry::kMetricLlmDollars + suffix, result.dollars);
+  MetricObserve(telemetry::kMetricLlmCallSeconds, result.seconds);
   return result;
 }
 

@@ -267,6 +267,91 @@ TEST(QErrorTest, SymmetricAndClamped) {
   EXPECT_DOUBLE_EQ(QError(0, 0), 1.0);
 }
 
+TEST(QErrorTest, ZeroCardinalityEdges) {
+  // Zero ground truth (an empty filter result) is clamped the same way as
+  // a zero estimate, so overestimating an empty set stays finite.
+  EXPECT_DOUBLE_EQ(QError(100, 0), 100.0);
+  EXPECT_DOUBLE_EQ(QError(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(QError(0, 1), 1.0);
+  // Fractional estimates below one are clamped up, never inflating the
+  // error beyond what a 1-row estimate would score.
+  EXPECT_DOUBLE_EQ(QError(0.25, 50), 50.0);
+  EXPECT_DOUBLE_EQ(QError(50, 0.25), 50.0);
+  EXPECT_DOUBLE_EQ(QError(0.25, 0.5), 1.0);
+  EXPECT_GE(QError(0, 1e12), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram (bounded reservoir)
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, ExactBelowCapacity) {
+  Histogram h(128);
+  SampleStats reference;
+  for (int i = 1; i <= 100; ++i) {
+    h.Add(i);
+    reference.Add(i);
+  }
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.retained(), 100u);
+  EXPECT_DOUBLE_EQ(h.sum(), reference.sum());
+  EXPECT_DOUBLE_EQ(h.Mean(), reference.Mean());
+  EXPECT_DOUBLE_EQ(h.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 100.0);
+  // Below capacity every observation is retained, so quantiles match the
+  // keep-everything accumulator exactly.
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.Quantile(q), reference.Quantile(q)) << q;
+  }
+}
+
+TEST(HistogramTest, MemoryStaysBoundedAboveCapacity) {
+  Histogram h(64);
+  for (int i = 0; i < 100000; ++i) h.Add(i);
+  EXPECT_EQ(h.count(), 100000u);
+  EXPECT_EQ(h.retained(), 64u);
+  EXPECT_EQ(h.capacity(), 64u);
+  // count/sum/min/max stay exact even though only 64 values are retained.
+  EXPECT_DOUBLE_EQ(h.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 99999.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 100000.0 * 99999.0 / 2.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 99999.0 / 2.0);
+  // The reservoir is a uniform sample: the median estimate lands in the
+  // body of the distribution, not at an extreme.
+  EXPECT_GT(h.Quantile(0.5), 10000.0);
+  EXPECT_LT(h.Quantile(0.5), 90000.0);
+}
+
+TEST(HistogramTest, DeterministicForAGivenSeed) {
+  Histogram a(32, 7);
+  Histogram b(32, 7);
+  Histogram c(32, 8);
+  for (int i = 0; i < 5000; ++i) {
+    a.Add(i);
+    b.Add(i);
+    c.Add(i);
+  }
+  for (double q : {0.1, 0.5, 0.9}) {
+    EXPECT_DOUBLE_EQ(a.Quantile(q), b.Quantile(q)) << q;
+  }
+  // A different seed retains a different sample (overwhelmingly likely
+  // for 32 slots drawn from 5000 observations).
+  bool any_difference = false;
+  for (double q : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    if (a.Quantile(q) != c.Quantile(q)) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(HistogramTest, QuantileInterleavedWithAdds) {
+  Histogram h(16);
+  for (int i = 1; i <= 10; ++i) h.Add(i);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 10.0);
+  h.Add(1000);  // lazy sort must be invalidated by the new observation
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 1000.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 1000.0);
+}
+
 // ---------------------------------------------------------------------------
 // ThreadPool
 // ---------------------------------------------------------------------------

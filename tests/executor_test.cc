@@ -234,6 +234,17 @@ TEST_F(ExecutorTest, TerminalFailureTriggersQueryReplanning) {
   EXPECT_TRUE(result.adjusted);
   // The replanned answer comes from the fallback, not the broken plan.
   EXPECT_GT(result.llm_calls, 0);
+  // The adjustment shows up in the per-node execution records that
+  // EXPLAIN ANALYZE consumes. retries counts alternative implementations
+  // actually tried, which stays 0 for ops with a single implementation.
+  ASSERT_EQ(executor.node_executions().size(), plan.nodes.size());
+  bool any_adjusted = false;
+  for (const auto& record : executor.node_executions()) {
+    if (!record.adjusted) continue;
+    any_adjusted = true;
+    EXPECT_GE(record.retries, 0);
+  }
+  EXPECT_TRUE(any_adjusted);
 }
 
 TEST_F(ExecutorTest, TimelineListsEveryOperator) {

@@ -1,0 +1,148 @@
+#include "core/runtime/flight_recorder.h"
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "json_util.h"
+
+namespace unify::core {
+namespace {
+
+ServeEvent MakeEvent(ServeEventKind kind, uint64_t query_id) {
+  ServeEvent event;
+  event.kind = kind;
+  event.query_id = query_id;
+  return event;
+}
+
+TEST(FlightRecorderTest, RecordsEventsInOrder) {
+  FlightRecorder recorder;
+  recorder.Record(MakeEvent(ServeEventKind::kAdmit, 1));
+  recorder.Record(MakeEvent(ServeEventKind::kStart, 1));
+  recorder.Record(MakeEvent(ServeEventKind::kComplete, 1));
+
+  auto events = recorder.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, ServeEventKind::kAdmit);
+  EXPECT_EQ(events[1].kind, ServeEventKind::kStart);
+  EXPECT_EQ(events[2].kind, ServeEventKind::kComplete);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, i);
+    EXPECT_EQ(events[i].query_id, 1u);
+    EXPECT_GE(events[i].wall_seconds, 0);
+  }
+  EXPECT_EQ(recorder.total_recorded(), 3u);
+}
+
+TEST(FlightRecorderTest, RingWrapsKeepingTheNewestEvents) {
+  FlightRecorder::Options options;
+  options.capacity = 4;
+  FlightRecorder recorder(options);
+  for (uint64_t i = 0; i < 10; ++i) {
+    recorder.Record(MakeEvent(ServeEventKind::kAdmit, i));
+  }
+  EXPECT_EQ(recorder.total_recorded(), 10u);
+  auto events = recorder.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first snapshot of the newest 4: seq 6, 7, 8, 9.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 6 + i);
+    EXPECT_EQ(events[i].query_id, 6 + i);
+  }
+}
+
+TEST(FlightRecorderTest, KindNamesAreLowercaseTokens) {
+  EXPECT_STREQ(ServeEventKindName(ServeEventKind::kAdmit), "admit");
+  EXPECT_STREQ(ServeEventKindName(ServeEventKind::kStart), "start");
+  EXPECT_STREQ(ServeEventKindName(ServeEventKind::kComplete), "complete");
+  EXPECT_STREQ(ServeEventKindName(ServeEventKind::kReject), "reject");
+  EXPECT_STREQ(ServeEventKindName(ServeEventKind::kDeadlineMiss),
+               "deadline_miss");
+  EXPECT_STREQ(ServeEventKindName(ServeEventKind::kReplan), "replan");
+}
+
+TEST(FlightRecorderTest, SlowListKeepsTopKByTotalSeconds) {
+  FlightRecorder::Options options;
+  options.slow_queries = 2;
+  FlightRecorder recorder(options);
+  for (double total : {3.0, 9.0, 1.0, 7.0, 5.0}) {
+    SlowQuery slow;
+    slow.query_id = static_cast<uint64_t>(total);
+    slow.total_seconds = total;
+    recorder.RecordSlow(std::move(slow));
+  }
+  auto slow = recorder.slow_queries();
+  ASSERT_EQ(slow.size(), 2u);
+  EXPECT_DOUBLE_EQ(slow[0].total_seconds, 9.0);
+  EXPECT_DOUBLE_EQ(slow[1].total_seconds, 7.0);
+}
+
+TEST(FlightRecorderTest, ToJsonlEmitsOneParseableObjectPerLine) {
+  FlightRecorder recorder;
+  ServeEvent admit = MakeEvent(ServeEventKind::kAdmit, 42);
+  admit.client_tag = "tenant \"7\"\\north";  // quotes, backslash, \n escape
+  recorder.Record(std::move(admit));
+  ServeEvent complete = MakeEvent(ServeEventKind::kComplete, 42);
+  complete.phase = "complete";
+  complete.detail = "ok";
+  complete.plan_seconds = 1.5;
+  complete.exec_seconds = 2.5;
+  complete.total_seconds = 4.0;
+  recorder.Record(std::move(complete));
+
+  std::istringstream lines(recorder.ToJsonl());
+  std::string line;
+  std::vector<testing::JsonValue> docs;
+  while (std::getline(lines, line)) {
+    testing::JsonValue doc;
+    ASSERT_TRUE(testing::ParseJson(line, &doc)) << line;
+    docs.push_back(std::move(doc));
+  }
+  ASSERT_EQ(docs.size(), 2u);
+  EXPECT_EQ(docs[0].Find("kind")->str, "admit");
+  EXPECT_EQ(docs[0].Find("client_tag")->str, "tenant \"7\"\\north");
+  // Zero timings are omitted from the admit event.
+  EXPECT_EQ(docs[0].Find("total_seconds"), nullptr);
+  EXPECT_EQ(docs[1].Find("kind")->str, "complete");
+  EXPECT_EQ(docs[1].Find("detail")->str, "ok");
+  EXPECT_DOUBLE_EQ(docs[1].Find("plan_seconds")->number, 1.5);
+  EXPECT_DOUBLE_EQ(docs[1].Find("total_seconds")->number, 4.0);
+}
+
+TEST(FlightRecorderTest, ConcurrentRecordsStayBoundedAndUnique) {
+  FlightRecorder::Options options;
+  options.capacity = 32;
+  FlightRecorder recorder(options);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, t]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        recorder.Record(
+            MakeEvent(ServeEventKind::kAdmit, static_cast<uint64_t>(t)));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(recorder.total_recorded(),
+            static_cast<uint64_t>(kThreads * kPerThread));
+  auto events = recorder.events();
+  ASSERT_EQ(events.size(), 32u);
+  std::set<uint64_t> seqs;
+  for (const auto& e : events) seqs.insert(e.seq);
+  // The retained window is the newest `capacity` events, each seq unique.
+  EXPECT_EQ(seqs.size(), events.size());
+  EXPECT_EQ(*seqs.rbegin(),
+            static_cast<uint64_t>(kThreads * kPerThread) - 1);
+}
+
+}  // namespace
+}  // namespace unify::core

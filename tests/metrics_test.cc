@@ -1,5 +1,11 @@
 #include "common/metrics.h"
 
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
 #include <gtest/gtest.h>
 
 #include "common/thread_pool.h"
@@ -28,7 +34,7 @@ TEST(MetricsTest, HistogramQuantiles) {
     registry.Observe("exec.queue_wait_seconds", static_cast<double>(i));
   }
   MetricsSnapshot snap = registry.Snapshot();
-  const SampleStats& h = snap.histograms.at("exec.queue_wait_seconds");
+  const Histogram& h = snap.histograms.at("exec.queue_wait_seconds");
   EXPECT_EQ(h.count(), 100u);
   EXPECT_DOUBLE_EQ(h.Mean(), 50.5);
   EXPECT_GE(h.Quantile(0.5), 50.0);
@@ -94,6 +100,105 @@ TEST(MetricsTest, ConcurrentUpdates) {
   EXPECT_DOUBLE_EQ(registry.counter("llm.calls"), kTasks * kUpdates);
   EXPECT_EQ(registry.Snapshot().histograms.at("llm.call_seconds").count(),
             static_cast<size_t>(kTasks * kUpdates));
+}
+
+TEST(MetricsTest, ToPrometheusTextIsWellFormed) {
+  MetricsRegistry registry;
+  registry.AddCounter("llm.calls", 3);
+  registry.AddCounter("llm.dollars.eval-predicate/x", 0.5);  // odd chars
+  registry.SetGauge("exec.pool.occupancy", 0.5);
+  for (int i = 1; i <= 10; ++i) {
+    registry.Observe("serve.queue_wait_seconds", static_cast<double>(i));
+  }
+  const std::string text = registry.Snapshot().ToPrometheusText();
+
+  // Names are prefixed and sanitized to the Prometheus charset.
+  EXPECT_NE(text.find("# HELP unify_llm_calls "), std::string::npos);
+  EXPECT_NE(text.find("# TYPE unify_llm_calls counter"), std::string::npos);
+  EXPECT_NE(text.find("unify_llm_calls 3"), std::string::npos);
+  EXPECT_NE(text.find("unify_llm_dollars_eval_predicate_x 0.5"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE unify_exec_pool_occupancy gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE unify_serve_queue_wait_seconds summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("unify_serve_queue_wait_seconds{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("unify_serve_queue_wait_seconds_sum 55"),
+            std::string::npos);
+  EXPECT_NE(text.find("unify_serve_queue_wait_seconds_count 10"),
+            std::string::npos);
+
+  // Every line is a comment or `name[{labels}] value` with a parseable
+  // value and a name restricted to [a-zA-Z0-9_:].
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') {
+      EXPECT_TRUE(line.rfind("# HELP ", 0) == 0 ||
+                  line.rfind("# TYPE ", 0) == 0)
+          << line;
+      continue;
+    }
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    std::string name = line.substr(0, space);
+    if (const size_t brace = name.find('{'); brace != std::string::npos) {
+      EXPECT_EQ(name.back(), '}') << line;
+      name = name.substr(0, brace);
+    }
+    for (char c : name) {
+      EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                  c == ':')
+          << line;
+    }
+    size_t parsed = 0;
+    EXPECT_NO_THROW({ (void)std::stod(line.substr(space + 1), &parsed); })
+        << line;
+  }
+}
+
+TEST(MetricsTest, ScopedSinkDualWritesAndRestores) {
+  // Baselines: the helpers always write the global registry.
+  MetricsRegistry& global = MetricsRegistry::Global();
+  const double global_before = global.counter("test.sink.counter");
+
+  MetricsRegistry outer;
+  MetricsRegistry inner;
+  {
+    MetricsRegistry::ScopedSink outer_scope(&outer);
+    MetricAddCounter("test.sink.counter", 2);
+    {
+      MetricsRegistry::ScopedSink inner_scope(&inner);
+      MetricAddCounter("test.sink.counter", 5);
+      MetricSetGauge("test.sink.gauge", 1.5);
+      MetricObserve("test.sink.hist", 3.0);
+    }
+    // The outer sink is restored after the inner scope ends.
+    MetricAddCounter("test.sink.counter", 1);
+  }
+  MetricAddCounter("test.sink.counter", 10);  // no sink installed here
+
+  EXPECT_DOUBLE_EQ(inner.counter("test.sink.counter"), 5);
+  EXPECT_DOUBLE_EQ(inner.gauge("test.sink.gauge"), 1.5);
+  EXPECT_EQ(inner.Snapshot().histograms.at("test.sink.hist").count(), 1u);
+  EXPECT_DOUBLE_EQ(outer.counter("test.sink.counter"), 3);
+  EXPECT_DOUBLE_EQ(global.counter("test.sink.counter"),
+                   global_before + 18);
+}
+
+TEST(MetricsTest, ThreadSinkIsPerThread) {
+  MetricsRegistry sink;
+  MetricsRegistry::ScopedSink scope(&sink);
+  std::thread other([]() {
+    // A sink installed on the main thread must not leak to this one.
+    EXPECT_EQ(MetricsRegistry::ThreadSink(), nullptr);
+    MetricAddCounter("test.sink.other_thread", 1);
+  });
+  other.join();
+  EXPECT_DOUBLE_EQ(sink.counter("test.sink.other_thread"), 0);
+  EXPECT_EQ(MetricsRegistry::ThreadSink(), &sink);
 }
 
 TEST(MetricsTest, ToTextListsEveryMetric) {

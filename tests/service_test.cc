@@ -1,8 +1,11 @@
 #include "core/runtime/service.h"
 
+#include <atomic>
 #include <future>
 #include <map>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -248,6 +251,134 @@ TEST_F(ServiceTest, PerQueryOverridesReachTheOptimizer) {
     }
   }
   EXPECT_TRUE(found_query_span);
+}
+
+TEST_F(ServiceTest, FlightRecorderCapturesLifecycleUnder64Clients) {
+  UnifyService::Options sopts;
+  sopts.num_workers = 4;
+  sopts.max_queue_depth = 3;  // the 64-client storm must overflow this
+  sopts.flight_recorder_capacity = 48;  // smaller than the event volume
+  sopts.slow_query_capacity = 4;
+  UnifyService service(system_, sopts);
+  const std::vector<std::string> queries = Queries();
+
+  constexpr int kClients = 64;
+  std::atomic<int> ok{0};
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c]() {
+      QueryRequest request;
+      request.text = queries[static_cast<size_t>(c) % queries.size()];
+      request.client_tag = "client-" + std::to_string(c);
+      QueryResult result = service.Answer(std::move(request));
+      if (result.status.code() == StatusCode::kResourceExhausted) {
+        rejected.fetch_add(1);
+      } else {
+        EXPECT_TRUE(result.status.ok()) << result.status;
+        ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  // One more query with a hopeless deadline, on a now-empty queue, so a
+  // deadline-miss event is guaranteed to be in the newest window.
+  QueryRequest hopeless;
+  hopeless.text = queries.front();
+  hopeless.deadline_seconds = 1e-3;
+  EXPECT_EQ(service.Answer(std::move(hopeless)).status.code(),
+            StatusCode::kDeadlineExceeded);
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.rejected, rejected.load());
+  EXPECT_GE(rejected.load(), 1);  // the storm overflowed the depth-3 queue
+  EXPECT_EQ(stats.completed, ok.load() + 1);
+
+  const FlightRecorder& recorder = service.flight_recorder();
+  // Every lifecycle was recorded: one event per rejection, at least
+  // admit + start + complete per served query.
+  EXPECT_GE(recorder.total_recorded(),
+            static_cast<uint64_t>(3 * stats.completed + stats.rejected));
+  const auto events = recorder.events();
+  ASSERT_LE(events.size(), 48u);  // ring stayed bounded
+  ASSERT_FALSE(events.empty());
+  // The retained window is the newest events, consecutive and in order.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, events[i - 1].seq + 1);
+    EXPECT_GE(events[i].wall_seconds, events[i - 1].wall_seconds);
+  }
+  std::set<ServeEventKind> kinds;
+  for (const auto& e : events) kinds.insert(e.kind);
+  EXPECT_EQ(kinds.count(ServeEventKind::kComplete), 1u);
+  EXPECT_EQ(kinds.count(ServeEventKind::kDeadlineMiss), 1u);
+
+  const auto slow = recorder.slow_queries();
+  ASSERT_FALSE(slow.empty());
+  EXPECT_LE(slow.size(), 4u);
+  for (size_t i = 1; i < slow.size(); ++i) {
+    EXPECT_GE(slow[i - 1].total_seconds, slow[i].total_seconds);
+  }
+  EXPECT_FALSE(slow.front().text.empty());
+}
+
+TEST_F(ServiceTest, PerQueryMetricsAreExactUnderConcurrency) {
+  const std::vector<std::string> queries = Queries();
+  auto counter_of = [](const MetricsSnapshot& snapshot, const char* name) {
+    auto it = snapshot.counters.find(name);
+    return it == snapshot.counters.end() ? 0.0 : it->second;
+  };
+
+  // Sequential reference: with nothing else running, a query's attributed
+  // metrics equal the global registry's delta across the call.
+  MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  QueryResult solo = system_->Answer(queries.front());
+  ASSERT_TRUE(solo.status.ok()) << solo.status;
+  MetricsSnapshot delta =
+      MetricsRegistry::Global().Snapshot().DeltaSince(before);
+  for (const char* name : kExactCounters) {
+    EXPECT_DOUBLE_EQ(counter_of(solo.metrics, name), counter_of(delta, name))
+        << name;
+  }
+  EXPECT_GT(counter_of(solo.metrics, telemetry::kMetricExecNodes), 0);
+
+  // Concurrent batch: per-query attribution must add up to the global
+  // delta exactly — nothing lost, nothing double-counted, no bleed
+  // between in-flight queries.
+  UnifyService::Options sopts;
+  sopts.num_workers = 8;
+  UnifyService service(system_, sopts);
+  MetricsSnapshot conc_before = MetricsRegistry::Global().Snapshot();
+  std::vector<std::future<QueryResult>> futures;
+  for (const auto& q : queries) {
+    QueryRequest request;
+    request.text = q;
+    futures.push_back(service.Submit(std::move(request)));
+  }
+  std::vector<QueryResult> results;
+  for (auto& f : futures) results.push_back(f.get());
+  MetricsSnapshot conc_delta =
+      MetricsRegistry::Global().Snapshot().DeltaSince(conc_before);
+
+  QueryResult* front_result = nullptr;
+  for (auto& r : results) {
+    ASSERT_TRUE(r.status.ok()) << r.status;
+    EXPECT_GT(counter_of(r.metrics, telemetry::kMetricExecNodes), 0);
+    if (r.query_id == solo.query_id) front_result = &r;
+  }
+  for (const char* name : kExactCounters) {
+    double sum = 0;
+    for (const auto& r : results) sum += counter_of(r.metrics, name);
+    EXPECT_DOUBLE_EQ(sum, counter_of(conc_delta, name)) << name;
+  }
+  // The same query attributes the same exact counters whether it ran
+  // alone or among 7 concurrent peers.
+  ASSERT_NE(front_result, nullptr);
+  for (const char* name : kExactCounters) {
+    EXPECT_DOUBLE_EQ(counter_of(front_result->metrics, name),
+                     counter_of(solo.metrics, name))
+        << name;
+  }
 }
 
 TEST_F(ServiceTest, DollarsObjectiveOverrideProducesAResult) {

@@ -110,6 +110,36 @@ TEST(TraceTest, JsonEscapeHandlesSpecials) {
   EXPECT_EQ(JsonEscape(std::string("nul\x01" "byte")), "nul\\u0001byte");
 }
 
+TEST(TraceTest, ChromeJsonEscapingRoundTripsSpecialStrings) {
+  // Span names and attributes that exercise every escape JsonEscape()
+  // emits, plus raw UTF-8 (passed through byte-for-byte).
+  const std::string name = "span \"quoted\" \\back\\slash";
+  const std::string attr_value = "line1\nline2\ttab\rcr \"q\" \\ caf\xc3\xa9";
+  const std::string attr_key = "weird\nkey";
+
+  Trace trace;
+  SpanId root = trace.StartSpan(name);
+  trace.AddAttr(root, attr_key, attr_value);
+  trace.EndSpan(root);
+
+  const std::string json = trace.ToChromeJson();
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(json, &doc)) << json;
+  const JsonValue* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  const JsonValue* span_event = nullptr;
+  for (const auto& ev : events->array) {
+    if (ev.Find("ph")->str == "X") span_event = &ev;
+  }
+  ASSERT_NE(span_event, nullptr);
+  // Parsing undoes the escaping exactly: what went in comes back out.
+  EXPECT_EQ(span_event->Find("name")->str, name);
+  const JsonValue* args = span_event->Find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_EQ(args->Find(attr_key)->str, attr_value);
+}
+
 TEST(TraceTest, ChromeJsonRoundTrips) {
   Trace trace;
   SpanId root = trace.StartSpan("query");

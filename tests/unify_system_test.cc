@@ -198,6 +198,76 @@ TEST_F(UnifySystemTest, SequentialModeMatchesParallelAnswers) {
   }
 }
 
+TEST_F(UnifySystemTest, ExplainAnalyzeReportsEstimatesVsActualsPerNode) {
+  nlq::QueryAst ast;
+  ast.task = nlq::TaskKind::kCount;
+  ast.entity = "questions";
+  ast.docset.conditions = {nlq::Condition::Numeric(
+      "views", nlq::Condition::Cmp::kGt, 200)};
+  auto result = system_->Answer(nlq::Render(ast));
+  ASSERT_TRUE(result.status.ok()) << result.status;
+
+  ASSERT_FALSE(result.plan_analysis.empty());
+  EXPECT_GT(result.predicted_exec_seconds, 0);
+  int executed = 0;
+  for (const auto& a : result.plan_analysis) {
+    EXPECT_FALSE(a.op_name.empty());
+    EXPECT_FALSE(a.impl.empty());
+    if (!a.executed) continue;
+    executed += 1;
+    // Q-error is defined for every executed node, zero cardinalities
+    // included (both sides clamp to 1), and is never below 1.
+    EXPECT_GE(a.card_qerror, 1.0);
+    EXPECT_GE(a.est_seconds, 0);
+    EXPECT_GE(a.actual_seconds, 0);
+    EXPECT_GE(a.partitions, 1);
+  }
+  EXPECT_GT(executed, 0);
+
+  const std::string text = result.explain_analyze();
+  EXPECT_NE(text.find("EXPLAIN ANALYZE"), std::string::npos);
+  EXPECT_NE(text.find("q-err"), std::string::npos);
+  for (const auto& a : result.plan_analysis) {
+    EXPECT_NE(text.find(a.op_name), std::string::npos) << text;
+  }
+}
+
+TEST(ExplainAnalyzeRender, MarksAdjustedAndUnexecutedNodes) {
+  QueryResult result;
+  result.predicted_exec_seconds = 10;
+  result.exec_seconds = 5;
+  PlanNodeAnalysis filter;
+  filter.op_name = "Filter";
+  filter.impl = "ExactFilter";
+  filter.output_var = "V1";
+  filter.executed = true;
+  filter.est_in_card = 100;
+  filter.est_out_card = 10;
+  filter.actual_in_card = 100;
+  filter.actual_out_card = 40;
+  filter.card_qerror = 4;
+  filter.adjusted = true;
+  filter.retries = 2;
+  filter.partitions = 3;
+  PlanNodeAnalysis count;
+  count.op_name = "Count";
+  count.impl = "PreCount";
+  count.output_var = "V2";
+  count.depth = 1;
+  count.executed = false;
+  result.plan_analysis = {filter, count};
+
+  const std::string text = result.explain_analyze();
+  // Header: predicted 10s against measured 5s is a +100% overestimate.
+  EXPECT_NE(text.find("+100.0%"), std::string::npos) << text;
+  EXPECT_NE(text.find("(q-err 4)"), std::string::npos) << text;
+  EXPECT_NE(text.find("adjusted (2 retries)"), std::string::npos) << text;
+  EXPECT_NE(text.find("x3 morsels"), std::string::npos) << text;
+  EXPECT_NE(text.find("[not executed]"), std::string::npos) << text;
+  // Empty analysis renders as an empty string, not a lone header.
+  EXPECT_EQ(QueryResult{}.explain_analyze(), "");
+}
+
 TEST_F(UnifySystemTest, FallbackHandlesUnparseableQuery) {
   auto result =
       system_->Answer("Summarize the community's opinions on stretching.");

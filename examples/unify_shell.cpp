@@ -12,6 +12,7 @@
 //   unify> \prom             (Prometheus text exposition of all metrics)
 //   unify> \accuracy         (estimator/cost-model calibration report)
 //   unify> \stats            (cumulative LLM usage)
+//   unify> \faults on        (inject LLM faults; \faults reports resilience)
 //   unify> \concurrency 8    (size of the serving worker pool)
 //   unify> q1 ;; q2 ;; q3    (submit a batch concurrently)
 //   unify> \quit
@@ -57,11 +58,21 @@ int main(int argc, char** argv) {
               profile.doc_count);
   corpus::Corpus docs = corpus::GenerateCorpus(profile, 2024);
   llm::SimulatedLlm llm(&docs, llm::SimLlmOptions{});
-  core::UnifySystem system(&docs, &llm, core::UnifyOptions{});
+  core::UnifyOptions opts;
+  // Fault-injection rates for the \faults command (scaled by \faults on
+  // [scale]; injection starts OFF). Retries + the breaker + graceful
+  // degradation then show the resilience layer working (docs/resilience.md).
+  opts.faults.rates.timeout = 0.02;
+  opts.faults.rates.rate_limit = 0.02;
+  opts.faults.rates.malformed = 0.02;
+  opts.resilience.breaker.enabled = true;
+  opts.graceful_degradation = true;
+  core::UnifySystem system(&docs, &llm, opts);
   if (auto st = system.Setup(); !st.ok()) {
     std::printf("setup failed: %s\n", st.ToString().c_str());
     return 1;
   }
+  system.fault_injector()->set_rate_scale(0.0);
   std::printf(
       "ready. Ask questions about the %s (entity: %s); \\help for "
       "commands.\n",
@@ -112,6 +123,11 @@ int main(int argc, char** argv) {
       std::printf("  \\stats            cumulative simulated LLM usage\n");
       std::printf("  \\vocab            categories/tags/groups you can ask "
                   "about\n");
+      std::printf("  \\faults           fault-injection + resilience report "
+                  "(retries, hedges, breaker)\n");
+      std::printf("  \\faults on [S]    enable LLM fault injection (rate "
+                  "scale S, default 1)\n");
+      std::printf("  \\faults off       disable fault injection\n");
       std::printf("  \\concurrency N    resize the serving worker pool\n");
       std::printf("  q1 ;; q2 ;; q3    submit a batch of queries "
                   "concurrently\n");
@@ -282,6 +298,81 @@ int main(int argc, char** argv) {
                   stats.pool_now, stats.pool_busy_seconds);
       continue;
     }
+    if (input.rfind("\\faults", 0) == 0) {
+      std::string arg(StripAsciiWhitespace(
+          input.substr(std::string("\\faults").size())));
+      llm::FaultInjectingLlmClient* injector = system.fault_injector();
+      if (arg == "off") {
+        injector->set_rate_scale(0.0);
+        std::printf("  fault injection off\n");
+        continue;
+      }
+      if (arg.rfind("on", 0) == 0) {
+        std::string scale_arg(StripAsciiWhitespace(arg.substr(2)));
+        double scale = scale_arg.empty() ? 1.0 : std::atof(scale_arg.c_str());
+        if (scale <= 0) {
+          std::printf("  usage: \\faults on [S]   (S > 0)\n");
+          continue;
+        }
+        injector->set_rate_scale(scale);
+        const auto& r = injector->options().rates;
+        std::printf("  fault injection on (scale %.2f: %.1f%% timeout, "
+                    "%.1f%% rate-limit, %.1f%% malformed per attempt)\n",
+                    scale, 100 * r.timeout * scale, 100 * r.rate_limit * scale,
+                    100 * r.malformed * scale);
+        continue;
+      }
+      if (!arg.empty()) {
+        std::printf("  usage: \\faults [on [S] | off]\n");
+        continue;
+      }
+      const auto fstats = injector->fault_stats();
+      const auto* resilient = system.resilient_client();
+      const auto rstats = resilient->resilience_stats();
+      std::printf("  injection %s (scale %.2f): %lld attempts seen, "
+                  "%lld timeouts, %lld rate-limits, %lld malformed\n",
+                  injector->rate_scale() > 0 ? "on" : "off",
+                  injector->rate_scale(),
+                  static_cast<long long>(fstats.calls),
+                  static_cast<long long>(fstats.timeouts),
+                  static_cast<long long>(fstats.rate_limits),
+                  static_cast<long long>(fstats.malformed));
+      std::printf("  retries: %lld issued, %lld calls recovered, %lld "
+                  "exhausted (%lld by budget), %.1fs virtual backoff\n",
+                  static_cast<long long>(rstats.retries),
+                  static_cast<long long>(rstats.recovered),
+                  static_cast<long long>(rstats.exhausted),
+                  static_cast<long long>(rstats.budget_exhausted),
+                  rstats.backoff_seconds);
+      std::printf("  hedges: %lld launched, %lld won, $%.3f cancelled\n",
+                  static_cast<long long>(rstats.hedges_launched),
+                  static_cast<long long>(rstats.hedge_wins),
+                  rstats.hedge_cancelled_dollars);
+      auto breaker_name = [](llm::ResilientLlmClient::BreakerState s) {
+        switch (s) {
+          case llm::ResilientLlmClient::BreakerState::kOpen:
+            return "open";
+          case llm::ResilientLlmClient::BreakerState::kHalfOpen:
+            return "half-open";
+          default:
+            return "closed";
+        }
+      };
+      std::printf("  breaker: planner %s, worker %s; %lld opens, %lld "
+                  "rejections, %lld probes, %lld closes\n",
+                  breaker_name(resilient->breaker_state(
+                      llm::ModelTier::kPlanner)),
+                  breaker_name(resilient->breaker_state(
+                      llm::ModelTier::kWorker)),
+                  static_cast<long long>(rstats.breaker_opens),
+                  static_cast<long long>(rstats.breaker_rejections),
+                  static_cast<long long>(rstats.breaker_probes),
+                  static_cast<long long>(rstats.breaker_closes));
+      auto sstats = service->stats();
+      std::printf("  served degraded: %lld\n",
+                  static_cast<long long>(sstats.degraded));
+      continue;
+    }
     if (input == "\\vocab") {
       const auto& kb = docs.knowledge();
       std::printf("  %s:", docs.category_kind().c_str());
@@ -334,11 +425,16 @@ int main(int argc, char** argv) {
                     result.status.ToString().c_str());
         continue;
       }
+      if (result.phase == core::QueryPhase::kDegraded) {
+        std::printf("degraded answer: %s\n", result.degraded_detail.c_str());
+      }
       std::printf("%s\n", result.answer.ToString().c_str());
-      std::printf("  [%.1fs planning + %.1fs execution%s%s]\n",
+      std::printf("  [%.1fs planning + %.1fs execution%s%s%s]\n",
                   result.plan_seconds, result.exec_seconds,
                   result.used_fallback ? ", RAG fallback" : "",
-                  result.adjusted ? ", plan adjusted" : "");
+                  result.adjusted ? ", plan adjusted" : "",
+                  result.phase == core::QueryPhase::kDegraded ? ", degraded"
+                                                              : "");
       if (show_plan) std::printf("%s", result.plan_explain.c_str());
       if (show_trace) {
         if (result.trace != nullptr) {

@@ -6,7 +6,11 @@
 #   2. relative Markdown links in README.md and docs/*.md resolve;
 #   3. every `src/...` path mentioned in the docs exists (supports
 #      {h,cc}-style brace lists);
-#   4. docs/benchmarks.md covers every bench/bench_*.cc binary.
+#   4. docs/benchmarks.md covers every bench/bench_*.cc binary;
+#   5. docs/resilience.md's telemetry table covers every llm.fault.* /
+#      llm.retry.* / llm.hedge.* / breaker.* name;
+#   6. the five guides (api, architecture, observability, benchmarks,
+#      resilience) and README.md cross-link each other.
 #
 # Usage: scripts/check_docs.sh [repo_root]
 set -u
@@ -106,6 +110,39 @@ else
     fi
   done
 fi
+
+# --- 5. resilience.md covers the resilience telemetry names ----------------
+RES_DOC=docs/resilience.md
+if [[ ! -f "$RES_DOC" ]]; then
+  fail "$RES_DOC is missing"
+else
+  res_names=$(tr '\n' ' ' < src/common/telemetry_names.h |
+      grep -o 'inline constexpr char k[A-Za-z0-9]*\[\] *= *"[^"]*"' |
+      sed 's/.*"\([^"]*\)"/\1/' |
+      grep -E '^(llm\.fault\.|llm\.retry\.|llm\.hedge\.|breaker\.)')
+  [[ -n "$res_names" ]] || fail "no resilience names in telemetry_names.h"
+  while IFS= read -r name; do
+    [[ -n "$name" ]] || continue
+    if ! grep -qF "\`$name\`" "$RES_DOC" && ! grep -qF "\`$name." "$RES_DOC"
+    then
+      fail "resilience telemetry name '$name' is not in $RES_DOC"
+    fi
+  done <<< "$res_names"
+fi
+
+# --- 6. the guides cross-link each other -----------------------------------
+GUIDES=(docs/api.md docs/architecture.md docs/observability.md
+        docs/benchmarks.md docs/resilience.md README.md)
+for doc in "${GUIDES[@]}"; do
+  [[ -f "$doc" ]] || { fail "$doc is missing"; continue; }
+  for other in "${GUIDES[@]}"; do
+    [[ "$doc" == "$other" ]] && continue
+    base=$(basename "$other")
+    if ! grep -qF "$base" "$doc"; then
+      fail "$doc does not cross-link $base"
+    fi
+  done
+done
 
 if [[ $failures -gt 0 ]]; then
   echo "check_docs: FAILED with $failures error(s)" >&2

@@ -82,6 +82,47 @@ inline constexpr char kMetricLlmCallSeconds[] = "llm.call_seconds";
 inline constexpr char kMetricLlmCacheHits[] = "llm.cache.item_hits";
 inline constexpr char kMetricLlmCacheMisses[] = "llm.cache.item_misses";
 
+// Fault injection (FaultInjectingLlmClient in llm/fault_client.h; catalog
+// in docs/resilience.md). The per-kind counters append "." +
+// PromptTypeName(type) like the llm.* family.
+/// Counter family: injected provider timeouts (kDeadlineExceeded).
+inline constexpr char kMetricLlmFaultTimeouts[] = "llm.fault.timeouts";
+/// Counter family: injected rate-limit rejections (kResourceExhausted).
+inline constexpr char kMetricLlmFaultRateLimits[] = "llm.fault.rate_limits";
+/// Counter family: injected malformed/truncated completions (kAborted).
+inline constexpr char kMetricLlmFaultMalformed[] = "llm.fault.malformed";
+
+// Resilient execution (ResilientLlmClient in llm/resilient_client.h;
+// semantics in docs/resilience.md).
+/// Counter: retry attempts issued (beyond each call's first attempt).
+inline constexpr char kMetricLlmRetryAttempts[] = "llm.retry.attempts";
+/// Counter: calls that ultimately succeeded after >= 1 retry.
+inline constexpr char kMetricLlmRetryRecovered[] = "llm.retry.recovered";
+/// Counter: calls that failed with retries/budget exhausted.
+inline constexpr char kMetricLlmRetryExhausted[] = "llm.retry.exhausted";
+/// Counter: virtual seconds spent sleeping in backoff (incl. jitter).
+inline constexpr char kMetricLlmRetryBackoffSeconds[] =
+    "llm.retry.backoff_seconds";
+/// Counter: hedged (duplicate) requests launched for stragglers.
+inline constexpr char kMetricLlmHedgeLaunched[] = "llm.hedge.launched";
+/// Counter: hedges that finished before the primary and won the call.
+inline constexpr char kMetricLlmHedgeWins[] = "llm.hedge.wins";
+/// Counter: dollars charged to cancelled hedge losers (partial cost of
+/// the abandoned attempt up to the winner's completion).
+inline constexpr char kMetricLlmHedgeCancelledDollars[] =
+    "llm.hedge.cancelled_dollars";
+
+// Circuit breaker (per model tier; the counters append "." + "planner" or
+// "." + "worker").
+/// Counter family: breaker transitions into the open state.
+inline constexpr char kMetricBreakerOpens[] = "breaker.opens";
+/// Counter family: calls rejected fast-fail while the breaker was open.
+inline constexpr char kMetricBreakerRejected[] = "breaker.rejected";
+/// Counter family: half-open probe calls admitted.
+inline constexpr char kMetricBreakerProbes[] = "breaker.probes";
+/// Counter family: transitions back to closed after a successful probe.
+inline constexpr char kMetricBreakerCloses[] = "breaker.closes";
+
 // Serving layer (UnifyService).
 /// Counter: requests accepted into the serving queue.
 inline constexpr char kMetricServeSubmitted[] = "serve.submitted";
@@ -97,6 +138,9 @@ inline constexpr char kMetricServeInflight[] = "serve.inflight";
 /// Counter: served queries whose execution replanned mid-flight (plan
 /// adjustment or executor fallback).
 inline constexpr char kMetricServeReplans[] = "serve.replans";
+/// Counter: served queries that completed degraded (QueryPhase::kDegraded
+/// — a partial/fallback answer surfaced instead of a hard failure).
+inline constexpr char kMetricServeDegraded[] = "serve.degraded";
 
 // Prediction accuracy (AccuracyLedger in common/accuracy.h mirrors these
 // into the metrics registry; see "Prediction accuracy" in
@@ -131,6 +175,7 @@ inline constexpr char kEventComplete[] = "complete";
 inline constexpr char kEventReject[] = "reject";
 inline constexpr char kEventDeadlineMiss[] = "deadline_miss";
 inline constexpr char kEventReplan[] = "replan";
+inline constexpr char kEventDegraded[] = "degraded";
 
 }  // namespace unify::telemetry
 

@@ -35,11 +35,15 @@ ExecutionResult PlanExecutor::Execute(const PhysicalPlan& plan, Trace* trace,
 
   auto run_node = [&](int u) -> Status {
     const PhysicalNode& node = plan.nodes[u];
-    // DAG workers don't inherit the query's thread-local metrics sink, so
-    // install it for the duration of the node.
+    // DAG workers don't inherit the query's thread-local metrics sink or
+    // retry budget, so install both for the duration of the node.
     std::optional<MetricsRegistry::ScopedSink> sink_scope;
     if (options_.metrics_sink != nullptr) {
       sink_scope.emplace(options_.metrics_sink);
+    }
+    std::optional<llm::RetryBudget::ScopedUse> budget_scope;
+    if (options_.retry_budget != nullptr) {
+      budget_scope.emplace(options_.retry_budget);
     }
     // Slot u is written only by the worker running node u.
     NodeExecution& record = node_executions_[u];
@@ -86,10 +90,15 @@ ExecutionResult PlanExecutor::Execute(const PhysicalPlan& plan, Trace* trace,
       std::vector<StatusOr<OpOutput>> parts(
           num_parts, Status::Internal("partition not run"));
       auto run_one = [&](size_t i) {
-        // Morsel workers need the query's sink too (fresh pool threads).
+        // Morsel workers need the query's sink and budget too (fresh pool
+        // threads).
         std::optional<MetricsRegistry::ScopedSink> part_sink;
         if (options_.metrics_sink != nullptr) {
           part_sink.emplace(options_.metrics_sink);
+        }
+        std::optional<llm::RetryBudget::ScopedUse> part_budget;
+        if (options_.retry_budget != nullptr) {
+          part_budget.emplace(options_.retry_budget);
         }
         // Slot i is written only by the worker running morsel i.
         ScopedSpan part_span(trace, telemetry::kSpanExecPartition,
@@ -337,11 +346,19 @@ ExecutionResult PlanExecutor::Execute(const PhysicalPlan& plan, Trace* trace,
       result.llm_seconds_total += strategy.seconds;
       result.llm_dollars_total += strategy.dollars;
       result.llm_calls += 1;
+      // Status contract: a failed strategy choice must not be mistaken for
+      // a completion. Fall back to the default RAG strategy explicitly
+      // (the call's time/dollars are already charged above).
+      const std::string chosen =
+          strategy.status.ok() ? strategy.Get("strategy", "rag") : "rag";
+      if (!strategy.status.ok()) {
+        fallback_span.AddAttr("choose_status", strategy.status.ToString());
+      }
 
       OpArgs args{{"query", plan.query_text},
-                  {"strategy", strategy.Get("strategy", "rag")},
+                  {"strategy", chosen},
                   {"retrieve_k", "100"}};
-      fallback_span.AddAttr("strategy", strategy.Get("strategy", "rag"));
+      fallback_span.AddAttr("strategy", chosen);
       DocList all;
       all.reserve(ctx_.corpus->size());
       for (uint64_t id = 0; id < ctx_.corpus->size(); ++id) {
@@ -365,6 +382,21 @@ ExecutionResult PlanExecutor::Execute(const PhysicalPlan& plan, Trace* trace,
         finalize();
         return result;
       }
+    }
+    // Graceful degradation, the last line of defense: a *transient* LLM
+    // failure that survived retries, plan adjustment AND the fallback
+    // replan becomes a degraded (partial/empty) answer instead of a
+    // failed query, when the caller opted in.
+    if (options_.graceful_degradation &&
+        llm::IsTransientLlmFailure(run_status)) {
+      result.degraded = true;
+      result.degraded_detail =
+          "graceful degradation absorbed: " + run_status.ToString();
+      result.answer = corpus::Answer::None();
+      exec_span.AddAttr("degraded", true);
+      exec_span.AddAttr("degraded_detail", result.degraded_detail);
+      finalize();
+      return result;
     }
     result.status = run_status;
     result.answer = corpus::Answer::None();

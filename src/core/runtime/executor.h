@@ -10,6 +10,7 @@
 #include "core/physical/physical_plan.h"
 #include "corpus/answer.h"
 #include "exec/virtual_pool.h"
+#include "llm/resilient_client.h"
 
 namespace unify::core {
 
@@ -28,6 +29,11 @@ struct ExecutionResult {
   /// True when plan adjustment fired (an operator failed and was retried
   /// with a different implementation).
   bool adjusted = false;
+  /// True when graceful degradation absorbed a terminal transient failure:
+  /// `status` is OK, the answer is partial/empty, and `degraded_detail`
+  /// names the failure (Options::graceful_degradation must be set).
+  bool degraded = false;
+  std::string degraded_detail;
   /// Human-readable execution timeline: one line per operator with its
   /// virtual start/finish on the server pool and measured LLM usage.
   std::string timeline;
@@ -94,6 +100,16 @@ class PlanExecutor {
     /// execution-side metrics land in its own registry even when other
     /// queries share the process. Null = global registry only.
     MetricsRegistry* metrics_sink = nullptr;
+    /// The query's shared retry budget, installed
+    /// (llm::RetryBudget::ScopedUse) on every worker thread alongside the
+    /// metrics sink so concurrent nodes/morsels drain one pool of virtual
+    /// retry seconds. Null = unlimited retrying (policy caps still apply).
+    llm::RetryBudget* retry_budget = nullptr;
+    /// When the DAG fails with a *transient* LLM failure
+    /// (llm::IsTransientLlmFailure) that even the Section V-D fallback
+    /// replan could not cure, finish with ExecutionResult::degraded and an
+    /// empty answer instead of a failed status (docs/resilience.md).
+    bool graceful_degradation = false;
   };
 
   PlanExecutor(ExecContext ctx, Options options)

@@ -22,6 +22,8 @@ const char* ServeEventKindName(ServeEventKind kind) {
       return telemetry::kEventDeadlineMiss;
     case ServeEventKind::kReplan:
       return telemetry::kEventReplan;
+    case ServeEventKind::kDegraded:
+      return telemetry::kEventDegraded;
   }
   return "unknown";
 }

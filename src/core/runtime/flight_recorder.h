@@ -28,6 +28,9 @@ enum class ServeEventKind {
   kDeadlineMiss,
   /// Execution replanned mid-flight: plan adjustment or fallback.
   kReplan,
+  /// Completed degraded: graceful degradation absorbed a transient LLM
+  /// failure (also records a kComplete event; `detail` names the fault).
+  kDegraded,
 };
 
 const char* ServeEventKindName(ServeEventKind kind);

@@ -31,11 +31,16 @@ enum class QueryPhase {
   /// Plan execution failed, or the measured virtual completion overran
   /// the deadline (kDeadlineExceeded).
   kExecution,
+  /// The query finished with a partial or fallback answer after graceful
+  /// degradation absorbed a transient execution failure: status is OK,
+  /// QueryResult::degraded_detail says what was lost (docs/resilience.md).
+  kDegraded,
   /// All phases succeeded.
   kComplete,
 };
 
-/// "admission", "planning", "optimization", "execution", or "complete".
+/// "admission", "planning", "optimization", "execution", "degraded", or
+/// "complete".
 const char* QueryPhaseName(QueryPhase phase);
 
 /// One analytics query plus its per-query options. The explicit request
@@ -58,6 +63,18 @@ struct QueryRequest {
   /// to 1; 1 reproduces the sequential single-stream model exactly, and
   /// answers are byte-identical for every setting.
   std::optional<int> max_intra_op_parallelism;
+
+  /// Per-query override of UnifyOptions::graceful_degradation: when a
+  /// transient LLM failure survives retries AND the executor's fallback
+  /// strategies, surface a partial/empty answer with
+  /// QueryPhase::kDegraded instead of failing the query.
+  std::optional<bool> graceful_degradation;
+  /// Per-query override of the retry budget (virtual seconds of backoff +
+  /// retry work the query may spend recovering from transient LLM faults;
+  /// see docs/resilience.md). Unset derives it from `deadline_seconds`
+  /// and UnifyOptions::resilience defaults; 0 disables retrying for this
+  /// query.
+  std::optional<double> retry_budget_seconds;
 
   /// Upper bound on the query's *virtual* total time (planning + execution
   /// including cross-query queueing), in seconds; 0 = no deadline. A query
@@ -172,6 +189,10 @@ struct QueryResult {
   int num_candidate_plans = 0;
   bool used_fallback = false;
   bool adjusted = false;
+  /// True iff phase == kDegraded; `degraded_detail` then names the
+  /// transient failure graceful degradation absorbed.
+  bool degraded = false;
+  std::string degraded_detail;
   std::string plan_debug;
   /// EXPLAIN rendering of the chosen physical plan.
   std::string plan_explain;

@@ -128,6 +128,10 @@ QueryResult UnifyService::Serve(const QueryRequest& request,
       deadline_exceeded_ += 1;
       MetricAddCounter(telemetry::kMetricServeDeadlineExceeded);
     }
+    if (result.phase == QueryPhase::kDegraded) {
+      degraded_ += 1;
+      MetricAddCounter(telemetry::kMetricServeDegraded);
+    }
     MetricSetGauge(telemetry::kMetricServeInflight,
                    static_cast<double>(inflight_));
   }
@@ -154,6 +158,12 @@ QueryResult UnifyService::Serve(const QueryRequest& request,
     miss.kind = ServeEventKind::kDeadlineMiss;
     miss.detail = result.status.message();
     recorder_.Record(std::move(miss));
+  }
+  if (result.phase == QueryPhase::kDegraded) {
+    ServeEvent degraded = completion;
+    degraded.kind = ServeEventKind::kDegraded;
+    degraded.detail = result.degraded_detail;
+    recorder_.Record(std::move(degraded));
   }
   completion.kind = ServeEventKind::kComplete;
   completion.detail =
@@ -190,6 +200,7 @@ UnifyService::Stats UnifyService::stats() const {
     s.rejected = rejected_;
     s.completed = completed_;
     s.deadline_exceeded = deadline_exceeded_;
+    s.degraded = degraded_;
     s.inflight = inflight_;
   }
   s.pool_now = pool_.Now();

@@ -54,6 +54,8 @@ class UnifyService {
     int64_t rejected = 0;
     int64_t completed = 0;
     int64_t deadline_exceeded = 0;
+    /// Served queries that finished with QueryPhase::kDegraded.
+    int64_t degraded = 0;
     /// Requests currently queued or being served.
     int64_t inflight = 0;
     /// The shared pool's monotonic virtual clock.
@@ -108,6 +110,7 @@ class UnifyService {
   int64_t rejected_ = 0;
   int64_t completed_ = 0;
   int64_t deadline_exceeded_ = 0;
+  int64_t degraded_ = 0;
   int64_t inflight_ = 0;
 
   /// Last member: destroyed (and drained) first, so worker tasks never

@@ -21,9 +21,17 @@ UnifySystem::UnifySystem(const corpus::Corpus* corpus, llm::LlmClient* llm,
 }
 
 Status UnifySystem::Setup() {
-  // Every internal LLM call goes through the metering decorator so that
-  // per-PromptType counters are recorded for any client implementation.
-  traced_llm_ = std::make_unique<llm::TracingLlmClient>(llm_);
+  // The internal client stack: fault injection under the resilience
+  // decorator (so injected faults are what retries/hedges recover from),
+  // metering outermost so per-PromptType counters always see the final
+  // logical call. Injection stays off for all of Setup() — calibration
+  // and importance learning must be fault-free.
+  fault_llm_ =
+      std::make_unique<llm::FaultInjectingLlmClient>(llm_, options_.faults);
+  fault_llm_->set_rate_scale(0.0);
+  resilient_llm_ = std::make_unique<llm::ResilientLlmClient>(
+      fault_llm_.get(), options_.resilience);
+  traced_llm_ = std::make_unique<llm::TracingLlmClient>(resilient_llm_.get());
 
   // --- Operator indexing: embed every logical representation offline ---
   matcher_ = std::make_unique<OperatorMatcher>(&registry_, /*dim=*/48,
@@ -81,6 +89,7 @@ Status UnifySystem::Setup() {
   if (options_.calibrate) {
     UNIFY_RETURN_IF_ERROR(CalibrateCostModel());
   }
+  fault_llm_->set_rate_scale(1.0);
   ready_ = true;
   return Status::OK();
 }
@@ -201,6 +210,8 @@ const char* QueryPhaseName(QueryPhase phase) {
       return "optimization";
     case QueryPhase::kExecution:
       return "execution";
+    case QueryPhase::kDegraded:
+      return "degraded";
     case QueryPhase::kComplete:
       return "complete";
   }
@@ -300,6 +311,21 @@ QueryResult UnifySystem::AnswerInternal(const QueryRequest& request,
   // even when other queries run concurrently in the process.
   MetricsRegistry query_metrics;
   MetricsRegistry::ScopedSink metrics_scope(&query_metrics);
+
+  // Retry budget: one shared pool of virtual backoff/retry seconds per
+  // query, drained by every thread that retries on its behalf. Request
+  // override wins; otherwise the system default, clamped so retrying can
+  // never spend past an explicit deadline.
+  double budget_seconds = request.retry_budget_seconds.value_or(
+      options_.default_retry_budget_seconds);
+  if (request.deadline_seconds > 0) {
+    budget_seconds = std::min(budget_seconds, request.deadline_seconds);
+  }
+  llm::RetryBudget retry_budget(budget_seconds);
+  // Covers planning + SCE on this thread; PlanExecutor installs the same
+  // budget on its DAG/morsel workers via Options::retry_budget.
+  llm::RetryBudget::ScopedUse budget_scope(&retry_budget);
+
   ScopedSpan root(trace.get(), telemetry::kSpanQuery, parent);
   root.AddAttr("query", request.text);
   if (!request.client_tag.empty()) {
@@ -313,7 +339,8 @@ QueryResult UnifySystem::AnswerInternal(const QueryRequest& request,
     result.total_seconds = result.plan_seconds + result.exec_seconds;
     result.completion_seconds = result.arrival_seconds + result.total_seconds;
     if (result.status.ok()) {
-      result.phase = QueryPhase::kComplete;
+      result.phase =
+          result.degraded ? QueryPhase::kDegraded : QueryPhase::kComplete;
     }
     result.metrics = query_metrics.Snapshot();
     if (trace != nullptr) {
@@ -401,6 +428,9 @@ QueryResult UnifySystem::AnswerInternal(const QueryRequest& request,
   // clock (planning runs on the planner tier, not the worker pool).
   eopts.start_seconds = result.arrival_seconds + result.plan_seconds;
   eopts.metrics_sink = &query_metrics;
+  eopts.retry_budget = &retry_budget;
+  eopts.graceful_degradation =
+      request.graceful_degradation.value_or(options_.graceful_degradation);
   PlanExecutor executor(ctx, eopts);
   ExecutionResult exec = executor.Execute(*physical, trace.get(), root.id());
   result.exec_seconds = exec.virtual_seconds;
@@ -409,6 +439,8 @@ QueryResult UnifySystem::AnswerInternal(const QueryRequest& request,
   result.adjusted = exec.adjusted;
   result.answer = exec.answer;
   result.status = exec.status;
+  result.degraded = exec.degraded;
+  result.degraded_detail = exec.degraded_detail;
   if (!result.status.ok()) {
     result.phase = QueryPhase::kExecution;
   } else if (request.deadline_seconds > 0 &&
@@ -422,6 +454,9 @@ QueryResult UnifySystem::AnswerInternal(const QueryRequest& request,
         "s, after the " + std::to_string(request.deadline_seconds) +
         "s deadline");
     result.phase = QueryPhase::kExecution;
+    // A degraded answer that also missed its deadline reports the miss.
+    result.degraded = false;
+    result.degraded_detail.clear();
   }
 
   // --- EXPLAIN ANALYZE + accuracy ledger: the optimizer's estimates next

@@ -20,7 +20,9 @@
 #include "corpus/corpus.h"
 #include "embedding/hashed_embedder.h"
 #include "index/hnsw_index.h"
+#include "llm/fault_client.h"
 #include "llm/llm_client.h"
+#include "llm/resilient_client.h"
 #include "llm/tracing_client.h"
 
 namespace unify::core {
@@ -60,6 +62,21 @@ struct UnifyOptions {
   /// of the order in which earlier queries ran — the setting under which
   /// concurrent serving is byte-identical to a sequential replay.
   bool cost_feedback = true;
+  /// Deterministic fault injection on the LLM path (docs/resilience.md).
+  /// All rates default to 0 = pass-through; injection is always disabled
+  /// during Setup() so calibration stays fault-free.
+  llm::FaultInjectionOptions faults;
+  /// Retry / hedge / circuit-breaker policies of the resilience decorator
+  /// that sits between the (possibly faulty) client and the tracer.
+  llm::ResilienceOptions resilience;
+  /// Default virtual seconds of retry overhead (backoff sleeps + retry
+  /// attempts) a query may spend recovering from transient LLM faults,
+  /// when the request sets neither `retry_budget_seconds` nor a deadline.
+  double default_retry_budget_seconds = 120.0;
+  /// When a transient LLM failure survives retries and the executor's
+  /// fallback strategies, finish with a partial answer and
+  /// QueryPhase::kDegraded instead of failing (overridable per request).
+  bool graceful_degradation = false;
 };
 
 /// The top-level system (paper Figure 1): offline preprocessing
@@ -110,6 +127,18 @@ class UnifySystem {
   /// One-off virtual cost of Setup() (indexing + calibration LLM calls).
   double setup_llm_seconds() const { return setup_llm_seconds_; }
 
+  /// The fault injector in the client stack (null before Setup()). Its
+  /// `set_rate_scale()` is the runtime kill switch the shell's `\faults`
+  /// command flips; fault_stats() feeds the same command's report.
+  llm::FaultInjectingLlmClient* fault_injector() const {
+    return fault_llm_.get();
+  }
+  /// The resilience decorator (null before Setup()): retry/hedge/breaker
+  /// statistics for the shell and tests.
+  const llm::ResilientLlmClient* resilient_client() const {
+    return resilient_llm_.get();
+  }
+
   const UnifyOptions& options() const { return options_; }
 
   /// Mutable access to internal components, for benchmarks, ablation
@@ -148,9 +177,12 @@ class UnifySystem {
   const corpus::Corpus* corpus_;
   llm::LlmClient* llm_;
   UnifyOptions options_;
-  /// Metering decorator around `llm_`; all internal components call
-  /// through it so per-PromptType metrics are recorded regardless of the
-  /// client implementation.
+  /// The decorator stack every internal component calls through
+  /// (innermost first): llm_ -> fault injection -> resilience
+  /// (retry/hedge/breaker) -> metering. With fault rates 0 the two extra
+  /// layers are pure pass-throughs, so default behavior is unchanged.
+  std::unique_ptr<llm::FaultInjectingLlmClient> fault_llm_;
+  std::unique_ptr<llm::ResilientLlmClient> resilient_llm_;
   std::unique_ptr<llm::TracingLlmClient> traced_llm_;
 
   OperatorRegistry registry_;

@@ -69,6 +69,14 @@ struct LlmCall {
   std::map<std::string, std::string> fields;
   std::vector<std::string> items;
 
+  /// Retry ordinal of this issuance: 0 for the first attempt, counting up
+  /// for retries/hedges of the same logical call. Content-deterministic
+  /// clients (SimulatedLlm) must IGNORE it — the same prompt always gets
+  /// the same completion — while fault injectors key their coins on it so
+  /// that a retried call can draw a fresh fate. It is excluded from cache
+  /// keys for the same reason.
+  int attempt = 0;
+
   /// Convenience: field lookup with default.
   std::string Get(const std::string& key, const std::string& dflt = "") const {
     auto it = fields.find(key);
@@ -104,6 +112,23 @@ struct LlmUsage {
   double dollars = 0;
 };
 
+/// True when `s` names a transient LLM-side failure that a retry may cure:
+///   kDeadlineExceeded  — the provider timed the call out (straggler);
+///   kResourceExhausted — rate limit / circuit breaker rejection;
+///   kAborted           — malformed or truncated completion.
+/// Everything else (kInternal, kInvalidArgument, ...) is a contract error
+/// that retrying the identical call cannot fix.
+inline bool IsTransientLlmFailure(const Status& s) {
+  switch (s.code()) {
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kAborted:
+      return true;
+    default:
+      return false;
+  }
+}
+
 /// Abstract LLM service. Implementations must be thread-safe: the
 /// execution module issues concurrent calls from parallel operators.
 class LlmClient {
@@ -112,6 +137,14 @@ class LlmClient {
 
   /// Performs one call. Never throws; malformed calls return an error
   /// Status inside the result.
+  ///
+  /// Failure contract: a failed call returns a non-OK `result.status` and
+  /// callers must check it — payload fields/items are unspecified on
+  /// failure, but the accounting fields (`seconds`, `dollars`, tokens)
+  /// are always valid and must be charged: a timed-out call still burned
+  /// provider time and money. Transient failures (IsTransientLlmFailure)
+  /// may be retried with `call.attempt` incremented; permanent failures
+  /// must be surfaced, never absorbed into a default-looking completion.
   virtual LlmResult Call(const LlmCall& call) = 0;
 
   /// Usage since construction or the last ResetUsage().

@@ -9,6 +9,10 @@
 ///   * corpus loading and answers    (corpus/corpus.h, corpus/answer.h)
 ///   * LLM client interfaces         (llm/llm_client.h, llm/sim_llm.h,
 ///                                    llm/caching_client.h)
+///   * fault injection + resilience  (llm/fault_client.h,
+///                                    llm/resilient_client.h — retry /
+///                                    hedge / circuit-breaker policies,
+///                                    see docs/resilience.md)
 ///   * the system + options          (core/runtime/unify.h)
 ///   * the query request/response    (core/runtime/query.h)
 ///     — including the morsel-driven intra-operator parallelism knob
@@ -38,7 +42,9 @@
 #include "corpus/corpus.h"
 #include "corpus/dataset_profile.h"
 #include "llm/caching_client.h"
+#include "llm/fault_client.h"
 #include "llm/llm_client.h"
+#include "llm/resilient_client.h"
 #include "llm/sim_llm.h"
 
 namespace unify {

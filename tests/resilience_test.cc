@@ -1,0 +1,534 @@
+// Resilience-layer edge cases: backoff-jitter determinism, circuit-breaker
+// transitions, retry-budget exhaustion, hedge accounting, fault-injection
+// determinism, byte-identity at fault rate 0, and concurrent serving under
+// injected faults (the latter is the TSAN target wired via
+// scripts/check.sh).
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/runtime/service.h"
+#include "corpus/dataset_profile.h"
+#include "corpus/workload.h"
+#include "llm/fault_client.h"
+#include "llm/resilient_client.h"
+#include "llm/sim_llm.h"
+
+namespace unify::llm {
+namespace {
+
+/// A base client whose outcomes are scripted by arrival order. Entry i
+/// describes the i-th call that reaches the base; once the script runs
+/// out, calls succeed with the defaults. Thread-safe (single atomic).
+class ScriptedLlm : public LlmClient {
+ public:
+  struct Step {
+    Status status = Status::OK();
+    double seconds = 1.0;
+    double dollars = 0.01;
+  };
+
+  explicit ScriptedLlm(std::vector<Step> script = {})
+      : script_(std::move(script)) {}
+
+  LlmResult Call(const LlmCall& call) override {
+    const size_t i = static_cast<size_t>(arrivals_.fetch_add(1));
+    Step step;
+    if (i < script_.size()) step = script_[i];
+    LlmResult r;
+    r.status = step.status;
+    r.seconds = step.seconds;
+    r.dollars = step.dollars;
+    r.in_tokens = 10;
+    r.out_tokens = 5;
+    r.fields["answer"] = "completion-for-attempt-" + std::to_string(call.attempt);
+    return r;
+  }
+
+  LlmUsage usage() const override { return {}; }
+  void ResetUsage() override {}
+
+  int64_t arrivals() const { return arrivals_.load(); }
+
+ private:
+  std::vector<Step> script_;
+  std::atomic<int64_t> arrivals_{0};
+};
+
+LlmCall MakeCall(const std::string& query = "who won the 2014 final") {
+  LlmCall call;
+  call.type = PromptType::kSemanticParse;
+  call.tier = ModelTier::kPlanner;
+  call.fields["query"] = query;
+  return call;
+}
+
+ScriptedLlm::Step Fail(Status status, double seconds = 1.0,
+                       double dollars = 0.01) {
+  return {std::move(status), seconds, dollars};
+}
+
+TEST(BackoffJitterTest, DeterministicAcrossInstancesWithTheSameSeed) {
+  ScriptedLlm base_a, base_b;
+  ResilienceOptions opts;
+  opts.seed = 77;
+  ResilientLlmClient a(&base_a, opts);
+  ResilientLlmClient b(&base_b, opts);
+  const LlmCall call = MakeCall();
+
+  const RetryPolicy& p = opts.retry;
+  double uncapped = p.initial_backoff_seconds;
+  for (int round = 1; round <= 6; ++round) {
+    const double backoff = a.BackoffFor(call, round);
+    EXPECT_DOUBLE_EQ(backoff, b.BackoffFor(call, round)) << round;
+    // Jitter stays inside [1 - f, 1 + f] of the capped exponential base.
+    const double capped = std::min(uncapped, p.max_backoff_seconds);
+    EXPECT_GE(backoff, capped * (1 - p.jitter_fraction)) << round;
+    EXPECT_LE(backoff, capped * (1 + p.jitter_fraction)) << round;
+    uncapped *= p.backoff_multiplier;
+  }
+
+  // A different seed draws different jitter for at least one round.
+  ResilienceOptions other = opts;
+  other.seed = 78;
+  ResilientLlmClient c(&base_a, other);
+  bool any_differs = false;
+  for (int round = 1; round <= 6; ++round) {
+    any_differs |= c.BackoffFor(call, round) != a.BackoffFor(call, round);
+  }
+  EXPECT_TRUE(any_differs);
+
+  // Different call content draws different jitter too (content-keyed).
+  EXPECT_NE(a.BackoffFor(MakeCall("a different query"), 1),
+            a.BackoffFor(call, 1));
+}
+
+TEST(RetryTest, RecoversTransientFailuresAndChargesVirtualTime) {
+  ScriptedLlm base({Fail(Status::DeadlineExceeded("slow"), 2.0, 0.02),
+                    Fail(Status::Aborted("garbled"), 1.0, 0.01)});
+  ResilienceOptions opts;
+  ResilientLlmClient client(&base, opts);
+  const LlmCall call = MakeCall();
+
+  LlmResult result = client.Call(call);
+  ASSERT_TRUE(result.status.ok()) << result.status;
+  EXPECT_EQ(result.fields["answer"], "completion-for-attempt-4");
+  EXPECT_EQ(base.arrivals(), 3);
+
+  // Virtual clock: both failed attempts plus both backoff sleeps.
+  const double b1 = client.BackoffFor(call, 1);
+  const double b2 = client.BackoffFor(call, 2);
+  EXPECT_NEAR(result.seconds, 2.0 + b1 + 1.0 + b2 + 1.0, 1e-12);
+  // Dollars of every attempt are charged (the provider billed them all).
+  EXPECT_NEAR(result.dollars, 0.02 + 0.01 + 0.01, 1e-12);
+  EXPECT_EQ(result.in_tokens, 30);
+
+  const auto stats = client.resilience_stats();
+  EXPECT_EQ(stats.retries, 2);
+  EXPECT_EQ(stats.recovered, 1);
+  EXPECT_EQ(stats.exhausted, 0);
+  EXPECT_NEAR(stats.backoff_seconds, b1 + b2, 1e-12);
+}
+
+TEST(RetryTest, PermanentFailuresAreNotRetried) {
+  ScriptedLlm base({Fail(Status::InvalidArgument("bad prompt"))});
+  ResilientLlmClient client(&base, {});
+  LlmResult result = client.Call(MakeCall());
+  EXPECT_EQ(result.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(base.arrivals(), 1);
+  EXPECT_EQ(client.resilience_stats().retries, 0);
+}
+
+TEST(RetryTest, ExhaustionSurfacesTheLastTransientFailure) {
+  ScriptedLlm base({Fail(Status::DeadlineExceeded("1")),
+                    Fail(Status::DeadlineExceeded("2")),
+                    Fail(Status::DeadlineExceeded("3")),
+                    Fail(Status::ResourceExhausted("final"))});
+  ResilienceOptions opts;  // max_attempts = 4
+  ResilientLlmClient client(&base, opts);
+  LlmResult result = client.Call(MakeCall());
+  EXPECT_EQ(result.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(base.arrivals(), 4);
+  const auto stats = client.resilience_stats();
+  EXPECT_EQ(stats.retries, 3);
+  EXPECT_EQ(stats.exhausted, 1);
+  EXPECT_EQ(stats.recovered, 0);
+}
+
+TEST(CircuitBreakerTest, OpensHalfOpensAndClosesOnVirtualTime) {
+  // Base arrivals (rejections never reach the base):
+  //   fail, fail            -> trips open
+  //   success               -> the first half-open probe, closes
+  //   fail, fail            -> trips open again
+  //   fail                  -> the second probe, reopens
+  ScriptedLlm base({Fail(Status::DeadlineExceeded("f1")),
+                    Fail(Status::DeadlineExceeded("f2")),
+                    ScriptedLlm::Step{},
+                    Fail(Status::DeadlineExceeded("f3")),
+                    Fail(Status::DeadlineExceeded("f4")),
+                    Fail(Status::DeadlineExceeded("f5"))});
+  ResilienceOptions opts;
+  opts.retry.max_attempts = 1;  // each Call is exactly one attempt
+  opts.breaker.enabled = true;
+  opts.breaker.failure_threshold = 2;
+  opts.breaker.open_seconds = 5.0;
+  opts.breaker.fast_fail_seconds = 1.0;
+  ResilientLlmClient client(&base, opts);
+  const LlmCall call = MakeCall();
+  using BreakerState = ResilientLlmClient::BreakerState;
+
+  EXPECT_EQ(client.breaker_state(ModelTier::kPlanner), BreakerState::kClosed);
+  EXPECT_EQ(client.Call(call).status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(client.breaker_state(ModelTier::kPlanner), BreakerState::kClosed);
+  EXPECT_EQ(client.Call(call).status.code(), StatusCode::kDeadlineExceeded);
+  // Two consecutive failures at threshold 2: open. Tier clock is at 2.0s,
+  // the window closes at 7.0s.
+  EXPECT_EQ(client.breaker_state(ModelTier::kPlanner), BreakerState::kOpen);
+
+  // While open, calls fast-fail without touching the base; each rejection
+  // advances the tier clock by fast_fail_seconds.
+  for (int i = 0; i < 5; ++i) {
+    LlmResult rejected = client.Call(call);
+    EXPECT_EQ(rejected.status.code(), StatusCode::kResourceExhausted);
+    EXPECT_DOUBLE_EQ(rejected.seconds, 1.0);
+  }
+  EXPECT_EQ(base.arrivals(), 2);
+  EXPECT_EQ(client.resilience_stats().breaker_rejections, 5);
+
+  // Clock reached 7.0s: the next call is the half-open probe; it succeeds
+  // and the breaker closes.
+  EXPECT_TRUE(client.Call(call).status.ok());
+  EXPECT_EQ(client.breaker_state(ModelTier::kPlanner), BreakerState::kClosed);
+  EXPECT_EQ(client.resilience_stats().breaker_closes, 1);
+
+  // Trip it again, wait out the window, and let the probe FAIL: reopen.
+  EXPECT_FALSE(client.Call(call).status.ok());
+  EXPECT_FALSE(client.Call(call).status.ok());
+  EXPECT_EQ(client.breaker_state(ModelTier::kPlanner), BreakerState::kOpen);
+  for (int i = 0; i < 5; ++i) client.Call(call);
+  EXPECT_FALSE(client.Call(call).status.ok());  // the failing probe
+  EXPECT_EQ(client.breaker_state(ModelTier::kPlanner), BreakerState::kOpen);
+
+  const auto stats = client.resilience_stats();
+  EXPECT_EQ(stats.breaker_opens, 3);  // trip, trip, reopen-from-probe
+  EXPECT_EQ(stats.breaker_probes, 2);
+  EXPECT_EQ(stats.breaker_closes, 1);
+  EXPECT_EQ(stats.breaker_rejections, 10);
+  // The worker tier is untouched: breakers are per-tier.
+  EXPECT_EQ(client.breaker_state(ModelTier::kWorker), BreakerState::kClosed);
+}
+
+TEST(RetryBudgetTest, ExhaustionAtTheDeadlineStopsRetrying) {
+  ScriptedLlm base({Fail(Status::DeadlineExceeded("slow")),
+                    Fail(Status::DeadlineExceeded("slow")),
+                    Fail(Status::DeadlineExceeded("slow"))});
+  ResilientLlmClient client(&base, {});
+
+  // The smallest possible first backoff is 0.4s (0.5s - 20% jitter); a
+  // 0.1s budget cannot afford it, so the first failure is final.
+  RetryBudget budget(0.1);
+  RetryBudget::ScopedUse scope(&budget);
+  ASSERT_EQ(RetryBudget::Current(), &budget);
+
+  LlmResult result = client.Call(MakeCall());
+  EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(result.status.ToString().find("retry budget exhausted"),
+            std::string::npos)
+      << result.status;
+  EXPECT_EQ(base.arrivals(), 1);
+  const auto stats = client.resilience_stats();
+  EXPECT_EQ(stats.budget_exhausted, 1);
+  EXPECT_EQ(stats.exhausted, 1);
+  EXPECT_DOUBLE_EQ(budget.remaining(), 0.1);  // TryConsume is all-or-nothing
+}
+
+TEST(RetryBudgetTest, ScopedUseRestoresThePreviousBudget) {
+  EXPECT_EQ(RetryBudget::Current(), nullptr);
+  RetryBudget outer(10);
+  {
+    RetryBudget::ScopedUse outer_scope(&outer);
+    EXPECT_EQ(RetryBudget::Current(), &outer);
+    RetryBudget inner(5);
+    {
+      RetryBudget::ScopedUse inner_scope(&inner);
+      EXPECT_EQ(RetryBudget::Current(), &inner);
+      EXPECT_TRUE(inner.TryConsume(3));
+      EXPECT_FALSE(inner.TryConsume(3));  // only 2 left
+      inner.Drain(100);                   // clamps at zero
+      EXPECT_DOUBLE_EQ(inner.remaining(), 0);
+    }
+    EXPECT_EQ(RetryBudget::Current(), &outer);
+  }
+  EXPECT_EQ(RetryBudget::Current(), nullptr);
+}
+
+TEST(HedgeTest, WinnerCancellationChargesTheLoserProRata) {
+  // Primary is a 10s straggler; the hedge launches at t=2 and finishes in
+  // 1s, winning at t=3. The primary is cancelled at t=3, 30% through its
+  // run, so 30% of its dollars are charged.
+  ScriptedLlm base({ScriptedLlm::Step{Status::OK(), 10.0, 1.0},
+                    ScriptedLlm::Step{Status::OK(), 1.0, 0.5}});
+  ResilienceOptions opts;
+  opts.hedge.enabled = true;
+  opts.hedge.latency_threshold_seconds = 2.0;
+  ResilientLlmClient client(&base, opts);
+
+  LlmResult result = client.Call(MakeCall());
+  ASSERT_TRUE(result.status.ok()) << result.status;
+  // The hedge's completion won (odd attempt ordinal = the hedge issuance).
+  EXPECT_EQ(result.fields["answer"], "completion-for-attempt-1");
+  EXPECT_DOUBLE_EQ(result.seconds, 3.0);
+  EXPECT_NEAR(result.dollars, 0.5 + 1.0 * (3.0 / 10.0), 1e-12);
+
+  const auto stats = client.resilience_stats();
+  EXPECT_EQ(stats.hedges_launched, 1);
+  EXPECT_EQ(stats.hedge_wins, 1);
+  EXPECT_NEAR(stats.hedge_cancelled_dollars, 0.3, 1e-12);
+}
+
+TEST(HedgeTest, PrimaryWinCancelsTheHedgeProRata) {
+  // Primary takes 3s; the hedge starts at t=2 and would finish at t=4, so
+  // the primary wins and the hedge is cancelled halfway through (1s of its
+  // 2s run): half its dollars are charged.
+  ScriptedLlm base({ScriptedLlm::Step{Status::OK(), 3.0, 1.0},
+                    ScriptedLlm::Step{Status::OK(), 2.0, 0.5}});
+  ResilienceOptions opts;
+  opts.hedge.enabled = true;
+  opts.hedge.latency_threshold_seconds = 2.0;
+  ResilientLlmClient client(&base, opts);
+
+  LlmResult result = client.Call(MakeCall());
+  ASSERT_TRUE(result.status.ok()) << result.status;
+  EXPECT_EQ(result.fields["answer"], "completion-for-attempt-0");
+  EXPECT_DOUBLE_EQ(result.seconds, 3.0);
+  EXPECT_NEAR(result.dollars, 1.0 + 0.5 * 0.5, 1e-12);
+  const auto stats = client.resilience_stats();
+  EXPECT_EQ(stats.hedges_launched, 1);
+  EXPECT_EQ(stats.hedge_wins, 0);
+  EXPECT_NEAR(stats.hedge_cancelled_dollars, 0.25, 1e-12);
+}
+
+TEST(HedgeTest, HedgeRescuesAFailedStraggler) {
+  // The primary times out after 10s; the hedge succeeds, so the round
+  // recovers WITHOUT consuming a retry.
+  ScriptedLlm base({Fail(Status::DeadlineExceeded("straggler"), 10.0, 1.0),
+                    ScriptedLlm::Step{Status::OK(), 1.0, 0.5}});
+  ResilienceOptions opts;
+  opts.hedge.enabled = true;
+  opts.hedge.latency_threshold_seconds = 2.0;
+  ResilientLlmClient client(&base, opts);
+  LlmResult result = client.Call(MakeCall());
+  ASSERT_TRUE(result.status.ok()) << result.status;
+  EXPECT_DOUBLE_EQ(result.seconds, 3.0);
+  EXPECT_EQ(client.resilience_stats().retries, 0);
+  EXPECT_EQ(client.resilience_stats().hedge_wins, 1);
+}
+
+TEST(FaultInjectorTest, RateZeroIsAPurePassThrough) {
+  ScriptedLlm base;
+  FaultInjectionOptions opts;  // all rates zero
+  FaultInjectingLlmClient injector(&base, opts);
+  LlmResult direct = base.Call(MakeCall());
+  LlmResult through = injector.Call(MakeCall());
+  EXPECT_TRUE(through.status.ok());
+  EXPECT_EQ(through.fields, direct.fields);
+  EXPECT_DOUBLE_EQ(through.seconds, direct.seconds);
+  EXPECT_DOUBLE_EQ(through.dollars, direct.dollars);
+  const auto stats = injector.fault_stats();
+  EXPECT_EQ(stats.timeouts + stats.rate_limits + stats.malformed, 0);
+}
+
+TEST(FaultInjectorTest, FatesAreSeededAndKeyedOnContentAndAttempt) {
+  ScriptedLlm base_a, base_b;
+  FaultInjectionOptions opts;
+  opts.seed = 99;
+  opts.rates.timeout = 0.25;
+  opts.rates.rate_limit = 0.25;
+  opts.rates.malformed = 0.25;
+  FaultInjectingLlmClient a(&base_a, opts);
+  FaultInjectingLlmClient b(&base_b, opts);
+
+  // Same seed, same content, same attempt -> identical fates, on every
+  // instance, in any order.
+  std::vector<StatusCode> fates_a, fates_b;
+  for (int i = 0; i < 32; ++i) {
+    LlmCall call = MakeCall("query number " + std::to_string(i));
+    fates_a.push_back(a.Call(call).status.code());
+  }
+  for (int i = 31; i >= 0; --i) {
+    LlmCall call = MakeCall("query number " + std::to_string(i));
+    fates_b.push_back(b.Call(call).status.code());
+  }
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(fates_a[static_cast<size_t>(i)],
+              fates_b[static_cast<size_t>(31 - i)])
+        << i;
+  }
+  // With 75% total fault rate, 32 distinct calls see every fault kind.
+  const auto stats = a.fault_stats();
+  EXPECT_GT(stats.timeouts, 0);
+  EXPECT_GT(stats.rate_limits, 0);
+  EXPECT_GT(stats.malformed, 0);
+
+  // A retry of the same call draws a fresh fate coin via `attempt`.
+  FaultInjectingLlmClient c(&base_a, opts);
+  bool any_attempt_differs = false;
+  for (int i = 0; i < 32 && !any_attempt_differs; ++i) {
+    LlmCall call = MakeCall("retry probe " + std::to_string(i));
+    const StatusCode first = c.Call(call).status.code();
+    call.attempt = 1;
+    any_attempt_differs = c.Call(call).status.code() != first;
+  }
+  EXPECT_TRUE(any_attempt_differs);
+}
+
+// --- Full-system tests ---
+
+class ResilienceSystemTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto profile = corpus::SportsProfile();
+    profile.doc_count = 300;
+    corpus_ = new corpus::Corpus(corpus::GenerateCorpus(profile, 33));
+    llm_ = new llm::SimulatedLlm(corpus_, llm::SimLlmOptions{});
+  }
+  static void TearDownTestSuite() {
+    delete llm_;
+    delete corpus_;
+    llm_ = nullptr;
+    corpus_ = nullptr;
+  }
+
+  static std::vector<std::string> Queries(size_t n) {
+    corpus::WorkloadOptions wopts;
+    wopts.per_template = 1;
+    wopts.seed = 99;
+    std::vector<std::string> queries;
+    for (const auto& qc : corpus::GenerateWorkload(*corpus_, wopts)) {
+      queries.push_back(qc.text);
+      if (queries.size() >= n) break;
+    }
+    return queries;
+  }
+
+  static corpus::Corpus* corpus_;
+  static llm::SimulatedLlm* llm_;
+};
+
+corpus::Corpus* ResilienceSystemTest::corpus_ = nullptr;
+llm::SimulatedLlm* ResilienceSystemTest::llm_ = nullptr;
+
+TEST_F(ResilienceSystemTest, RateZeroIsByteIdenticalAtEveryParallelism) {
+  const auto queries = Queries(6);
+  ASSERT_GE(queries.size(), 4u);
+
+  // Reference: the default system (resilience stack present, fault rate
+  // 0), answering sequentially.
+  core::UnifyOptions plain;
+  plain.cost_feedback = false;
+  core::UnifySystem reference(corpus_, llm_, plain);
+  ASSERT_TRUE(reference.Setup().ok());
+  std::map<std::string, std::string> expected;
+  for (const auto& q : queries) {
+    core::QueryResult r = reference.Answer(q);
+    ASSERT_TRUE(r.status.ok()) << q << ": " << r.status;
+    expected[q] = r.answer.ToString();
+  }
+
+  // Same corpus/LLM with every resilience feature armed — but fault rate
+  // 0 — served at parallelism 1 and 4: answers must not move a byte.
+  core::UnifyOptions armed;
+  armed.cost_feedback = false;
+  armed.resilience.hedge.enabled = true;
+  armed.resilience.breaker.enabled = true;
+  armed.graceful_degradation = true;
+  core::UnifySystem system(corpus_, llm_, armed);
+  ASSERT_TRUE(system.Setup().ok());
+  for (int workers : {1, 4}) {
+    core::UnifyService::Options sopts;
+    sopts.num_workers = workers;
+    core::UnifyService service(&system, sopts);
+    std::vector<std::future<core::QueryResult>> futures;
+    for (const auto& q : queries) {
+      core::QueryRequest request;
+      request.text = q;
+      futures.push_back(service.Submit(std::move(request)));
+    }
+    for (size_t i = 0; i < queries.size(); ++i) {
+      core::QueryResult r = futures[i].get();
+      ASSERT_TRUE(r.status.ok()) << queries[i] << ": " << r.status;
+      EXPECT_EQ(r.phase, core::QueryPhase::kComplete);
+      EXPECT_FALSE(r.degraded);
+      EXPECT_EQ(r.answer.ToString(), expected[queries[i]])
+          << "answer diverged at parallelism " << workers << " for: "
+          << queries[i];
+    }
+  }
+  // Nothing fired: no faults, no retries, no hedges, no breaker trips.
+  const auto rstats = system.resilient_client()->resilience_stats();
+  EXPECT_EQ(rstats.retries, 0);
+  EXPECT_EQ(rstats.hedges_launched, 0);
+  EXPECT_EQ(rstats.breaker_opens, 0);
+  const auto fstats = system.fault_injector()->fault_stats();
+  EXPECT_EQ(fstats.timeouts + fstats.rate_limits + fstats.malformed, 0);
+}
+
+TEST_F(ResilienceSystemTest, ConcurrentServingUnderInjectedFaultsIsSafe) {
+  // The TSAN target (scripts/check.sh): retries, hedges, breakers, retry
+  // budgets and the degradation path all racing across 4 workers.
+  core::UnifyOptions opts;
+  opts.cost_feedback = false;
+  opts.faults.rates.timeout = 0.05;
+  opts.faults.rates.rate_limit = 0.05;
+  opts.faults.rates.malformed = 0.05;
+  opts.resilience.hedge.enabled = true;
+  opts.resilience.breaker.enabled = true;
+  opts.graceful_degradation = true;
+  core::UnifySystem system(corpus_, llm_, opts);
+  ASSERT_TRUE(system.Setup().ok());
+
+  const auto queries = Queries(8);
+  core::UnifyService::Options sopts;
+  sopts.num_workers = 4;
+  core::UnifyService service(&system, sopts);
+  std::vector<std::future<core::QueryResult>> futures;
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    for (const auto& q : queries) {
+      core::QueryRequest request;
+      request.text = q;
+      futures.push_back(service.Submit(std::move(request)));
+    }
+  }
+  int64_t degraded = 0;
+  for (auto& f : futures) {
+    core::QueryResult r = f.get();
+    // Every outcome is one of: success, graceful degradation, or a
+    // surfaced transient failure. Never a crash, never a silent wrong
+    // phase.
+    if (r.phase == core::QueryPhase::kDegraded) {
+      EXPECT_TRUE(r.status.ok());
+      EXPECT_TRUE(r.degraded);
+      EXPECT_FALSE(r.degraded_detail.empty());
+      degraded += 1;
+    } else if (r.status.ok()) {
+      EXPECT_EQ(r.phase, core::QueryPhase::kComplete);
+      EXPECT_FALSE(r.degraded);
+    } else {
+      EXPECT_TRUE(IsTransientLlmFailure(r.status)) << r.status;
+    }
+  }
+  EXPECT_EQ(service.stats().degraded, degraded);
+  // The injector definitely fired at a 15% total rate over 16 queries.
+  const auto fstats = system.fault_injector()->fault_stats();
+  EXPECT_GT(fstats.timeouts + fstats.rate_limits + fstats.malformed, 0);
+}
+
+}  // namespace
+}  // namespace unify::llm

@@ -48,7 +48,7 @@ SoloResult RunSolo(const core::UnifySystem& system, const std::string& query,
                    int parallelism) {
   core::QueryRequest request;
   request.text = query;
-  request.max_intra_op_parallelism = parallelism;
+  request.overrides.max_intra_op_parallelism = parallelism;
   core::QueryResult result = system.Answer(request);
   SoloResult solo;
   solo.parallelism = parallelism;

@@ -13,6 +13,7 @@
 //   unify> \accuracy         (estimator/cost-model calibration report)
 //   unify> \stats            (cumulative LLM usage)
 //   unify> \faults on        (inject LLM faults; \faults reports resilience)
+//   unify> \cache            (shared LLM answer cache report; \cache clear)
 //   unify> \concurrency 8    (size of the serving worker pool)
 //   unify> q1 ;; q2 ;; q3    (submit a batch concurrently)
 //   unify> \quit
@@ -67,6 +68,10 @@ int main(int argc, char** argv) {
   opts.faults.rates.malformed = 0.02;
   opts.resilience.breaker.enabled = true;
   opts.graceful_degradation = true;
+  // Shared cross-query answer cache: repeated or concurrent questions that
+  // touch the same documents stop re-paying per-document LLM calls
+  // (\cache reports hits/coalesces/savings; docs/caching.md).
+  opts.cache.enabled = true;
   core::UnifySystem system(&docs, &llm, opts);
   if (auto st = system.Setup(); !st.ok()) {
     std::printf("setup failed: %s\n", st.ToString().c_str());
@@ -128,6 +133,10 @@ int main(int argc, char** argv) {
       std::printf("  \\faults on [S]    enable LLM fault injection (rate "
                   "scale S, default 1)\n");
       std::printf("  \\faults off       disable fault injection\n");
+      std::printf("  \\cache            shared LLM answer cache report "
+                  "(hits, coalesces, evictions)\n");
+      std::printf("  \\cache clear      drop every cached answer and reset "
+                  "the counters\n");
       std::printf("  \\concurrency N    resize the serving worker pool\n");
       std::printf("  q1 ;; q2 ;; q3    submit a batch of queries "
                   "concurrently\n");
@@ -371,6 +380,38 @@ int main(int argc, char** argv) {
       auto sstats = service->stats();
       std::printf("  served degraded: %lld\n",
                   static_cast<long long>(sstats.degraded));
+      continue;
+    }
+    if (input.rfind("\\cache", 0) == 0) {
+      std::string arg(StripAsciiWhitespace(
+          input.substr(std::string("\\cache").size())));
+      llm::SharedLlmCache* cache = system.llm_cache();
+      if (arg == "clear") {
+        cache->Clear();
+        std::printf("  cache cleared\n");
+        continue;
+      }
+      if (!arg.empty()) {
+        std::printf("  usage: \\cache [clear]\n");
+        continue;
+      }
+      const auto cstats = cache->stats();
+      const int64_t lookups = cstats.item_hits + cstats.item_misses +
+                              cstats.coalesced;
+      std::printf("  shared cache: %lld entries (%.1f KiB), %lld hits, "
+                  "%lld misses, %lld coalesced (%.1f%% served without a "
+                  "base call)\n",
+                  static_cast<long long>(cstats.entries),
+                  cstats.bytes / 1024.0,
+                  static_cast<long long>(cstats.item_hits),
+                  static_cast<long long>(cstats.item_misses),
+                  static_cast<long long>(cstats.coalesced),
+                  lookups > 0 ? 100.0 * (cstats.item_hits + cstats.coalesced) /
+                                    lookups
+                              : 0.0);
+      std::printf("  evictions: %lld; saved $%.3f of base-client spend\n",
+                  static_cast<long long>(cstats.evictions),
+                  cstats.saved_dollars);
       continue;
     }
     if (input == "\\vocab") {

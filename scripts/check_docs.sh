@@ -9,8 +9,9 @@
 #   4. docs/benchmarks.md covers every bench/bench_*.cc binary;
 #   5. docs/resilience.md's telemetry table covers every llm.fault.* /
 #      llm.retry.* / llm.hedge.* / breaker.* name;
-#   6. the five guides (api, architecture, observability, benchmarks,
-#      resilience) and README.md cross-link each other.
+#   6. the six guides (api, architecture, observability, benchmarks,
+#      resilience, caching) and README.md cross-link each other;
+#   7. docs/caching.md's telemetry table covers every llm.cache.* name.
 #
 # Usage: scripts/check_docs.sh [repo_root]
 set -u
@@ -132,7 +133,7 @@ fi
 
 # --- 6. the guides cross-link each other -----------------------------------
 GUIDES=(docs/api.md docs/architecture.md docs/observability.md
-        docs/benchmarks.md docs/resilience.md README.md)
+        docs/benchmarks.md docs/resilience.md docs/caching.md README.md)
 for doc in "${GUIDES[@]}"; do
   [[ -f "$doc" ]] || { fail "$doc is missing"; continue; }
   for other in "${GUIDES[@]}"; do
@@ -143,6 +144,24 @@ for doc in "${GUIDES[@]}"; do
     fi
   done
 done
+
+# --- 7. caching.md covers the cache telemetry names ------------------------
+CACHE_DOC=docs/caching.md
+if [[ ! -f "$CACHE_DOC" ]]; then
+  fail "$CACHE_DOC is missing"
+else
+  cache_names=$(tr '\n' ' ' < src/common/telemetry_names.h |
+      grep -o 'inline constexpr char k[A-Za-z0-9]*\[\] *= *"[^"]*"' |
+      sed 's/.*"\([^"]*\)"/\1/' |
+      grep -E '^llm\.cache\.')
+  [[ -n "$cache_names" ]] || fail "no llm.cache.* names in telemetry_names.h"
+  while IFS= read -r name; do
+    [[ -n "$name" ]] || continue
+    if ! grep -qF "\`$name\`" "$CACHE_DOC"; then
+      fail "cache telemetry name '$name' is not in $CACHE_DOC"
+    fi
+  done <<< "$cache_names"
+fi
 
 if [[ $failures -gt 0 ]]; then
   echo "check_docs: FAILED with $failures error(s)" >&2

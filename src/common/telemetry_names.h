@@ -78,9 +78,17 @@ inline constexpr char kMetricLlmSeconds[] = "llm.seconds";
 inline constexpr char kMetricLlmDollars[] = "llm.dollars";
 /// Histogram: virtual seconds of individual LLM calls.
 inline constexpr char kMetricLlmCallSeconds[] = "llm.call_seconds";
-// Per-document memoization (CachingLlmClient).
+// Per-document memoization (SharedLlmCache in llm/shared_cache.h, and the
+// legacy CachingLlmClient decorator; catalog in docs/caching.md).
 inline constexpr char kMetricLlmCacheHits[] = "llm.cache.item_hits";
 inline constexpr char kMetricLlmCacheMisses[] = "llm.cache.item_misses";
+/// Counter: items that followed a concurrent identical call's leader
+/// instead of re-paying the base call (singleflight coalescing).
+inline constexpr char kMetricLlmCacheCoalesced[] = "llm.cache.coalesced";
+/// Counter: entries dropped by the shared cache's LRU capacity bounds.
+inline constexpr char kMetricLlmCacheEvictions[] = "llm.cache.evictions";
+/// Gauge: approximate resident bytes of the shared cache.
+inline constexpr char kMetricLlmCacheBytes[] = "llm.cache.bytes";
 
 // Fault injection (FaultInjectingLlmClient in llm/fault_client.h; catalog
 // in docs/resilience.md). The per-kind counters append "." +

@@ -45,6 +45,10 @@ ExecutionResult PlanExecutor::Execute(const PhysicalPlan& plan, Trace* trace,
     if (options_.retry_budget != nullptr) {
       budget_scope.emplace(options_.retry_budget);
     }
+    std::optional<llm::SharedCacheLlmClient::ScopedUse> cache_scope;
+    if (options_.use_llm_cache.has_value()) {
+      cache_scope.emplace(*options_.use_llm_cache);
+    }
     // Slot u is written only by the worker running node u.
     NodeExecution& record = node_executions_[u];
     ScopedSpan node_span(trace, telemetry::kSpanExecNode, exec_span.id());
@@ -99,6 +103,10 @@ ExecutionResult PlanExecutor::Execute(const PhysicalPlan& plan, Trace* trace,
         std::optional<llm::RetryBudget::ScopedUse> part_budget;
         if (options_.retry_budget != nullptr) {
           part_budget.emplace(options_.retry_budget);
+        }
+        std::optional<llm::SharedCacheLlmClient::ScopedUse> part_cache;
+        if (options_.use_llm_cache.has_value()) {
+          part_cache.emplace(*options_.use_llm_cache);
         }
         // Slot i is written only by the worker running morsel i.
         ScopedSpan part_span(trace, telemetry::kSpanExecPartition,

@@ -2,6 +2,7 @@
 #define UNIFY_CORE_RUNTIME_EXECUTOR_H_
 
 #include <map>
+#include <optional>
 #include <string>
 
 #include "common/metrics.h"
@@ -11,6 +12,7 @@
 #include "corpus/answer.h"
 #include "exec/virtual_pool.h"
 #include "llm/resilient_client.h"
+#include "llm/shared_cache.h"
 
 namespace unify::core {
 
@@ -110,6 +112,12 @@ class PlanExecutor {
     /// replan could not cure, finish with ExecutionResult::degraded and an
     /// empty answer instead of a failed status (docs/resilience.md).
     bool graceful_degradation = false;
+    /// The query's resolved shared-LLM-cache routing, installed
+    /// (llm::SharedCacheLlmClient::ScopedUse) on every worker thread
+    /// alongside the metrics sink, so coalescing fires across the
+    /// morsels of one operator as well as across queries. Unset = leave
+    /// each worker thread's default (the system-wide cache.enabled).
+    std::optional<bool> use_llm_cache;
   };
 
   PlanExecutor(ExecContext ctx, Options options)

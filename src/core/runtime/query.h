@@ -43,38 +43,73 @@ enum class QueryPhase {
 /// "complete".
 const char* QueryPhaseName(QueryPhase phase);
 
+struct UnifyOptions;
+
+/// The per-query options after resolving QueryRequest::Overrides against
+/// the system-wide UnifyOptions: every field is concrete — this is what
+/// the runtime actually executes with. Produced by
+/// QueryRequest::Overrides::ResolveAgainst().
+struct ResolvedQueryOptions {
+  OptimizeObjective objective;
+  PhysicalMode physical_mode;
+  bool collect_trace = false;
+  /// Clamped to >= 1; 1 is the sequential single-stream model.
+  int max_intra_op_parallelism = 1;
+  bool graceful_degradation = false;
+  /// Before the deadline clamp the runtime applies per query.
+  double retry_budget_seconds = 0;
+  /// Whether cacheable per-document LLM calls go through the shared
+  /// answer cache (docs/caching.md).
+  bool use_llm_cache = false;
+};
+
 /// One analytics query plus its per-query options. The explicit request
 /// type is the stable public entry point: construct with just `text` for
-/// defaults, or override objective/mode/tracing per query without touching
-/// the system-wide UnifyOptions.
+/// defaults, or set `overrides` fields to shadow the system-wide
+/// UnifyOptions for this query only.
 struct QueryRequest {
   /// The natural-language analytics question.
   std::string text;
 
-  /// Per-query override of UnifyOptions::objective (time vs. dollars).
-  std::optional<OptimizeObjective> objective;
-  /// Per-query override of UnifyOptions::physical_mode.
-  std::optional<PhysicalMode> physical_mode;
-  /// Per-query override of UnifyOptions::collect_trace.
-  std::optional<bool> collect_trace;
-  /// Per-query override of the executor's morsel-driven intra-operator
-  /// parallelism (PlanExecutor::Options::max_intra_op_parallelism) —
-  /// also steers the optimizer's makespan prediction. Values < 1 clamp
-  /// to 1; 1 reproduces the sequential single-stream model exactly, and
-  /// answers are byte-identical for every setting.
-  std::optional<int> max_intra_op_parallelism;
+  /// Every per-query knob that shadows a system-wide UnifyOptions
+  /// setting lives here, as an optional: unset means "use the system
+  /// default". One struct, one resolution rule — ResolveAgainst() is the
+  /// single place request-vs-system precedence is decided.
+  struct Overrides {
+    /// Shadows UnifyOptions::objective (time vs. dollars).
+    std::optional<OptimizeObjective> objective;
+    /// Shadows UnifyOptions::physical_mode.
+    std::optional<PhysicalMode> physical_mode;
+    /// Shadows UnifyOptions::collect_trace.
+    std::optional<bool> collect_trace;
+    /// Shadows the executor's morsel-driven intra-operator parallelism
+    /// (UnifyOptions::exec.max_intra_op_parallelism) — also steers the
+    /// optimizer's makespan prediction. Values < 1 clamp to 1; 1
+    /// reproduces the sequential single-stream model exactly, and
+    /// answers are byte-identical for every setting.
+    std::optional<int> max_intra_op_parallelism;
+    /// Shadows UnifyOptions::graceful_degradation: when a transient LLM
+    /// failure survives retries AND the executor's fallback strategies,
+    /// surface a partial/empty answer with QueryPhase::kDegraded instead
+    /// of failing the query.
+    std::optional<bool> graceful_degradation;
+    /// Shadows UnifyOptions::default_retry_budget_seconds (virtual
+    /// seconds of backoff + retry work the query may spend recovering
+    /// from transient LLM faults; see docs/resilience.md). The runtime
+    /// additionally clamps the resolved value to `deadline_seconds`;
+    /// 0 disables retrying for this query.
+    std::optional<double> retry_budget_seconds;
+    /// Shadows UnifyOptions::cache.enabled: route this query's cacheable
+    /// per-document LLM calls through (true) or around (false) the
+    /// shared answer cache (docs/caching.md).
+    std::optional<bool> use_llm_cache;
 
-  /// Per-query override of UnifyOptions::graceful_degradation: when a
-  /// transient LLM failure survives retries AND the executor's fallback
-  /// strategies, surface a partial/empty answer with
-  /// QueryPhase::kDegraded instead of failing the query.
-  std::optional<bool> graceful_degradation;
-  /// Per-query override of the retry budget (virtual seconds of backoff +
-  /// retry work the query may spend recovering from transient LLM faults;
-  /// see docs/resilience.md). Unset derives it from `deadline_seconds`
-  /// and UnifyOptions::resilience defaults; 0 disables retrying for this
-  /// query.
-  std::optional<double> retry_budget_seconds;
+    /// The one resolution rule: each set field wins over its system-wide
+    /// counterpart in `defaults`; parallelism is clamped to >= 1.
+    /// Defined in unify.cc (needs the full UnifyOptions type).
+    ResolvedQueryOptions ResolveAgainst(const UnifyOptions& defaults) const;
+  };
+  Overrides overrides;
 
   /// Upper bound on the query's *virtual* total time (planning + execution
   /// including cross-query queueing), in seconds; 0 = no deadline. A query
@@ -186,6 +221,13 @@ struct QueryResult {
 
   /// API spend of plan execution (footnote-1 objective accounting).
   double exec_dollars = 0;
+  /// Shared-LLM-cache attribution for THIS query (exact, via the
+  /// per-query metrics sink): per-document items served from a cached
+  /// entry, and items that coalesced onto another in-flight call's
+  /// leader instead of re-paying the base call. Both are 0 when the
+  /// cache is disabled for the query. See docs/caching.md.
+  int64_t cache_item_hits = 0;
+  int64_t cache_coalesced = 0;
   int num_candidate_plans = 0;
   bool used_fallback = false;
   bool adjusted = false;

@@ -90,16 +90,16 @@ QueryResult UnifyService::Serve(const QueryRequest& request,
   if (effective.deadline_seconds <= 0) {
     effective.deadline_seconds = options_.default_deadline_seconds;
   }
-  if (!effective.max_intra_op_parallelism.has_value() &&
+  if (!effective.overrides.max_intra_op_parallelism.has_value() &&
       options_.default_max_intra_op_parallelism > 0) {
-    effective.max_intra_op_parallelism =
+    effective.overrides.max_intra_op_parallelism =
         options_.default_max_intra_op_parallelism;
   }
 
   // The serve.query span parents the query's own span tree, so a served
   // trace shows the serving layer on top of the usual lifecycle.
-  const bool collect_trace =
-      effective.collect_trace.value_or(system_->options().collect_trace);
+  const bool collect_trace = effective.overrides.collect_trace.value_or(
+      system_->options().collect_trace);
   std::shared_ptr<Trace> trace;
   if (collect_trace) trace = std::make_shared<Trace>();
   QueryResult result;
@@ -205,6 +205,9 @@ UnifyService::Stats UnifyService::stats() const {
   }
   s.pool_now = pool_.Now();
   s.pool_busy_seconds = pool_.TotalBusySeconds();
+  if (system_->llm_cache() != nullptr) {
+    s.cache = system_->llm_cache()->stats();
+  }
   return s;
 }
 

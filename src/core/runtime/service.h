@@ -62,6 +62,9 @@ class UnifyService {
     double pool_now = 0;
     /// Total virtual busy seconds across the pool's servers.
     double pool_busy_seconds = 0;
+    /// The system's shared cross-query LLM answer cache (all queries
+    /// served through this service share one instance; docs/caching.md).
+    llm::CacheStats cache;
   };
 
   /// `system` must have completed Setup() and outlive the service. The

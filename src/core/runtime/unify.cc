@@ -23,6 +23,8 @@ UnifySystem::UnifySystem(const corpus::Corpus* corpus, llm::LlmClient* llm,
 Status UnifySystem::Setup() {
   // The internal client stack: fault injection under the resilience
   // decorator (so injected faults are what retries/hedges recover from),
+  // the shared answer cache above resilience (only final, retry-survived
+  // OK completions are admitted — a faulty result cannot poison it),
   // metering outermost so per-PromptType counters always see the final
   // logical call. Injection stays off for all of Setup() — calibration
   // and importance learning must be fault-free.
@@ -31,7 +33,16 @@ Status UnifySystem::Setup() {
   fault_llm_->set_rate_scale(0.0);
   resilient_llm_ = std::make_unique<llm::ResilientLlmClient>(
       fault_llm_.get(), options_.resilience);
-  traced_llm_ = std::make_unique<llm::TracingLlmClient>(resilient_llm_.get());
+  cache_ = std::make_unique<llm::SharedLlmCache>(options_.cache);
+  cache_llm_ = std::make_unique<llm::SharedCacheLlmClient>(
+      resilient_llm_.get(), cache_.get(), options_.cache.enabled);
+  traced_llm_ = std::make_unique<llm::TracingLlmClient>(cache_llm_.get());
+  // The cache also stays off for all of Setup(): calibration measures the
+  // real per-call costs, and a cache hit during a micro-execution would
+  // record zero-cost samples into the cost model (changing plan choice
+  // depending on whether the cache is on — exactly the coupling the
+  // byte-identity guarantee forbids).
+  llm::SharedCacheLlmClient::ScopedUse setup_cache_off(false);
 
   // --- Operator indexing: embed every logical representation offline ---
   matcher_ = std::make_unique<OperatorMatcher>(&registry_, /*dim=*/48,
@@ -200,6 +211,23 @@ Status UnifySystem::CalibrateCostModel() {
   return Status::OK();
 }
 
+ResolvedQueryOptions QueryRequest::Overrides::ResolveAgainst(
+    const UnifyOptions& defaults) const {
+  ResolvedQueryOptions r;
+  r.objective = objective.value_or(defaults.objective);
+  r.physical_mode = physical_mode.value_or(defaults.physical_mode);
+  r.collect_trace = collect_trace.value_or(defaults.collect_trace);
+  r.max_intra_op_parallelism = std::max(
+      1, max_intra_op_parallelism.value_or(
+             defaults.exec.max_intra_op_parallelism));
+  r.graceful_degradation =
+      graceful_degradation.value_or(defaults.graceful_degradation);
+  r.retry_budget_seconds =
+      retry_budget_seconds.value_or(defaults.default_retry_budget_seconds);
+  r.use_llm_cache = use_llm_cache.value_or(defaults.cache.enabled);
+  return r;
+}
+
 const char* QueryPhaseName(QueryPhase phase) {
   switch (phase) {
     case QueryPhase::kAdmission:
@@ -294,9 +322,14 @@ QueryResult UnifySystem::AnswerInternal(const QueryRequest& request,
     return result;
   }
 
-  const bool collect_trace =
-      request.collect_trace.value_or(options_.collect_trace);
-  if (trace == nullptr && collect_trace) trace = std::make_shared<Trace>();
+  // The one per-query options resolution: every request override is
+  // folded against the system-wide defaults here, and the rest of the
+  // pipeline reads only the resolved values.
+  const ResolvedQueryOptions resolved =
+      request.overrides.ResolveAgainst(options_);
+  if (trace == nullptr && resolved.collect_trace) {
+    trace = std::make_shared<Trace>();
+  }
   // Virtual arrival: explicit request time (closed-loop clients), else the
   // serving clock, else 0 for a standalone call.
   result.arrival_seconds =
@@ -313,11 +346,10 @@ QueryResult UnifySystem::AnswerInternal(const QueryRequest& request,
   MetricsRegistry::ScopedSink metrics_scope(&query_metrics);
 
   // Retry budget: one shared pool of virtual backoff/retry seconds per
-  // query, drained by every thread that retries on its behalf. Request
-  // override wins; otherwise the system default, clamped so retrying can
-  // never spend past an explicit deadline.
-  double budget_seconds = request.retry_budget_seconds.value_or(
-      options_.default_retry_budget_seconds);
+  // query, drained by every thread that retries on its behalf. The
+  // resolved request value, clamped so retrying can never spend past an
+  // explicit deadline.
+  double budget_seconds = resolved.retry_budget_seconds;
   if (request.deadline_seconds > 0) {
     budget_seconds = std::min(budget_seconds, request.deadline_seconds);
   }
@@ -325,6 +357,11 @@ QueryResult UnifySystem::AnswerInternal(const QueryRequest& request,
   // Covers planning + SCE on this thread; PlanExecutor installs the same
   // budget on its DAG/morsel workers via Options::retry_budget.
   llm::RetryBudget::ScopedUse budget_scope(&retry_budget);
+
+  // Shared-cache routing for this query's calls on this thread; the
+  // executor re-installs the same choice on its DAG/morsel workers via
+  // Options::use_llm_cache.
+  llm::SharedCacheLlmClient::ScopedUse cache_scope(resolved.use_llm_cache);
 
   ScopedSpan root(trace.get(), telemetry::kSpanQuery, parent);
   root.AddAttr("query", request.text);
@@ -343,6 +380,17 @@ QueryResult UnifySystem::AnswerInternal(const QueryRequest& request,
           result.degraded ? QueryPhase::kDegraded : QueryPhase::kComplete;
     }
     result.metrics = query_metrics.Snapshot();
+    // Exact per-query cache attribution: the llm.cache.* counters were
+    // dual-written into this query's sink by every thread that worked on
+    // it, so these are this query's items alone.
+    auto cache_counter = [&](const char* name) -> int64_t {
+      auto it = result.metrics.counters.find(name);
+      return it == result.metrics.counters.end()
+                 ? 0
+                 : static_cast<int64_t>(it->second + 0.5);
+    };
+    result.cache_item_hits = cache_counter(telemetry::kMetricLlmCacheHits);
+    result.cache_coalesced = cache_counter(telemetry::kMetricLlmCacheCoalesced);
     if (trace != nullptr) {
       root.AddAttr("status", result.status.ok()
                                  ? std::string("ok")
@@ -375,15 +423,11 @@ QueryResult UnifySystem::AnswerInternal(const QueryRequest& request,
   // --- Physical plan generation + plan selection (Section VI), under the
   // request's per-query objective / mode overrides ---
   OptimizerOptions oopts = optimizer_->options();
-  if (request.objective.has_value()) oopts.objective = *request.objective;
-  if (request.physical_mode.has_value()) oopts.mode = *request.physical_mode;
-  // Effective intra-operator parallelism: the request override wins, else
-  // the system-wide setting; the optimizer predicts and the executor runs
-  // under the same value.
-  const int intra_op_parallelism =
-      std::max(1, request.max_intra_op_parallelism.value_or(
-                      options_.exec.max_intra_op_parallelism));
-  oopts.max_intra_op_parallelism = intra_op_parallelism;
+  oopts.objective = resolved.objective;
+  oopts.mode = resolved.physical_mode;
+  // The optimizer predicts and the executor runs under the same
+  // intra-operator parallelism.
+  oopts.max_intra_op_parallelism = resolved.max_intra_op_parallelism;
   auto physical =
       optimizer_->SelectBest(generated->plans, oopts, trace.get(), root.id());
   if (!physical.ok()) {
@@ -422,15 +466,15 @@ QueryResult UnifySystem::AnswerInternal(const QueryRequest& request,
   ctx.custom_ops = options_.custom_ops;
   ctx.llm_batch_size = options_.llm_batch_size;
   PlanExecutor::Options eopts = options_.exec;
-  eopts.max_intra_op_parallelism = intra_op_parallelism;
+  eopts.max_intra_op_parallelism = resolved.max_intra_op_parallelism;
   eopts.shared_pool = shared_pool;
   // Execution streams become ready once planning finishes on the virtual
   // clock (planning runs on the planner tier, not the worker pool).
   eopts.start_seconds = result.arrival_seconds + result.plan_seconds;
   eopts.metrics_sink = &query_metrics;
   eopts.retry_budget = &retry_budget;
-  eopts.graceful_degradation =
-      request.graceful_degradation.value_or(options_.graceful_degradation);
+  eopts.graceful_degradation = resolved.graceful_degradation;
+  eopts.use_llm_cache = resolved.use_llm_cache;
   PlanExecutor executor(ctx, eopts);
   ExecutionResult exec = executor.Execute(*physical, trace.get(), root.id());
   result.exec_seconds = exec.virtual_seconds;

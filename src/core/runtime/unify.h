@@ -23,6 +23,7 @@
 #include "llm/fault_client.h"
 #include "llm/llm_client.h"
 #include "llm/resilient_client.h"
+#include "llm/shared_cache.h"
 #include "llm/tracing_client.h"
 
 namespace unify::core {
@@ -77,6 +78,11 @@ struct UnifyOptions {
   /// fallback strategies, finish with a partial answer and
   /// QueryPhase::kDegraded instead of failing (overridable per request).
   bool graceful_degradation = false;
+  /// The shared cross-query LLM answer cache (docs/caching.md): sharded
+  /// bounded LRU + singleflight coalescing over per-document completions.
+  /// `cache.enabled` defaults to false (opt-in, overridable per request
+  /// via QueryRequest::Overrides::use_llm_cache).
+  llm::SharedLlmCacheOptions cache;
 };
 
 /// The top-level system (paper Figure 1): offline preprocessing
@@ -138,6 +144,11 @@ class UnifySystem {
   const llm::ResilientLlmClient* resilient_client() const {
     return resilient_llm_.get();
   }
+  /// The shared cross-query answer cache (null before Setup()). One
+  /// instance per system, so every query served through this system —
+  /// concurrent or not — shares it. stats()/Clear() back the shell's
+  /// `\cache` command and UnifyService::Stats.
+  llm::SharedLlmCache* llm_cache() const { return cache_.get(); }
 
   const UnifyOptions& options() const { return options_; }
 
@@ -179,10 +190,17 @@ class UnifySystem {
   UnifyOptions options_;
   /// The decorator stack every internal component calls through
   /// (innermost first): llm_ -> fault injection -> resilience
-  /// (retry/hedge/breaker) -> metering. With fault rates 0 the two extra
-  /// layers are pure pass-throughs, so default behavior is unchanged.
+  /// (retry/hedge/breaker) -> shared answer cache -> metering. The cache
+  /// sits *above* resilience so only final, retry-survived OK completions
+  /// are ever admitted (a malformed or transient-failed result cannot
+  /// poison it), and *below* the tracer so hits/coalesces still meter as
+  /// zero-cost logical calls. With fault rates 0 and the cache disabled
+  /// the extra layers are pure pass-throughs — default behavior is
+  /// unchanged.
   std::unique_ptr<llm::FaultInjectingLlmClient> fault_llm_;
   std::unique_ptr<llm::ResilientLlmClient> resilient_llm_;
+  std::unique_ptr<llm::SharedLlmCache> cache_;
+  std::unique_ptr<llm::SharedCacheLlmClient> cache_llm_;
   std::unique_ptr<llm::TracingLlmClient> traced_llm_;
 
   OperatorRegistry registry_;

@@ -97,6 +97,8 @@ CachingLlmClient::CacheStats CachingLlmClient::cache_stats() const {
 void CachingLlmClient::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   cache_.clear();
+  item_hits_ = 0;
+  item_misses_ = 0;
 }
 
 }  // namespace unify::llm

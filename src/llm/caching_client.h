@@ -39,7 +39,8 @@ class CachingLlmClient : public LlmClient {
   };
   CacheStats cache_stats() const;
 
-  /// Drops all cached entries.
+  /// Drops all cached entries and resets the hit/miss counters, so a
+  /// cleared cache reports the same stats as a freshly constructed one.
   void Clear();
 
  private:

@@ -1,0 +1,235 @@
+#ifndef UNIFY_LLM_SHARED_CACHE_H_
+#define UNIFY_LLM_SHARED_CACHE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "llm/llm_client.h"
+
+namespace unify::llm {
+
+/// Configuration of a SharedLlmCache (UnifyOptions::cache).
+struct SharedLlmCacheOptions {
+  /// Serve per-document completions from the cache by default. Off keeps
+  /// the cache instance constructed but dormant; per-query overrides
+  /// (QueryRequest::Overrides::use_llm_cache) flip it either way.
+  bool enabled = false;
+  /// Mutex-striped shards. Keys are distributed by stable hash, so two
+  /// concurrent queries touching different documents rarely contend.
+  int num_shards = 16;
+  /// Upper bound on cached (fields, item) entries across all shards
+  /// (0 = unbounded). Enforced per shard as max_entries / num_shards.
+  size_t max_entries = 1 << 20;
+  /// Approximate upper bound on resident bytes across all shards
+  /// (0 = unbounded). Enforced per shard as max_bytes / num_shards.
+  size_t max_bytes = 256ull << 20;
+  /// In-flight coalescing (singleflight): concurrent identical misses
+  /// elect one leader that performs the base call; followers block and
+  /// are charged zero dollars/tokens but the leader's virtual seconds.
+  /// Off degrades to plain memoization (each concurrent miss pays).
+  bool coalesce = true;
+  /// Keep each entry's originating (type, tier, fields, item) so
+  /// Validate() can re-derive every cached value against an oracle
+  /// client. Roughly doubles per-entry memory; benches/tests only.
+  bool record_origin = false;
+};
+
+/// Point-in-time counters of a SharedLlmCache (the `unify::CacheStats`
+/// of the public API; see docs/caching.md).
+struct CacheStats {
+  int64_t item_hits = 0;    ///< items served from a completed entry
+  int64_t item_misses = 0;  ///< items that led a base call
+  int64_t coalesced = 0;    ///< items that followed another call's leader
+  int64_t evictions = 0;    ///< entries dropped by the LRU bound
+  int64_t entries = 0;      ///< resident entries
+  int64_t bytes = 0;        ///< approximate resident bytes
+  /// Base-call dollars that hits and coalesced items avoided re-paying
+  /// (pro-rata share of each producing call's cost).
+  double saved_dollars = 0;
+};
+
+/// The cross-query LLM answer cache (docs/caching.md): a sharded,
+/// bounded LRU over per-document completions keyed by (prompt type,
+/// prompt fields, item), with singleflight in-flight coalescing.
+///
+/// Soundness rests on the same invariant as CachingLlmClient: a
+/// per-document completion is a pure function of the (condition,
+/// document) pair at temperature 0, so any two calls that agree on type,
+/// fields and item must agree on the item's completion — batching never
+/// changes it.
+///
+/// Admission discipline (fault composition, docs/resilience.md): a value
+/// is admitted ONLY from an OK base result whose item count matches the
+/// issued call. A transient-failed or injected-malformed completion is
+/// never admitted; followers that waited on a failed leader re-elect —
+/// the next one retries the base call itself, under its own thread's
+/// RetryBudget.
+///
+/// Accounting: hits charge zero seconds/dollars/tokens (the provider was
+/// never called); a coalesced follower is charged zero dollars/tokens
+/// but the leader's virtual seconds, so virtual-clock latency stays
+/// honest — the follower really did wait for that call. Re-election
+/// rounds are sequential: their phases add.
+///
+/// Thread-safe. Locks are per shard and never held across a base call
+/// or a follower wait, so leaders of different keys proceed in parallel.
+class SharedLlmCache {
+ public:
+  explicit SharedLlmCache(SharedLlmCacheOptions options);
+
+  /// True for the per-document prompt families the cache may serve
+  /// (kEvalPredicate, kExtractValue, kClassifyDoc).
+  static bool Cacheable(PromptType type);
+
+  /// Serves `call` through the cache: cached items are filled from
+  /// entries, concurrent identical misses coalesce onto one leader, and
+  /// remaining misses go to `base` as one reduced call whose admitted
+  /// values populate the cache. Uncacheable calls must not be routed
+  /// here (SharedCacheLlmClient forwards them to base directly).
+  LlmResult CallThrough(LlmClient* base, const LlmCall& call);
+
+  CacheStats stats() const;
+
+  /// Drops every entry and resets the counters (the shell's
+  /// `\cache clear`). In-flight leaders are unaffected: they complete
+  /// and re-admit their values.
+  void Clear();
+
+  /// Re-derives every resident entry against `oracle` (requires
+  /// record_origin): issues a batch-of-one call per entry and counts
+  /// values that disagree. Returns the number of mismatches — 0 proves
+  /// the cache holds no poisoned completions.
+  int64_t Validate(LlmClient* oracle) const;
+
+  const SharedLlmCacheOptions& options() const { return options_; }
+
+ private:
+  /// What produced an entry, kept only under record_origin.
+  struct Origin {
+    PromptType type;
+    ModelTier tier;
+    std::map<std::string, std::string> fields;
+    std::string item;
+  };
+
+  struct Entry {
+    std::string key;
+    std::string value;
+    /// Pro-rata dollar share of the base call that produced the value
+    /// (feeds CacheStats::saved_dollars on each hit).
+    double dollars = 0;
+    size_t bytes = 0;
+    std::unique_ptr<Origin> origin;
+  };
+
+  /// One singleflight record: followers block on `cv` until the leader
+  /// completes the base call (ok) or fails (not ok — followers re-elect).
+  struct Inflight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    bool ok = false;
+    std::string value;
+    double dollars = 0;
+    /// The leader's base-call virtual seconds, charged to followers.
+    double seconds = 0;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    /// LRU order, most recent first.
+    std::list<Entry> lru;
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    std::unordered_map<std::string, std::shared_ptr<Inflight>> inflight;
+    size_t bytes = 0;
+  };
+
+  Shard& ShardFor(const std::string& key);
+  const Shard& ShardFor(const std::string& key) const;
+
+  /// Inserts (or refreshes) `key` and evicts past the per-shard bounds.
+  /// Returns the number of evictions. Caller holds `shard.mu`.
+  int64_t AdmitLocked(Shard& shard, const std::string& key,
+                      const std::string& value, double dollars_share,
+                      std::unique_ptr<Origin> origin);
+
+  /// Folds one CallThrough's deltas into the cache-wide counters and
+  /// emits the llm.cache.* metrics (dual-written into the per-query
+  /// ScopedSink of the calling thread, so attribution stays exact).
+  void Commit(int64_t hits, int64_t misses, int64_t coalesced,
+              int64_t evictions, double saved);
+
+  SharedLlmCacheOptions options_;
+  size_t max_entries_per_shard_ = 0;  ///< 0 = unbounded
+  size_t max_bytes_per_shard_ = 0;    ///< 0 = unbounded
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<int64_t> item_hits_{0};
+  std::atomic<int64_t> item_misses_{0};
+  std::atomic<int64_t> coalesced_{0};
+  std::atomic<int64_t> evictions_{0};
+  std::atomic<int64_t> entries_{0};
+  std::atomic<int64_t> bytes_{0};
+  std::atomic<double> saved_dollars_{0};
+};
+
+/// The client-stack adapter: routes cacheable per-document calls through
+/// a SharedLlmCache and passes everything else to `base` untouched. In
+/// UnifySystem's stack it sits between the resilience decorator and the
+/// metering tracer —
+///
+///   SimulatedLlm -> FaultInjecting -> Resilient -> SharedCache -> Tracing
+///
+/// — so (a) what the cache sees has already survived retries/hedging
+/// (failures reaching it are terminal for that attempt and are never
+/// admitted), and (b) the tracer still meters every logical call,
+/// including zero-cost hits.
+class SharedCacheLlmClient : public LlmClient {
+ public:
+  /// `base` and `cache` must outlive the client. `default_enabled` is
+  /// the system-wide setting; per-query overrides install a ScopedUse.
+  SharedCacheLlmClient(LlmClient* base, SharedLlmCache* cache,
+                       bool default_enabled)
+      : base_(base), cache_(cache), default_enabled_(default_enabled) {}
+
+  LlmResult Call(const LlmCall& call) override;
+
+  /// Usage of the *underlying* client — cache hits cost nothing.
+  LlmUsage usage() const override { return base_->usage(); }
+  void ResetUsage() override { base_->ResetUsage(); }
+
+  /// RAII thread-local override of the client's default enablement
+  /// (mirrors RetryBudget::ScopedUse / MetricsRegistry::ScopedSink): the
+  /// runtime installs the query's resolved `use_llm_cache` on the query
+  /// thread and on every executor node/morsel worker, so one query's
+  /// choice never leaks into another's calls.
+  class ScopedUse {
+   public:
+    explicit ScopedUse(bool enabled);
+    ~ScopedUse();
+    ScopedUse(const ScopedUse&) = delete;
+    ScopedUse& operator=(const ScopedUse&) = delete;
+
+   private:
+    int previous_;
+  };
+
+ private:
+  bool EnabledOnThisThread() const;
+
+  LlmClient* base_;
+  SharedLlmCache* cache_;
+  bool default_enabled_;
+};
+
+}  // namespace unify::llm
+
+#endif  // UNIFY_LLM_SHARED_CACHE_H_

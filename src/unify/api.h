@@ -9,16 +9,20 @@
 ///   * corpus loading and answers    (corpus/corpus.h, corpus/answer.h)
 ///   * LLM client interfaces         (llm/llm_client.h, llm/sim_llm.h,
 ///                                    llm/caching_client.h)
+///   * the shared answer cache       (llm/shared_cache.h — sharded
+///                                    bounded LRU + in-flight coalescing
+///                                    across concurrent queries,
+///                                    see docs/caching.md)
 ///   * fault injection + resilience  (llm/fault_client.h,
 ///                                    llm/resilient_client.h — retry /
 ///                                    hedge / circuit-breaker policies,
 ///                                    see docs/resilience.md)
 ///   * the system + options          (core/runtime/unify.h)
 ///   * the query request/response    (core/runtime/query.h)
-///     — including the morsel-driven intra-operator parallelism knob
-///       (UnifyOptions::exec.max_intra_op_parallelism, overridable per
-///       query via QueryRequest::max_intra_op_parallelism; answers are
-///       byte-identical for every setting, see docs/api.md)
+///     — every per-query knob lives in QueryRequest::Overrides and
+///       resolves against UnifyOptions through one helper
+///       (Overrides::ResolveAgainst); answers are byte-identical at
+///       every max_intra_op_parallelism setting, see docs/api.md
 ///   * the concurrent serving layer  (core/runtime/service.h)
 ///   * custom operator registration  (core/operators/custom_ops.h)
 ///   * status/error taxonomy         (common/status.h)
@@ -45,6 +49,7 @@
 #include "llm/fault_client.h"
 #include "llm/llm_client.h"
 #include "llm/resilient_client.h"
+#include "llm/shared_cache.h"
 #include "llm/sim_llm.h"
 
 namespace unify {
@@ -55,11 +60,14 @@ using core::QueryPhase;
 using core::QueryPhaseName;
 using core::QueryRequest;
 using core::QueryResult;
+using core::ResolvedQueryOptions;
 using core::UnifyOptions;
 using core::UnifyService;
 using core::UnifySystem;
 using core::OptimizeObjective;
 using core::PhysicalMode;
+/// Shared-LLM-cache state (SharedLlmCache::stats(), UnifyService::Stats).
+using llm::CacheStats;
 
 }  // namespace unify
 

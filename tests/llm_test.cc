@@ -353,7 +353,11 @@ TEST_F(SimLlmTest, CachingClientKeySeparatesConditions) {
   EXPECT_GT(b.seconds, 0);  // tennis was a miss, not a hit
   EXPECT_EQ(cached.cache_stats().entries, 2);
   cached.Clear();
+  // Clear() drops entries AND the hit/miss counters: the client reports
+  // the same stats as a freshly constructed one.
   EXPECT_EQ(cached.cache_stats().entries, 0);
+  EXPECT_EQ(cached.cache_stats().item_hits, 0);
+  EXPECT_EQ(cached.cache_stats().item_misses, 0);
 }
 
 TEST_F(SimLlmTest, CachingClientPassesThroughPlanningPrompts) {

@@ -97,7 +97,7 @@ class PartitionSystemTest : public ::testing::Test {
   static QueryResult AnswerAt(const std::string& text, int parallelism) {
     QueryRequest request;
     request.text = text;
-    request.max_intra_op_parallelism = parallelism;
+    request.overrides.max_intra_op_parallelism = parallelism;
     return system_->Answer(request);
   }
 
@@ -222,7 +222,7 @@ TEST_F(PartitionSystemTest, ServiceDefaultParallelismApplies) {
   // An explicit per-request override beats the service default.
   QueryRequest sequential;
   sequential.text = query;
-  sequential.max_intra_op_parallelism = 1;
+  sequential.overrides.max_intra_op_parallelism = 1;
   QueryResult seq = service.Answer(sequential);
   ASSERT_TRUE(seq.status.ok()) << seq.status;
   EXPECT_DOUBLE_EQ(

@@ -233,7 +233,7 @@ TEST_F(ServiceTest, PerQueryOverridesReachTheOptimizer) {
   UnifyService service(system_, {});
   QueryRequest request;
   request.text = Queries().front();
-  request.collect_trace = true;
+  request.overrides.collect_trace = true;
   request.client_tag = "tenant-7";
   QueryResult result = service.Answer(std::move(request));
   ASSERT_TRUE(result.status.ok()) << result.status;
@@ -385,7 +385,7 @@ TEST_F(ServiceTest, DollarsObjectiveOverrideProducesAResult) {
   UnifyService service(system_, {});
   QueryRequest request;
   request.text = Queries().front();
-  request.objective = OptimizeObjective::kDollars;
+  request.overrides.objective = OptimizeObjective::kDollars;
   QueryResult timed = service.Answer(Queries().front());
   QueryResult dollars = service.Answer(std::move(request));
   ASSERT_TRUE(dollars.status.ok()) << dollars.status;

@@ -11,6 +11,7 @@
 //   unify> \slow             (slowest served queries, with traces)
 //   unify> \prom             (Prometheus text exposition of all metrics)
 //   unify> \accuracy         (estimator/cost-model calibration report)
+//   unify> \replan           (last query's mid-query re-optimizations)
 //   unify> \stats            (cumulative LLM usage)
 //   unify> \faults on        (inject LLM faults; \faults reports resilience)
 //   unify> \cache            (shared LLM answer cache report; \cache clear)
@@ -72,6 +73,10 @@ int main(int argc, char** argv) {
   // touch the same documents stop re-paying per-document LLM calls
   // (\cache reports hits/coalesces/savings; docs/caching.md).
   opts.cache.enabled = true;
+  // Mid-query re-optimization (docs/replanning.md): pause at badly
+  // mis-estimated materialization points and re-lower the remaining plan
+  // with the measured cardinalities (\replan shows what each query did).
+  opts.exec.reoptimize = true;
   core::UnifySystem system(&docs, &llm, opts);
   if (auto st = system.Setup(); !st.ok()) {
     std::printf("setup failed: %s\n", st.ToString().c_str());
@@ -122,7 +127,9 @@ int main(int argc, char** argv) {
       std::printf("  \\prom             Prometheus text exposition of the "
                   "metrics registry\n");
       std::printf("  \\accuracy         prediction-accuracy ledger "
-                  "(q-errors, cost calibration)\n");
+                  "(q-errors, cost calibration, replans)\n");
+      std::printf("  \\replan           last query's mid-query "
+                  "re-optimizations (docs/replanning.md)\n");
       std::printf("  \\metrics          process-wide metrics registry "
                   "snapshot\n");
       std::printf("  \\stats            cumulative simulated LLM usage\n");
@@ -206,6 +213,32 @@ int main(int argc, char** argv) {
     }
     if (input == "\\accuracy") {
       std::printf("%s", AccuracyLedger::Global().ToText().c_str());
+      continue;
+    }
+    if (input == "\\replan") {
+      if (last_result == nullptr) {
+        std::printf("  no executed query yet; run a query first\n");
+        continue;
+      }
+      if (last_result->replans.empty()) {
+        std::printf("  no mid-query re-optimizations for the last query "
+                    "(enable with exec.reoptimize; docs/replanning.md)\n");
+      }
+      for (size_t i = 0; i < last_result->replans.size(); ++i) {
+        const auto& rec = last_result->replans[i];
+        std::printf("  #%zu %s\n", i + 1, rec.detail.c_str());
+        std::printf("      decision %.2fs $%.4f | estimator bias x%.2f | "
+                    "%zu suffix nodes, %zu re-lowered\n",
+                    rec.decision_seconds, rec.decision_dollars, rec.est_bias,
+                    rec.suffix_nodes.size(), rec.relowered_nodes.size());
+      }
+      const auto ledger = AccuracyLedger::Global().snapshot();
+      std::printf("  session: %lld considered, %lld adopted, %lld improved, "
+                  "%lld not improved\n",
+                  static_cast<long long>(ledger.replan_considered),
+                  static_cast<long long>(ledger.replan_triggered),
+                  static_cast<long long>(ledger.replan_improved),
+                  static_cast<long long>(ledger.replan_not_improved));
       continue;
     }
     if (input == "\\explain analyze") {

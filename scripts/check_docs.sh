@@ -9,9 +9,12 @@
 #   4. docs/benchmarks.md covers every bench/bench_*.cc binary;
 #   5. docs/resilience.md's telemetry table covers every llm.fault.* /
 #      llm.retry.* / llm.hedge.* / breaker.* name;
-#   6. the six guides (api, architecture, observability, benchmarks,
-#      resilience, caching) and README.md cross-link each other;
-#   7. docs/caching.md's telemetry table covers every llm.cache.* name.
+#   6. the seven guides (api, architecture, observability, benchmarks,
+#      resilience, caching, replanning) and README.md cross-link each
+#      other;
+#   7. docs/caching.md's telemetry table covers every llm.cache.* name;
+#   8. docs/replanning.md's telemetry table covers every
+#      plan.reoptimize.* name plus the exec.replan span.
 #
 # Usage: scripts/check_docs.sh [repo_root]
 set -u
@@ -133,7 +136,8 @@ fi
 
 # --- 6. the guides cross-link each other -----------------------------------
 GUIDES=(docs/api.md docs/architecture.md docs/observability.md
-        docs/benchmarks.md docs/resilience.md docs/caching.md README.md)
+        docs/benchmarks.md docs/resilience.md docs/caching.md
+        docs/replanning.md README.md)
 for doc in "${GUIDES[@]}"; do
   [[ -f "$doc" ]] || { fail "$doc is missing"; continue; }
   for other in "${GUIDES[@]}"; do
@@ -161,6 +165,25 @@ else
       fail "cache telemetry name '$name' is not in $CACHE_DOC"
     fi
   done <<< "$cache_names"
+fi
+
+# --- 8. replanning.md covers the re-optimization telemetry names -----------
+REPLAN_DOC=docs/replanning.md
+if [[ ! -f "$REPLAN_DOC" ]]; then
+  fail "$REPLAN_DOC is missing"
+else
+  replan_names=$(tr '\n' ' ' < src/common/telemetry_names.h |
+      grep -o 'inline constexpr char k[A-Za-z0-9]*\[\] *= *"[^"]*"' |
+      sed 's/.*"\([^"]*\)"/\1/' |
+      grep -E '^(plan\.reoptimize\.|exec\.replan$)')
+  [[ -n "$replan_names" ]] ||
+      fail "no plan.reoptimize.* names in telemetry_names.h"
+  while IFS= read -r name; do
+    [[ -n "$name" ]] || continue
+    if ! grep -qF "\`$name\`" "$REPLAN_DOC"; then
+      fail "re-optimization telemetry name '$name' is not in $REPLAN_DOC"
+    fi
+  done <<< "$replan_names"
 fi
 
 if [[ $failures -gt 0 ]]; then

@@ -68,6 +68,28 @@ void AccuracyLedger::RecordImplChoice(const std::string& impl_name,
   }
 }
 
+void AccuracyLedger::RecordReplanConsidered() {
+  MetricAddCounter(telemetry::kMetricReplanConsidered);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++data_.replan_considered;
+}
+
+void AccuracyLedger::RecordReplanTriggered() {
+  MetricAddCounter(telemetry::kMetricReplanTriggered);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++data_.replan_triggered;
+}
+
+void AccuracyLedger::RecordReplanOutcome(bool improved) {
+  if (improved) MetricAddCounter(telemetry::kMetricReplanImproved);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (improved) {
+    ++data_.replan_improved;
+  } else {
+    ++data_.replan_not_improved;
+  }
+}
+
 AccuracyLedger::Snapshot AccuracyLedger::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   return data_;
@@ -104,6 +126,20 @@ std::string AccuracyLedger::ToText() const {
                     static_cast<long long>(count));
       os << buf;
     }
+  }
+  os << "mid-query replanning:\n";
+  if (snap.replan_considered == 0) {
+    os << "  (no replans considered)\n";
+  } else {
+    int64_t audited = snap.replan_improved + snap.replan_not_improved;
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "  considered %lld, adopted %lld, improved %lld/%lld\n",
+                  static_cast<long long>(snap.replan_considered),
+                  static_cast<long long>(snap.replan_triggered),
+                  static_cast<long long>(snap.replan_improved),
+                  static_cast<long long>(audited));
+    os << buf;
   }
   return os.str();
 }

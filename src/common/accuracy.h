@@ -43,6 +43,14 @@ class AccuracyLedger {
     /// re-costed with the cardinalities execution measured.
     int64_t impl_optimal = 0;
     int64_t impl_suboptimal = 0;
+    /// Mid-query re-optimization outcomes (docs/replanning.md): replans
+    /// considered (trigger fired), suffixes adopted, and — audited at
+    /// query completion — adopted replans whose measured suffix cost beat
+    /// the pre-replan suffix estimate.
+    int64_t replan_considered = 0;
+    int64_t replan_triggered = 0;
+    int64_t replan_improved = 0;
+    int64_t replan_not_improved = 0;
   };
 
   AccuracyLedger() = default;
@@ -54,6 +62,9 @@ class AccuracyLedger {
   void RecordMakespanRelError(double rel_error);
   void RecordDollarsRelError(double rel_error);
   void RecordImplChoice(const std::string& impl_name, bool hindsight_optimal);
+  void RecordReplanConsidered();
+  void RecordReplanTriggered();
+  void RecordReplanOutcome(bool improved);
 
   Snapshot snapshot() const;
 

@@ -36,6 +36,8 @@ inline constexpr char kSpanExecNode[] = "exec.node";
 inline constexpr char kSpanExecPartition[] = "exec.partition";
 /// Executor-level replanning after a terminal operator failure.
 inline constexpr char kSpanExecFallback[] = "exec.fallback";
+/// One mid-query re-optimization pause (docs/replanning.md).
+inline constexpr char kSpanExecReplan[] = "exec.replan";
 /// One query served through UnifyService (parent of its "query" span).
 inline constexpr char kSpanServeQuery[] = "serve.query";
 
@@ -173,6 +175,19 @@ inline constexpr char kMetricImplChoiceOptimal[] = "plan.impl_choice.optimal";
 /// Counter: executed nodes where hindsight re-costing prefers another impl.
 inline constexpr char kMetricImplChoiceSuboptimal[] =
     "plan.impl_choice.suboptimal";
+
+// Mid-query re-optimization (docs/replanning.md). The pipeline considers
+// a replan whenever a materialized node's cardinality q-error reaches the
+// configured threshold; a considered replan always pays the planner-tier
+// decision call, whether or not the re-lowered suffix is adopted.
+/// Counter: replans considered (q-error trigger fired and the replan
+/// budget still had room).
+inline constexpr char kMetricReplanConsidered[] = "plan.reoptimize.considered";
+/// Counter: considered replans whose re-lowered suffix was adopted.
+inline constexpr char kMetricReplanTriggered[] = "plan.reoptimize.triggered";
+/// Counter: adopted replans whose measured suffix cost came in under the
+/// pre-replan suffix estimate (audited at query completion).
+inline constexpr char kMetricReplanImproved[] = "plan.reoptimize.improved";
 
 // Serving flight-recorder event kinds (core/runtime/flight_recorder.h;
 // rendered by ServeEventKindName and in the `kind` field of the JSONL

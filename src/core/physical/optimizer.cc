@@ -35,6 +35,197 @@ bool IsDocProducing(const std::string& op) {
          op == "OrderBy" || op == "Join" || op == "Identity";
 }
 
+/// Implementations valid for one node: the family's candidates filtered
+/// by the semantic requirement and IndexScanFilter's corpus-head
+/// constraint. Falls back to the raw candidate list when the filters
+/// reject everything (mirrors the original selection loop).
+std::vector<PhysicalImpl> ValidImpls(const PhysicalNode& node) {
+  std::vector<PhysicalImpl> candidates =
+      CandidateImpls(node.logical.op_name, node.logical.args);
+  std::vector<PhysicalImpl> valid;
+  const bool head_is_docs = !node.logical.input_vars.empty() &&
+                            node.logical.input_vars[0] == kDocsVar;
+  for (PhysicalImpl impl : candidates) {
+    if (node.logical.requires_semantics && !ImplSemanticCapable(impl)) {
+      continue;
+    }
+    if (impl == PhysicalImpl::kIndexScanFilter && !head_is_docs) continue;
+    valid.push_back(impl);
+  }
+  if (valid.empty()) valid = candidates;
+  return valid;
+}
+
+/// Morsels the executor would split (op, impl) into: partitionable
+/// per-document LLM impls over flat inputs divide their per-element cost
+/// by up to max_intra_op_parallelism whole-batch partitions. Grouped
+/// inputs don't partition (the executor broadcasts per group instead).
+int PartitionsFor(const OptimizerOptions& opts, const PhysicalNode& node,
+                  PhysicalImpl impl, const OpArgs& args, bool in_grouped) {
+  if (opts.max_intra_op_parallelism <= 1 || in_grouped) return 1;
+  const PhysicalOperator* family = FindPhysicalOperator(node.logical.op_name);
+  if (family == nullptr ||
+      !family->SupportsPartitioning(node.logical.op_name, impl)) {
+    return 1;
+  }
+  return PlanPartitionCount(
+      CostModel::EffectiveCardinality(impl, args, node.est_in_card),
+      opts.llm_batch_size, opts.max_intra_op_parallelism);
+}
+
+/// Cost-based implementation choice (Section VI-C) for one non-Scan node:
+/// ranks `valid` by estimated sequential cost under `opts.objective`
+/// (sizing IndexScanFilter's candidate set from the node's estimated
+/// output cardinality) and writes the winner's impl, args, est_partitions
+/// and est_seconds onto the node. Shared by initial lowering and
+/// mid-query re-optimization, so both key the same decision off the same
+/// cardinalities.
+void ChooseNodeImpl(PhysicalNode& node, const std::vector<PhysicalImpl>& valid,
+                    const OptimizerOptions& opts, const CostModel& cost_model,
+                    double N, bool in_grouped) {
+  const std::string& op = node.logical.op_name;
+  double best_cost = -1;
+  PhysicalImpl best_impl = valid[0];
+  OpArgs best_args = node.logical.args;
+  for (PhysicalImpl impl : valid) {
+    OpArgs args = node.logical.args;
+    if (impl == PhysicalImpl::kIndexScanFilter) {
+      double cand =
+          std::min(N, node.est_out_card * opts.index_candidate_factor + 48);
+      args["index_candidates"] =
+          std::to_string(static_cast<int64_t>(std::llround(cand)));
+    }
+    // Implementation choice ranks candidates by their *sequential* cost
+    // on purpose: partitioning shortens every partitionable impl's span
+    // without changing its total work, and keeping the ranking
+    // independent of max_intra_op_parallelism is what makes answers
+    // byte-identical across parallelism settings. The parallelism
+    // speedup enters the plan-level est_makespan instead.
+    double cost =
+        opts.objective == OptimizeObjective::kDollars
+            ? cost_model.EstimateDollars(op, impl, args, node.est_in_card,
+                                         node.est_out_card)
+            : cost_model.EstimateSeconds(op, impl, args, node.est_in_card,
+                                         node.est_out_card);
+    if (best_cost < 0 || cost < best_cost) {
+      best_cost = cost;
+      best_impl = impl;
+      best_args = args;
+    }
+  }
+  node.impl = best_impl;
+  node.logical.args = best_args;
+  node.est_partitions = PartitionsFor(opts, node, best_impl, best_args,
+                                      in_grouped);
+  // est_seconds stays the sequential total: partitioning redistributes
+  // the work across servers, it does not reduce it.
+  node.est_seconds = cost_model.EstimateSeconds(
+      op, best_impl, best_args, node.est_in_card, node.est_out_card);
+}
+
+/// Cardinality state after propagation.
+struct CardPropagation {
+  std::map<std::string, double> var_card;
+  std::map<std::string, bool> var_grouped;
+};
+
+/// Applies Section VI's per-operator output-cardinality rules in
+/// topological order, writing est_in_card/est_out_card on each node. When
+/// `pinned` is non-null, nodes marked there keep their existing estimates
+/// and bind their output variable to the measured cardinality in
+/// `observed` when one exists (the Reoptimize path) — downstream
+/// un-executed nodes then propagate from measured reality instead of the
+/// original guesses. Grouped-ness is structural and propagates
+/// identically either way.
+CardPropagation PropagateCards(PhysicalPlan& plan,
+                               const std::vector<int>& order,
+                               const OptimizerOptions& opts,
+                               const std::map<int, double>& filter_sel,
+                               const std::vector<bool>* pinned,
+                               const std::map<std::string, double>* observed) {
+  const double N = std::max<double>(1.0, opts.corpus_size);
+  CardPropagation prop;
+  std::map<std::string, double>& var_card = prop.var_card;
+  std::map<std::string, bool>& var_grouped = prop.var_grouped;
+  var_card[kDocsVar] = N;
+  const double groups_est =
+      std::max<double>(2.0, static_cast<double>(opts.num_categories));
+  for (int u : order) {
+    PhysicalNode& node = plan.nodes[u];
+    const std::string& op = node.logical.op_name;
+    double in_card = 1;
+    bool grouped = false;
+    for (const auto& in : node.logical.input_vars) {
+      auto it = var_card.find(in);
+      if (it != var_card.end()) in_card = std::max(in_card, it->second);
+      grouped = grouped || var_grouped[in];
+    }
+    if (op == "Scan") in_card = N;
+    double out_card = 1;
+    if (op == "Scan") {
+      out_card = N;
+    } else if (op == "Filter") {
+      double sel = 0;
+      if (auto it = filter_sel.find(u); it != filter_sel.end()) {
+        sel = it->second;
+      }
+      out_card = in_card * sel;
+    } else if (op == "GroupBy") {
+      out_card = in_card;
+      grouped = true;
+    } else if (op == "Count") {
+      out_card = grouped ? groups_est : 1;
+    } else if (op == "Extract" || op == "Classify" || op == "OrderBy" ||
+               op == "Identity") {
+      out_card = in_card;
+    } else if (op == "TopK") {
+      double k = 5;
+      if (auto it = node.logical.args.find("k");
+          it != node.logical.args.end()) {
+        k = ParseDouble(it->second).value_or(5);
+      }
+      out_card = k;
+    } else if (op == "Union" || op == "Intersection" ||
+               op == "Complementary" || op == "Join" || op == "Compute") {
+      double a = 1;
+      double b = 1;
+      if (node.logical.input_vars.size() >= 2) {
+        a = var_card.count(node.logical.input_vars[0])
+                ? var_card[node.logical.input_vars[0]]
+                : 1;
+        b = var_card.count(node.logical.input_vars[1])
+                ? var_card[node.logical.input_vars[1]]
+                : 1;
+      }
+      if (op == "Union") out_card = std::min(N, a + b * (1 - a / N));
+      else if (op == "Intersection") out_card = a * b / N;
+      else if (op == "Complementary") out_card = a * (1 - b / N);
+      else if (op == "Join") out_card = 0.5 * a;
+      else out_card = grouped ? std::min(a, b) : 1;  // Compute
+    } else {
+      out_card = grouped ? groups_est : 1;  // aggregates, Compare, Generate
+    }
+    const bool pin = pinned != nullptr && (*pinned)[u];
+    if (!pin) {
+      node.est_in_card = in_card;
+      node.est_out_card = out_card;
+    }
+    double bound = pin ? node.est_out_card : out_card;
+    if (pin && observed != nullptr) {
+      auto it = observed->find(node.logical.output_var);
+      if (it != observed->end()) bound = it->second;
+    }
+    var_card[node.logical.output_var] = bound;
+    var_grouped[node.logical.output_var] =
+        grouped && IsDocProducing(op) ? true : (op == "GroupBy");
+    if (op == "Count" || op == "Compute" || op == "Extract") {
+      // Per-group scalars/values remain grouped for downstream arg-best.
+      var_grouped[node.logical.output_var] = grouped;
+    }
+  }
+  return prop;
+}
+
 }  // namespace
 
 std::string PhysicalPlan::DebugString() const {
@@ -128,7 +319,12 @@ StatusOr<double> PhysicalOptimizer::Selectivity(const OpArgs& condition,
           estimator_->EstimateCondition(condition, opts.sce_method,
                                         /*salt=*/0, ctx.trace,
                                         ctx.candidate_span));
+      // card_est_scale emulates a systematically skewed estimator
+      // (docs/replanning.md); 1.0 — the default — is exact pass-through.
       card = est.cardinality;
+      if (opts.card_est_scale != 1.0) {
+        card = std::clamp(card * opts.card_est_scale, 0.0, N);
+      }
       plan.optimize_llm_seconds += est.llm_seconds;
       plan.optimize_llm_calls += est.llm_calls;
       break;
@@ -347,91 +543,13 @@ StatusOr<PhysicalPlan> PhysicalOptimizer::OptimizeImpl(
 
   // --- Cardinality propagation ---
   UNIFY_ASSIGN_OR_RETURN(std::vector<int> order, plan.dag.TopologicalOrder());
-  std::map<std::string, double> var_card;
-  std::map<std::string, bool> var_grouped;
-  var_card[kDocsVar] = N;
-  const double groups_est =
-      std::max<double>(2.0, static_cast<double>(opts.num_categories));
-  for (int u : order) {
-    PhysicalNode& node = plan.nodes[u];
-    const std::string& op = node.logical.op_name;
-    double in_card = 1;
-    bool grouped = false;
-    for (const auto& in : node.logical.input_vars) {
-      auto it = var_card.find(in);
-      if (it != var_card.end()) in_card = std::max(in_card, it->second);
-      grouped = grouped || var_grouped[in];
-    }
-    if (op == "Scan") in_card = N;
-    double out_card = 1;
-    if (op == "Scan") {
-      out_card = N;
-    } else if (op == "Filter") {
-      out_card = in_card * filter_sel[u];
-    } else if (op == "GroupBy") {
-      out_card = in_card;
-      grouped = true;
-    } else if (op == "Count") {
-      out_card = grouped ? groups_est : 1;
-    } else if (op == "Extract" || op == "Classify" || op == "OrderBy" ||
-               op == "Identity") {
-      out_card = in_card;
-    } else if (op == "TopK") {
-      double k = 5;
-      if (auto it = node.logical.args.find("k");
-          it != node.logical.args.end()) {
-        k = ParseDouble(it->second).value_or(5);
-      }
-      out_card = k;
-    } else if (op == "Union" || op == "Intersection" ||
-               op == "Complementary" || op == "Join" || op == "Compute") {
-      double a = 1;
-      double b = 1;
-      if (node.logical.input_vars.size() >= 2) {
-        a = var_card.count(node.logical.input_vars[0])
-                ? var_card[node.logical.input_vars[0]]
-                : 1;
-        b = var_card.count(node.logical.input_vars[1])
-                ? var_card[node.logical.input_vars[1]]
-                : 1;
-      }
-      if (op == "Union") out_card = std::min(N, a + b * (1 - a / N));
-      else if (op == "Intersection") out_card = a * b / N;
-      else if (op == "Complementary") out_card = a * (1 - b / N);
-      else if (op == "Join") out_card = 0.5 * a;
-      else out_card = grouped ? std::min(a, b) : 1;  // Compute
-    } else {
-      out_card = grouped ? groups_est : 1;  // aggregates, Compare, Generate
-    }
-    node.est_in_card = in_card;
-    node.est_out_card = out_card;
-    var_card[node.logical.output_var] = out_card;
-    var_grouped[node.logical.output_var] =
-        grouped && IsDocProducing(op) ? true : (op == "GroupBy");
-    if (op == "Count" || op == "Compute" || op == "Extract") {
-      // Per-group scalars/values remain grouped for downstream arg-best.
-      var_grouped[node.logical.output_var] = grouped;
-    }
-  }
+  CardPropagation prop = PropagateCards(plan, order, opts, filter_sel,
+                                        /*pinned=*/nullptr,
+                                        /*observed=*/nullptr);
+  std::map<std::string, double>& var_card = prop.var_card;
+  std::map<std::string, bool>& var_grouped = prop.var_grouped;
 
   // --- Physical operator selection (Section VI-C) ---
-  // Morsels the executor would split (op, impl) into: partitionable
-  // per-document LLM impls over flat inputs divide their per-element cost
-  // by up to max_intra_op_parallelism whole-batch partitions. Grouped
-  // inputs don't partition (the executor broadcasts per group instead).
-  auto partitions_for = [&opts](const PhysicalNode& node, PhysicalImpl impl,
-                                const OpArgs& args, bool in_grouped) {
-    if (opts.max_intra_op_parallelism <= 1 || in_grouped) return 1;
-    const PhysicalOperator* family =
-        FindPhysicalOperator(node.logical.op_name);
-    if (family == nullptr ||
-        !family->SupportsPartitioning(node.logical.op_name, impl)) {
-      return 1;
-    }
-    return PlanPartitionCount(
-        CostModel::EffectiveCardinality(impl, args, node.est_in_card),
-        opts.llm_batch_size, opts.max_intra_op_parallelism);
-  };
   Rng rule_rng(HashCombine(opts.seed, StableHash64(lp.Signature())));
   for (int u : order) {
     PhysicalNode& node = plan.nodes[u];
@@ -447,19 +565,7 @@ StatusOr<PhysicalPlan> PhysicalOptimizer::OptimizeImpl(
           node.est_out_card);
       continue;
     }
-    std::vector<PhysicalImpl> candidates =
-        CandidateImpls(op, node.logical.args);
-    std::vector<PhysicalImpl> valid;
-    const bool head_is_docs = !node.logical.input_vars.empty() &&
-                              node.logical.input_vars[0] == kDocsVar;
-    for (PhysicalImpl impl : candidates) {
-      if (node.logical.requires_semantics && !ImplSemanticCapable(impl)) {
-        continue;
-      }
-      if (impl == PhysicalImpl::kIndexScanFilter && !head_is_docs) continue;
-      valid.push_back(impl);
-    }
-    if (valid.empty()) valid = candidates;
+    std::vector<PhysicalImpl> valid = ValidImpls(node);
     UNIFY_CHECK(!valid.empty()) << "no impl for " << op;
 
     if (opts.mode == PhysicalMode::kRule) {
@@ -470,53 +576,15 @@ StatusOr<PhysicalPlan> PhysicalOptimizer::OptimizeImpl(
         node.logical.args["index_candidates"] =
             std::to_string(static_cast<int64_t>(N));
       }
-      node.est_partitions = partitions_for(node, node.impl,
-                                           node.logical.args, in_grouped);
+      node.est_partitions = PartitionsFor(opts, node, node.impl,
+                                          node.logical.args, in_grouped);
       node.est_seconds = cost_model_->EstimateSeconds(
           op, node.impl, node.logical.args, node.est_in_card,
           node.est_out_card);
       continue;
     }
 
-    double best_cost = -1;
-    PhysicalImpl best_impl = valid[0];
-    OpArgs best_args = node.logical.args;
-    for (PhysicalImpl impl : valid) {
-      OpArgs args = node.logical.args;
-      if (impl == PhysicalImpl::kIndexScanFilter) {
-        double cand =
-            std::min(N, node.est_out_card * opts.index_candidate_factor + 48);
-        args["index_candidates"] =
-            std::to_string(static_cast<int64_t>(std::llround(cand)));
-      }
-      // Implementation choice ranks candidates by their *sequential* cost
-      // on purpose: partitioning shortens every partitionable impl's span
-      // without changing its total work, and keeping the ranking
-      // independent of max_intra_op_parallelism is what makes answers
-      // byte-identical across parallelism settings. The parallelism
-      // speedup enters the plan-level est_makespan below instead.
-      double cost =
-          opts.objective == OptimizeObjective::kDollars
-              ? cost_model_->EstimateDollars(op, impl, args,
-                                             node.est_in_card,
-                                             node.est_out_card)
-              : cost_model_->EstimateSeconds(op, impl, args,
-                                             node.est_in_card,
-                                             node.est_out_card);
-      if (best_cost < 0 || cost < best_cost) {
-        best_cost = cost;
-        best_impl = impl;
-        best_args = args;
-      }
-    }
-    node.impl = best_impl;
-    node.logical.args = best_args;
-    node.est_partitions =
-        partitions_for(node, best_impl, best_args, in_grouped);
-    // est_seconds stays the sequential total: partitioning redistributes
-    // the work across servers, it does not reduce it.
-    node.est_seconds = cost_model_->EstimateSeconds(
-        op, best_impl, best_args, node.est_in_card, node.est_out_card);
+    ChooseNodeImpl(node, valid, opts, *cost_model_, N, in_grouped);
   }
 
   // --- Predicted makespan for plan selection ---
@@ -567,6 +635,148 @@ StatusOr<PhysicalPlan> PhysicalOptimizer::OptimizeImpl(
   plan.likely_incomplete =
       var_card.count(plan.answer_var) == 0 || var_grouped[plan.answer_var];
   return plan;
+}
+
+StatusOr<ReoptimizeResult> PhysicalOptimizer::Reoptimize(
+    const PhysicalPlan& plan, const std::vector<bool>& executed,
+    const CardinalityOverrides& observed, const OptimizerOptions& opts,
+    double elapsed_seconds) const {
+  if (executed.size() != plan.nodes.size()) {
+    return Status::InvalidArgument("executed mask does not match plan");
+  }
+  ReoptimizeResult result;
+  result.plan = plan;
+  // Rule mode has no cost model to re-consult; the plan stands.
+  if (opts.mode == PhysicalMode::kRule) return result;
+  PhysicalPlan& next = result.plan;
+  const double N = std::max<double>(1.0, opts.corpus_size);
+  UNIFY_ASSIGN_OR_RETURN(std::vector<int> order, next.dag.TopologicalOrder());
+
+  // --- Systematic estimator bias from the executed prefix ---
+  // Geometric mean of observed/estimated output cardinality over executed
+  // nodes. A shared estimator that over-guessed the prefix by 4x most
+  // likely over-guessed the un-observed suffix conditions too; correcting
+  // them by the measured ratio is the only information execution has
+  // about variables it never materialized (observed variables themselves
+  // are substituted exactly, never re-estimated).
+  double log_ratio_sum = 0;
+  int ratio_n = 0;
+  for (size_t u = 0; u < next.nodes.size(); ++u) {
+    if (!executed[u]) continue;
+    const PhysicalNode& node = next.nodes[u];
+    if (node.logical.op_name == "Scan") continue;  // exact by construction
+    auto it = observed.var_cards.find(node.logical.output_var);
+    if (it == observed.var_cards.end()) continue;
+    if (node.est_out_card <= 0 || it->second <= 0) continue;
+    log_ratio_sum += std::log(it->second / node.est_out_card);
+    ++ratio_n;
+  }
+  if (ratio_n > 0) {
+    result.est_bias = std::exp(log_ratio_sum / static_cast<double>(ratio_n));
+  }
+
+  // --- Filter selectivities: recover each node's original estimate from
+  // its cardinality ratio; bias-correct only the un-executed ones ---
+  std::map<int, double> filter_sel;
+  for (size_t i = 0; i < next.nodes.size(); ++i) {
+    const PhysicalNode& node = next.nodes[i];
+    if (node.logical.op_name != "Filter") continue;
+    double sel =
+        node.est_in_card > 0
+            ? std::clamp(node.est_out_card / node.est_in_card, 0.0, 1.0)
+            : 1.0;
+    if (!executed[i]) sel = std::clamp(sel * result.est_bias, 0.0, 1.0);
+    filter_sel[static_cast<int>(i)] = sel;
+  }
+
+  // --- Re-propagate cardinalities from measured reality ---
+  CardPropagation prop = PropagateCards(next, order, opts, filter_sel,
+                                        &executed, &observed.var_cards);
+
+  // --- Re-lower only the un-executed suffix; cost old-vs-new under the
+  // measured cardinalities ---
+  std::vector<PhysicalNode> old_nodes = next.nodes;  // post-propagation
+  for (int u : order) {
+    if (executed[u]) continue;
+    PhysicalNode& node = next.nodes[u];
+    PhysicalNode& old_node = old_nodes[u];
+    const std::string& op = node.logical.op_name;
+    bool in_grouped = false;
+    for (const auto& in : node.logical.input_vars) {
+      in_grouped = in_grouped || prop.var_grouped[in];
+    }
+    // Keeping the original impl, what would the suffix now cost?
+    old_node.est_seconds = cost_model_->EstimateSeconds(
+        op, old_node.impl, old_node.logical.args, old_node.est_in_card,
+        old_node.est_out_card);
+    old_node.est_partitions = PartitionsFor(opts, old_node, old_node.impl,
+                                            old_node.logical.args, in_grouped);
+    result.old_suffix_seconds += old_node.est_seconds;
+    result.old_suffix_dollars += cost_model_->EstimateDollars(
+        op, old_node.impl, old_node.logical.args, old_node.est_in_card,
+        old_node.est_out_card);
+    if (op == "Scan") {
+      node.est_seconds = cost_model_->EstimateSeconds(
+          op, node.impl, node.logical.args, node.est_in_card,
+          node.est_out_card);
+    } else {
+      std::vector<PhysicalImpl> valid = ValidImpls(node);
+      UNIFY_CHECK(!valid.empty()) << "no impl for " << op;
+      ChooseNodeImpl(node, valid, opts, *cost_model_, N, in_grouped);
+    }
+    node.est_dollars = cost_model_->EstimateDollars(
+        op, node.impl, node.logical.args, node.est_in_card,
+        node.est_out_card);
+    result.new_suffix_seconds += node.est_seconds;
+    result.new_suffix_dollars += node.est_dollars;
+    if (node.impl != old_node.impl ||
+        node.logical.args != old_node.logical.args) {
+      result.changed = true;
+      ++result.nodes_rechosen;
+    }
+  }
+  next.est_total_dollars = 0;
+  for (const PhysicalNode& node : next.nodes) {
+    next.est_total_dollars += node.est_dollars;
+  }
+
+  // --- Suffix makespans from the already-elapsed virtual time ---
+  // Probes run on fresh private pools, never the live shared pool:
+  // executed nodes cost nothing (their time is sunk in
+  // `elapsed_seconds`), every root becomes ready at the elapsed clock.
+  auto probe = [&](const std::vector<PhysicalNode>& nodes)
+      -> StatusOr<double> {
+    std::vector<exec::NodeCost> costs;
+    costs.reserve(nodes.size());
+    for (size_t u = 0; u < nodes.size(); ++u) {
+      exec::NodeCost c;
+      if (!executed[u]) {
+        const PhysicalNode& node = nodes[u];
+        if (ImplUsesLlm(node.impl)) {
+          c.llm_seconds = node.est_seconds;
+          if (node.est_partitions > 1) {
+            c.llm_partitions.assign(
+                static_cast<size_t>(node.est_partitions),
+                node.est_seconds / static_cast<double>(node.est_partitions));
+            c.max_parallelism = opts.max_intra_op_parallelism;
+          }
+        } else {
+          c.cpu_seconds = node.est_seconds;
+        }
+      }
+      costs.push_back(c);
+    }
+    exec::VirtualLlmPool pool(std::max(1, opts.num_servers));
+    UNIFY_ASSIGN_OR_RETURN(
+        exec::ScheduleResult sched,
+        exec::ScheduleDag(next.dag, costs, &pool, /*sequential=*/false,
+                          elapsed_seconds));
+    return sched.makespan;
+  };
+  UNIFY_ASSIGN_OR_RETURN(result.old_suffix_makespan, probe(old_nodes));
+  UNIFY_ASSIGN_OR_RETURN(result.new_suffix_makespan, probe(next.nodes));
+  next.est_makespan = result.new_suffix_makespan;
+  return result;
 }
 
 StatusOr<PhysicalPlan> PhysicalOptimizer::SelectBest(

@@ -55,11 +55,53 @@ struct OptimizerOptions {
   /// Which SCE method powers the cost model (Unify uses importance
   /// sampling; exposed for ablations).
   SceMethod sce_method = SceMethod::kImportance;
+  /// Calibration-testing knob: every semantic cardinality estimate in
+  /// kFull mode is multiplied by this factor (clamped to [0, corpus]).
+  /// 1 = faithful estimates; anything else emulates a systematically
+  /// skewed estimator, the scenario mid-query re-optimization exists to
+  /// repair (docs/replanning.md, tests/reoptimize_test.cc,
+  /// bench/bench_reoptimize.cc).
+  double card_est_scale = 1.0;
   /// Keep semantic-cardinality estimates across queries of a session.
   /// Sound because predicates are estimated over the immutable corpus;
   /// repeated conditions (common in real workloads) are then free.
   bool reuse_sce_across_queries = false;
   uint64_t seed = 5;
+};
+
+/// Measured mid-query facts handed to PhysicalOptimizer::Reoptimize: the
+/// exact cardinalities execution has already materialized, keyed by the
+/// producing node's output variable. Estimates for still-unobserved
+/// variables are corrected by the systematic bias these observations
+/// reveal; no variable with a measurement is ever re-estimated.
+struct CardinalityOverrides {
+  std::map<std::string, double> var_cards;
+};
+
+/// Outcome of one re-entrant suffix re-optimization.
+struct ReoptimizeResult {
+  /// The plan with every un-executed node re-lowered under the measured
+  /// cardinalities. Executed nodes are pinned verbatim: same impl, args,
+  /// and original estimates (so postmortems still show the mis-estimate).
+  PhysicalPlan plan;
+  /// Any un-executed node's impl or index sizing changed.
+  bool changed = false;
+  /// How many un-executed nodes changed impl or args.
+  int nodes_rechosen = 0;
+  /// Geometric-mean observed/estimated cardinality ratio across executed
+  /// nodes — the systematic estimator bias applied to unobserved
+  /// selectivities.
+  double est_bias = 1.0;
+  /// Cost-to-go of the un-executed suffix re-costed with measured
+  /// cardinalities: keeping the old impls vs adopting the re-lowered ones.
+  double old_suffix_seconds = 0;
+  double new_suffix_seconds = 0;
+  double old_suffix_dollars = 0;
+  double new_suffix_dollars = 0;
+  /// Suffix completion times (absolute virtual seconds, scheduled from
+  /// `elapsed_seconds` on a fresh pool of num_servers) for old vs new.
+  double old_suffix_makespan = 0;
+  double new_suffix_makespan = 0;
 };
 
 /// Physical plan generation (paper Section VI): lowers a logical plan by
@@ -103,6 +145,22 @@ class PhysicalOptimizer {
                                     const OptimizerOptions& opts,
                                     Trace* trace = nullptr,
                                     SpanId parent = kNoSpan) const;
+
+  /// Re-entrant mid-query re-optimization (docs/replanning.md): re-lowers
+  /// only the nodes of `plan` not yet marked in `executed`, substituting
+  /// the measured cardinalities of `observed` for their estimates (no
+  /// re-sampling for observed variables; unobserved filter selectivities
+  /// are corrected by the measured systematic bias) and re-costing the
+  /// suffix from `elapsed_seconds` of already-spent virtual time.
+  /// Executed nodes are pinned: their impls, args, and estimates are
+  /// copied verbatim. Deterministic — keyed on the measured cardinalities
+  /// only; performs no LLM calls. In kRule mode returns the plan
+  /// unchanged (there is no cost model to re-consult).
+  StatusOr<ReoptimizeResult> Reoptimize(const PhysicalPlan& plan,
+                                        const std::vector<bool>& executed,
+                                        const CardinalityOverrides& observed,
+                                        const OptimizerOptions& opts,
+                                        double elapsed_seconds) const;
 
   const OptimizerOptions& options() const { return options_; }
 

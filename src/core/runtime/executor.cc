@@ -8,6 +8,7 @@
 #include <optional>
 
 #include "common/metrics.h"
+#include "common/stats.h"
 #include "common/telemetry_names.h"
 #include "core/operators/custom_ops.h"
 #include "core/operators/physical_operator.h"
@@ -16,290 +17,479 @@
 
 namespace unify::core {
 
-ExecutionResult PlanExecutor::Execute(const PhysicalPlan& plan, Trace* trace,
-                                      SpanId parent) {
-  ScopedSpan exec_span(trace, telemetry::kSpanExecute, parent);
-  ExecutionResult result;
+void PlanExecutor::Begin(const PhysicalPlan& plan, ExecutionState& state,
+                         Trace* trace, SpanId parent) {
+  state.plan = plan;
+  state.trace = trace;
+  state.exec_span =
+      std::make_unique<ScopedSpan>(trace, telemetry::kSpanExecute, parent);
   node_stats_.assign(plan.nodes.size(), OpStats{});
   node_executions_.assign(plan.nodes.size(), NodeExecution{});
+  fallback_execution_.reset();
+  fallback_stats_ = OpStats{};
+  state.node_spans.assign(plan.nodes.size(), kNoSpan);
+  state.node_partitions.assign(plan.nodes.size(), {});
+  state.done.assign(plan.nodes.size(), false);
+  state.replan_checked.assign(plan.nodes.size(), false);
+  state.shared = options_.shared_pool != nullptr;
+  state.base = state.shared ? options_.start_seconds : 0.0;
+  if (!state.shared) {
+    state.local_pool = std::make_unique<exec::VirtualLlmPool>(
+        std::max(1, options_.num_servers));
+  }
+  state.pool = state.shared ? options_.shared_pool : state.local_pool.get();
+  state.sched_start.assign(plan.nodes.size(), state.base);
+  state.sched_finish.assign(plan.nodes.size(), state.base);
+  state.makespan = state.base;
+  state.seq_clock = state.base;
+  state.resume_floor = state.base;
+}
 
-  std::mutex mu;
-  std::map<std::string, Value> vars;
-  bool adjusted = false;
-  // Span of each DAG node, for post-hoc virtual-interval annotation. Slot
-  // u is written only by the worker running node u.
-  std::vector<SpanId> node_spans(plan.nodes.size(), kNoSpan);
-  // Per-partition LLM stream seconds of nodes that actually split (empty =
-  // node ran as one sequential stream). Same single-writer discipline.
-  std::vector<std::vector<double>> node_partitions(plan.nodes.size());
-
-  auto run_node = [&](int u) -> Status {
-    const PhysicalNode& node = plan.nodes[u];
-    // DAG workers don't inherit the query's thread-local metrics sink or
-    // retry budget, so install both for the duration of the node.
-    std::optional<MetricsRegistry::ScopedSink> sink_scope;
-    if (options_.metrics_sink != nullptr) {
-      sink_scope.emplace(options_.metrics_sink);
-    }
-    std::optional<llm::RetryBudget::ScopedUse> budget_scope;
-    if (options_.retry_budget != nullptr) {
-      budget_scope.emplace(options_.retry_budget);
-    }
-    std::optional<llm::SharedCacheLlmClient::ScopedUse> cache_scope;
-    if (options_.use_llm_cache.has_value()) {
-      cache_scope.emplace(*options_.use_llm_cache);
-    }
-    // Slot u is written only by the worker running node u.
-    NodeExecution& record = node_executions_[u];
-    ScopedSpan node_span(trace, telemetry::kSpanExecNode, exec_span.id());
-    node_spans[u] = node_span.id();
-    MetricAddCounter(telemetry::kMetricExecNodes);
-    if (trace != nullptr) {
-      node_span.AddAttr("op", node.logical.op_name);
-      node_span.AddAttr("impl", PhysicalImplName(node.impl));
-      node_span.AddAttr("output_var", node.logical.output_var);
-    }
-    std::vector<Value> inputs;
-    {
-      std::lock_guard<std::mutex> lock(mu);
-      for (const auto& in : node.logical.input_vars) {
-        if (in.empty()) continue;
-        auto it = vars.find(in);
-        if (it == vars.end()) {
-          return Status::FailedPrecondition("missing input variable " + in +
-                                            " for " + node.logical.op_name);
-        }
-        inputs.push_back(it->second);
+Status PlanExecutor::RunNode(ExecutionState& state, int u) {
+  const PhysicalNode& node = state.plan.nodes[u];
+  Trace* trace = state.trace;
+  // DAG workers don't inherit the query's thread-local metrics sink or
+  // retry budget, so install both for the duration of the node.
+  std::optional<MetricsRegistry::ScopedSink> sink_scope;
+  if (options_.metrics_sink != nullptr) {
+    sink_scope.emplace(options_.metrics_sink);
+  }
+  std::optional<llm::RetryBudget::ScopedUse> budget_scope;
+  if (options_.retry_budget != nullptr) {
+    budget_scope.emplace(options_.retry_budget);
+  }
+  std::optional<llm::SharedCacheLlmClient::ScopedUse> cache_scope;
+  if (options_.use_llm_cache.has_value()) {
+    cache_scope.emplace(*options_.use_llm_cache);
+  }
+  // Slot u is written only by the worker running node u.
+  NodeExecution& record = node_executions_[u];
+  ScopedSpan node_span(trace, telemetry::kSpanExecNode,
+                       state.exec_span->id());
+  state.node_spans[u] = node_span.id();
+  MetricAddCounter(telemetry::kMetricExecNodes);
+  if (trace != nullptr) {
+    node_span.AddAttr("op", node.logical.op_name);
+    node_span.AddAttr("impl", PhysicalImplName(node.impl));
+    node_span.AddAttr("output_var", node.logical.output_var);
+  }
+  std::vector<Value> inputs;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    for (const auto& in : node.logical.input_vars) {
+      if (in.empty()) continue;
+      auto it = state.vars.find(in);
+      if (it == state.vars.end()) {
+        return Status::FailedPrecondition("missing input variable " + in +
+                                          " for " + node.logical.op_name);
       }
+      inputs.push_back(it->second);
     }
-    for (const Value& in : inputs) {
-      record.actual_in_card =
-          std::max(record.actual_in_card,
-                   static_cast<double>(in.Cardinality()));
-    }
-
-    ExecContext ctx = ctx_;  // per-node copy (cheap; pointers only)
-
-    // Runs one partitioned execution: every morsel is an independent LLM
-    // stream (concurrent on the wall-clock pool when threads are
-    // configured), merged order-stably into the node's output. Partitions
-    // are whole LLM batches, so the calls issued — and therefore the
-    // answer and the summed OpStats — are byte-identical to sequential.
-    auto run_partitioned =
-        [&](const PartitionedExecution& pe) -> StatusOr<OpOutput> {
-      const size_t num_parts = pe.partitions.size();
-      MetricAddCounter(telemetry::kMetricExecPartitions,
-                         static_cast<double>(num_parts));
-      node_span.AddAttr("partitions", static_cast<int64_t>(num_parts));
-      std::vector<StatusOr<OpOutput>> parts(
-          num_parts, Status::Internal("partition not run"));
-      auto run_one = [&](size_t i) {
-        // Morsel workers need the query's sink and budget too (fresh pool
-        // threads).
-        std::optional<MetricsRegistry::ScopedSink> part_sink;
-        if (options_.metrics_sink != nullptr) {
-          part_sink.emplace(options_.metrics_sink);
-        }
-        std::optional<llm::RetryBudget::ScopedUse> part_budget;
-        if (options_.retry_budget != nullptr) {
-          part_budget.emplace(options_.retry_budget);
-        }
-        std::optional<llm::SharedCacheLlmClient::ScopedUse> part_cache;
-        if (options_.use_llm_cache.has_value()) {
-          part_cache.emplace(*options_.use_llm_cache);
-        }
-        // Slot i is written only by the worker running morsel i.
-        ScopedSpan part_span(trace, telemetry::kSpanExecPartition,
-                             node_span.id());
-        if (trace != nullptr) {
-          part_span.AddAttr("partition", static_cast<int64_t>(i));
-          part_span.AddAttr("docs",
-                            static_cast<int64_t>(pe.partitions[i].num_docs));
-        }
-        parts[i] = pe.partitions[i].run();
-        if (trace != nullptr) {
-          if (parts[i].ok()) {
-            part_span.AddAttr("llm_seconds", parts[i]->stats.llm_seconds);
-            part_span.AddAttr("llm_calls", parts[i]->stats.llm_calls);
-          } else {
-            part_span.AddAttr("status", parts[i].status().ToString());
-          }
-        }
-      };
-      if (options_.threads > 1) {
-        ThreadPool part_pool(std::min(static_cast<size_t>(options_.threads),
-                                      num_parts));
-        for (size_t i = 0; i < num_parts; ++i) {
-          part_pool.Schedule([&run_one, i] { run_one(i); });
-        }
-        part_pool.Wait();
-      } else {
-        for (size_t i = 0; i < num_parts; ++i) run_one(i);
-      }
-      OpOutput out;
-      out.stats = pe.base_stats;
-      std::vector<double> part_llm;
-      part_llm.reserve(num_parts);
-      std::vector<OpOutput> outputs;
-      outputs.reserve(num_parts);
-      for (StatusOr<OpOutput>& part : parts) {
-        if (!part.ok()) return part.status();
-        out.stats.Add(part->stats);
-        part_llm.push_back(part->stats.llm_seconds);
-        outputs.push_back(std::move(*part));
-      }
-      const auto merge_start = std::chrono::steady_clock::now();
-      UNIFY_ASSIGN_OR_RETURN(out.value, pe.merge(outputs));
-      const double merge_seconds =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        merge_start)
-              .count();
-      MetricObserve(telemetry::kMetricExecPartitionMerge, merge_seconds);
-      node_span.AddAttr("merge_seconds", merge_seconds);
-      node_partitions[u] = std::move(part_llm);
-      return out;
-    };
-
-    // Try morsel-driven execution first; anything unpartitionable (CPU
-    // impls, grouped inputs, custom ops, single-batch inputs) falls back
-    // to the whole-input path with identical semantics.
-    std::optional<StatusOr<OpOutput>> partitioned_output;
-    if (options_.max_intra_op_parallelism > 1 && ctx.llm != nullptr &&
-        (ctx.custom_ops == nullptr ||
-         ctx.custom_ops->Find(node.logical.op_name) == nullptr)) {
-      if (const PhysicalOperator* family =
-              FindPhysicalOperator(node.logical.op_name);
-          family != nullptr) {
-        auto pe = family->Partition(node.logical.op_name, node.impl,
-                                    node.logical.args, inputs, ctx,
-                                    options_.max_intra_op_parallelism);
-        if (pe.ok() && pe->has_value()) {
-          partitioned_output = run_partitioned(**pe);
-        }
-      }
-    }
-    auto output = partitioned_output.has_value()
-                      ? std::move(*partitioned_output)
-                      : ExecuteOp(node.logical.op_name, node.impl,
-                                  node.logical.args, inputs, ctx);
-
-    // Plan adjustment (Section III-C): when an operator fails to produce
-    // the expected result, retry with alternative physical
-    // implementations instead of restarting the whole plan.
-    if (!output.ok()) {
-      {
-        std::lock_guard<std::mutex> lock(mu);
-        adjusted = true;
-      }
-      node_span.AddAttr("adjusted", true);
-      record.adjusted = true;
-      MetricAddCounter(telemetry::kMetricExecAdjustments);
-      for (int attempt = 0;
-           attempt < options_.max_adjustments && !output.ok(); ++attempt) {
-        bool retried = false;
-        for (PhysicalImpl alt :
-             CandidateImpls(node.logical.op_name, node.logical.args)) {
-          if (alt == node.impl) continue;
-          if (node.logical.requires_semantics && !ImplSemanticCapable(alt)) {
-            continue;
-          }
-          ++record.retries;
-          auto retry = ExecuteOp(node.logical.op_name, alt,
-                                 node.logical.args, inputs, ctx);
-          if (retry.ok()) {
-            output = std::move(retry);
-            retried = true;
-            break;
-          }
-        }
-        if (!retried) break;
-      }
-    }
-
-    std::lock_guard<std::mutex> lock(mu);
-    if (!output.ok()) {
-      node_span.AddAttr("status", output.status().ToString());
-      return output.status();
-    }
-    if (trace != nullptr) {
-      node_span.AddAttr("llm_seconds", output->stats.llm_seconds);
-      node_span.AddAttr("llm_calls", output->stats.llm_calls);
-      node_span.AddAttr("cpu_seconds", output->stats.cpu_seconds);
-      node_span.AddAttr("dollars", output->stats.llm_dollars);
-    }
-    node_stats_[u] = output->stats;
-    record.executed = true;
-    record.actual_out_card = static_cast<double>(output->value.Cardinality());
-    record.partitions = node_partitions[u].size() > 1
-                            ? static_cast<int>(node_partitions[u].size())
-                            : 1;
-    if (!node.logical.output_var.empty()) {
-      vars[node.logical.output_var] = output->value;
-    }
-    return Status::OK();
-  };
-
-  Status run_status;
-  if (options_.threads > 0 && options_.parallel) {
-    ThreadPool pool(static_cast<size_t>(options_.threads));
-    run_status = exec::RunDag(plan.dag, &pool, run_node);
-  } else {
-    run_status = exec::RunDag(plan.dag, nullptr, run_node);
+  }
+  for (const Value& in : inputs) {
+    record.actual_in_card =
+        std::max(record.actual_in_card,
+                 static_cast<double>(in.Cardinality()));
   }
 
-  // Virtual-time accounting from the measured per-node streams.
-  std::vector<exec::NodeCost> costs;
-  costs.reserve(plan.nodes.size());
+  ExecContext ctx = ctx_;  // per-node copy (cheap; pointers only)
+
+  // Runs one partitioned execution: every morsel is an independent LLM
+  // stream (concurrent on the wall-clock pool when threads are
+  // configured), merged order-stably into the node's output. Partitions
+  // are whole LLM batches, so the calls issued — and therefore the
+  // answer and the summed OpStats — are byte-identical to sequential.
+  auto run_partitioned =
+      [&](const PartitionedExecution& pe) -> StatusOr<OpOutput> {
+    const size_t num_parts = pe.partitions.size();
+    MetricAddCounter(telemetry::kMetricExecPartitions,
+                       static_cast<double>(num_parts));
+    node_span.AddAttr("partitions", static_cast<int64_t>(num_parts));
+    std::vector<StatusOr<OpOutput>> parts(
+        num_parts, Status::Internal("partition not run"));
+    auto run_one = [&](size_t i) {
+      // Morsel workers need the query's sink and budget too (fresh pool
+      // threads).
+      std::optional<MetricsRegistry::ScopedSink> part_sink;
+      if (options_.metrics_sink != nullptr) {
+        part_sink.emplace(options_.metrics_sink);
+      }
+      std::optional<llm::RetryBudget::ScopedUse> part_budget;
+      if (options_.retry_budget != nullptr) {
+        part_budget.emplace(options_.retry_budget);
+      }
+      std::optional<llm::SharedCacheLlmClient::ScopedUse> part_cache;
+      if (options_.use_llm_cache.has_value()) {
+        part_cache.emplace(*options_.use_llm_cache);
+      }
+      // Slot i is written only by the worker running morsel i.
+      ScopedSpan part_span(trace, telemetry::kSpanExecPartition,
+                           node_span.id());
+      if (trace != nullptr) {
+        part_span.AddAttr("partition", static_cast<int64_t>(i));
+        part_span.AddAttr("docs",
+                          static_cast<int64_t>(pe.partitions[i].num_docs));
+      }
+      parts[i] = pe.partitions[i].run();
+      if (trace != nullptr) {
+        if (parts[i].ok()) {
+          part_span.AddAttr("llm_seconds", parts[i]->stats.llm_seconds);
+          part_span.AddAttr("llm_calls", parts[i]->stats.llm_calls);
+        } else {
+          part_span.AddAttr("status", parts[i].status().ToString());
+        }
+      }
+    };
+    if (options_.threads > 1) {
+      ThreadPool part_pool(std::min(static_cast<size_t>(options_.threads),
+                                    num_parts));
+      for (size_t i = 0; i < num_parts; ++i) {
+        part_pool.Schedule([&run_one, i] { run_one(i); });
+      }
+      part_pool.Wait();
+    } else {
+      for (size_t i = 0; i < num_parts; ++i) run_one(i);
+    }
+    OpOutput out;
+    out.stats = pe.base_stats;
+    std::vector<double> part_llm;
+    part_llm.reserve(num_parts);
+    std::vector<OpOutput> outputs;
+    outputs.reserve(num_parts);
+    for (StatusOr<OpOutput>& part : parts) {
+      if (!part.ok()) return part.status();
+      out.stats.Add(part->stats);
+      part_llm.push_back(part->stats.llm_seconds);
+      outputs.push_back(std::move(*part));
+    }
+    const auto merge_start = std::chrono::steady_clock::now();
+    UNIFY_ASSIGN_OR_RETURN(out.value, pe.merge(outputs));
+    const double merge_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      merge_start)
+            .count();
+    MetricObserve(telemetry::kMetricExecPartitionMerge, merge_seconds);
+    node_span.AddAttr("merge_seconds", merge_seconds);
+    state.node_partitions[u] = std::move(part_llm);
+    return out;
+  };
+
+  // Try morsel-driven execution first; anything unpartitionable (CPU
+  // impls, grouped inputs, custom ops, single-batch inputs) falls back
+  // to the whole-input path with identical semantics.
+  std::optional<StatusOr<OpOutput>> partitioned_output;
+  if (options_.max_intra_op_parallelism > 1 && ctx.llm != nullptr &&
+      (ctx.custom_ops == nullptr ||
+       ctx.custom_ops->Find(node.logical.op_name) == nullptr)) {
+    if (const PhysicalOperator* family =
+            FindPhysicalOperator(node.logical.op_name);
+        family != nullptr) {
+      auto pe = family->Partition(node.logical.op_name, node.impl,
+                                  node.logical.args, inputs, ctx,
+                                  options_.max_intra_op_parallelism);
+      if (pe.ok() && pe->has_value()) {
+        partitioned_output = run_partitioned(**pe);
+      }
+    }
+  }
+  auto output = partitioned_output.has_value()
+                    ? std::move(*partitioned_output)
+                    : ExecuteOp(node.logical.op_name, node.impl,
+                                node.logical.args, inputs, ctx);
+
+  // Plan adjustment (Section III-C): when an operator fails to produce
+  // the expected result, retry with alternative physical
+  // implementations instead of restarting the whole plan.
+  if (!output.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(state.mu);
+      state.adjusted = true;
+    }
+    node_span.AddAttr("adjusted", true);
+    record.adjusted = true;
+    MetricAddCounter(telemetry::kMetricExecAdjustments);
+    for (int attempt = 0;
+         attempt < options_.max_adjustments && !output.ok(); ++attempt) {
+      bool retried = false;
+      for (PhysicalImpl alt :
+           CandidateImpls(node.logical.op_name, node.logical.args)) {
+        if (alt == node.impl) continue;
+        if (node.logical.requires_semantics && !ImplSemanticCapable(alt)) {
+          continue;
+        }
+        ++record.retries;
+        auto retry = ExecuteOp(node.logical.op_name, alt,
+                               node.logical.args, inputs, ctx);
+        if (retry.ok()) {
+          output = std::move(retry);
+          retried = true;
+          break;
+        }
+      }
+      if (!retried) break;
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (!output.ok()) {
+    node_span.AddAttr("status", output.status().ToString());
+    return output.status();
+  }
+  if (trace != nullptr) {
+    node_span.AddAttr("llm_seconds", output->stats.llm_seconds);
+    node_span.AddAttr("llm_calls", output->stats.llm_calls);
+    node_span.AddAttr("cpu_seconds", output->stats.cpu_seconds);
+    node_span.AddAttr("dollars", output->stats.llm_dollars);
+  }
+  node_stats_[u] = output->stats;
+  record.executed = true;
+  record.actual_out_card = static_cast<double>(output->value.Cardinality());
+  record.partitions = state.node_partitions[u].size() > 1
+                          ? static_cast<int>(state.node_partitions[u].size())
+                          : 1;
+  state.done[u] = true;
+  if (!node.logical.output_var.empty()) {
+    state.vars[node.logical.output_var] = output->value;
+  }
+  return Status::OK();
+}
+
+double PlanExecutor::ScheduleNode(ExecutionState& state, int u,
+                                  double ready) {
+  const OpStats& stats = node_stats_[u];
+  const std::vector<double>& parts = state.node_partitions[u];
+  double finish;
+  if (options_.max_intra_op_parallelism > 1 && parts.size() > 1) {
+    finish = state.pool->ScheduleParallelStream(
+        ready + stats.cpu_seconds, parts, options_.max_intra_op_parallelism);
+  } else {
+    finish = state.pool->ScheduleStream(ready + stats.cpu_seconds,
+                                        stats.llm_seconds);
+  }
+  state.sched_start[u] = ready;
+  state.sched_finish[u] = finish;
+  state.makespan = std::max(state.makespan, finish);
+  return finish;
+}
+
+void PlanExecutor::AdvanceFrontier(ExecutionState& state, int u) {
+  for (int v : state.plan.dag.children(u)) {
+    if (--state.pending_parents[v] == 0) {
+      double ready = state.base;
+      for (int p : state.plan.dag.parents(v)) {
+        ready = std::max(ready, state.sched_finish[p]);
+      }
+      state.frontier.push_back({ready, v});
+    }
+  }
+}
+
+std::optional<ReplanRequest> PlanExecutor::Run(ExecutionState& state) {
+  if (!state.run_status.ok()) return std::nullopt;
+  state.incremental = true;
+  state.sched_ok = true;
+  const bool sequential = !options_.parallel;
+  const size_t n = state.plan.nodes.size();
+  if (!state.engine_started) {
+    state.engine_started = true;
+    if (sequential) {
+      // The whole topological order, walked front to back.
+      auto order = state.plan.dag.TopologicalOrder();
+      if (!order.ok()) {
+        state.run_status = order.status();
+        return std::nullopt;
+      }
+      for (int u : *order) state.frontier.push_back({state.base, u});
+    } else {
+      state.pending_parents.assign(n, 0);
+      for (size_t u = 0; u < n; ++u) {
+        state.pending_parents[u] =
+            static_cast<int>(state.plan.dag.parents(static_cast<int>(u))
+                                 .size());
+        if (state.pending_parents[u] == 0) {
+          state.frontier.push_back({state.base, static_cast<int>(u)});
+        }
+      }
+    }
+  }
+  while (true) {
+    // Pick the next node the batch list scheduler would dispatch:
+    // sequential mode walks the topological order; parallel mode takes
+    // the earliest-ready frontier entry (ties to the lower node index).
+    int u = -1;
+    double ready = 0;
+    if (sequential) {
+      if (state.frontier_pos < state.frontier.size()) {
+        u = state.frontier[state.frontier_pos].second;
+        ++state.frontier_pos;
+        ready = std::max(state.seq_clock, state.resume_floor);
+      }
+    } else {
+      size_t best = state.frontier.size();
+      for (size_t i = 0; i < state.frontier.size(); ++i) {
+        if (best == state.frontier.size() ||
+            state.frontier[i].first < state.frontier[best].first ||
+            (state.frontier[i].first == state.frontier[best].first &&
+             state.frontier[i].second < state.frontier[best].second)) {
+          best = i;
+        }
+      }
+      if (best < state.frontier.size()) {
+        u = state.frontier[best].second;
+        ready = std::max(state.frontier[best].first, state.resume_floor);
+        state.frontier.erase(state.frontier.begin() +
+                             static_cast<long>(best));
+      }
+    }
+    if (u < 0) {
+      size_t executed = 0;
+      for (bool d : state.done) executed += d ? 1 : 0;
+      if (executed != n) {
+        state.run_status =
+            Status::FailedPrecondition("cycle detected in plan DAG");
+      }
+      return std::nullopt;
+    }
+
+    Status st = RunNode(state, u);
+    if (!st.ok()) {
+      state.run_status = st;
+      return std::nullopt;
+    }
+    const double finish = ScheduleNode(state, u, ready);
+    if (sequential) {
+      state.seq_clock = finish;
+    } else {
+      AdvanceFrontier(state, u);
+    }
+
+    // Materialization-point trigger: pause when the node's observed
+    // cardinality diverges from the optimizer's estimate and un-executed
+    // nodes remain that a replan could still improve.
+    if (options_.reoptimize && !state.replan_checked[u]) {
+      state.replan_checked[u] = true;
+      const PhysicalNode& node = state.plan.nodes[u];
+      size_t remaining = 0;
+      for (bool d : state.done) remaining += d ? 0 : 1;
+      if (remaining > 0 &&
+          state.replan_yields < options_.max_reoptimizations &&
+          !node.logical.output_var.empty()) {
+        const double qerr = QError(node.est_out_card,
+                                   node_executions_[u].actual_out_card);
+        if (qerr >= options_.reoptimize_qerror_threshold) {
+          ++state.replan_yields;
+          ReplanRequest req;
+          req.node = u;
+          req.output_var = node.logical.output_var;
+          req.observed_card = node_executions_[u].actual_out_card;
+          req.estimated_card = node.est_out_card;
+          req.qerror = qerr;
+          req.elapsed_seconds = finish;
+          req.executed = state.done;
+          for (size_t i = 0; i < n; ++i) {
+            if (!state.done[i]) continue;
+            const std::string& var =
+                state.plan.nodes[i].logical.output_var;
+            if (!var.empty()) {
+              req.observed_cards[var] =
+                  node_executions_[i].actual_out_card;
+            }
+          }
+          return req;
+        }
+      }
+    }
+  }
+}
+
+void PlanExecutor::ApplyReplan(ExecutionState& state, ReplanRecord record,
+                               const PhysicalPlan* new_plan) {
+  // The decision call is charged to the query whether or not the suffix
+  // is adopted, and the pause is a barrier: nothing resumes before the
+  // planner's verdict lands on the virtual clock.
+  state.replan_seconds += record.decision_seconds;
+  state.replan_dollars += record.decision_dollars;
+  state.replan_calls += 1;
+  state.resume_floor =
+      std::max(state.resume_floor,
+               record.elapsed_seconds + record.decision_seconds);
+  state.makespan = std::max(state.makespan, state.resume_floor);
+  record.adopted = new_plan != nullptr;
+  for (size_t i = 0; i < state.plan.nodes.size(); ++i) {
+    if (!state.done[i]) record.suffix_nodes.push_back(static_cast<int>(i));
+  }
+  if (new_plan != nullptr) {
+    for (int i : record.suffix_nodes) {
+      const PhysicalNode& before = state.plan.nodes[i];
+      const PhysicalNode& after = new_plan->nodes[i];
+      if (before.impl != after.impl ||
+          before.logical.args != after.logical.args) {
+        record.relowered_nodes.push_back(i);
+      }
+    }
+    state.plan = *new_plan;
+  }
+  ScopedSpan replan_span(state.trace, telemetry::kSpanExecReplan,
+                         state.exec_span->id());
+  if (state.trace != nullptr) {
+    replan_span.AddAttr("trigger_node", static_cast<int64_t>(
+                                            record.trigger_node));
+    replan_span.AddAttr("trigger_var", record.trigger_var);
+    replan_span.AddAttr("qerror", record.qerror);
+    replan_span.AddAttr("adopted", record.adopted);
+    replan_span.AddAttr("nodes_rechosen",
+                        static_cast<int64_t>(record.nodes_rechosen));
+    replan_span.AddAttr("decision_seconds", record.decision_seconds);
+    replan_span.AddAttr("old_suffix_cost", record.old_suffix_cost);
+    replan_span.AddAttr("new_suffix_cost", record.new_suffix_cost);
+  }
+  state.replans.push_back(std::move(record));
+}
+
+ExecutionResult PlanExecutor::Finish(ExecutionState& state) {
+  ExecutionResult result;
+  ScopedSpan& exec_span = *state.exec_span;
+  Trace* trace = state.trace;
   for (size_t i = 0; i < node_stats_.size(); ++i) {
     const OpStats& stats = node_stats_[i];
-    exec::NodeCost c;
-    c.cpu_seconds = stats.cpu_seconds;
-    c.llm_seconds = stats.llm_seconds;
-    // Nodes that split carry their measured per-morsel streams so the
-    // virtual schedule fans them across servers.
-    if (node_partitions[i].size() > 1) {
-      c.llm_partitions = node_partitions[i];
-      c.max_parallelism = options_.max_intra_op_parallelism;
-    }
-    costs.push_back(c);
     result.llm_seconds_total += stats.llm_seconds;
     result.llm_dollars_total += stats.llm_dollars;
     result.llm_calls += stats.llm_calls;
   }
-  // With a shared pool (serving session) the streams contend with other
-  // in-flight queries and the timeline starts at the query's virtual
-  // ready time; a private pool reproduces the standalone model.
-  const bool shared = options_.shared_pool != nullptr;
-  const double base = shared ? options_.start_seconds : 0.0;
-  exec::VirtualLlmPool local_pool(std::max(1, options_.num_servers));
-  exec::VirtualLlmPool* pool = shared ? options_.shared_pool : &local_pool;
-  auto sched = exec::ScheduleDag(plan.dag, costs, pool,
-                                 /*sequential=*/!options_.parallel, base);
-  if (sched.ok()) {
+  // Replan decision calls are execution-side spend: their virtual time is
+  // already modeled by the resume barrier, their dollars/calls land here.
+  result.llm_seconds_total += state.replan_seconds;
+  result.llm_dollars_total += state.replan_dollars;
+  result.llm_calls += state.replan_calls;
+
+  if (state.sched_ok) {
     // Report times relative to the query's own ready time, so standalone
     // and served queries read the same way; contention shows up as a
     // longer makespan and per-node queue waits.
-    result.virtual_seconds = sched->makespan - base;
+    result.virtual_seconds = state.makespan - state.base;
     // Annotate each node span with its virtual interval on the server
     // pool, plus the time it spent waiting for a free server.
-    for (size_t i = 0; i < plan.nodes.size(); ++i) {
+    for (size_t i = 0; i < state.plan.nodes.size(); ++i) {
       const double busy =
           node_stats_[i].cpu_seconds + node_stats_[i].llm_seconds;
-      const double queue_wait =
-          std::max(0.0, sched->finish[i] - sched->start[i] - busy);
+      const double queue_wait = std::max(
+          0.0, state.sched_finish[i] - state.sched_start[i] - busy);
       MetricObserve(telemetry::kMetricExecQueueWait, queue_wait);
-      node_executions_[i].virt_start = sched->start[i] - base;
-      node_executions_[i].virt_finish = sched->finish[i] - base;
+      node_executions_[i].virt_start = state.sched_start[i] - state.base;
+      node_executions_[i].virt_finish = state.sched_finish[i] - state.base;
       node_executions_[i].queue_wait_seconds = queue_wait;
-      if (trace != nullptr && node_spans[i] != kNoSpan) {
-        trace->SetVirtualInterval(node_spans[i], sched->start[i] - base,
-                                  sched->finish[i] - base);
-        trace->AddAttr(node_spans[i], "queue_wait_seconds", queue_wait);
+      if (trace != nullptr && state.node_spans[i] != kNoSpan) {
+        trace->SetVirtualInterval(state.node_spans[i],
+                                  state.sched_start[i] - state.base,
+                                  state.sched_finish[i] - state.base);
+        trace->AddAttr(state.node_spans[i], "queue_wait_seconds",
+                       queue_wait);
       }
     }
     // Fraction of the pool's capacity the plan actually kept busy.
     if (result.virtual_seconds > 0) {
-      const double capacity = static_cast<double>(pool->num_servers()) *
+      const double capacity = static_cast<double>(
+                                  state.pool->num_servers()) *
                               result.virtual_seconds;
       const double occupancy = result.llm_seconds_total / capacity;
       MetricSetGauge(telemetry::kMetricExecPoolOccupancy, occupancy);
@@ -309,22 +499,34 @@ ExecutionResult PlanExecutor::Execute(const PhysicalPlan& plan, Trace* trace,
     // Execution timeline for observability.
     std::string timeline;
     char line[256];
-    for (size_t i = 0; i < plan.nodes.size(); ++i) {
+    for (size_t i = 0; i < state.plan.nodes.size(); ++i) {
       std::snprintf(line, sizeof(line),
                     "t=%8.2fs..%8.2fs  %-10s <%s> -> %s  (llm %.2fs, %lld "
                     "calls)\n",
-                    sched->start[i] - base, sched->finish[i] - base,
-                    plan.nodes[i].logical.op_name.c_str(),
-                    PhysicalImplName(plan.nodes[i].impl),
-                    plan.nodes[i].logical.output_var.c_str(),
+                    state.sched_start[i] - state.base,
+                    state.sched_finish[i] - state.base,
+                    state.plan.nodes[i].logical.op_name.c_str(),
+                    PhysicalImplName(state.plan.nodes[i].impl),
+                    state.plan.nodes[i].logical.output_var.c_str(),
                     node_stats_[i].llm_seconds,
                     static_cast<long long>(node_stats_[i].llm_calls));
+      timeline += line;
+    }
+    for (size_t r = 0; r < state.replans.size(); ++r) {
+      const ReplanRecord& rec = state.replans[r];
+      std::snprintf(line, sizeof(line),
+                    "t=%8.2fs  -- replan #%zu after %s: observed %.0f vs "
+                    "est %.0f (q-err %.1f) -> %s\n",
+                    rec.elapsed_seconds - state.base, r + 1,
+                    rec.trigger_var.c_str(), rec.observed_card,
+                    rec.estimated_card, rec.qerror,
+                    rec.adopted ? "suffix re-lowered" : "kept plan");
       timeline += line;
     }
     result.timeline = std::move(timeline);
   }
 
-  result.adjusted = adjusted;
+  result.adjusted = state.adjusted;
   auto finalize = [&]() {
     if (trace == nullptr) return;
     exec_span.AddAttr("virtual_seconds", result.virtual_seconds);
@@ -336,20 +538,20 @@ ExecutionResult PlanExecutor::Execute(const PhysicalPlan& plan, Trace* trace,
       exec_span.AddAttr("status", result.status.ToString());
     }
   };
-  if (!run_status.ok()) {
+  if (!state.run_status.ok()) {
     // Plan adjustment, stage 2 (Section III-C): an operator failed with
     // every implementation (e.g. a zero-denominator ratio, an empty
     // aggregate). Instead of restarting from scratch, replan the query
     // through the Section V-D fallback strategies.
-    if (ctx_.llm != nullptr && !plan.query_text.empty() &&
+    if (ctx_.llm != nullptr && !state.plan.query_text.empty() &&
         options_.max_adjustments > 0) {
       ScopedSpan fallback_span(trace, telemetry::kSpanExecFallback,
                                exec_span.id());
-      fallback_span.AddAttr("failed_status", run_status.ToString());
+      fallback_span.AddAttr("failed_status", state.run_status.ToString());
       llm::LlmCall choose;
       choose.type = llm::PromptType::kChooseFallbackStrategy;
       choose.tier = llm::ModelTier::kPlanner;
-      choose.fields["query"] = plan.query_text;
+      choose.fields["query"] = state.plan.query_text;
       llm::LlmResult strategy = ctx_.llm->Call(choose);
       result.llm_seconds_total += strategy.seconds;
       result.llm_dollars_total += strategy.dollars;
@@ -363,7 +565,7 @@ ExecutionResult PlanExecutor::Execute(const PhysicalPlan& plan, Trace* trace,
         fallback_span.AddAttr("choose_status", strategy.status.ToString());
       }
 
-      OpArgs args{{"query", plan.query_text},
+      OpArgs args{{"query", state.plan.query_text},
                   {"strategy", chosen},
                   {"retrieve_k", "100"}};
       fallback_span.AddAttr("strategy", chosen);
@@ -380,11 +582,31 @@ ExecutionResult PlanExecutor::Execute(const PhysicalPlan& plan, Trace* trace,
         result.llm_dollars_total += fallback->stats.llm_dollars;
         result.llm_calls += fallback->stats.llm_calls;
         // The fallback generation is one more stream on the server pool.
-        const double fb_ready = base + result.virtual_seconds +
+        const double fb_ready = state.base + result.virtual_seconds +
                                 fallback->stats.cpu_seconds;
         result.virtual_seconds =
-            pool->ScheduleStream(fb_ready, fallback->stats.llm_seconds) -
-            base;
+            state.pool->ScheduleStream(fb_ready,
+                                       fallback->stats.llm_seconds) -
+            state.base;
+        // A synthetic execution record for the fallback generation — it
+        // has no plan node, but EXPLAIN ANALYZE should still show what
+        // actually produced the answer (docs/replanning.md).
+        fallback_stats_ = fallback->stats;
+        fallback_stats_.llm_seconds += strategy.seconds;
+        fallback_stats_.llm_dollars += strategy.dollars;
+        fallback_stats_.llm_calls += 1;
+        NodeExecution fb;
+        fb.executed = true;
+        fb.adjusted = true;
+        fb.actual_in_card = static_cast<double>(ctx_.corpus->size());
+        fb.actual_out_card =
+            static_cast<double>(fallback->value.Cardinality());
+        fb.virt_start = fb_ready - state.base;
+        fb.virt_finish = result.virtual_seconds;
+        fb.queue_wait_seconds =
+            std::max(0.0, fb.virt_finish - fb.virt_start -
+                              fallback->stats.llm_seconds);
+        fallback_execution_ = fb;
         result.answer = fallback->value.ToAnswer();
         result.adjusted = true;
         finalize();
@@ -396,25 +618,25 @@ ExecutionResult PlanExecutor::Execute(const PhysicalPlan& plan, Trace* trace,
     // replan becomes a degraded (partial/empty) answer instead of a
     // failed query, when the caller opted in.
     if (options_.graceful_degradation &&
-        llm::IsTransientLlmFailure(run_status)) {
+        llm::IsTransientLlmFailure(state.run_status)) {
       result.degraded = true;
       result.degraded_detail =
-          "graceful degradation absorbed: " + run_status.ToString();
+          "graceful degradation absorbed: " + state.run_status.ToString();
       result.answer = corpus::Answer::None();
       exec_span.AddAttr("degraded", true);
       exec_span.AddAttr("degraded_detail", result.degraded_detail);
       finalize();
       return result;
     }
-    result.status = run_status;
+    result.status = state.run_status;
     result.answer = corpus::Answer::None();
     finalize();
     return result;
   }
-  auto it = vars.find(plan.answer_var);
-  if (it == vars.end()) {
-    result.status =
-        Status::NotFound("answer variable " + plan.answer_var + " not bound");
+  auto it = state.vars.find(state.plan.answer_var);
+  if (it == state.vars.end()) {
+    result.status = Status::NotFound("answer variable " +
+                                     state.plan.answer_var + " not bound");
     result.answer = corpus::Answer::None();
     finalize();
     return result;
@@ -422,6 +644,52 @@ ExecutionResult PlanExecutor::Execute(const PhysicalPlan& plan, Trace* trace,
   result.answer = it->second.ToAnswer();
   finalize();
   return result;
+}
+
+ExecutionResult PlanExecutor::Execute(const PhysicalPlan& plan, Trace* trace,
+                                      SpanId parent) {
+  ExecutionState state;
+  Begin(plan, state, trace, parent);
+
+  auto run_node = [&](int u) -> Status { return RunNode(state, u); };
+  if (options_.threads > 0 && options_.parallel) {
+    ThreadPool pool(static_cast<size_t>(options_.threads));
+    state.run_status = exec::RunDag(state.plan.dag, &pool, run_node);
+  } else {
+    state.run_status = exec::RunDag(state.plan.dag, nullptr, run_node);
+  }
+
+  // Virtual-time accounting from the measured per-node streams: one batch
+  // schedule after the whole DAG ran (the historical single-shot model;
+  // the adaptive engine schedules incrementally instead).
+  std::vector<exec::NodeCost> costs;
+  costs.reserve(state.plan.nodes.size());
+  for (size_t i = 0; i < node_stats_.size(); ++i) {
+    const OpStats& stats = node_stats_[i];
+    exec::NodeCost c;
+    c.cpu_seconds = stats.cpu_seconds;
+    c.llm_seconds = stats.llm_seconds;
+    // Nodes that split carry their measured per-morsel streams so the
+    // virtual schedule fans them across servers.
+    if (state.node_partitions[i].size() > 1) {
+      c.llm_partitions = state.node_partitions[i];
+      c.max_parallelism = options_.max_intra_op_parallelism;
+    }
+    costs.push_back(c);
+  }
+  // With a shared pool (serving session) the streams contend with other
+  // in-flight queries and the timeline starts at the query's virtual
+  // ready time; a private pool reproduces the standalone model.
+  auto sched = exec::ScheduleDag(state.plan.dag, costs, state.pool,
+                                 /*sequential=*/!options_.parallel,
+                                 state.base);
+  if (sched.ok()) {
+    state.sched_ok = true;
+    state.sched_start = std::move(sched->start);
+    state.sched_finish = std::move(sched->finish);
+    state.makespan = sched->makespan;
+  }
+  return Finish(state);
 }
 
 }  // namespace unify::core

@@ -2,8 +2,11 @@
 #define UNIFY_CORE_RUNTIME_EXECUTOR_H_
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/metrics.h"
 #include "common/thread_pool.h"
@@ -37,7 +40,8 @@ struct ExecutionResult {
   bool degraded = false;
   std::string degraded_detail;
   /// Human-readable execution timeline: one line per operator with its
-  /// virtual start/finish on the server pool and measured LLM usage.
+  /// virtual start/finish on the server pool and measured LLM usage,
+  /// followed by one marker line per mid-query replan (when any fired).
   std::string timeline;
 };
 
@@ -65,9 +69,83 @@ struct NodeExecution {
   double queue_wait_seconds = 0;
 };
 
+/// A materialization point at which the adaptive engine paused: node
+/// `node` just finished with a cardinality q-error at or above the
+/// configured threshold, and un-executed nodes remain that a replan could
+/// still improve. The pipeline answers with ApplyReplan (adopting a
+/// re-lowered suffix or not) and calls Run again to resume.
+struct ReplanRequest {
+  int node = -1;
+  std::string output_var;
+  double observed_card = 0;
+  double estimated_card = 0;
+  /// QError(estimated_card, observed_card) — the trigger value.
+  double qerror = 0;
+  /// Absolute virtual time on the execution pool at which the trigger
+  /// node finished (private pools start at 0, shared pools at the query's
+  /// execution-ready time). Re-optimization costs its suffix from here.
+  double elapsed_seconds = 0;
+  /// Which plan nodes have finished executing (indexed like plan.nodes).
+  std::vector<bool> executed;
+  /// Every cardinality execution has materialized so far, keyed by the
+  /// producing node's output variable — the facts handed to
+  /// PhysicalOptimizer::Reoptimize as CardinalityOverrides.
+  std::map<std::string, double> observed_cards;
+};
+
+/// One mid-query re-optimization, adopted or not (docs/replanning.md).
+/// Produced by the query pipeline's replan loop, retained on QueryResult
+/// for EXPLAIN ANALYZE, the flight recorder, and the \replan shell view.
+struct ReplanRecord {
+  /// The materialization point that fired the trigger.
+  int trigger_node = -1;
+  std::string trigger_var;
+  double observed_card = 0;
+  double estimated_card = 0;
+  double qerror = 0;
+  /// Absolute virtual time at which the trigger node finished.
+  double elapsed_seconds = 0;
+  /// The planner-tier replan decision call, charged to the query.
+  double decision_seconds = 0;
+  double decision_dollars = 0;
+  /// Whether the re-lowered suffix was adopted (strictly better predicted
+  /// cost-to-go under the query's objective) and what changed.
+  bool adopted = false;
+  int nodes_rechosen = 0;
+  /// Geometric-mean observed/estimated cardinality bias the re-optimizer
+  /// measured over executed nodes.
+  double est_bias = 1.0;
+  /// Predicted cost-to-go of the un-executed suffix under the measured
+  /// cardinalities, in the query's objective (virtual seconds under
+  /// kTime, dollars under kDollars): keeping the old impls vs the
+  /// re-lowered ones.
+  double old_suffix_cost = 0;
+  double new_suffix_cost = 0;
+  /// Plan nodes whose impl or args the adopted replan changed.
+  std::vector<int> relowered_nodes;
+  /// Every plan node still un-executed when the trigger fired (the
+  /// suffix the predicted costs above cover) — the basis of the
+  /// completion-time improved/not-improved audit.
+  std::vector<int> suffix_nodes;
+  /// Human-readable one-line summary (flight recorder detail).
+  std::string detail;
+};
+
 /// The execution module (paper Section III-C): runs a physical plan with
 /// parallel topological execution, dynamic plan adjustment on operator
 /// failure, and virtual-time accounting on the simulated LLM server pool.
+///
+/// Two driving modes share the same per-node machinery:
+///  - Execute() runs the whole DAG to completion (wall-clock parallel
+///    workers, one batch virtual-time schedule at the end) — the
+///    historical single-shot path, byte-identical to previous releases.
+///  - Begin()/Run()/ApplyReplan()/Finish() expose the same execution as a
+///    resumable engine that materializes one node at a time in virtual
+///    dispatch order and pauses at materialization points whose observed
+///    cardinality diverges from the optimizer's estimate, so the query
+///    pipeline can re-optimize the un-executed suffix mid-flight
+///    (docs/replanning.md). With no trigger the adaptive engine
+///    reproduces the batch schedule exactly.
 class PlanExecutor {
  public:
   struct Options {
@@ -87,6 +165,18 @@ class PlanExecutor {
     /// Answers are byte-identical for every setting; 1 reproduces the
     /// sequential single-stream model exactly.
     int max_intra_op_parallelism = 1;
+    /// Mid-query re-optimization (docs/replanning.md): execute through
+    /// the resumable engine and pause at materialization points whose
+    /// cardinality q-error reaches the threshold, letting the pipeline
+    /// re-lower the un-executed suffix with measured cardinalities. Off
+    /// reproduces the single-shot path byte-identically.
+    bool reoptimize = false;
+    /// Observed-vs-estimated cardinality q-error at or above which a
+    /// materialization point yields a ReplanRequest.
+    double reoptimize_qerror_threshold = 3.0;
+    /// Replan pauses per query (each costs one planner-tier decision
+    /// call).
+    int max_reoptimizations = 2;
     /// Shared virtual LLM server pool (a UnifyService serving session):
     /// this plan's operator streams compete with every other in-flight
     /// query's streams, so the reported virtual times include cross-query
@@ -120,6 +210,77 @@ class PlanExecutor {
     std::optional<bool> use_llm_cache;
   };
 
+  /// Everything one plan execution carries across the staged engine's
+  /// pauses: the (possibly replanned) plan, the DAG frontier, bound
+  /// variable values, the incremental virtual-time schedule, and the
+  /// replans applied so far. Created by Begin(), advanced by Run(),
+  /// finalized by Finish(). Not movable (owns a mutex); construct in
+  /// place and pass by reference.
+  struct ExecutionState {
+    ExecutionState() = default;
+    ExecutionState(const ExecutionState&) = delete;
+    ExecutionState& operator=(const ExecutionState&) = delete;
+
+    /// The plan being executed. ApplyReplan swaps in the re-lowered plan;
+    /// executed nodes are pinned verbatim by the Reoptimize contract.
+    PhysicalPlan plan;
+    Trace* trace = nullptr;
+    std::unique_ptr<ScopedSpan> exec_span;
+    /// Guards vars / adjusted across DAG workers.
+    std::mutex mu;
+    std::map<std::string, Value> vars;
+    bool adjusted = false;
+    Status run_status = Status::OK();
+    /// Span of each DAG node, for post-hoc virtual-interval annotation.
+    std::vector<SpanId> node_spans;
+    /// Per-partition LLM stream seconds of nodes that actually split.
+    std::vector<std::vector<double>> node_partitions;
+    /// Which nodes have finished executing.
+    std::vector<bool> done;
+    /// Nodes already checked against the replan trigger (so a resumed
+    /// Run() never re-fires on the same materialization point).
+    std::vector<bool> replan_checked;
+
+    /// Virtual-time accounting. `incremental` = the adaptive engine
+    /// schedules each node's stream the moment it materializes (so
+    /// elapsed time is known at pause points); otherwise Execute() runs
+    /// one batch schedule after the DAG completes.
+    bool incremental = false;
+    bool sched_ok = false;
+    bool shared = false;
+    double base = 0;
+    std::unique_ptr<exec::VirtualLlmPool> local_pool;
+    exec::VirtualLlmPool* pool = nullptr;
+    /// Absolute start/finish of each node on the pool.
+    std::vector<double> sched_start;
+    std::vector<double> sched_finish;
+    /// Absolute completion time of everything scheduled so far.
+    double makespan = 0;
+    /// Adaptive dispatch frontier: nodes whose dependencies finished,
+    /// with their ready times (absolute), and remaining parent counts.
+    /// In sequential mode the frontier is the whole topological order and
+    /// `frontier_pos` walks it; in parallel mode Run() pops the
+    /// earliest-ready entry (ties to the lower node index), mirroring the
+    /// batch list scheduler exactly.
+    bool engine_started = false;
+    std::vector<std::pair<double, int>> frontier;
+    size_t frontier_pos = 0;
+    std::vector<int> pending_parents;
+    /// Sequential-mode (parallel=false) virtual clock.
+    double seq_clock = 0;
+    /// Barrier: no node may start before this absolute time (a replan
+    /// pause floors the un-executed suffix to trigger finish + decision
+    /// time).
+    double resume_floor = 0;
+
+    /// Replans applied so far and their charged decision costs.
+    std::vector<ReplanRecord> replans;
+    int replan_yields = 0;
+    double replan_seconds = 0;
+    double replan_dollars = 0;
+    int64_t replan_calls = 0;
+  };
+
   PlanExecutor(ExecContext ctx, Options options)
       : ctx_(ctx), options_(options) {}
 
@@ -130,6 +291,34 @@ class PlanExecutor {
   ExecutionResult Execute(const PhysicalPlan& plan, Trace* trace = nullptr,
                           SpanId parent = kNoSpan);
 
+  /// --- The resumable engine (mid-query re-optimization) ---
+
+  /// Initializes `state` for executing `plan` through the adaptive
+  /// engine.
+  void Begin(const PhysicalPlan& plan, ExecutionState& state,
+             Trace* trace = nullptr, SpanId parent = kNoSpan);
+
+  /// Executes nodes one at a time in virtual dispatch order (the order
+  /// the batch list scheduler would dispatch them) until either a
+  /// materialization point trips the replan trigger — returning the
+  /// ReplanRequest to answer with ApplyReplan before calling Run again —
+  /// or the DAG completes or fails (returns nullopt; call Finish).
+  std::optional<ReplanRequest> Run(ExecutionState& state);
+
+  /// Records the outcome of one replan consideration. `new_plan` non-null
+  /// adopts the re-lowered plan for the un-executed suffix (executed
+  /// nodes must be pinned verbatim, the Reoptimize contract); null keeps
+  /// the current plan. Either way the decision call's cost is charged to
+  /// the query and the suffix is floored to the pause's end (the barrier
+  /// models execution waiting for the planner's verdict).
+  void ApplyReplan(ExecutionState& state, ReplanRecord record,
+                   const PhysicalPlan* new_plan);
+
+  /// Assembles the ExecutionResult: totals (including replan decision
+  /// charges), the timeline with replan markers, the Section V-D fallback
+  /// and graceful degradation, and the answer.
+  ExecutionResult Finish(ExecutionState& state);
+
   /// After execution, per-node measured stats (for cost-model feedback).
   const std::vector<OpStats>& node_stats() const { return node_stats_; }
 
@@ -138,11 +327,33 @@ class PlanExecutor {
     return node_executions_;
   }
 
+  /// When the Section V-D fallback produced the answer, a synthetic
+  /// execution record + stats for the fallback generation (it has no plan
+  /// node), so EXPLAIN ANALYZE can show what actually answered the query.
+  const std::optional<NodeExecution>& fallback_execution() const {
+    return fallback_execution_;
+  }
+  const OpStats& fallback_stats() const { return fallback_stats_; }
+
  private:
+  /// Executes one DAG node: morsel-driven partitioning when possible,
+  /// plan adjustment on failure, stats + execution-record bookkeeping.
+  Status RunNode(ExecutionState& state, int u);
+
+  /// Schedules node `u`'s measured stream on the pool at `ready`
+  /// (absolute), recording its interval. Returns the finish time.
+  double ScheduleNode(ExecutionState& state, int u, double ready);
+
+  /// Pushes the children of completed node `u` whose dependencies are all
+  /// met onto the adaptive frontier.
+  void AdvanceFrontier(ExecutionState& state, int u);
+
   ExecContext ctx_;
   Options options_;
   std::vector<OpStats> node_stats_;
   std::vector<NodeExecution> node_executions_;
+  std::optional<NodeExecution> fallback_execution_;
+  OpStats fallback_stats_;
 };
 
 }  // namespace unify::core

@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "common/trace.h"
 #include "core/physical/optimizer.h"
+#include "core/runtime/executor.h"
 #include "corpus/answer.h"
 
 namespace unify::core {
@@ -61,6 +62,13 @@ struct ResolvedQueryOptions {
   /// Whether cacheable per-document LLM calls go through the shared
   /// answer cache (docs/caching.md).
   bool use_llm_cache = false;
+  /// Mid-query re-optimization (docs/replanning.md): pause at
+  /// materialization points whose observed cardinality diverges from the
+  /// estimate by `reoptimize_qerror_threshold` or more and re-lower the
+  /// un-executed suffix, at most `max_reoptimizations` times per query.
+  bool reoptimize = false;
+  double reoptimize_qerror_threshold = 3.0;
+  int max_reoptimizations = 2;
 };
 
 /// One analytics query plus its per-query options. The explicit request
@@ -103,6 +111,13 @@ struct QueryRequest {
     /// per-document LLM calls through (true) or around (false) the
     /// shared answer cache (docs/caching.md).
     std::optional<bool> use_llm_cache;
+    /// Shadow the system-wide mid-query re-optimization knobs
+    /// (UnifyOptions::exec.reoptimize / reoptimize_qerror_threshold /
+    /// max_reoptimizations; docs/replanning.md). With reoptimize off the
+    /// query reproduces the single-shot execution path byte-identically.
+    std::optional<bool> reoptimize;
+    std::optional<double> reoptimize_qerror_threshold;
+    std::optional<int> max_reoptimizations;
 
     /// The one resolution rule: each set field wins over its system-wide
     /// counterpart in `defaults`; parallelism is clamped to >= 1.
@@ -180,6 +195,13 @@ struct PlanNodeAnalysis {
   /// alternatives were attempted.
   bool adjusted = false;
   int retries = 0;
+
+  /// Ordinal (1-based) of the mid-query replan that re-lowered this node
+  /// (docs/replanning.md); 0 = the node ran as originally planned.
+  int replanned_by = 0;
+  /// True for the synthetic record of the Section V-D fallback
+  /// generation, which answers the query but has no plan node.
+  bool synthetic_fallback = false;
 };
 
 /// The outcome of one query: answer, status + phase taxonomy, virtual-time
@@ -252,9 +274,16 @@ struct QueryResult {
   MetricsSnapshot metrics;
 
   /// EXPLAIN ANALYZE records: one entry per node of the chosen physical
-  /// plan, in render order. Empty when execution was never reached
-  /// (planning/optimization failure, deadline pre-check abort).
+  /// plan, in render order (plus a trailing synthetic record when the
+  /// Section V-D fallback produced the answer). Empty when execution was
+  /// never reached (planning/optimization failure, deadline pre-check
+  /// abort).
   std::vector<PlanNodeAnalysis> plan_analysis;
+
+  /// Mid-query re-optimizations this query considered, in trigger order
+  /// (docs/replanning.md). Empty unless exec.reoptimize was on and a
+  /// materialization point tripped the q-error threshold.
+  std::vector<ReplanRecord> replans;
 
   /// Text rendering of `plan_analysis` in the style of
   /// `PhysicalPlan::Explain()`: header with predicted vs measured

@@ -153,6 +153,15 @@ QueryResult UnifyService::Serve(const QueryRequest& request,
     replan.detail = result.adjusted ? "plan adjustment" : "planning fallback";
     recorder_.Record(std::move(replan));
   }
+  // One event per mid-query re-optimization (docs/replanning.md), carrying
+  // the pipeline's one-line summary of the trigger and the verdict.
+  for (const ReplanRecord& rec : result.replans) {
+    MetricAddCounter(telemetry::kMetricServeReplans);
+    ServeEvent replan = completion;
+    replan.kind = ServeEventKind::kReplan;
+    replan.detail = rec.detail;
+    recorder_.Record(std::move(replan));
+  }
   if (result.status.code() == StatusCode::kDeadlineExceeded) {
     ServeEvent miss = completion;
     miss.kind = ServeEventKind::kDeadlineMiss;

@@ -1,15 +1,11 @@
 #include "core/runtime/unify.h"
 
 #include <algorithm>
-#include <cstdio>
-#include <sstream>
 
-#include "common/accuracy.h"
 #include "common/logging.h"
 #include "common/rng.h"
-#include "common/stats.h"
 #include "common/string_util.h"
-#include "common/telemetry_names.h"
+#include "core/runtime/query_pipeline.h"
 #include "corpus/workload.h"
 
 namespace unify::core {
@@ -92,6 +88,7 @@ Status UnifySystem::Setup() {
       std::max(1, options_.exec.max_intra_op_parallelism);
   oopts.llm_batch_size = options_.llm_batch_size;
   oopts.index_candidate_factor = options_.index_candidate_factor;
+  oopts.card_est_scale = options_.card_est_scale;
   oopts.seed = options_.seed ^ 0xabcd;
   optimizer_ = std::make_unique<PhysicalOptimizer>(&cost_model_,
                                                    estimator_.get(), oopts);
@@ -225,6 +222,11 @@ ResolvedQueryOptions QueryRequest::Overrides::ResolveAgainst(
   r.retry_budget_seconds =
       retry_budget_seconds.value_or(defaults.default_retry_budget_seconds);
   r.use_llm_cache = use_llm_cache.value_or(defaults.cache.enabled);
+  r.reoptimize = reoptimize.value_or(defaults.exec.reoptimize);
+  r.reoptimize_qerror_threshold = reoptimize_qerror_threshold.value_or(
+      defaults.exec.reoptimize_qerror_threshold);
+  r.max_reoptimizations = std::max(
+      0, max_reoptimizations.value_or(defaults.exec.max_reoptimizations));
   return r;
 }
 
@@ -246,52 +248,6 @@ const char* QueryPhaseName(QueryPhase phase) {
   return "unknown";
 }
 
-std::string QueryResult::explain_analyze() const {
-  if (plan_analysis.empty()) return "";
-  std::ostringstream os;
-  os << "EXPLAIN ANALYZE (makespan est " << FormatDouble(
-         predicted_exec_seconds, 1)
-     << "s -> actual " << FormatDouble(exec_seconds, 1) << "s";
-  if (exec_seconds > 0) {
-    const double rel = (predicted_exec_seconds - exec_seconds) /
-                       exec_seconds;
-    char relbuf[32];
-    std::snprintf(relbuf, sizeof(relbuf), "%+.1f%%", 100.0 * rel);
-    os << " (" << relbuf << ")";
-  }
-  os << ", $ est " << FormatDouble(predicted_exec_dollars, 3)
-     << " -> actual " << FormatDouble(exec_dollars, 3) << ")\n";
-  for (const PlanNodeAnalysis& a : plan_analysis) {
-    for (int i = 0; i < a.depth; ++i) os << "  ";
-    os << "+- " << a.op_name << " <" << a.impl << "> -> " << a.output_var;
-    if (!a.executed) {
-      os << "  [not executed]\n";
-      continue;
-    }
-    os << "  card est " << FormatDouble(a.est_in_card, 0) << "->"
-       << FormatDouble(a.est_out_card, 0) << " actual "
-       << FormatDouble(a.actual_in_card, 0) << "->"
-       << FormatDouble(a.actual_out_card, 0) << " (q-err "
-       << FormatDouble(a.card_qerror, 2) << ")";
-    os << " | est " << FormatDouble(a.est_seconds, 2) << "s actual "
-       << FormatDouble(a.actual_seconds, 2) << "s";
-    if (a.queue_wait_seconds > 0.005) {
-      os << " (+" << FormatDouble(a.queue_wait_seconds, 2) << "s wait)";
-    }
-    os << " | $ est " << FormatDouble(a.est_dollars, 3) << " actual "
-       << FormatDouble(a.actual_dollars, 3);
-    if (a.partitions > 1 || a.est_partitions > 1) {
-      os << " | x" << a.partitions << " morsels (est x" << a.est_partitions
-         << ")";
-    }
-    if (a.adjusted) {
-      os << " | adjusted (" << a.retries << " retries)";
-    }
-    os << "\n";
-  }
-  return os.str();
-}
-
 QueryResult UnifySystem::Answer(const std::string& query) const {
   QueryRequest request;
   request.text = query;
@@ -307,320 +263,8 @@ QueryResult UnifySystem::AnswerInternal(const QueryRequest& request,
                                         exec::VirtualLlmPool* shared_pool,
                                         std::shared_ptr<Trace> trace,
                                         SpanId parent) const {
-  QueryResult result;
-  result.client_tag = request.client_tag;
-  result.query_id = request.query_id != 0 ? request.query_id
-                                          : StableHash64(request.text);
-  if (!ready_) {
-    result.status = Status::FailedPrecondition("Setup() not called");
-    result.phase = QueryPhase::kAdmission;
-    return result;
-  }
-  if (request.text.empty()) {
-    result.status = Status::InvalidArgument("empty query text");
-    result.phase = QueryPhase::kAdmission;
-    return result;
-  }
-
-  // The one per-query options resolution: every request override is
-  // folded against the system-wide defaults here, and the rest of the
-  // pipeline reads only the resolved values.
-  const ResolvedQueryOptions resolved =
-      request.overrides.ResolveAgainst(options_);
-  if (trace == nullptr && resolved.collect_trace) {
-    trace = std::make_shared<Trace>();
-  }
-  // Virtual arrival: explicit request time (closed-loop clients), else the
-  // serving clock, else 0 for a standalone call.
-  result.arrival_seconds =
-      request.arrival_seconds >= 0
-          ? request.arrival_seconds
-          : (shared_pool != nullptr ? shared_pool->Now() : 0.0);
-
-  // Per-query metrics: a local registry installed as this thread's sink
-  // (and, via PlanExecutor::Options::metrics_sink, on every executor
-  // worker that touches this query). Instrumented sites record into the
-  // global registry AND the installed sink, so result.metrics is exact
-  // even when other queries run concurrently in the process.
-  MetricsRegistry query_metrics;
-  MetricsRegistry::ScopedSink metrics_scope(&query_metrics);
-
-  // Retry budget: one shared pool of virtual backoff/retry seconds per
-  // query, drained by every thread that retries on its behalf. The
-  // resolved request value, clamped so retrying can never spend past an
-  // explicit deadline.
-  double budget_seconds = resolved.retry_budget_seconds;
-  if (request.deadline_seconds > 0) {
-    budget_seconds = std::min(budget_seconds, request.deadline_seconds);
-  }
-  llm::RetryBudget retry_budget(budget_seconds);
-  // Covers planning + SCE on this thread; PlanExecutor installs the same
-  // budget on its DAG/morsel workers via Options::retry_budget.
-  llm::RetryBudget::ScopedUse budget_scope(&retry_budget);
-
-  // Shared-cache routing for this query's calls on this thread; the
-  // executor re-installs the same choice on its DAG/morsel workers via
-  // Options::use_llm_cache.
-  llm::SharedCacheLlmClient::ScopedUse cache_scope(resolved.use_llm_cache);
-
-  ScopedSpan root(trace.get(), telemetry::kSpanQuery, parent);
-  root.AddAttr("query", request.text);
-  if (!request.client_tag.empty()) {
-    root.AddAttr("client", request.client_tag);
-  }
-
-  // Attaches the trace and this query's metrics delta; the llm.*, plan.*,
-  // sce.* and exec.* counter deltas become root-span attributes so they
-  // survive into the exported Chrome JSON.
-  auto finalize = [&]() {
-    result.total_seconds = result.plan_seconds + result.exec_seconds;
-    result.completion_seconds = result.arrival_seconds + result.total_seconds;
-    if (result.status.ok()) {
-      result.phase =
-          result.degraded ? QueryPhase::kDegraded : QueryPhase::kComplete;
-    }
-    result.metrics = query_metrics.Snapshot();
-    // Exact per-query cache attribution: the llm.cache.* counters were
-    // dual-written into this query's sink by every thread that worked on
-    // it, so these are this query's items alone.
-    auto cache_counter = [&](const char* name) -> int64_t {
-      auto it = result.metrics.counters.find(name);
-      return it == result.metrics.counters.end()
-                 ? 0
-                 : static_cast<int64_t>(it->second + 0.5);
-    };
-    result.cache_item_hits = cache_counter(telemetry::kMetricLlmCacheHits);
-    result.cache_coalesced = cache_counter(telemetry::kMetricLlmCacheCoalesced);
-    if (trace != nullptr) {
-      root.AddAttr("status", result.status.ok()
-                                 ? std::string("ok")
-                                 : result.status.ToString());
-      root.AddAttr("phase", QueryPhaseName(result.phase));
-      root.AddAttr("plan_seconds", result.plan_seconds);
-      root.AddAttr("exec_seconds", result.exec_seconds);
-      root.AddAttr("total_seconds", result.total_seconds);
-      root.AddAttr("exec_dollars", result.exec_dollars);
-      root.SetVirtualInterval(0, result.total_seconds);
-      for (const auto& [name, value] : result.metrics.counters) {
-        root.AddAttr(name, value);
-      }
-    }
-    result.trace = trace;
-  };
-
-  // --- Logical plan generation (Section V) ---
-  auto generated = generator_->Generate(request.text, trace.get(), root.id());
-  if (!generated.ok()) {
-    result.status = generated.status();
-    result.phase = QueryPhase::kPlanning;
-    finalize();
-    return result;
-  }
-  result.plan_seconds += generated->planning_seconds;
-  result.num_candidate_plans = static_cast<int>(generated->plans.size());
-  result.used_fallback = generated->used_fallback;
-
-  // --- Physical plan generation + plan selection (Section VI), under the
-  // request's per-query objective / mode overrides ---
-  OptimizerOptions oopts = optimizer_->options();
-  oopts.objective = resolved.objective;
-  oopts.mode = resolved.physical_mode;
-  // The optimizer predicts and the executor runs under the same
-  // intra-operator parallelism.
-  oopts.max_intra_op_parallelism = resolved.max_intra_op_parallelism;
-  auto physical =
-      optimizer_->SelectBest(generated->plans, oopts, trace.get(), root.id());
-  if (!physical.ok()) {
-    result.status = physical.status();
-    result.phase = QueryPhase::kOptimization;
-    finalize();
-    return result;
-  }
-  result.plan_seconds += physical->optimize_llm_seconds;
-  result.plan_debug = physical->DebugString();
-  result.plan_explain = physical->Explain();
-  result.predicted_exec_seconds = physical->est_makespan;
-  result.predicted_exec_dollars = physical->est_total_dollars;
-
-  // Deadline pre-check: if planning plus the *predicted* makespan already
-  // overruns the budget, abort before spending execution-side LLM calls.
-  if (request.deadline_seconds > 0 &&
-      result.plan_seconds + physical->est_makespan >
-          request.deadline_seconds) {
-    result.status = Status::DeadlineExceeded(
-        "predicted completion " +
-        std::to_string(result.plan_seconds + physical->est_makespan) +
-        "s exceeds deadline " + std::to_string(request.deadline_seconds) +
-        "s");
-    result.phase = QueryPhase::kOptimization;
-    finalize();
-    return result;
-  }
-
-  // --- Execution (Section III-C) ---
-  ExecContext ctx;
-  ctx.corpus = corpus_;
-  ctx.llm = traced_llm_.get();
-  ctx.doc_embedder = doc_embedder_.get();
-  ctx.doc_index = doc_index_.get();
-  ctx.custom_ops = options_.custom_ops;
-  ctx.llm_batch_size = options_.llm_batch_size;
-  PlanExecutor::Options eopts = options_.exec;
-  eopts.max_intra_op_parallelism = resolved.max_intra_op_parallelism;
-  eopts.shared_pool = shared_pool;
-  // Execution streams become ready once planning finishes on the virtual
-  // clock (planning runs on the planner tier, not the worker pool).
-  eopts.start_seconds = result.arrival_seconds + result.plan_seconds;
-  eopts.metrics_sink = &query_metrics;
-  eopts.retry_budget = &retry_budget;
-  eopts.graceful_degradation = resolved.graceful_degradation;
-  eopts.use_llm_cache = resolved.use_llm_cache;
-  PlanExecutor executor(ctx, eopts);
-  ExecutionResult exec = executor.Execute(*physical, trace.get(), root.id());
-  result.exec_seconds = exec.virtual_seconds;
-  result.exec_dollars = exec.llm_dollars_total;
-  result.timeline = exec.timeline;
-  result.adjusted = exec.adjusted;
-  result.answer = exec.answer;
-  result.status = exec.status;
-  result.degraded = exec.degraded;
-  result.degraded_detail = exec.degraded_detail;
-  if (!result.status.ok()) {
-    result.phase = QueryPhase::kExecution;
-  } else if (request.deadline_seconds > 0 &&
-             result.plan_seconds + result.exec_seconds >
-                 request.deadline_seconds) {
-    // Deadline post-check on the measured virtual completion (the answer
-    // stays attached for diagnostics).
-    result.status = Status::DeadlineExceeded(
-        "completed at " +
-        std::to_string(result.plan_seconds + result.exec_seconds) +
-        "s, after the " + std::to_string(request.deadline_seconds) +
-        "s deadline");
-    result.phase = QueryPhase::kExecution;
-    // A degraded answer that also missed its deadline reports the miss.
-    result.degraded = false;
-    result.degraded_detail.clear();
-  }
-
-  // --- EXPLAIN ANALYZE + accuracy ledger: the optimizer's estimates next
-  // to what execution measured, per node and plan-wide ---
-  {
-    auto& ledger = AccuracyLedger::Global();
-    const auto& stats = executor.node_stats();
-    const auto& actuals = executor.node_executions();
-    // Hindsight impl audit: with the measured cardinalities in hand, is
-    // the chosen implementation still the cost-model argmin among the
-    // semantically valid candidates? Index-scan alternatives are skipped
-    // unless chosen — their cost depends on an index_candidates argument
-    // the optimizer only computes when it selects them.
-    auto hindsight_optimal = [&](const PhysicalNode& node,
-                                 const NodeExecution& actual) {
-      double chosen_cost = -1;
-      double best_cost = -1;
-      for (PhysicalImpl alt :
-           CandidateImpls(node.logical.op_name, node.logical.args)) {
-        if (node.logical.requires_semantics && !ImplSemanticCapable(alt)) {
-          continue;
-        }
-        if (alt == PhysicalImpl::kIndexScanFilter && alt != node.impl) {
-          continue;
-        }
-        const double cost =
-            oopts.objective == OptimizeObjective::kDollars
-                ? cost_model_.EstimateDollars(
-                      node.logical.op_name, alt, node.logical.args,
-                      actual.actual_in_card, actual.actual_out_card)
-                : cost_model_.EstimateSeconds(
-                      node.logical.op_name, alt, node.logical.args,
-                      actual.actual_in_card, actual.actual_out_card);
-        if (alt == node.impl) chosen_cost = cost;
-        if (best_cost < 0 || cost < best_cost) best_cost = cost;
-      }
-      // Impls outside the candidate list (custom operators) have no
-      // alternative to compare against.
-      if (chosen_cost < 0) return true;
-      return chosen_cost <= best_cost * (1 + 1e-9);
-    };
-    // Render order and indentation depth, matching Explain().
-    auto order = physical->dag.TopologicalOrder();
-    std::vector<int> render;
-    std::vector<int> depth(physical->nodes.size(), 0);
-    if (order.ok()) {
-      render = *order;
-      for (int u : render) {
-        for (int v : physical->dag.children(u)) {
-          depth[v] = std::max(depth[v], depth[u] + 1);
-        }
-      }
-    } else {
-      render.resize(physical->nodes.size());
-      for (size_t i = 0; i < render.size(); ++i) {
-        render[i] = static_cast<int>(i);
-      }
-    }
-    result.plan_analysis.reserve(render.size());
-    for (int u : render) {
-      const PhysicalNode& node = physical->nodes[u];
-      const NodeExecution& actual = actuals[u];
-      const OpStats& st = stats[u];
-      PlanNodeAnalysis a;
-      a.op_name = node.logical.op_name;
-      a.impl = PhysicalImplName(node.impl);
-      a.output_var = node.logical.output_var;
-      a.depth = depth[u];
-      a.executed = actual.executed;
-      a.est_in_card = node.est_in_card;
-      a.est_out_card = node.est_out_card;
-      a.actual_in_card = actual.actual_in_card;
-      a.actual_out_card = actual.actual_out_card;
-      a.est_seconds = node.est_seconds;
-      a.actual_seconds = st.cpu_seconds + st.llm_seconds;
-      a.virt_start = actual.virt_start;
-      a.virt_finish = actual.virt_finish;
-      a.queue_wait_seconds = actual.queue_wait_seconds;
-      a.est_dollars = node.est_dollars;
-      a.actual_dollars = st.llm_dollars;
-      a.llm_calls = st.llm_calls;
-      a.est_partitions = node.est_partitions;
-      a.partitions = actual.partitions;
-      a.adjusted = actual.adjusted;
-      a.retries = actual.retries;
-      if (actual.executed) {
-        a.card_qerror = QError(a.est_out_card, a.actual_out_card);
-        ledger.RecordCardQError(a.card_qerror);
-        ledger.RecordImplChoice(a.impl, hindsight_optimal(node, actual));
-      }
-      result.plan_analysis.push_back(std::move(a));
-    }
-    if (result.exec_seconds > 0) {
-      ledger.RecordMakespanRelError(
-          std::abs(result.predicted_exec_seconds - result.exec_seconds) /
-          result.exec_seconds);
-    }
-    if (result.exec_dollars > 0) {
-      ledger.RecordDollarsRelError(
-          std::abs(result.predicted_exec_dollars - result.exec_dollars) /
-          result.exec_dollars);
-    }
-  }
-
-  // Feed measured costs back into the model (running calibration). Off
-  // when cost_feedback is disabled, keeping plan choice independent of
-  // which queries ran earlier.
-  if (options_.cost_feedback) {
-    const auto& stats = executor.node_stats();
-    for (size_t i = 0; i < stats.size() && i < physical->nodes.size(); ++i) {
-      if (stats[i].llm_calls == 0) continue;
-      size_t card = static_cast<size_t>(
-          std::max(1.0, physical->nodes[i].est_in_card));
-      cost_model_.Record(physical->nodes[i].logical.op_name,
-                         physical->nodes[i].impl, card, stats[i].llm_seconds,
-                         stats[i].cpu_seconds, stats[i].llm_dollars);
-    }
-  }
-  finalize();
-  return result;
+  return QueryPipeline(*this, request, shared_pool, std::move(trace), parent)
+      .Run();
 }
 
 }  // namespace unify::core

@@ -54,6 +54,14 @@ struct UnifyOptions {
   /// Run cost-model calibration micro-executions during Setup().
   bool calibrate = true;
   double index_candidate_factor = 9.0;
+  /// Calibration-testing knob forwarded to
+  /// OptimizerOptions::card_est_scale: every semantic cardinality
+  /// estimate is multiplied by this factor (clamped to the corpus size).
+  /// 1 = faithful estimates (exact pass-through); anything else emulates
+  /// a systematically skewed estimator — the scenario mid-query
+  /// re-optimization (UnifyOptions::exec.reoptimize,
+  /// docs/replanning.md) exists to repair.
+  double card_est_scale = 1.0;
   /// Record a query-lifecycle trace for every Answer() call (attached to
   /// QueryResult::trace). Negligible overhead; disable for pure
   /// throughput benchmarking.
@@ -172,14 +180,19 @@ class UnifySystem {
 
  private:
   friend class UnifyService;
+  /// The staged query pipeline (core/runtime/query_pipeline.h) drives
+  /// every Answer() call and reads the system's components directly.
+  friend class QueryPipeline;
 
   Status CalibrateCostModel();
 
-  /// The full query pipeline. `shared_pool` non-null schedules execution
-  /// streams on a serving session's shared virtual server pool (times
-  /// become absolute on its clock); null uses a fresh private pool.
-  /// `trace` non-null lets the caller nest the query under its own spans
-  /// (`parent`); null creates a trace per the effective collect_trace.
+  /// Trampoline into QueryPipeline: parse -> optimize -> execute (with
+  /// the mid-query replan loop) -> analyze. `shared_pool` non-null
+  /// schedules execution streams on a serving session's shared virtual
+  /// server pool (times become absolute on its clock); null uses a fresh
+  /// private pool. `trace` non-null lets the caller nest the query under
+  /// its own spans (`parent`); null creates a trace per the effective
+  /// collect_trace.
   QueryResult AnswerInternal(const QueryRequest& request,
                              exec::VirtualLlmPool* shared_pool,
                              std::shared_ptr<Trace> trace,

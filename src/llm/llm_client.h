@@ -46,6 +46,11 @@ enum class PromptType {
   /// task" (fallback strategy 2, Section V-D). The generated program runs
   /// over the corpus; the completion reports its output.
   kGenerateCode,
+  /// Mid-query re-optimization check (docs/replanning.md): given the
+  /// trigger node's estimated vs observed cardinality, sanity-check that
+  /// re-lowering the un-executed suffix is worthwhile. Planner tier,
+  /// charged to the issuing query's clock and dollars.
+  kReplanDecision,
   /// One-shot full plan generation (LLMPlan baseline).
   kPlanOneShot,
   /// Query decomposition into sub-queries (RecurRAG baseline).

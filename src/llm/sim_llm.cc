@@ -135,6 +135,8 @@ LlmResult SimulatedLlm::Dispatch(const LlmCall& call) {
       return ChooseFallbackStrategy(call);
     case PromptType::kGenerateCode:
       return GenerateCode(call);
+    case PromptType::kReplanDecision:
+      return ReplanDecision(call);
     case PromptType::kPlanOneShot:
       return PlanOneShot(call);
     case PromptType::kDecompose:
@@ -518,6 +520,19 @@ LlmResult SimulatedLlm::ChooseFallbackStrategy(const LlmCall& call) {
   bool programmable = nlq::Parse(query).ok();
   result.fields["strategy"] = programmable ? "code" : "rag";
   Account(call, 60 + ApproxTokens(query), 12, result);
+  return result;
+}
+
+LlmResult SimulatedLlm::ReplanDecision(const LlmCall& call) {
+  LlmResult result;
+  // The planner model reviews the observed-vs-estimated divergence and
+  // endorses re-lowering the remaining operators. The verdict is
+  // content-deterministic; the numeric adoption decision itself stays
+  // with the cost model (docs/replanning.md).
+  result.fields["verdict"] = "reoptimize";
+  const std::string context =
+      call.Get("query") + call.Get("node") + call.Get("observed_card");
+  Account(call, 90 + ApproxTokens(context), 16, result);
   return result;
 }
 

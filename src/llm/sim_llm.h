@@ -80,6 +80,7 @@ class SimulatedLlm : public LlmClient {
   LlmResult GenerateAnswer(const LlmCall& call);
   LlmResult ChooseFallbackStrategy(const LlmCall& call);
   LlmResult GenerateCode(const LlmCall& call);
+  LlmResult ReplanDecision(const LlmCall& call);
   LlmResult PlanOneShot(const LlmCall& call);
   LlmResult Decompose(const LlmCall& call);
   LlmResult SelectAnswer(const LlmCall& call);

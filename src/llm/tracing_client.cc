@@ -33,6 +33,8 @@ const char* PromptTypeName(PromptType type) {
       return "choose_fallback_strategy";
     case PromptType::kGenerateCode:
       return "generate_code";
+    case PromptType::kReplanDecision:
+      return "replan_decision";
     case PromptType::kPlanOneShot:
       return "plan_one_shot";
     case PromptType::kDecompose:

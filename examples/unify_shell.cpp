@@ -133,6 +133,8 @@ int main(int argc, char** argv) {
       std::printf("  \\metrics          process-wide metrics registry "
                   "snapshot\n");
       std::printf("  \\stats            cumulative simulated LLM usage\n");
+      std::printf("  \\tenants          per-tenant usage ledger (queries, "
+                  "dollars, latency)\n");
       std::printf("  \\vocab            categories/tags/groups you can ask "
                   "about\n");
       std::printf("  \\faults           fault-injection + resilience report "
@@ -213,6 +215,10 @@ int main(int argc, char** argv) {
     }
     if (input == "\\accuracy") {
       std::printf("%s", AccuracyLedger::Global().ToText().c_str());
+      continue;
+    }
+    if (input == "\\tenants") {
+      std::printf("%s", service->tenant_ledger().ToText().c_str());
       continue;
     }
     if (input == "\\replan") {

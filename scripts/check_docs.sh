@@ -14,7 +14,10 @@
 #      other;
 #   7. docs/caching.md's telemetry table covers every llm.cache.* name;
 #   8. docs/replanning.md's telemetry table covers every
-#      plan.reoptimize.* name plus the exec.replan span.
+#      plan.reoptimize.* name plus the exec.replan span;
+#   9. docs/observability.md's "HTTP endpoint" route table covers every
+#      route defined in src/serving/http_endpoint.cc, and the serve.slo.*
+#      / tenant.* serving telemetry is documented there.
 #
 # Usage: scripts/check_docs.sh [repo_root]
 set -u
@@ -184,6 +187,35 @@ else
       fail "re-optimization telemetry name '$name' is not in $REPLAN_DOC"
     fi
   done <<< "$replan_names"
+fi
+
+# --- 9. observability.md covers the HTTP routes + serving SLO telemetry ----
+ENDPOINT_SRC=src/serving/http_endpoint.cc
+if [[ ! -f "$ENDPOINT_SRC" ]]; then
+  fail "$ENDPOINT_SRC is missing"
+else
+  routes=$(grep -o 'const char kRoute[A-Za-z0-9]*\[\] *= *"[^"]*"' \
+      "$ENDPOINT_SRC" | sed 's/.*"\([^"]*\)"/\1/')
+  [[ -n "$routes" ]] || fail "no kRoute* definitions in $ENDPOINT_SRC"
+  while IFS= read -r route; do
+    [[ -n "$route" ]] || continue
+    if ! grep -qF "\`$route\`" "$OBS"; then
+      fail "HTTP route '$route' is not in $OBS's route table"
+    fi
+  done <<< "$routes"
+
+  slo_names=$(tr '\n' ' ' < src/common/telemetry_names.h |
+      grep -o 'inline constexpr char k[A-Za-z0-9]*\[\] *= *"[^"]*"' |
+      sed 's/.*"\([^"]*\)"/\1/' |
+      grep -E '^(serve\.slo\.|serve\.uptime_seconds$|tenant\.)')
+  [[ -n "$slo_names" ]] ||
+      fail "no serve.slo.*/tenant.* names in telemetry_names.h"
+  while IFS= read -r name; do
+    [[ -n "$name" ]] || continue
+    if ! grep -qF "\`$name\`" "$OBS"; then
+      fail "serving telemetry name '$name' is not in $OBS"
+    fi
+  done <<< "$slo_names"
 fi
 
 if [[ $failures -gt 0 ]]; then

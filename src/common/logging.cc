@@ -1,7 +1,11 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
 #include <mutex>
+#include <utility>
 
 namespace unify {
 
@@ -9,10 +13,18 @@ namespace {
 
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
 
-// Serializes log lines from concurrent operator execution.
+// Serializes log lines (and sink invocations) from concurrent operator
+// execution.
 std::mutex& LogMutex() {
   static std::mutex* mu = new std::mutex;
   return *mu;
+}
+
+// Guarded by LogMutex(). Leaked like the mutex so logging stays safe in
+// static destructors.
+LogSink*& SinkSlot() {
+  static LogSink* sink = new LogSink;
+  return sink;
 }
 
 const char* LevelName(LogLevel level) {
@@ -37,6 +49,8 @@ const char* Basename(const char* path) {
   return base;
 }
 
+std::atomic<int> g_next_thread_ordinal{0};
+
 }  // namespace
 
 LogLevel GetLogLevel() {
@@ -47,32 +61,65 @@ void SetLogLevel(LogLevel level) {
   g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(LogMutex());
+  *SinkSlot() = std::move(sink);
+}
+
+int LogThreadOrdinal() {
+  thread_local int ordinal =
+      g_next_thread_ordinal.fetch_add(1, std::memory_order_relaxed) + 1;
+  return ordinal;
+}
+
 namespace internal_logging {
 
-LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : enabled_(level >= GetLogLevel()) {
-  if (enabled_) {
-    stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
-            << "] ";
+void EmitLogLine(LogLevel level, const std::string& line,
+                 bool to_stderr_too) {
+  std::lock_guard<std::mutex> lock(LogMutex());
+  LogSink& sink = *SinkSlot();
+  if (sink) {
+    sink(level, line);
+    if (!to_stderr_too) return;
   }
+  std::cerr << line << "\n";
+  if (to_stderr_too) std::cerr.flush();
+}
+
+std::string LogPrefix(const char* level_tag, const char* file, int line) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm tm_utc{};
+  gmtime_r(&secs, &tm_utc);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "[%s %04d-%02d-%02d %02d:%02d:%02d.%03d t%d %s:%d] ",
+                level_tag, tm_utc.tm_year + 1900, tm_utc.tm_mon + 1,
+                tm_utc.tm_mday, tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec,
+                millis, LogThreadOrdinal(), Basename(file), line);
+  return buf;
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(level >= GetLogLevel()), level_(level) {
+  if (enabled_) stream_ << LogPrefix(LevelName(level), file, line);
 }
 
 LogMessage::~LogMessage() {
-  if (enabled_) {
-    std::lock_guard<std::mutex> lock(LogMutex());
-    std::cerr << stream_.str() << "\n";
-  }
+  if (enabled_) EmitLogLine(level_, stream_.str(), /*to_stderr_too=*/false);
 }
 
 FatalLogMessage::FatalLogMessage(const char* file, int line) {
-  stream_ << "[FATAL " << Basename(file) << ":" << line << "] ";
+  stream_ << LogPrefix("FATAL", file, line);
 }
 
 FatalLogMessage::~FatalLogMessage() {
-  {
-    std::lock_guard<std::mutex> lock(LogMutex());
-    std::cerr << stream_.str() << std::endl;
-  }
+  EmitLogLine(LogLevel::kError, stream_.str(), /*to_stderr_too=*/true);
   std::abort();
 }
 

@@ -2,6 +2,7 @@
 #define UNIFY_COMMON_LOGGING_H_
 
 #include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -15,9 +16,35 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
+/// Receives every emitted log line (already formatted, no trailing
+/// newline) instead of stderr. Tests install one to assert on log output
+/// without capturing stderr; serving processes can forward lines to their
+/// own collector. FATAL lines go to the sink AND stderr (the process is
+/// about to abort — the line must not be lost in a sink that buffers).
+using LogSink = std::function<void(LogLevel, const std::string& line)>;
+
+/// Installs `sink` as the destination for log lines; pass nullptr to
+/// restore stderr. Thread-safe; the sink is invoked under the logging
+/// mutex, so it needs no synchronization of its own but must not log.
+void SetLogSink(LogSink sink);
+
+/// A small stable ordinal for the calling thread (1, 2, 3, ... in first-
+/// log order), printed as `t<N>` in every log line so interleaved lines
+/// from concurrent operator execution can be attributed to their worker.
+int LogThreadOrdinal();
+
 namespace internal_logging {
 
-/// Accumulates one log line and emits it to stderr on destruction.
+/// Emits one formatted line to the installed sink (stderr by default).
+/// `to_stderr_too` is set for FATAL lines.
+void EmitLogLine(LogLevel level, const std::string& line,
+                 bool to_stderr_too);
+
+/// Formats the `[<level> <UTC wall clock> t<ordinal> <file>:<line>]`
+/// prefix shared by LogMessage and FatalLogMessage.
+std::string LogPrefix(const char* level_tag, const char* file, int line);
+
+/// Accumulates one log line and emits it to the sink on destruction.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);
@@ -31,6 +58,7 @@ class LogMessage {
 
  private:
   bool enabled_;
+  LogLevel level_;
   std::ostringstream stream_;
 };
 

@@ -61,7 +61,45 @@ void AppendHelpType(std::ostringstream& os, const std::string& prom,
   os << "# TYPE " << prom << " " << type << "\n";
 }
 
+/// Splits a registry name of the form `base{key="value"}` (composed by
+/// LabeledMetricName; the label block is already escaped) into the base
+/// name and the label block including braces. Names without `{` keep an
+/// empty label block.
+void SplitLabels(const std::string& name, std::string* base,
+                 std::string* labels) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *base = name;
+    labels->clear();
+  } else {
+    *base = name.substr(0, brace);
+    *labels = name.substr(brace);
+  }
+}
+
 }  // namespace
+
+std::string LabeledMetricName(const std::string& base, const std::string& key,
+                              const std::string& value) {
+  std::string escaped;
+  escaped.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        escaped += "\\\\";
+        break;
+      case '"':
+        escaped += "\\\"";
+        break;
+      case '\n':
+        escaped += "\\n";
+        break;
+      default:
+        escaped.push_back(c);
+    }
+  }
+  return base + "{" + key + "=\"" + escaped + "\"}";
+}
 
 std::string MetricsSnapshot::ToPrometheusText() const {
   std::ostringstream os;
@@ -70,26 +108,49 @@ std::string MetricsSnapshot::ToPrometheusText() const {
     std::snprintf(buf, sizeof(buf), "%.9g", v);
     return std::string(buf);
   };
+  // All labeled samples of one base metric share a single HELP/TYPE
+  // header. The map is name-ordered and `{` sorts after every character
+  // the sanitized names use, so a base's labeled series are contiguous.
+  std::string base, labels, last_header;
   for (const auto& [name, value] : counters) {
-    std::string prom = PrometheusName(name);
-    AppendHelpType(os, prom, name, "counter");
-    os << prom << " " << num(value) << "\n";
+    SplitLabels(name, &base, &labels);
+    std::string prom = PrometheusName(base);
+    if (labels.empty() || prom != last_header) {
+      AppendHelpType(os, prom, base, "counter");
+    }
+    last_header = prom;
+    os << prom << labels << " " << num(value) << "\n";
   }
+  last_header.clear();
   for (const auto& [name, value] : gauges) {
-    std::string prom = PrometheusName(name);
-    AppendHelpType(os, prom, name, "gauge");
-    os << prom << " " << num(value) << "\n";
+    SplitLabels(name, &base, &labels);
+    std::string prom = PrometheusName(base);
+    if (labels.empty() || prom != last_header) {
+      AppendHelpType(os, prom, base, "gauge");
+    }
+    last_header = prom;
+    os << prom << labels << " " << num(value) << "\n";
   }
+  last_header.clear();
   for (const auto& [name, hist] : histograms) {
     if (hist.count() == 0) continue;
-    std::string prom = PrometheusName(name);
-    AppendHelpType(os, prom, name, "summary");
-    for (double q : {0.5, 0.9, 0.99}) {
-      os << prom << "{quantile=\"" << num(q) << "\"} "
-         << num(hist.Quantile(q)) << "\n";
+    SplitLabels(name, &base, &labels);
+    std::string prom = PrometheusName(base);
+    if (labels.empty() || prom != last_header) {
+      AppendHelpType(os, prom, base, "summary");
     }
-    os << prom << "_sum " << num(hist.sum()) << "\n";
-    os << prom << "_count " << hist.count() << "\n";
+    last_header = prom;
+    // Merge the series labels with the quantile label: `{a="b"}` becomes
+    // `{a="b",quantile="0.5"}`.
+    const std::string inner =
+        labels.empty() ? std::string() : labels.substr(1, labels.size() - 2);
+    for (double q : {0.5, 0.9, 0.99}) {
+      os << prom << "{" << inner << (inner.empty() ? "" : ",")
+         << "quantile=\"" << num(q) << "\"} " << num(hist.Quantile(q))
+         << "\n";
+    }
+    os << prom << "_sum" << labels << " " << num(hist.sum()) << "\n";
+    os << prom << "_count" << labels << " " << hist.count() << "\n";
   }
   return os.str();
 }

@@ -36,8 +36,21 @@ struct MetricsSnapshot {
   /// gets `# HELP` and `# TYPE` lines. Counters expose as `counter`,
   /// gauges as `gauge`, histograms as `summary` with quantile 0.5/0.9/
   /// 0.99 series plus `_sum`/`_count`.
+  ///
+  /// Labeled series: a registry name of the form `base{key="value"}`
+  /// (compose with LabeledMetricName so the value is escaped) renders as
+  /// one `unify_base{key="value"}` sample; all samples of one base share
+  /// a single HELP/TYPE header. Names without `{` render exactly as
+  /// before — the unlabeled output is byte-identical.
   std::string ToPrometheusText() const;
 };
+
+/// Composes the registry name of a labeled series: `base{key="value"}`,
+/// with `value` escaped per the Prometheus text format (`\` -> `\\`,
+/// `"` -> `\"`, newline -> `\n`). The per-tenant `tenant.*` series are
+/// keyed this way (docs/observability.md, "Per-tenant accounting").
+std::string LabeledMetricName(const std::string& base, const std::string& key,
+                              const std::string& value);
 
 /// A process-wide registry of named counters, gauges, and histograms —
 /// the metrics side of the observability layer (spans live in

@@ -151,6 +151,57 @@ inline constexpr char kMetricServeReplans[] = "serve.replans";
 /// Counter: served queries that completed degraded (QueryPhase::kDegraded
 /// — a partial/fallback answer surfaced instead of a hard failure).
 inline constexpr char kMetricServeDegraded[] = "serve.degraded";
+/// Gauge: wall-clock seconds since the UnifyService was constructed
+/// (refreshed on every completion, stats() call, and /metrics scrape).
+inline constexpr char kMetricServeUptime[] = "serve.uptime_seconds";
+
+// SLO tracker (core/runtime/slo_tracker.h; "SLOs" in
+// docs/observability.md). A served query is SLO-good when it succeeded
+// AND finished within Options::slo_latency_seconds (latency objective
+// 0 = availability only).
+/// Counter: served queries that met the SLO.
+inline constexpr char kMetricSloGood[] = "serve.slo.good";
+/// Counter: served queries that missed the SLO.
+inline constexpr char kMetricSloBad[] = "serve.slo.bad";
+/// Gauge: error-budget burn rate over the fast (minutes) window —
+/// bad fraction / (1 - slo_target); 1.0 = burning exactly the budget.
+inline constexpr char kMetricSloBurnRateFast[] = "serve.slo.burn_rate_fast";
+/// Gauge: burn rate over the slow (hour-scale) window.
+inline constexpr char kMetricSloBurnRateSlow[] = "serve.slo.burn_rate_slow";
+
+// Per-tenant usage ledger (core/runtime/tenant_ledger.h; "Per-tenant
+// accounting" in docs/observability.md). Each base name below is exported
+// from /metrics as a labeled series `unify_tenant_*{tenant="..."}` — one
+// sample per QueryRequest::client_tag — via MetricsSnapshot's labeled-
+// series support; they are not plain registry counters.
+/// Counter series: queries completed for the tenant.
+inline constexpr char kMetricTenantQueries[] = "tenant.queries";
+/// Counter series: the tenant's admission-control rejections.
+inline constexpr char kMetricTenantRejected[] = "tenant.rejected";
+/// Counter series: the tenant's served queries that failed (non-OK
+/// status, deadline misses included).
+inline constexpr char kMetricTenantFailed[] = "tenant.failed";
+/// Counter series: the tenant's deadline misses.
+inline constexpr char kMetricTenantDeadlineMisses[] =
+    "tenant.deadline_misses";
+/// Counter series: the tenant's degraded completions.
+inline constexpr char kMetricTenantDegraded[] = "tenant.degraded";
+/// Counter series: LLM dollars attributed to the tenant (exact per-query
+/// attribution, planning + execution + SCE).
+inline constexpr char kMetricTenantDollars[] = "tenant.dollars";
+/// Counter series: LLM input tokens attributed to the tenant.
+inline constexpr char kMetricTenantInTokens[] = "tenant.in_tokens";
+/// Counter series: LLM output tokens attributed to the tenant.
+inline constexpr char kMetricTenantOutTokens[] = "tenant.out_tokens";
+/// Counter series: LLM calls attributed to the tenant.
+inline constexpr char kMetricTenantLlmCalls[] = "tenant.llm_calls";
+/// Counter series: the tenant's shared-cache item hits.
+inline constexpr char kMetricTenantCacheHits[] = "tenant.cache_item_hits";
+/// Counter series: the tenant's singleflight-coalesced items.
+inline constexpr char kMetricTenantCacheCoalesced[] =
+    "tenant.cache_coalesced";
+/// Summary series: the tenant's total (virtual) query latency.
+inline constexpr char kMetricTenantLatency[] = "tenant.latency_seconds";
 
 // Prediction accuracy (AccuracyLedger in common/accuracy.h mirrors these
 // into the metrics registry; see "Prediction accuracy" in
@@ -199,6 +250,9 @@ inline constexpr char kEventReject[] = "reject";
 inline constexpr char kEventDeadlineMiss[] = "deadline_miss";
 inline constexpr char kEventReplan[] = "replan";
 inline constexpr char kEventDegraded[] = "degraded";
+/// The SLO tracker's fast+slow burn rates crossed the breach threshold
+/// (edge-triggered: recorded when the breach starts, not per query).
+inline constexpr char kEventSloBreach[] = "slo_breach";
 
 }  // namespace unify::telemetry
 

@@ -24,6 +24,8 @@ const char* ServeEventKindName(ServeEventKind kind) {
       return telemetry::kEventReplan;
     case ServeEventKind::kDegraded:
       return telemetry::kEventDegraded;
+    case ServeEventKind::kSloBreach:
+      return telemetry::kEventSloBreach;
   }
   return "unknown";
 }
@@ -123,6 +125,28 @@ std::string FlightRecorder::ToJsonl() const {
       os << ",\"total_seconds\":" << num(e.total_seconds);
     }
     os << "}\n";
+  }
+  return os.str();
+}
+
+std::string FlightRecorder::SlowQueriesToJsonl() const {
+  std::ostringstream os;
+  char buf[64];
+  auto num = [&buf](double v) {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return std::string(buf);
+  };
+  for (const SlowQuery& s : slow_queries()) {
+    os << "{\"query_id\":" << s.query_id;
+    if (!s.client_tag.empty()) {
+      os << ",\"client_tag\":\"" << JsonEscape(s.client_tag) << "\"";
+    }
+    os << ",\"text\":\"" << JsonEscape(s.text) << "\""
+       << ",\"total_seconds\":" << num(s.total_seconds)
+       << ",\"plan_seconds\":" << num(s.plan_seconds)
+       << ",\"exec_seconds\":" << num(s.exec_seconds)
+       << ",\"has_trace\":" << (s.trace != nullptr ? "true" : "false")
+       << "}\n";
   }
   return os.str();
 }

@@ -31,6 +31,10 @@ enum class ServeEventKind {
   /// Completed degraded: graceful degradation absorbed a transient LLM
   /// failure (also records a kComplete event; `detail` names the fault).
   kDegraded,
+  /// The SLO tracker's burn rates crossed the breach threshold
+  /// (edge-triggered per episode; `detail` carries the rates — see
+  /// core/runtime/slo_tracker.h and "SLOs" in docs/observability.md).
+  kSloBreach,
 };
 
 const char* ServeEventKindName(ServeEventKind kind);
@@ -113,6 +117,11 @@ class FlightRecorder {
   /// line with kind/seq/wall_seconds/query_id/client_tag/phase/detail and
   /// the timing fields (timings omitted when zero).
   std::string ToJsonl() const;
+
+  /// The retained slow queries as JSON Lines, slowest first (one object
+  /// per query: query_id/client_tag/text/timings; traces are not
+  /// serialized — export those via Trace::ToChromeJson()).
+  std::string SlowQueriesToJsonl() const;
 
  private:
   Options options_;

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <memory>
+#include <sstream>
 #include <utility>
 
+#include "common/accuracy.h"
+#include "common/logging.h"
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "common/telemetry_names.h"
@@ -17,7 +21,29 @@ UnifyService::UnifyService(const UnifySystem* system, Options options)
       pool_(std::max(1, system->options().exec.num_servers)),
       recorder_(FlightRecorder::Options{options.flight_recorder_capacity,
                                         options.slow_query_capacity}),
-      workers_(static_cast<size_t>(std::max(1, options.num_workers))) {}
+      slo_([&options] {
+        SloTracker::Options slo;
+        slo.latency_objective_seconds = options.slo_latency_seconds;
+        slo.target = options.slo_target;
+        return slo;
+      }()),
+      epoch_(std::chrono::steady_clock::now()),
+      workers_(static_cast<size_t>(std::max(1, options.num_workers))) {
+  if (options_.http_port != 0) StartHttpEndpoint();
+}
+
+UnifyService::~UnifyService() {
+  // Stop the endpoint before any member is destroyed: its handlers read
+  // the counters, recorder, ledger, and pool. Stop() joins every
+  // in-flight connection. The workers_ destructor then drains queries.
+  if (http_ != nullptr) http_->Stop();
+}
+
+double UnifyService::UptimeSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
 
 std::future<QueryResult> UnifyService::Submit(QueryRequest request) {
   auto promise = std::make_shared<std::promise<QueryResult>>();
@@ -59,7 +85,10 @@ std::future<QueryResult> UnifyService::Submit(QueryRequest request) {
   }
   const bool admitted = event.kind == ServeEventKind::kAdmit;
   recorder_.Record(std::move(event));
-  if (!admitted) return future;
+  if (!admitted) {
+    tenant_ledger_.RecordRejection(request.client_tag);
+    return future;
+  }
 
   const auto enqueued = std::chrono::steady_clock::now();
   workers_.Schedule([this, promise, request = std::move(request),
@@ -136,8 +165,21 @@ QueryResult UnifyService::Serve(const QueryRequest& request,
                    static_cast<double>(inflight_));
   }
 
-  // Postmortem events: replan and deadline-miss markers first, then the
-  // terminal completion event carrying phase + timings.
+  // Per-tenant attribution (exact, from the query's own metrics) and the
+  // SLO ledger. These run outside any per-query metrics sink, so the
+  // serve.slo.* telemetry never leaks into QueryResult::metrics.
+  tenant_ledger_.RecordCompletion(result);
+  const double now_uptime = UptimeSeconds();
+  const bool slo_good = slo_.IsGood(result.status.ok(), result.total_seconds);
+  const SloTracker::Outcome slo = slo_.Record(now_uptime, slo_good);
+  MetricAddCounter(slo_good ? telemetry::kMetricSloGood
+                            : telemetry::kMetricSloBad);
+  MetricSetGauge(telemetry::kMetricSloBurnRateFast, slo.burn_rate_fast);
+  MetricSetGauge(telemetry::kMetricSloBurnRateSlow, slo.burn_rate_slow);
+  MetricSetGauge(telemetry::kMetricServeUptime, now_uptime);
+
+  // Postmortem events: SLO-breach, replan and deadline-miss markers
+  // first, then the terminal completion event carrying phase + timings.
   ServeEvent completion;
   completion.query_id = result.query_id;
   completion.client_tag = result.client_tag;
@@ -146,6 +188,18 @@ QueryResult UnifyService::Serve(const QueryRequest& request,
   completion.plan_seconds = result.plan_seconds;
   completion.exec_seconds = result.exec_seconds;
   completion.total_seconds = result.total_seconds;
+  if (slo.breach_started) {
+    char detail[160];
+    std::snprintf(detail, sizeof(detail),
+                  "burn rate fast %.2f / slow %.2f over threshold %.2f "
+                  "(target %g)",
+                  slo.burn_rate_fast, slo.burn_rate_slow,
+                  slo_.options().breach_burn_rate, slo_.options().target);
+    ServeEvent breach = completion;
+    breach.kind = ServeEventKind::kSloBreach;
+    breach.detail = detail;
+    recorder_.Record(std::move(breach));
+  }
   if (result.adjusted || result.used_fallback) {
     MetricAddCounter(telemetry::kMetricServeReplans);
     ServeEvent replan = completion;
@@ -212,12 +266,148 @@ UnifyService::Stats UnifyService::stats() const {
     s.degraded = degraded_;
     s.inflight = inflight_;
   }
+  s.uptime_seconds = UptimeSeconds();
+  MetricSetGauge(telemetry::kMetricServeUptime, s.uptime_seconds);
   s.pool_now = pool_.Now();
   s.pool_busy_seconds = pool_.TotalBusySeconds();
   if (system_->llm_cache() != nullptr) {
     s.cache = system_->llm_cache()->stats();
   }
+  s.slo = slo_.state(s.uptime_seconds);
+  s.tenants = tenant_ledger_.snapshot();
   return s;
+}
+
+// --- embedded HTTP endpoint ------------------------------------------------
+
+void UnifyService::StartHttpEndpoint() {
+  http_ = std::make_unique<serving::HttpServer>();
+  http_->Handle(serving::kRouteMetrics,
+                [this](const serving::HttpRequest&) {
+                  return HandleMetrics();
+                });
+  http_->Handle(serving::kRouteHealthz, [](const serving::HttpRequest&) {
+    serving::HttpResponse response;
+    response.body = "ok\n";
+    return response;
+  });
+  http_->Handle(serving::kRouteReadyz, [this](const serving::HttpRequest&) {
+    return HandleReadyz();
+  });
+  http_->Handle(serving::kRouteStatusz,
+                [this](const serving::HttpRequest&) {
+                  return HandleStatusz();
+                });
+  http_->Handle(serving::kRouteEvents, [this](const serving::HttpRequest&) {
+    serving::HttpResponse response;
+    response.content_type = "application/x-ndjson";
+    response.body = recorder_.ToJsonl();
+    return response;
+  });
+  http_->Handle(serving::kRouteSlow, [this](const serving::HttpRequest&) {
+    serving::HttpResponse response;
+    response.content_type = "application/x-ndjson";
+    response.body = recorder_.SlowQueriesToJsonl();
+    return response;
+  });
+  http_->Handle(serving::kRouteAccuracy,
+                [](const serving::HttpRequest&) {
+                  serving::HttpResponse response;
+                  response.body = AccuracyLedger::Global().ToText();
+                  return response;
+                });
+  http_->Handle(serving::kRouteTenants,
+                [this](const serving::HttpRequest&) {
+                  serving::HttpResponse response;
+                  response.content_type = "application/json";
+                  response.body = tenant_ledger_.ToJson();
+                  return response;
+                });
+
+  serving::HttpServer::Options hopts;
+  hopts.port = options_.http_port < 0 ? 0 : options_.http_port;
+  if (Status st = http_->Start(hopts); !st.ok()) {
+    UNIFY_LOG(Warning) << "HTTP endpoint disabled: " << st;
+    http_.reset();
+  }
+}
+
+serving::HttpResponse UnifyService::HandleMetrics() const {
+  MetricSetGauge(telemetry::kMetricServeUptime, UptimeSeconds());
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  tenant_ledger_.AnnotateSnapshot(&snap);
+  serving::HttpResponse response;
+  response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  response.body = snap.ToPrometheusText();
+  return response;
+}
+
+serving::HttpResponse UnifyService::HandleReadyz() const {
+  int64_t inflight;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight = inflight_;
+  }
+  serving::HttpResponse response;
+  if (inflight < options_.max_queue_depth) {
+    response.body = "ready\n";
+    return response;
+  }
+  // Tell the load balancer *why* the replica is not ready, not just that
+  // it is not: it is at admission-control pressure with `serve.inflight`
+  // requests queued or running against the configured depth.
+  response.status = 503;
+  response.content_type = "application/json";
+  std::ostringstream os;
+  os << "{\"ready\":false,\"reason\":\"admission-control pressure\","
+     << "\"serve.inflight\":" << inflight
+     << ",\"queue_depth\":" << inflight
+     << ",\"max_queue_depth\":" << options_.max_queue_depth << "}\n";
+  response.body = os.str();
+  return response;
+}
+
+serving::HttpResponse UnifyService::HandleStatusz() const {
+  const Stats s = stats();
+  const int num_servers = std::max(1, system_->options().exec.num_servers);
+  const double occupancy =
+      s.pool_now > 0 ? s.pool_busy_seconds / (num_servers * s.pool_now) : 0;
+  char buf[64];
+  auto num = [&buf](double v) {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return std::string(buf);
+  };
+  std::ostringstream os;
+  os << "{\"uptime_seconds\":" << num(s.uptime_seconds)
+     << ",\"stats\":{\"submitted\":" << s.submitted
+     << ",\"rejected\":" << s.rejected << ",\"completed\":" << s.completed
+     << ",\"deadline_exceeded\":" << s.deadline_exceeded
+     << ",\"degraded\":" << s.degraded << ",\"inflight\":" << s.inflight
+     << "},\"pool\":{\"now\":" << num(s.pool_now)
+     << ",\"busy_seconds\":" << num(s.pool_busy_seconds)
+     << ",\"num_servers\":" << num_servers
+     << ",\"occupancy\":" << num(occupancy)
+     << "},\"cache\":{\"entries\":" << s.cache.entries
+     << ",\"bytes\":" << s.cache.bytes
+     << ",\"item_hits\":" << s.cache.item_hits
+     << ",\"item_misses\":" << s.cache.item_misses
+     << ",\"coalesced\":" << s.cache.coalesced
+     << ",\"evictions\":" << s.cache.evictions
+     << ",\"saved_dollars\":" << num(s.cache.saved_dollars)
+     << "},\"slo\":{\"good\":" << s.slo.good << ",\"bad\":" << s.slo.bad
+     << ",\"burn_rate_fast\":" << num(s.slo.burn_rate_fast)
+     << ",\"burn_rate_slow\":" << num(s.slo.burn_rate_slow)
+     << ",\"in_breach\":" << (s.slo.in_breach ? "true" : "false")
+     << ",\"latency_objective_seconds\":"
+     << num(slo_.options().latency_objective_seconds)
+     << ",\"target\":" << num(slo_.options().target)
+     << "},\"tenants\":" << s.tenants.size()
+     << ",\"workers\":" << options_.num_workers
+     << ",\"max_queue_depth\":" << options_.max_queue_depth << "}\n";
+  serving::HttpResponse response;
+  response.content_type = "application/json";
+  response.body = os.str();
+  return response;
 }
 
 }  // namespace unify::core

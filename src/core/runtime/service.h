@@ -1,16 +1,22 @@
 #ifndef UNIFY_CORE_RUNTIME_SERVICE_H_
 #define UNIFY_CORE_RUNTIME_SERVICE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <future>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 
 #include "common/thread_pool.h"
 #include "core/runtime/flight_recorder.h"
 #include "core/runtime/query.h"
+#include "core/runtime/slo_tracker.h"
+#include "core/runtime/tenant_ledger.h"
 #include "core/runtime/unify.h"
 #include "exec/virtual_pool.h"
+#include "serving/http_endpoint.h"
 
 namespace unify::core {
 
@@ -28,6 +34,13 @@ namespace unify::core {
 /// instead of growing the queue without bound. Per-query deadlines
 /// (QueryRequest::deadline_seconds, with an optional service-wide
 /// default) bound each query's virtual completion.
+///
+/// Operator-facing observability (docs/observability.md): every
+/// completion feeds a per-tenant usage ledger (keyed by
+/// QueryRequest::client_tag) and an SLO burn-rate tracker, and
+/// Options::http_port starts an embedded HTTP endpoint serving /metrics,
+/// health/readiness probes, and the postmortem surfaces to an external
+/// monitoring stack.
 class UnifyService {
  public:
   struct Options {
@@ -46,6 +59,17 @@ class UnifyService {
     size_t flight_recorder_capacity = 256;
     /// Slowest queries the flight recorder retains with their traces.
     size_t slow_query_capacity = 8;
+    /// Embedded HTTP observability endpoint (loopback only): 0 = off
+    /// (the default — byte-identical to a service without the endpoint),
+    /// > 0 = bind that port, -1 = bind an OS-picked free port (tests;
+    /// read it back from http_port()). Routes are listed in
+    /// docs/observability.md, "HTTP endpoint".
+    int http_port = 0;
+    /// SLO latency objective for served queries (virtual total_seconds);
+    /// 0 = availability-only SLO (any OK completion is good).
+    double slo_latency_seconds = 0;
+    /// SLO target good-fraction (error budget = 1 - slo_target).
+    double slo_target = 0.999;
   };
 
   /// Serving counters (wall-clock process state, not virtual time).
@@ -58,6 +82,8 @@ class UnifyService {
     int64_t degraded = 0;
     /// Requests currently queued or being served.
     int64_t inflight = 0;
+    /// Wall-clock seconds since the service was constructed.
+    double uptime_seconds = 0;
     /// The shared pool's monotonic virtual clock.
     double pool_now = 0;
     /// Total virtual busy seconds across the pool's servers.
@@ -65,14 +91,20 @@ class UnifyService {
     /// The system's shared cross-query LLM answer cache (all queries
     /// served through this service share one instance; docs/caching.md).
     llm::CacheStats cache;
+    /// SLO burn-rate state as of now (docs/observability.md, "SLOs").
+    SloTracker::State slo;
+    /// Per-tenant usage, keyed by client_tag ("(untagged)" for requests
+    /// without one).
+    std::map<std::string, TenantUsage> tenants;
   };
 
   /// `system` must have completed Setup() and outlive the service. The
   /// shared virtual pool is sized from the system's exec.num_servers.
   UnifyService(const UnifySystem* system, Options options);
 
-  /// Drains in-flight queries before returning.
-  ~UnifyService() = default;
+  /// Stops the HTTP endpoint (joining all of its connections), then
+  /// drains in-flight queries before returning.
+  ~UnifyService();
 
   UnifyService(const UnifyService&) = delete;
   UnifyService& operator=(const UnifyService&) = delete;
@@ -92,9 +124,22 @@ class UnifyService {
   const exec::VirtualLlmPool& pool() const { return pool_; }
 
   /// The serving flight recorder: bounded event ring (admission, start,
-  /// completion, rejection, deadline-miss, replan) plus the retained
-  /// top-K slow queries. Thread-safe to read while serving.
+  /// completion, rejection, deadline-miss, replan, SLO breach) plus the
+  /// retained top-K slow queries. Thread-safe to read while serving.
   const FlightRecorder& flight_recorder() const { return recorder_; }
+
+  /// The per-tenant usage ledger (thread-safe to read while serving).
+  const TenantLedger& tenant_ledger() const { return tenant_ledger_; }
+
+  /// The SLO burn-rate tracker; read its state via stats().slo.
+  const SloTracker& slo_tracker() const { return slo_; }
+
+  /// The bound port of the embedded HTTP endpoint; 0 when disabled (or
+  /// when binding failed — a warning is logged and serving continues
+  /// without the endpoint).
+  int http_port() const {
+    return http_ != nullptr && http_->running() ? http_->port() : 0;
+  }
 
   const UnifySystem& system() const { return *system_; }
   const Options& options() const { return options_; }
@@ -103,10 +148,22 @@ class UnifyService {
   /// Runs one admitted request on a worker thread.
   QueryResult Serve(const QueryRequest& request, double queue_wall_seconds);
 
+  /// Wall-clock seconds since construction (the SLO/uptime clock).
+  double UptimeSeconds() const;
+
+  /// Registers the route handlers and starts the endpoint.
+  void StartHttpEndpoint();
+  serving::HttpResponse HandleMetrics() const;
+  serving::HttpResponse HandleReadyz() const;
+  serving::HttpResponse HandleStatusz() const;
+
   const UnifySystem* system_;
   Options options_;
   exec::VirtualLlmPool pool_;
   FlightRecorder recorder_;
+  TenantLedger tenant_ledger_;
+  SloTracker slo_;
+  std::chrono::steady_clock::time_point epoch_;
 
   mutable std::mutex mu_;
   int64_t submitted_ = 0;
@@ -115,6 +172,12 @@ class UnifyService {
   int64_t deadline_exceeded_ = 0;
   int64_t degraded_ = 0;
   int64_t inflight_ = 0;
+
+  /// Destroyed after workers_ (construction order), but explicitly
+  /// stopped FIRST in the destructor: its handlers read the members
+  /// above, so no connection may be in flight once member destruction
+  /// begins.
+  std::unique_ptr<serving::HttpServer> http_;
 
   /// Last member: destroyed (and drained) first, so worker tasks never
   /// outlive the state above.

@@ -1,0 +1,93 @@
+#include "core/runtime/slo_tracker.h"
+
+#include <algorithm>
+
+namespace unify::core {
+
+SloTracker::SloTracker(Options options) : options_(options) {
+  if (options_.target >= 1.0) options_.target = 1.0 - 1e-9;
+  if (options_.target < 0) options_.target = 0;
+  if (options_.fast_window_seconds <= 0) options_.fast_window_seconds = 300;
+  if (options_.slow_window_seconds < options_.fast_window_seconds) {
+    options_.slow_window_seconds = options_.fast_window_seconds;
+  }
+  if (options_.breach_burn_rate <= 0) options_.breach_burn_rate = 14.4;
+}
+
+bool SloTracker::IsGood(bool ok, double total_seconds) const {
+  if (!ok) return false;
+  return options_.latency_objective_seconds <= 0 ||
+         total_seconds <= options_.latency_objective_seconds;
+}
+
+double SloTracker::BurnRate(int64_t good, int64_t bad) const {
+  const int64_t total = good + bad;
+  if (total == 0) return 0;
+  const double bad_fraction = static_cast<double>(bad) / total;
+  return bad_fraction / (1.0 - options_.target);
+}
+
+void SloTracker::PruneLocked(double now_seconds) const {
+  const double cutoff = now_seconds - options_.slow_window_seconds;
+  while (!events_.empty() && events_.front().time <= cutoff) {
+    events_.pop_front();
+  }
+}
+
+SloTracker::Outcome SloTracker::Record(double now_seconds, bool good) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PruneLocked(now_seconds);
+  events_.push_back(Event{now_seconds, good});
+  if (good) {
+    good_ += 1;
+  } else {
+    bad_ += 1;
+  }
+
+  int64_t fast_good = 0, fast_bad = 0, slow_good = 0, slow_bad = 0;
+  const double fast_cutoff = now_seconds - options_.fast_window_seconds;
+  for (const Event& e : events_) {
+    if (e.good) {
+      slow_good += 1;
+      if (e.time > fast_cutoff) fast_good += 1;
+    } else {
+      slow_bad += 1;
+      if (e.time > fast_cutoff) fast_bad += 1;
+    }
+  }
+
+  Outcome outcome;
+  outcome.good = good;
+  outcome.burn_rate_fast = BurnRate(fast_good, fast_bad);
+  outcome.burn_rate_slow = BurnRate(slow_good, slow_bad);
+  const bool breach = outcome.burn_rate_fast >= options_.breach_burn_rate &&
+                      outcome.burn_rate_slow >= 1.0;
+  outcome.breach_started = breach && !in_breach_;
+  outcome.breach_ended = !breach && in_breach_;
+  in_breach_ = breach;
+  return outcome;
+}
+
+SloTracker::State SloTracker::state(double now_seconds) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PruneLocked(now_seconds);
+  State s;
+  s.good = good_;
+  s.bad = bad_;
+  const double fast_cutoff = now_seconds - options_.fast_window_seconds;
+  for (const Event& e : events_) {
+    if (e.good) {
+      s.slow_good += 1;
+      if (e.time > fast_cutoff) s.fast_good += 1;
+    } else {
+      s.slow_bad += 1;
+      if (e.time > fast_cutoff) s.fast_bad += 1;
+    }
+  }
+  s.burn_rate_fast = BurnRate(s.fast_good, s.fast_bad);
+  s.burn_rate_slow = BurnRate(s.slow_good, s.slow_bad);
+  s.in_breach = in_breach_;
+  return s;
+}
+
+}  // namespace unify::core

@@ -1,0 +1,107 @@
+#ifndef UNIFY_CORE_RUNTIME_SLO_TRACKER_H_
+#define UNIFY_CORE_RUNTIME_SLO_TRACKER_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+namespace unify::core {
+
+/// Tracks a latency/availability service-level objective over rolling
+/// windows and computes error-budget burn rates, in the style of
+/// multiwindow SLO alerting: a query is "good" when it succeeded and met
+/// the latency objective; the burn rate of a window is
+///
+///     (bad fraction in the window) / (1 - target)
+///
+/// so 1.0 means the service is spending its error budget exactly at the
+/// sustainable rate and 14.4 (the classic fast-window page threshold)
+/// means the budget would be gone in 1/14.4 of the SLO period. A breach
+/// starts when the fast-window burn rate reaches
+/// Options::breach_burn_rate while the slow window confirms sustained
+/// burn (slow burn >= 1); it ends when the fast window drops back under
+/// the threshold. Breach starts are edge-triggered so the serving layer
+/// can emit one `slo_breach` flight-recorder event per episode.
+///
+/// Determinism: the tracker never reads a clock — every Record()/state()
+/// call passes its own timestamp (UnifyService uses wall seconds since
+/// construction; tests use scripted sequences). Timestamps must be
+/// non-decreasing. Thread-safe.
+class SloTracker {
+ public:
+  struct Options {
+    /// Latency objective: a query is good only if total_seconds <= this.
+    /// 0 disables the latency term (availability-only SLO).
+    double latency_objective_seconds = 0;
+    /// Target good fraction (e.g. 0.999 = three nines). Values >= 1 are
+    /// clamped just below 1 so the error budget stays positive.
+    double target = 0.999;
+    /// Fast ("page") window, seconds.
+    double fast_window_seconds = 300;
+    /// Slow ("confirm") window, seconds.
+    double slow_window_seconds = 3600;
+    /// Fast-window burn rate at which a breach starts.
+    double breach_burn_rate = 14.4;
+  };
+
+  /// Point-in-time SLO state (see state()).
+  struct State {
+    int64_t good = 0;  ///< Lifetime good completions.
+    int64_t bad = 0;   ///< Lifetime bad completions.
+    int64_t fast_good = 0, fast_bad = 0;
+    int64_t slow_good = 0, slow_bad = 0;
+    double burn_rate_fast = 0;
+    double burn_rate_slow = 0;
+    bool in_breach = false;
+  };
+
+  /// What one Record() observed — burn rates after the event, plus
+  /// whether this event started a breach episode.
+  struct Outcome {
+    bool good = false;
+    bool breach_started = false;
+    bool breach_ended = false;
+    double burn_rate_fast = 0;
+    double burn_rate_slow = 0;
+  };
+
+  explicit SloTracker(Options options);
+  SloTracker(const SloTracker&) = delete;
+  SloTracker& operator=(const SloTracker&) = delete;
+
+  /// Whether a completion with this status/latency meets the SLO.
+  bool IsGood(bool ok, double total_seconds) const;
+
+  /// Records one completion at time `now_seconds`.
+  Outcome Record(double now_seconds, bool good);
+
+  /// The state as of `now_seconds` (events older than the windows are
+  /// pruned relative to it).
+  State state(double now_seconds) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Event {
+    double time = 0;
+    bool good = false;
+  };
+
+  /// Drops events outside the slow window and recomputes the per-window
+  /// tallies. Caller holds mu_.
+  void PruneLocked(double now_seconds) const;
+  double BurnRate(int64_t good, int64_t bad) const;
+
+  Options options_;
+  mutable std::mutex mu_;
+  /// Events within the slow window, oldest first (the fast window is a
+  /// suffix of this deque).
+  mutable std::deque<Event> events_;
+  int64_t good_ = 0;
+  int64_t bad_ = 0;
+  bool in_breach_ = false;
+};
+
+}  // namespace unify::core
+
+#endif  // UNIFY_CORE_RUNTIME_SLO_TRACKER_H_

@@ -1,0 +1,314 @@
+#include "serving/http_endpoint.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace unify::serving {
+
+const char kRouteMetrics[] = "/metrics";
+const char kRouteHealthz[] = "/healthz";
+const char kRouteReadyz[] = "/readyz";
+const char kRouteStatusz[] = "/statusz";
+const char kRouteEvents[] = "/events";
+const char kRouteSlow[] = "/slow";
+const char kRouteAccuracy[] = "/accuracy";
+const char kRouteTenants[] = "/tenants";
+
+namespace {
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+  }
+  return "Unknown";
+}
+
+/// Writes the whole buffer, tolerating partial writes; MSG_NOSIGNAL keeps
+/// a client that hung up from killing the process with SIGPIPE.
+bool SendAll(int fd, const char* data, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool WriteResponse(int fd, const HttpResponse& response, bool head_only) {
+  std::ostringstream os;
+  os << "HTTP/1.1 " << response.status << " " << ReasonPhrase(response.status)
+     << "\r\nContent-Type: " << response.content_type
+     << "\r\nContent-Length: " << response.body.size()
+     << "\r\nConnection: close\r\n\r\n";
+  if (!head_only) os << response.body;
+  const std::string wire = os.str();
+  return SendAll(fd, wire.data(), wire.size());
+}
+
+void SetIoTimeout(int fd, int timeout_ms) {
+  timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// Parses the request head (request line + headers). Returns false on a
+/// malformed head.
+bool ParseRequest(const std::string& head, HttpRequest* request) {
+  const size_t line_end = head.find("\r\n");
+  if (line_end == std::string::npos) return false;
+  const std::string request_line = head.substr(0, line_end);
+  const size_t sp1 = request_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) return false;
+  request->method = request_line.substr(0, sp1);
+  std::string target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string version = request_line.substr(sp2 + 1);
+  if (request->method.empty() || target.empty() || target[0] != '/' ||
+      version.rfind("HTTP/1.", 0) != 0) {
+    return false;
+  }
+  const size_t qmark = target.find('?');
+  if (qmark == std::string::npos) {
+    request->path = target;
+    request->query.clear();
+  } else {
+    request->path = target.substr(0, qmark);
+    request->query = target.substr(qmark + 1);
+  }
+  // Header fields: `Name: value` per line, keys lowercased. Malformed
+  // lines are skipped rather than rejected — none of the routes depend on
+  // headers.
+  size_t pos = line_end + 2;
+  while (pos < head.size()) {
+    size_t end = head.find("\r\n", pos);
+    if (end == std::string::npos) end = head.size();
+    const std::string line = head.substr(pos, end - pos);
+    pos = end + 2;
+    if (line.empty()) break;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string key = line.substr(0, colon);
+    std::transform(key.begin(), key.end(), key.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    request->headers[key] =
+        std::string(StripAsciiWhitespace(line.substr(colon + 1)));
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Handle(const std::string& path, Handler handler) {
+  UNIFY_CHECK(!running());
+  handlers_[path] = std::move(handler);
+}
+
+Status HttpServer::Start(const Options& options) {
+  if (running()) return Status::FailedPrecondition("HttpServer already started");
+  options_ = options;
+  if (options_.num_workers < 1) options_.num_workers = 1;
+  if (options_.max_pending < 1) options_.max_pending = 1;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket(): ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("bind(127.0.0.1:" +
+                            std::to_string(options_.port) + "): " + err);
+  }
+  if (::listen(fd, options_.backlog) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("listen(): " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("getsockname(): " + err);
+  }
+  listen_fd_ = fd;
+  port_ = ntohs(bound.sin_port);
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  // Closing the listener wakes the accept loop with an error.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  queue_cv_.notify_all();
+  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  listen_fd_ = -1;
+}
+
+std::vector<std::string> HttpServer::routes() const {
+  std::vector<std::string> out;
+  out.reserve(handlers_.size());
+  for (const auto& [path, handler] : handlers_) out.push_back(path);
+  return out;
+}
+
+HttpServer::Stats HttpServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void HttpServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_acquire)) break;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;  // listener gone — nothing left to accept
+    }
+    SetIoTimeout(fd, options_.io_timeout_ms);
+    bool overloaded = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.accepted += 1;
+      if (pending_.size() >= options_.max_pending) {
+        stats_.overloaded += 1;
+        overloaded = true;
+      } else {
+        pending_.push_back(fd);
+      }
+    }
+    if (overloaded) {
+      // Answer inline so the client sees *why* instead of a hang; the
+      // worker queue stays bounded.
+      HttpResponse busy;
+      busy.status = 503;
+      busy.body = "endpoint overloaded: worker queue full\n";
+      WriteResponse(fd, busy, /*head_only=*/false);
+      ::close(fd);
+    } else {
+      queue_cv_.notify_one();
+    }
+  }
+}
+
+void HttpServer::WorkerLoop() {
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [this] {
+        return !pending_.empty() || stopping_.load(std::memory_order_acquire);
+      });
+      if (pending_.empty()) return;  // stopping and drained
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    ServeConnection(fd);
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  // Read the request head; the io timeout bounds a silent client.
+  std::string head;
+  char buf[2048];
+  bool too_large = false;
+  while (head.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    head.append(buf, static_cast<size_t>(n));
+    if (head.size() > options_.max_request_bytes) {
+      too_large = true;
+      break;
+    }
+  }
+
+  HttpResponse response;
+  HttpRequest request;
+  bool head_only = false;
+  if (too_large) {
+    response.status = 431;
+    response.body = "request head too large\n";
+  } else if (head.find("\r\n\r\n") == std::string::npos ||
+             !ParseRequest(head, &request)) {
+    response.status = 400;
+    response.body = "malformed HTTP request\n";
+  } else if (request.method != "GET" && request.method != "HEAD") {
+    response.status = 405;
+    response.body = "only GET is supported\n";
+  } else {
+    head_only = request.method == "HEAD";
+    const auto it = handlers_.find(request.path);
+    if (it == handlers_.end()) {
+      response.status = 404;
+      std::ostringstream os;
+      os << "no route " << request.path << "; routes:\n";
+      for (const std::string& route : routes()) os << "  " << route << "\n";
+      response.body = os.str();
+    } else {
+      response = it->second(request);
+    }
+  }
+
+  const bool ok = WriteResponse(fd, response, head_only);
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ok) stats_.served += 1;
+  if (response.status == 400 || response.status == 431) {
+    stats_.bad_requests += 1;
+  }
+  if (response.status == 404) stats_.not_found += 1;
+}
+
+}  // namespace unify::serving

@@ -1,8 +1,13 @@
+#include <cstring>
 #include <set>
+#include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/logging.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/status.h"
@@ -375,6 +380,47 @@ TEST(ThreadPoolTest, WaitIsReusable) {
   pool.Schedule([&counter] { counter.fetch_add(1); });
   pool.Wait();
   EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(LoggingTest, SinkCapturesFormattedLinesWithLevelAndThread) {
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  SetLogSink([&captured](LogLevel level, const std::string& line) {
+    captured.emplace_back(level, line);
+  });
+  const LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+
+  UNIFY_LOG(Info) << "hello " << 42;
+  UNIFY_LOG(Warning) << "uh oh";
+  UNIFY_LOG(Debug) << "below the level: dropped";
+
+  std::thread other([] { UNIFY_LOG(Info) << "from another thread"; });
+  other.join();
+
+  SetLogSink(nullptr);  // restore stderr before asserting
+  SetLogLevel(saved);
+  UNIFY_LOG(Debug) << "after restore: not captured";
+
+  ASSERT_EQ(captured.size(), 3u);
+  EXPECT_EQ(captured[0].first, LogLevel::kInfo);
+  EXPECT_EQ(captured[1].first, LogLevel::kWarning);
+
+  // `[<LEVEL> <UTC timestamp> t<ordinal> <file>:<line>] <message>` — the
+  // level tag, a wall-clock date, and a thread ordinal, in that order.
+  const std::string& info = captured[0].second;
+  EXPECT_EQ(info.front(), '[');
+  EXPECT_EQ(info.rfind("[I 20", 0), 0u) << info;
+  EXPECT_NE(info.find(" t"), std::string::npos);
+  EXPECT_NE(info.find("common_test.cc:"), std::string::npos);
+  EXPECT_EQ(info.substr(info.size() - std::strlen("hello 42")), "hello 42");
+  EXPECT_EQ(captured[1].second.rfind("[W 20", 0), 0u) << captured[1].second;
+
+  // The other thread logged under a different ordinal than this one.
+  const std::string t_tag = " t" + std::to_string(LogThreadOrdinal()) + " ";
+  EXPECT_NE(info.find(t_tag), std::string::npos) << info;
+  EXPECT_EQ(captured[2].second.find(t_tag), std::string::npos)
+      << captured[2].second;
+  EXPECT_GT(LogThreadOrdinal(), 0);
 }
 
 TEST(ThreadPoolTest, DrainsOnDestruction) {

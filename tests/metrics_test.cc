@@ -159,6 +159,70 @@ TEST(MetricsTest, ToPrometheusTextIsWellFormed) {
   }
 }
 
+TEST(MetricsTest, LabeledMetricNameEscapesLabelValues) {
+  EXPECT_EQ(LabeledMetricName("tenant.queries", "tenant", "acme"),
+            "tenant.queries{tenant=\"acme\"}");
+  // Backslash, quote, and newline are escaped per the Prometheus text
+  // format; everything else passes through verbatim.
+  EXPECT_EQ(LabeledMetricName("m", "k", "a\\b\"c\nd"),
+            "m{k=\"a\\\\b\\\"c\\nd\"}");
+}
+
+TEST(MetricsTest, PrometheusTextGroupsLabeledSeriesUnderOneHeader) {
+  MetricsRegistry registry;
+  registry.AddCounter(LabeledMetricName("tenant.queries", "tenant", "a"), 2);
+  registry.AddCounter(LabeledMetricName("tenant.queries", "tenant", "b"), 3);
+  registry.Observe(LabeledMetricName("tenant.latency_seconds", "tenant", "a"),
+                   1.0);
+  const std::string text = registry.Snapshot().ToPrometheusText();
+
+  // One HELP/TYPE header covers both labeled samples of the base metric.
+  size_t first = text.find("# TYPE unify_tenant_queries counter");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("# TYPE unify_tenant_queries counter", first + 1),
+            std::string::npos);
+  EXPECT_NE(text.find("unify_tenant_queries{tenant=\"a\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("unify_tenant_queries{tenant=\"b\"} 3"),
+            std::string::npos);
+  // Labeled summaries merge the quantile label into the label block and
+  // label the _sum/_count series.
+  EXPECT_NE(
+      text.find(
+          "unify_tenant_latency_seconds{tenant=\"a\",quantile=\"0.5\"}"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("unify_tenant_latency_seconds_sum{tenant=\"a\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("unify_tenant_latency_seconds_count{tenant=\"a\"} 1"),
+            std::string::npos);
+}
+
+TEST(MetricsTest, PrometheusTextWithoutLabelsIsUnchangedByLabelSupport) {
+  // The unlabeled rendering is pinned byte-for-byte: label support must
+  // not perturb what existing scrapers see for label-free registries.
+  MetricsRegistry registry;
+  registry.AddCounter("llm.calls", 3);
+  registry.SetGauge("exec.pool.occupancy", 0.5);
+  registry.Observe("serve.queue_wait_seconds", 2.0);
+  EXPECT_EQ(registry.Snapshot().ToPrometheusText(),
+            "# HELP unify_llm_calls Unify metric llm.calls\n"
+            "# TYPE unify_llm_calls counter\n"
+            "unify_llm_calls 3\n"
+            "# HELP unify_exec_pool_occupancy Unify metric "
+            "exec.pool.occupancy\n"
+            "# TYPE unify_exec_pool_occupancy gauge\n"
+            "unify_exec_pool_occupancy 0.5\n"
+            "# HELP unify_serve_queue_wait_seconds Unify metric "
+            "serve.queue_wait_seconds\n"
+            "# TYPE unify_serve_queue_wait_seconds summary\n"
+            "unify_serve_queue_wait_seconds{quantile=\"0.5\"} 2\n"
+            "unify_serve_queue_wait_seconds{quantile=\"0.9\"} 2\n"
+            "unify_serve_queue_wait_seconds{quantile=\"0.99\"} 2\n"
+            "unify_serve_queue_wait_seconds_sum 2\n"
+            "unify_serve_queue_wait_seconds_count 1\n");
+}
+
 TEST(MetricsTest, ScopedSinkDualWritesAndRestores) {
   // Baselines: the helpers always write the global registry.
   MetricsRegistry& global = MetricsRegistry::Global();

@@ -93,6 +93,10 @@ int main(int argc, char** argv) {
   // cross-query queueing, like a real multi-client deployment).
   core::UnifyService::Options sopts;
   sopts.num_workers = 4;
+  // The shell serves with fair scheduling on, so ";;" batches tagged with
+  // different client tags share the workers fairly (\sched reports the
+  // queue state; docs/api.md, "Scheduling & tenant isolation").
+  sopts.scheduler = core::UnifyService::Scheduler::kFair;
   auto service = std::make_unique<core::UnifyService>(&system, sopts);
 
   bool show_plan = false;
@@ -135,6 +139,8 @@ int main(int argc, char** argv) {
       std::printf("  \\stats            cumulative simulated LLM usage\n");
       std::printf("  \\tenants          per-tenant usage ledger (queries, "
                   "dollars, latency)\n");
+      std::printf("  \\sched            fair-scheduler report (per-tenant "
+                  "queues, weights, sheds)\n");
       std::printf("  \\vocab            categories/tags/groups you can ask "
                   "about\n");
       std::printf("  \\faults           fault-injection + resilience report "
@@ -219,6 +225,42 @@ int main(int argc, char** argv) {
     }
     if (input == "\\tenants") {
       std::printf("%s", service->tenant_ledger().ToText().c_str());
+      continue;
+    }
+    if (input == "\\sched") {
+      const core::UnifyService::Stats s = service->stats();
+      if (!s.fair_scheduler) {
+        std::printf("  FIFO scheduler (fair scheduling is off)\n");
+        continue;
+      }
+      std::printf("  fair scheduler: %lld enqueued, %lld dispatched, "
+                  "%lld shed, %lld tenant-rejected, %lld wheel rotations\n",
+                  static_cast<long long>(s.sched.enqueued),
+                  static_cast<long long>(s.sched.dispatched),
+                  static_cast<long long>(s.sched.sheds),
+                  static_cast<long long>(s.sched.tenant_rejects),
+                  static_cast<long long>(s.sched.wheel_rotations));
+      std::printf("  queued now: %lld (batch %lld / normal %lld / "
+                  "interactive %lld), running %lld\n",
+                  static_cast<long long>(s.sched.queued),
+                  static_cast<long long>(s.sched.queued_by_class[0]),
+                  static_cast<long long>(s.sched.queued_by_class[1]),
+                  static_cast<long long>(s.sched.queued_by_class[2]),
+                  static_cast<long long>(s.sched.running));
+      std::printf("  %-16s %7s %7s %8s %11s %6s %7s\n", "tenant", "weight",
+                  "queued", "running", "dispatched", "shed", "reject");
+      for (const auto& [tenant, t] : s.sched.tenants) {
+        std::printf("  %-16s %7.3f %7lld %8lld %11lld %6lld %7lld\n",
+                    tenant.c_str(), t.weight,
+                    static_cast<long long>(t.queued),
+                    static_cast<long long>(t.running),
+                    static_cast<long long>(t.dispatched),
+                    static_cast<long long>(t.sheds),
+                    static_cast<long long>(t.rejected));
+      }
+      if (s.sched.tenants.empty()) {
+        std::printf("  (no tenants scheduled yet)\n");
+      }
       continue;
     }
     if (input == "\\replan") {

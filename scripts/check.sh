@@ -51,9 +51,9 @@ else
   FLAG="-fsanitize=thread"
 fi
 
-TESTS=(virtual_pool_test service_test executor_test partition_test
-       flight_recorder_test resilience_test cache_test reoptimize_test
-       http_endpoint_test)
+TESTS=(virtual_pool_test service_test fair_scheduler_test executor_test
+       partition_test flight_recorder_test resilience_test cache_test
+       reoptimize_test http_endpoint_test)
 
 # Probe: can this toolchain produce a binary under this sanitizer at all?
 probe="$(mktemp -d)"

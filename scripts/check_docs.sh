@@ -17,7 +17,11 @@
 #      plan.reoptimize.* name plus the exec.replan span;
 #   9. docs/observability.md's "HTTP endpoint" route table covers every
 #      route defined in src/serving/http_endpoint.cc, and the serve.slo.*
-#      / tenant.* serving telemetry is documented there.
+#      / tenant.* serving telemetry is documented there;
+#  10. the fair scheduler's serve.sched.* telemetry is documented in
+#      docs/observability.md and docs/api.md covers the scheduler
+#      (src/core/runtime/fair_scheduler and its shed / tenant_reject
+#      event kinds).
 #
 # Usage: scripts/check_docs.sh [repo_root]
 set -u
@@ -216,6 +220,33 @@ else
       fail "serving telemetry name '$name' is not in $OBS"
     fi
   done <<< "$slo_names"
+fi
+
+# --- 10. scheduler telemetry + guide coverage ------------------------------
+sched_names=$(tr '\n' ' ' < src/common/telemetry_names.h |
+    grep -o 'inline constexpr char k[A-Za-z0-9]*\[\] *= *"[^"]*"' |
+    sed 's/.*"\([^"]*\)"/\1/' |
+    grep -E '^serve\.sched\.')
+[[ -n "$sched_names" ]] ||
+    fail "no serve.sched.* names in telemetry_names.h"
+while IFS= read -r name; do
+  [[ -n "$name" ]] || continue
+  # `serve.sched.queue_seconds` is documented as the parameterized
+  # per-class family `serve.sched.queue_seconds.<class>`.
+  if ! grep -qF "\`$name\`" "$OBS" && ! grep -qF "\`$name." "$OBS"; then
+    fail "scheduler telemetry name '$name' is not in $OBS"
+  fi
+done <<< "$sched_names"
+API_DOC=docs/api.md
+if [[ ! -f "$API_DOC" ]]; then
+  fail "$API_DOC is missing"
+else
+  grep -q 'src/core/runtime/fair_scheduler' "$API_DOC" ||
+      fail "$API_DOC does not cover src/core/runtime/fair_scheduler"
+  for kind in shed tenant_reject; do
+    grep -qF "\`$kind\`" "$API_DOC" ||
+        fail "$API_DOC does not mention the '$kind' event kind"
+  done
 fi
 
 if [[ $failures -gt 0 ]]; then

@@ -155,6 +155,31 @@ inline constexpr char kMetricServeDegraded[] = "serve.degraded";
 /// (refreshed on every completion, stats() call, and /metrics scrape).
 inline constexpr char kMetricServeUptime[] = "serve.uptime_seconds";
 
+// Fair scheduler (core/runtime/fair_scheduler.h; emitted only when
+// UnifyService runs with Options::scheduler = kFair — the FIFO path stays
+// byte-identical to pre-scheduler builds).
+/// Counter: tasks handed to a worker by the DRR wheel.
+inline constexpr char kMetricSchedDispatches[] = "serve.sched.dispatches";
+/// Counter: requests rejected by a tenant's queue-depth cap (before the
+/// global max_queue_depth trips for everyone).
+inline constexpr char kMetricSchedTenantRejects[] =
+    "serve.sched.tenant_rejects";
+/// Counter: queued requests shed because their deadline could no longer
+/// be met (now >= arrival + deadline on the virtual clock).
+inline constexpr char kMetricSchedSheds[] = "serve.sched.sheds";
+/// Counter: full refill passes over a priority tier's DRR wheel that
+/// dispatched nothing (fractional weights accumulating or every tenant at
+/// its concurrency cap).
+inline constexpr char kMetricSchedWheelRotations[] =
+    "serve.sched.wheel_rotations";
+/// Gauge: tasks currently queued in the scheduler (all tiers).
+inline constexpr char kMetricSchedQueued[] = "serve.sched.queued";
+/// Histogram family: wall-clock seconds a dispatched task sat queued, per
+/// priority class — the full name appends "." + QueryPriorityName (e.g.
+/// "serve.sched.queue_seconds.interactive").
+inline constexpr char kMetricSchedQueueSeconds[] =
+    "serve.sched.queue_seconds";
+
 // SLO tracker (core/runtime/slo_tracker.h; "SLOs" in
 // docs/observability.md). A served query is SLO-good when it succeeded
 // AND finished within Options::slo_latency_seconds (latency objective
@@ -253,6 +278,12 @@ inline constexpr char kEventDegraded[] = "degraded";
 /// The SLO tracker's fast+slow burn rates crossed the breach threshold
 /// (edge-triggered: recorded when the breach starts, not per query).
 inline constexpr char kEventSloBreach[] = "slo_breach";
+/// A queued request was shed by the fair scheduler because its deadline
+/// could no longer be met (fair mode only).
+inline constexpr char kEventShed[] = "shed";
+/// A request was rejected by its tenant's queue-depth cap (fair mode
+/// only; distinct from the global-queue "reject").
+inline constexpr char kEventTenantReject[] = "tenant_reject";
 
 }  // namespace unify::telemetry
 

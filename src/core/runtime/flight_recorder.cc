@@ -26,6 +26,10 @@ const char* ServeEventKindName(ServeEventKind kind) {
       return telemetry::kEventDegraded;
     case ServeEventKind::kSloBreach:
       return telemetry::kEventSloBreach;
+    case ServeEventKind::kShed:
+      return telemetry::kEventShed;
+    case ServeEventKind::kTenantReject:
+      return telemetry::kEventTenantReject;
   }
   return "unknown";
 }

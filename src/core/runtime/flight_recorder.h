@@ -35,6 +35,13 @@ enum class ServeEventKind {
   /// (edge-triggered per episode; `detail` carries the rates — see
   /// core/runtime/slo_tracker.h and "SLOs" in docs/observability.md).
   kSloBreach,
+  /// A queued request was shed by the fair scheduler: its deadline could
+  /// no longer be met, so it failed without occupying a worker; terminal
+  /// (fair mode only).
+  kShed,
+  /// Rejected by the tenant's queue-depth cap in the fair scheduler
+  /// (before the global queue filled); terminal (fair mode only).
+  kTenantReject,
 };
 
 const char* ServeEventKindName(ServeEventKind kind);

@@ -44,6 +44,21 @@ enum class QueryPhase {
 /// "complete".
 const char* QueryPhaseName(QueryPhase phase);
 
+/// Serving-layer priority class of a request (docs/api.md, "Scheduling &
+/// tenant isolation"). Under UnifyService's fair scheduler the classes are
+/// strict tiers: a queued interactive request always dispatches before any
+/// normal one, and normal before batch. Within a tier, tenants share the
+/// workers via deficit-weighted round-robin. The FIFO scheduler ignores
+/// the class entirely.
+enum class QueryPriority {
+  kBatch = 0,
+  kNormal = 1,
+  kInteractive = 2,
+};
+
+/// "batch", "normal", or "interactive".
+const char* QueryPriorityName(QueryPriority priority);
+
 struct UnifyOptions;
 
 /// The per-query options after resolving QueryRequest::Overrides against
@@ -118,6 +133,12 @@ struct QueryRequest {
     std::optional<bool> reoptimize;
     std::optional<double> reoptimize_qerror_threshold;
     std::optional<int> max_reoptimizations;
+    /// Serving-layer scheduling class (default kNormal). Unlike the other
+    /// overrides this shadows no UnifyOptions field — it is consumed by
+    /// UnifyService's fair scheduler before the query reaches the runtime,
+    /// so ResolveAgainst() ignores it (docs/api.md, "Scheduling & tenant
+    /// isolation").
+    std::optional<QueryPriority> priority;
 
     /// The one resolution rule: each set field wins over its system-wide
     /// counterpart in `defaults`; parallelism is clamped to >= 1.

@@ -28,7 +28,26 @@ UnifyService::UnifyService(const UnifySystem* system, Options options)
         return slo;
       }()),
       epoch_(std::chrono::steady_clock::now()),
-      workers_(static_cast<size_t>(std::max(1, options.num_workers))) {
+      workers_(static_cast<size_t>(options.scheduler == Scheduler::kFair
+                                       ? 1
+                                       : std::max(1, options.num_workers))) {
+  if (options_.scheduler == Scheduler::kFair) {
+    FairScheduler::Options fopts;
+    fopts.default_weight = options_.default_tenant_weight;
+    fopts.tenant_weights = options_.tenant_weights;
+    fopts.per_tenant_queue_depth = options_.per_tenant_queue_depth;
+    fopts.per_tenant_max_concurrency = options_.per_tenant_max_concurrency;
+    // The serving clock: queue-age shedding compares request deadlines
+    // against the shared pool's virtual time, the same clock execution
+    // charges deadlines against.
+    fopts.now = [this] { return pool_.Now(); };
+    sched_ = std::make_unique<FairScheduler>(std::move(fopts));
+    const int n = std::max(1, options_.num_workers);
+    sched_workers_.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      sched_workers_.emplace_back([this] { SchedulerWorkerLoop(); });
+    }
+  }
   if (options_.http_port != 0) StartHttpEndpoint();
 }
 
@@ -37,6 +56,23 @@ UnifyService::~UnifyService() {
   // the counters, recorder, ledger, and pool. Stop() joins every
   // in-flight connection. The workers_ destructor then drains queries.
   if (http_ != nullptr) http_->Stop();
+  if (sched_ != nullptr) {
+    // Drain, don't drop: Dequeue() keeps handing out (or shedding) queued
+    // tasks after Shutdown() until the queues empty, so every submitted
+    // future resolves before the workers exit.
+    sched_->Shutdown();
+    for (std::thread& t : sched_workers_) t.join();
+  }
+}
+
+void UnifyService::SchedulerWorkerLoop() {
+  FairScheduler::Task task;
+  while (sched_->Dequeue(&task)) {
+    task.run();
+    sched_->OnComplete(task.tenant);
+    // Release the closures (promise, request) before blocking in Dequeue.
+    task = FairScheduler::Task();
+  }
 }
 
 double UnifyService::UptimeSeconds() const {
@@ -54,6 +90,11 @@ std::future<QueryResult> UnifyService::Submit(QueryRequest request) {
                                 ? request.query_id
                                 : StableHash64(request.text);
 
+  if (sched_ != nullptr) {
+    SubmitFair(std::move(promise), std::move(request), query_id);
+    return future;
+  }
+
   ServeEvent event;
   event.query_id = query_id;
   event.client_tag = request.client_tag;
@@ -62,6 +103,10 @@ std::future<QueryResult> UnifyService::Submit(QueryRequest request) {
     if (inflight_ >= options_.max_queue_depth) {
       rejected_ += 1;
       MetricAddCounter(telemetry::kMetricServeRejected);
+      // Ledger update under mu_, so stats() (which snapshots counters and
+      // tenants in one mu_ section) never sees the reject counted but the
+      // tenant map not yet updated (lock-order note in service.h).
+      tenant_ledger_.RecordRejection(request.client_tag);
       QueryResult rejected;
       rejected.status = Status::ResourceExhausted(
           "serving queue full (" + std::to_string(inflight_) + " in flight, "
@@ -85,10 +130,7 @@ std::future<QueryResult> UnifyService::Submit(QueryRequest request) {
   }
   const bool admitted = event.kind == ServeEventKind::kAdmit;
   recorder_.Record(std::move(event));
-  if (!admitted) {
-    tenant_ledger_.RecordRejection(request.client_tag);
-    return future;
-  }
+  if (!admitted) return future;
 
   const auto enqueued = std::chrono::steady_clock::now();
   workers_.Schedule([this, promise, request = std::move(request),
@@ -100,6 +142,143 @@ std::future<QueryResult> UnifyService::Submit(QueryRequest request) {
     promise->set_value(Serve(request, queue_wall_seconds));
   });
   return future;
+}
+
+void UnifyService::SubmitFair(
+    std::shared_ptr<std::promise<QueryResult>> promise, QueryRequest request,
+    uint64_t query_id) {
+  ServeEvent event;
+  event.query_id = query_id;
+  event.client_tag = request.client_tag;
+  QueryResult failed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (inflight_ >= options_.max_queue_depth) {
+      // Global admission control is unchanged from FIFO mode: the fair
+      // scheduler refines it with per-tenant caps but never loosens it.
+      rejected_ += 1;
+      MetricAddCounter(telemetry::kMetricServeRejected);
+      tenant_ledger_.RecordRejection(request.client_tag);
+      failed.status = Status::ResourceExhausted(
+          "serving queue full (" + std::to_string(inflight_) + " in flight, "
+          "max_queue_depth " + std::to_string(options_.max_queue_depth) +
+          ")");
+      failed.phase = QueryPhase::kAdmission;
+      failed.client_tag = request.client_tag;
+      failed.query_id = query_id;
+      event.kind = ServeEventKind::kReject;
+      event.phase = QueryPhaseName(failed.phase);
+      event.detail = failed.status.message();
+    } else {
+      auto req = std::make_shared<QueryRequest>(std::move(request));
+      FairScheduler::Task task;
+      task.tenant = req->client_tag;
+      task.priority =
+          req->overrides.priority.value_or(QueryPriority::kNormal);
+      task.deadline_seconds = req->deadline_seconds > 0
+                                  ? req->deadline_seconds
+                                  : options_.default_deadline_seconds;
+      task.arrival_seconds = req->arrival_seconds;
+      const auto enqueued = std::chrono::steady_clock::now();
+      task.run = [this, promise, req, enqueued] {
+        const double queue_wall_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          enqueued)
+                .count();
+        promise->set_value(Serve(*req, queue_wall_seconds));
+      };
+      task.shed = [this, promise, req, query_id](double queue_wall_seconds) {
+        promise->set_value(ShedResult(*req, query_id, queue_wall_seconds));
+      };
+      // Enqueue under mu_ (mu_ -> sched.mu_; the scheduler never calls
+      // out while holding its lock, so the order cannot invert): the
+      // tenant-cap check and the admission counters commit atomically —
+      // no rollback path, and stats() sees them move together.
+      if (Status st = sched_->Enqueue(std::move(task)); !st.ok()) {
+        rejected_ += 1;
+        MetricAddCounter(telemetry::kMetricServeRejected);
+        tenant_ledger_.RecordRejection(req->client_tag);
+        failed.status = std::move(st);
+        failed.phase = QueryPhase::kAdmission;
+        failed.client_tag = req->client_tag;
+        failed.query_id = query_id;
+        event.kind = ServeEventKind::kTenantReject;
+        event.phase = QueryPhaseName(failed.phase);
+        event.detail = failed.status.message();
+      } else {
+        submitted_ += 1;
+        inflight_ += 1;
+        MetricAddCounter(telemetry::kMetricServeSubmitted);
+        MetricSetGauge(telemetry::kMetricServeInflight,
+                       static_cast<double>(inflight_));
+        event.kind = ServeEventKind::kAdmit;
+      }
+    }
+  }
+  const bool admitted = event.kind == ServeEventKind::kAdmit;
+  recorder_.Record(std::move(event));
+  if (!admitted) promise->set_value(std::move(failed));
+}
+
+QueryResult UnifyService::ShedResult(const QueryRequest& request,
+                                     uint64_t query_id,
+                                     double queue_wall_seconds) {
+  const double deadline = request.deadline_seconds > 0
+                              ? request.deadline_seconds
+                              : options_.default_deadline_seconds;
+  QueryResult result;
+  char detail[160];
+  std::snprintf(detail, sizeof(detail),
+                "shed while queued: deadline %gs after virtual arrival %g "
+                "already passed before dispatch",
+                deadline, request.arrival_seconds);
+  result.status = Status::DeadlineExceeded(detail);
+  result.phase = QueryPhase::kAdmission;
+  result.client_tag = request.client_tag;
+  result.query_id = query_id;
+  result.queue_wall_seconds = queue_wall_seconds;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_ -= 1;
+    shed_ += 1;
+    MetricSetGauge(telemetry::kMetricServeInflight,
+                   static_cast<double>(inflight_));
+    // A shed counts for the tenant as a failed query with a deadline
+    // miss; it counts in neither completed_ nor deadline_exceeded_ (those
+    // are for *served* queries) — stats().shed carries it.
+    tenant_ledger_.RecordCompletion(result);
+  }
+
+  // A shed is a user-visible failure: it burns SLO error budget exactly
+  // like a served failure does.
+  const double now_uptime = UptimeSeconds();
+  const SloTracker::Outcome slo = slo_.Record(now_uptime, false);
+  MetricAddCounter(telemetry::kMetricSloBad);
+  MetricSetGauge(telemetry::kMetricSloBurnRateFast, slo.burn_rate_fast);
+  MetricSetGauge(telemetry::kMetricSloBurnRateSlow, slo.burn_rate_slow);
+  MetricSetGauge(telemetry::kMetricServeUptime, now_uptime);
+
+  ServeEvent shed;
+  shed.kind = ServeEventKind::kShed;
+  shed.query_id = query_id;
+  shed.client_tag = result.client_tag;
+  shed.phase = QueryPhaseName(result.phase);
+  shed.detail = result.status.message();
+  shed.queue_wall_seconds = queue_wall_seconds;
+  if (slo.breach_started) {
+    char breach_detail[160];
+    std::snprintf(breach_detail, sizeof(breach_detail),
+                  "burn rate fast %.2f / slow %.2f over threshold %.2f "
+                  "(target %g)",
+                  slo.burn_rate_fast, slo.burn_rate_slow,
+                  slo_.options().breach_burn_rate, slo_.options().target);
+    ServeEvent breach = shed;
+    breach.kind = ServeEventKind::kSloBreach;
+    breach.detail = breach_detail;
+    recorder_.Record(std::move(breach));
+  }
+  recorder_.Record(std::move(shed));
+  return result;
 }
 
 QueryResult UnifyService::Serve(const QueryRequest& request,
@@ -163,12 +342,15 @@ QueryResult UnifyService::Serve(const QueryRequest& request,
     }
     MetricSetGauge(telemetry::kMetricServeInflight,
                    static_cast<double>(inflight_));
+    // Per-tenant attribution (exact, from the query's own metrics) in the
+    // same mu_ section as the counters it must agree with: stats() also
+    // samples both under mu_, so a snapshot never shows a completion the
+    // tenant map has not absorbed yet (lock-order note in service.h).
+    tenant_ledger_.RecordCompletion(result);
   }
 
-  // Per-tenant attribution (exact, from the query's own metrics) and the
-  // SLO ledger. These run outside any per-query metrics sink, so the
+  // The SLO ledger runs outside any per-query metrics sink, so the
   // serve.slo.* telemetry never leaks into QueryResult::metrics.
-  tenant_ledger_.RecordCompletion(result);
   const double now_uptime = UptimeSeconds();
   const bool slo_good = slo_.IsGood(result.status.ok(), result.total_seconds);
   const SloTracker::Outcome slo = slo_.Record(now_uptime, slo_good);
@@ -258,13 +440,22 @@ QueryResult UnifyService::Answer(const std::string& text) {
 UnifyService::Stats UnifyService::stats() const {
   Stats s;
   {
+    // One mu_ section for the counters AND the tenant/scheduler state
+    // they must agree with — the update paths (Submit, Serve, ShedResult)
+    // mutate both under the same lock, so this snapshot is consistent.
     std::lock_guard<std::mutex> lock(mu_);
     s.submitted = submitted_;
     s.rejected = rejected_;
     s.completed = completed_;
     s.deadline_exceeded = deadline_exceeded_;
     s.degraded = degraded_;
+    s.shed = shed_;
     s.inflight = inflight_;
+    s.tenants = tenant_ledger_.snapshot();
+    if (sched_ != nullptr) {
+      s.fair_scheduler = true;
+      s.sched = sched_->stats();
+    }
   }
   s.uptime_seconds = UptimeSeconds();
   MetricSetGauge(telemetry::kMetricServeUptime, s.uptime_seconds);
@@ -274,7 +465,6 @@ UnifyService::Stats UnifyService::stats() const {
     s.cache = system_->llm_cache()->stats();
   }
   s.slo = slo_.state(s.uptime_seconds);
-  s.tenants = tenant_ledger_.snapshot();
   return s;
 }
 
@@ -320,7 +510,35 @@ void UnifyService::StartHttpEndpoint() {
                 [this](const serving::HttpRequest&) {
                   serving::HttpResponse response;
                   response.content_type = "application/json";
-                  response.body = tenant_ledger_.ToJson();
+                  if (sched_ == nullptr) {
+                    response.body = tenant_ledger_.ToJson();
+                    return response;
+                  }
+                  // Fair mode wraps the ledger with live queue state:
+                  // {"usage": <ledger>, "sched": {tenant: {...}}}.
+                  std::string usage = tenant_ledger_.ToJson();
+                  while (!usage.empty() && usage.back() == '\n') {
+                    usage.pop_back();
+                  }
+                  const FairScheduler::Stats st = sched_->stats();
+                  char buf[64];
+                  std::ostringstream os;
+                  os << "{\"usage\":" << usage << ",\"sched\":{";
+                  bool first = true;
+                  for (const auto& [tenant, t] : st.tenants) {
+                    if (!first) os << ",";
+                    first = false;
+                    std::snprintf(buf, sizeof(buf), "%.9g", t.weight);
+                    os << "\"" << JsonEscape(tenant)
+                       << "\":{\"weight\":" << buf
+                       << ",\"queued\":" << t.queued
+                       << ",\"running\":" << t.running
+                       << ",\"dispatched\":" << t.dispatched
+                       << ",\"shed\":" << t.sheds
+                       << ",\"rejected\":" << t.rejected << "}";
+                  }
+                  os << "}}\n";
+                  response.body = os.str();
                   return response;
                 });
 
@@ -403,7 +621,19 @@ serving::HttpResponse UnifyService::HandleStatusz() const {
      << ",\"target\":" << num(slo_.options().target)
      << "},\"tenants\":" << s.tenants.size()
      << ",\"workers\":" << options_.num_workers
-     << ",\"max_queue_depth\":" << options_.max_queue_depth << "}\n";
+     << ",\"max_queue_depth\":" << options_.max_queue_depth;
+  if (s.fair_scheduler) {
+    os << ",\"sched\":{\"queued\":" << s.sched.queued
+       << ",\"running\":" << s.sched.running
+       << ",\"dispatched\":" << s.sched.dispatched
+       << ",\"shed\":" << s.sched.sheds
+       << ",\"tenant_rejects\":" << s.sched.tenant_rejects
+       << ",\"wheel_rotations\":" << s.sched.wheel_rotations
+       << ",\"queued_by_class\":{\"batch\":" << s.sched.queued_by_class[0]
+       << ",\"normal\":" << s.sched.queued_by_class[1]
+       << ",\"interactive\":" << s.sched.queued_by_class[2] << "}}";
+  }
+  os << "}\n";
   serving::HttpResponse response;
   response.content_type = "application/json";
   response.body = os.str();

@@ -1,6 +1,7 @@
 #include "core/runtime/service.h"
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <map>
 #include <set>
@@ -379,6 +380,326 @@ TEST_F(ServiceTest, PerQueryMetricsAreExactUnderConcurrency) {
                      counter_of(solo.metrics, name))
         << name;
   }
+}
+
+// --- fair scheduler through the service ------------------------------------
+
+// Fair scheduling must change WHEN queries dispatch, never WHAT they
+// answer: with weights, tags, and priority classes in play, every answer
+// is byte-identical to a sequential run — including at concurrency 1,
+// where dispatch order itself is deterministic.
+TEST_F(ServiceTest, FairSchedulerServesIdenticalAnswersToSequential) {
+  const std::vector<std::string> queries = Queries();
+  std::map<std::string, std::string> expected;
+  for (const auto& q : queries) {
+    QueryResult result = system_->Answer(q);
+    ASSERT_TRUE(result.status.ok()) << q << ": " << result.status;
+    expected[q] = result.answer.ToString();
+  }
+
+  for (int num_workers : {1, 4}) {
+    UnifyService::Options sopts;
+    sopts.num_workers = num_workers;
+    sopts.scheduler = UnifyService::Scheduler::kFair;
+    sopts.tenant_weights = {{"t0", 0.5}, {"t1", 4.0}};
+    UnifyService service(system_, sopts);
+
+    std::vector<std::future<QueryResult>> futures;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      QueryRequest request;
+      request.text = queries[i];
+      request.client_tag = "t" + std::to_string(i % 3);
+      request.overrides.priority = static_cast<QueryPriority>(i % 3);
+      futures.push_back(service.Submit(std::move(request)));
+    }
+    for (size_t i = 0; i < queries.size(); ++i) {
+      QueryResult result = futures[i].get();
+      ASSERT_TRUE(result.status.ok()) << queries[i] << ": " << result.status;
+      EXPECT_EQ(result.answer.ToString(), expected[queries[i]])
+          << "fair scheduling changed the answer (" << num_workers
+          << " workers): " << queries[i];
+    }
+
+    // A worker marks OnComplete after resolving the promise, so `running`
+    // may trail the last future by an instant; wait for quiescence.
+    for (int spin = 0; spin < 2000 && service.stats().sched.running != 0;
+         ++spin) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const auto stats = service.stats();
+    EXPECT_TRUE(stats.fair_scheduler);
+    EXPECT_EQ(stats.completed, static_cast<int64_t>(queries.size()));
+    EXPECT_EQ(stats.sched.enqueued, static_cast<int64_t>(queries.size()));
+    EXPECT_EQ(stats.sched.dispatched, static_cast<int64_t>(queries.size()));
+    EXPECT_EQ(stats.sched.queued, 0);
+    EXPECT_EQ(stats.sched.running, 0);
+    EXPECT_EQ(stats.shed, 0);
+    int64_t tenant_dispatched = 0;
+    for (const auto& [tenant, t] : stats.sched.tenants) {
+      tenant_dispatched += t.dispatched;
+    }
+    EXPECT_EQ(tenant_dispatched, static_cast<int64_t>(queries.size()));
+  }
+}
+
+TEST_F(ServiceTest, FairPerTenantDepthCapRejectsBeforeGlobalCap) {
+  UnifyService::Options sopts;
+  sopts.num_workers = 1;
+  sopts.max_queue_depth = 64;  // global cap stays far away
+  sopts.scheduler = UnifyService::Scheduler::kFair;
+  sopts.per_tenant_queue_depth = 2;
+  UnifyService service(system_, sopts);
+  const std::vector<std::string> queries = Queries();
+
+  std::vector<std::future<QueryResult>> futures;
+  for (int i = 0; i < 12; ++i) {
+    QueryRequest request;
+    request.text = queries[static_cast<size_t>(i) % queries.size()];
+    request.client_tag = "noisy";
+    futures.push_back(service.Submit(std::move(request)));
+  }
+  // A different tenant's queue is empty, so it is admitted regardless of
+  // how full "noisy" is — that is the isolation the per-tenant cap buys.
+  QueryRequest quiet;
+  quiet.text = queries.front();
+  quiet.client_tag = "quiet";
+  std::future<QueryResult> quiet_future = service.Submit(std::move(quiet));
+
+  int tenant_rejected = 0;
+  for (auto& f : futures) {
+    QueryResult result = f.get();
+    if (result.status.code() == StatusCode::kResourceExhausted) {
+      EXPECT_EQ(result.phase, QueryPhase::kAdmission);
+      EXPECT_NE(result.status.message().find("per_tenant_queue_depth"),
+                std::string::npos)
+          << result.status;
+      tenant_rejected += 1;
+    } else {
+      EXPECT_TRUE(result.status.ok()) << result.status;
+    }
+  }
+  EXPECT_TRUE(quiet_future.get().status.ok());
+  // 12 instant submissions into a depth-2 tenant queue served by one
+  // worker: the overflow was rejected per-tenant, not globally.
+  EXPECT_GE(tenant_rejected, 1);
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.rejected, tenant_rejected);
+  EXPECT_EQ(stats.sched.tenant_rejects, tenant_rejected);
+  EXPECT_EQ(stats.sched.tenants.at("noisy").rejected, tenant_rejected);
+  EXPECT_EQ(stats.sched.tenants.at("quiet").rejected, 0);
+  int tenant_reject_events = 0;
+  for (const auto& e : service.flight_recorder().events()) {
+    if (e.kind == ServeEventKind::kTenantReject) tenant_reject_events += 1;
+  }
+  EXPECT_EQ(tenant_reject_events, tenant_rejected);
+}
+
+TEST_F(ServiceTest, FairSchedulerShedsQueuedWorkWhoseDeadlinePassed) {
+  // One LLM server: the pool's Now() (min server free-time) advances as
+  // soon as any query spends LLM time, making the shed deterministic.
+  UnifyOptions options;
+  options.collect_trace = false;
+  options.cost_feedback = false;
+  options.exec.num_servers = 1;
+  UnifySystem system(corpus_, llm_, options);
+  ASSERT_TRUE(system.Setup().ok());
+
+  UnifyService::Options sopts;
+  sopts.num_workers = 1;
+  sopts.scheduler = UnifyService::Scheduler::kFair;
+  UnifyService service(&system, sopts);
+  const std::vector<std::string> queries = Queries();
+
+  // Serve queries normally until the virtual clock moves past zero.
+  int64_t warmups = 0;
+  for (const auto& q : queries) {
+    ASSERT_TRUE(service.Answer(q).status.ok());
+    warmups += 1;
+    if (service.pool().Now() > 1e-5) break;
+  }
+  ASSERT_GT(service.pool().Now(), 1e-5);
+
+  // This request declares it arrived at virtual time 0 with a deadline the
+  // clock has long passed: the scheduler must fail it from the queue
+  // without wasting the worker on planning it.
+  QueryRequest hopeless;
+  hopeless.text = queries[1];
+  hopeless.client_tag = "latecomer";
+  hopeless.arrival_seconds = 0;
+  hopeless.deadline_seconds = 1e-6;
+  QueryResult result = service.Answer(std::move(hopeless));
+
+  EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded)
+      << result.status;
+  EXPECT_EQ(result.phase, QueryPhase::kAdmission);  // never reached planning
+  EXPECT_NE(result.status.message().find("shed"), std::string::npos);
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.shed, 1);
+  EXPECT_EQ(stats.sched.sheds, 1);
+  EXPECT_EQ(stats.completed, warmups);     // only the warm-up queries
+  EXPECT_EQ(stats.deadline_exceeded, 0);   // sheds are not served misses
+  EXPECT_EQ(stats.tenants.at("latecomer").deadline_misses, 1);
+  int shed_events = 0;
+  for (const auto& e : service.flight_recorder().events()) {
+    if (e.kind == ServeEventKind::kShed) {
+      shed_events += 1;
+      EXPECT_EQ(e.client_tag, "latecomer");
+      EXPECT_GE(e.queue_wall_seconds, 0);
+    }
+  }
+  EXPECT_EQ(shed_events, 1);
+}
+
+// Satellite fix regression: stats() must snapshot the counters and the
+// tenant ledger under one lock, so no interleaving of submits,
+// completions, and rejections can surface a torn read where the counters
+// and the per-tenant map disagree. Run under TSAN via scripts/check.sh.
+TEST_F(ServiceTest, StatsStayConsistentWhileSubmitsHammerTheLedger) {
+  UnifyService::Options sopts;
+  sopts.num_workers = 4;
+  sopts.max_queue_depth = 6;  // small: rejections race completions
+  sopts.scheduler = UnifyService::Scheduler::kFair;
+  sopts.per_tenant_queue_depth = 3;
+  UnifyService service(system_, sopts);
+  const std::vector<std::string> queries = Queries();
+
+  std::atomic<bool> done{false};
+  std::atomic<int> snapshots{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!done.load()) {
+        const auto s = service.stats();
+        // The consistency property itself: every completion/shed recorded
+        // a tenant query, every rejection a tenant rejection, under the
+        // same lock the counters moved — so ANY snapshot must balance.
+        int64_t tenant_queries = 0, tenant_rejects = 0;
+        for (const auto& [tag, usage] : s.tenants) {
+          tenant_queries += usage.queries;
+          tenant_rejects += usage.rejected;
+        }
+        EXPECT_EQ(tenant_queries, s.completed + s.shed);
+        EXPECT_EQ(tenant_rejects, s.rejected);
+        snapshots.fetch_add(1);
+      }
+    });
+  }
+
+  std::vector<std::thread> submitters;
+  std::atomic<int> ok{0}, failed{0};
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < 6; ++i) {
+        QueryRequest request;
+        request.text = queries[static_cast<size_t>(t + i) % queries.size()];
+        request.client_tag = "tenant-" + std::to_string(t);
+        QueryResult result = service.Answer(std::move(request));
+        if (result.status.ok()) {
+          ok.fetch_add(1);
+        } else {
+          EXPECT_EQ(result.status.code(), StatusCode::kResourceExhausted)
+              << result.status;
+          failed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  done.store(true);
+  for (auto& t : readers) t.join();
+
+  EXPECT_GT(snapshots.load(), 0);
+  const auto s = service.stats();
+  EXPECT_EQ(s.completed, ok.load());
+  EXPECT_EQ(s.rejected, failed.load());
+  EXPECT_EQ(s.inflight, 0);
+}
+
+// Satellite coverage gap: max_queue_depth rejections racing deadline
+// misses on queued work — and the flight recorder must reconcile 1:1
+// with the QueryPhases the futures returned.
+TEST_F(ServiceTest, QueueFullRejectsRaceDeadlineMissesAndEventsReconcile) {
+  UnifyService::Options sopts;
+  sopts.num_workers = 2;
+  sopts.max_queue_depth = 3;
+  sopts.flight_recorder_capacity = 1024;  // retain the whole storm
+  UnifyService service(system_, sopts);
+  const std::vector<std::string> queries = Queries();
+
+  // Unique client_tag per submission, so each future's outcome can be
+  // matched to exactly its own flight-recorder events.
+  std::vector<std::future<QueryResult>> futures;
+  for (int i = 0; i < 24; ++i) {
+    QueryRequest request;
+    request.text = queries[static_cast<size_t>(i) % queries.size()];
+    request.client_tag = "storm-" + std::to_string(i);
+    // The first two are admitted for sure (empty queue) and carry a
+    // hopeless deadline: guaranteed deadline misses on admitted work,
+    // racing the rejects the rest of the storm provokes.
+    if (i < 2 || i % 2 == 0) request.deadline_seconds = 1e-3;
+    futures.push_back(service.Submit(std::move(request)));
+  }
+
+  int ok_n = 0, miss_n = 0, rejected_n = 0;
+  std::map<std::string, QueryResult> outcomes;
+  for (int i = 0; i < 24; ++i) {
+    QueryResult result = futures[static_cast<size_t>(i)].get();
+    const std::string tag = "storm-" + std::to_string(i);
+    EXPECT_EQ(result.client_tag, tag);
+    if (result.status.code() == StatusCode::kResourceExhausted) {
+      EXPECT_EQ(result.phase, QueryPhase::kAdmission);
+      rejected_n += 1;
+    } else if (result.status.code() == StatusCode::kDeadlineExceeded) {
+      miss_n += 1;
+    } else {
+      EXPECT_TRUE(result.status.ok()) << result.status;
+      ok_n += 1;
+    }
+    outcomes.emplace(tag, std::move(result));
+  }
+  EXPECT_EQ(ok_n + miss_n + rejected_n, 24);
+  EXPECT_GE(miss_n, 2);      // the two guaranteed-admitted hopeless ones
+  EXPECT_GE(rejected_n, 1);  // the storm overflowed the depth-3 queue
+
+  // Reconcile events against returned phases, 1:1 per submission.
+  std::map<std::string, std::map<ServeEventKind, int>> events_by_tag;
+  for (const auto& e : service.flight_recorder().events()) {
+    if (e.client_tag.rfind("storm-", 0) == 0) {
+      events_by_tag[e.client_tag][e.kind] += 1;
+    }
+  }
+  for (const auto& [tag, result] : outcomes) {
+    const auto& kinds = events_by_tag[tag];
+    auto count = [&kinds](ServeEventKind kind) {
+      auto it = kinds.find(kind);
+      return it == kinds.end() ? 0 : it->second;
+    };
+    if (result.status.code() == StatusCode::kResourceExhausted) {
+      // A rejected submission records exactly one terminal reject event
+      // and nothing else — it never entered the serving lifecycle.
+      EXPECT_EQ(count(ServeEventKind::kReject), 1) << tag;
+      EXPECT_EQ(count(ServeEventKind::kAdmit), 0) << tag;
+      EXPECT_EQ(count(ServeEventKind::kStart), 0) << tag;
+      EXPECT_EQ(count(ServeEventKind::kComplete), 0) << tag;
+    } else {
+      EXPECT_EQ(count(ServeEventKind::kReject), 0) << tag;
+      EXPECT_EQ(count(ServeEventKind::kAdmit), 1) << tag;
+      EXPECT_EQ(count(ServeEventKind::kStart), 1) << tag;
+      EXPECT_EQ(count(ServeEventKind::kComplete), 1) << tag;
+      // A deadline-missed future gets its miss marker; a clean one must
+      // not.
+      EXPECT_EQ(count(ServeEventKind::kDeadlineMiss),
+                result.status.code() == StatusCode::kDeadlineExceeded ? 1
+                                                                      : 0)
+          << tag;
+    }
+  }
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.rejected, rejected_n);
+  EXPECT_EQ(stats.deadline_exceeded, miss_n);
+  EXPECT_EQ(stats.completed, ok_n + miss_n);
 }
 
 TEST_F(ServiceTest, DollarsObjectiveOverrideProducesAResult) {
